@@ -1,0 +1,306 @@
+(* vektc — command-line driver for the vekt dynamic kernel compiler.
+
+   Subcommands:
+     check    parse and type-check a PTX module
+     compile  run the compilation pipeline, dumping IR at each stage
+     run      launch a kernel on the simulated vector machine
+     emulate  launch a kernel on the reference scalar emulator
+     info     static facts about a kernel (entry points, invariance, ...)
+
+   Argument values for `run`/`emulate` are comma-separated specs:
+     i32:42         32-bit integer argument
+     i64:42         64-bit integer argument
+     f32:1.5        float argument
+     zeros:N        allocate N bytes of zeroed device memory, pass pointer
+     f32s:a,b,c     allocate and fill with floats, pass pointer
+     i32s:a,b,c     allocate and fill with ints, pass pointer
+   e.g.  vektc run k.ptx -k vecadd --grid 8 --block 128 \
+           -a f32s:1,2,3,4 -a f32s:5,6,7,8 -a zeros:16 -a i32:4 --dump f32:2:4 *)
+
+module Ir = Vekt_ir.Ir
+module Pp = Vekt_ir.Pp
+module Ptx_to_ir = Vekt_transform.Ptx_to_ir
+module Plan = Vekt_transform.Plan
+module Vectorize = Vekt_transform.Vectorize
+module Passes = Vekt_transform.Passes
+module Invariance = Vekt_analysis.Invariance
+module Api = Vekt_runtime.Api
+module Stats = Vekt_runtime.Stats
+open Vekt_ptx
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load path =
+  let src = read_file path in
+  let m =
+    try Parser.parse_module src with
+    | Parser.Error (msg, line) ->
+        Fmt.epr "%s:%d: parse error: %s@." path line msg;
+        exit 1
+    | Lexer.Error (msg, line) ->
+        Fmt.epr "%s:%d: lex error: %s@." path line msg;
+        exit 1
+  in
+  (match Typecheck.check_module m with
+  | [] -> ()
+  | errs ->
+      List.iter (fun e -> Fmt.epr "type error: %a@." Typecheck.pp_error e) errs;
+      exit 1);
+  (src, m)
+
+let pick_kernel m = function
+  | Some k -> k
+  | None -> (
+      match m.Ast.m_kernels with
+      | [ k ] -> k.Ast.k_name
+      | ks ->
+          Fmt.epr "module has %d kernels; pick one with -k@." (List.length ks);
+          exit 1)
+
+(* ---- common options ---- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ptx" ~doc:"PTX source file")
+
+let kernel_arg =
+  Arg.(value & opt (some string) None & info [ "k"; "kernel" ] ~docv:"NAME" ~doc:"Kernel name")
+
+let ws_arg =
+  Arg.(value & opt int 4 & info [ "ws"; "warp-size" ] ~docv:"N" ~doc:"Warp size to specialize for")
+
+let static_arg =
+  Arg.(value & flag & info [ "static" ] ~doc:"Static warp formation with thread-invariant elimination")
+
+let affine_arg =
+  Arg.(value & flag & info [ "affine" ] ~doc:"Coalesce affine/uniform memory accesses")
+
+(* ---- check ---- *)
+
+let check_cmd =
+  let run file =
+    let _, m = load file in
+    Fmt.pr "%s: %d kernel(s), %d const bank(s) — OK@." file
+      (List.length m.Ast.m_kernels) (List.length m.Ast.m_consts);
+    List.iter
+      (fun (k : Ast.kernel) ->
+        Fmt.pr "  %s(%d params): %d registers, %d statements@." k.Ast.k_name
+          (List.length k.Ast.k_params) (List.length k.Ast.k_regs)
+          (List.length k.Ast.k_body))
+      m.Ast.m_kernels
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Parse and type-check a PTX module")
+    Term.(const run $ file_arg)
+
+(* ---- compile ---- *)
+
+let compile_cmd =
+  let run file kernel ws static stage =
+    let _, m = load file in
+    let kernel = pick_kernel m kernel in
+    let tr = Ptx_to_ir.frontend m ~kernel in
+    if stage = "scalar" then Fmt.pr "%a@." Pp.func tr.Ptx_to_ir.func
+    else begin
+      let plan =
+        Plan.compute tr.Ptx_to_ir.func ~local_decl_bytes:tr.Ptx_to_ir.local_decl_bytes
+      in
+      let mode = if static then Vectorize.Static_tie else Vectorize.Dynamic in
+      let v = Vectorize.run ~mode ~plan tr.Ptx_to_ir.func ~ws in
+      if stage = "vectorized" then Fmt.pr "%a@." Pp.func v.Vectorize.func
+      else begin
+        let st = Passes.optimize v.Vectorize.func in
+        Fmt.pr "%a@." Pp.func v.Vectorize.func;
+        Fmt.epr
+          "; optimized: folded %d, CSE %d, DCE %d, fused %d — %d instructions@."
+          st.Passes.folded st.Passes.cse_replaced st.Passes.dce_removed
+          st.Passes.blocks_fused (Ir.size v.Vectorize.func)
+      end
+    end
+  in
+  let stage_arg =
+    Arg.(
+      value
+      & opt (enum [ ("scalar", "scalar"); ("vectorized", "vectorized"); ("optimized", "optimized") ]) "optimized"
+      & info [ "stage" ] ~doc:"Pipeline stage to dump: scalar, vectorized, optimized")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a kernel and dump the IR")
+    Term.(const run $ file_arg $ kernel_arg $ ws_arg $ static_arg $ stage_arg)
+
+(* ---- argument specs for run/emulate ---- *)
+
+type parsed_arg = { launch_arg : Launch.arg; addr : int option }
+
+let parse_arg_spec (dev : Api.device) spec : parsed_arg =
+  match String.index_opt spec ':' with
+  | None -> Fmt.failwith "bad arg spec %S" spec
+  | Some i -> (
+      let kind = String.sub spec 0 i in
+      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match kind with
+      | "i32" -> { launch_arg = Launch.I32 (int_of_string rest); addr = None }
+      | "i64" -> { launch_arg = Launch.I64 (Int64.of_string rest); addr = None }
+      | "f32" -> { launch_arg = Launch.F32 (float_of_string rest); addr = None }
+      | "f64" -> { launch_arg = Launch.F64 (float_of_string rest); addr = None }
+      | "zeros" ->
+          let a = Api.malloc dev (int_of_string rest) in
+          { launch_arg = Launch.Ptr a; addr = Some a }
+      | "f32s" ->
+          let vals = String.split_on_char ',' rest |> List.map float_of_string in
+          let a = Api.malloc dev (4 * List.length vals) in
+          Api.write_f32s dev a vals;
+          { launch_arg = Launch.Ptr a; addr = Some a }
+      | "i32s" ->
+          let vals = String.split_on_char ',' rest |> List.map int_of_string in
+          let a = Api.malloc dev (4 * List.length vals) in
+          Api.write_i32s dev a vals;
+          { launch_arg = Launch.Ptr a; addr = Some a }
+      | k -> Fmt.failwith "unknown arg kind %S" k)
+
+let dump_result dev (args : parsed_arg list) spec =
+  (* spec: ty:argindex:count *)
+  match String.split_on_char ':' spec with
+  | [ ty; idx; count ] -> (
+      let idx = int_of_string idx and count = int_of_string count in
+      match (List.nth args idx).addr with
+      | None -> Fmt.failwith "argument %d is not a buffer" idx
+      | Some a -> (
+          match ty with
+          | "f32" ->
+              Fmt.pr "arg%d: %a@." idx
+                Fmt.(list ~sep:sp float)
+                (Api.read_f32s dev a count)
+          | "i32" ->
+              Fmt.pr "arg%d: %a@." idx Fmt.(list ~sep:sp int) (Api.read_i32s dev a count)
+          | _ -> Fmt.failwith "dump type must be f32 or i32"))
+  | _ -> Fmt.failwith "bad dump spec %S (want ty:arg:count)" spec
+
+let grid_arg = Arg.(value & opt int 1 & info [ "grid" ] ~docv:"N" ~doc:"Grid size (x)")
+let block_arg = Arg.(value & opt int 32 & info [ "block" ] ~docv:"N" ~doc:"CTA size (x)")
+
+let args_arg =
+  Arg.(value & opt_all string [] & info [ "a"; "arg" ] ~docv:"SPEC" ~doc:"Kernel argument spec")
+
+let dump_arg =
+  Arg.(value & opt_all string [] & info [ "dump" ] ~docv:"TY:ARG:N" ~doc:"Dump buffer after run")
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let run file kernel grid block arg_specs dumps static affine ws =
+    let src, m = load file in
+    let kernel = pick_kernel m kernel in
+    let dev = Api.create_device () in
+    let config =
+      {
+        Api.default_config with
+        mode = (if static then Vectorize.Static_tie else Vectorize.Dynamic);
+        affine;
+        widths = List.sort_uniq (fun a b -> compare b a) (ws :: [ 1 ]);
+      }
+    in
+    let api_m = Api.load_module ~config dev src in
+    let args = List.map (parse_arg_spec dev) arg_specs in
+    let r =
+      Api.launch api_m ~kernel ~grid:(Launch.dim3 grid) ~block:(Launch.dim3 block)
+        ~args:(List.map (fun a -> a.launch_arg) args)
+    in
+    List.iter (dump_result dev args) dumps;
+    let em, yld, body = Stats.cycle_breakdown r.Api.stats in
+    Fmt.pr
+      "%.0f cycles (%.3f ms), %.2f GFLOP/s, avg warp %.2f; cycles: EM %.0f%% yield %.0f%% kernel %.0f%%@."
+      r.Api.cycles r.Api.time_ms r.Api.gflops r.Api.avg_warp_size (100. *. em)
+      (100. *. yld) (100. *. body)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Launch a kernel on the simulated vector machine")
+    Term.(
+      const run $ file_arg $ kernel_arg $ grid_arg $ block_arg $ args_arg $ dump_arg
+      $ static_arg $ affine_arg $ ws_arg)
+
+(* ---- emulate ---- *)
+
+let emulate_cmd =
+  let run file kernel grid block arg_specs dumps =
+    let src, m = load file in
+    ignore m;
+    let kernel' = pick_kernel (Parser.parse_module src) kernel in
+    let dev = Api.create_device () in
+    let api_m = Api.load_module dev src in
+    let args = List.map (parse_arg_spec dev) arg_specs in
+    let g =
+      Api.launch_reference api_m ~kernel:kernel' ~grid:(Launch.dim3 grid)
+        ~block:(Launch.dim3 block)
+        ~args:(List.map (fun a -> a.launch_arg) args)
+    in
+    (* copy emulator results back so dumps read them *)
+    Bytes.blit (Mem.bytes g) 0 (Mem.bytes dev.Api.global) 0 (Mem.size g);
+    List.iter (dump_result dev args) dumps;
+    Fmt.pr "emulated OK@."
+  in
+  Cmd.v
+    (Cmd.info "emulate" ~doc:"Launch a kernel on the reference scalar emulator")
+    Term.(const run $ file_arg $ kernel_arg $ grid_arg $ block_arg $ args_arg $ dump_arg)
+
+(* ---- info ---- *)
+
+let info_cmd =
+  let run file kernel =
+    let _, m = load file in
+    let kernel = pick_kernel m kernel in
+    let tr = Ptx_to_ir.frontend m ~kernel in
+    let f = tr.Ptx_to_ir.func in
+    let plan = Plan.compute f ~local_decl_bytes:tr.Ptx_to_ir.local_decl_bytes in
+    Fmt.pr "kernel %s@." kernel;
+    Fmt.pr "  scalar IR: %d instructions in %d blocks@." (Ir.size f)
+      (List.length (Ir.blocks f));
+    Fmt.pr "  shared memory: %d bytes/CTA; local: %d bytes/thread (+%d spill)@."
+      tr.Ptx_to_ir.shared_bytes tr.Ptx_to_ir.local_decl_bytes plan.Plan.spill_bytes;
+    Fmt.pr "  entry points:@.";
+    List.iter
+      (fun (l, id) ->
+        Fmt.pr "    %d: %s (restores %d values)@." id l
+          (Vekt_analysis.Liveness.ISet.cardinal (Plan.entry_live plan l)))
+      plan.Plan.entry_ids;
+    Fmt.pr "  thread-invariant instructions: %.1f%% (%.1f%% under static warps)@."
+      (100. *. Invariance.invariant_fraction f)
+      (100.
+      *. (let variants = Invariance.variant_regs ~static_warps:true f in
+          let total = ref 0 and inv = ref 0 in
+          List.iter
+            (fun (b : Ir.block) ->
+              List.iter
+                (fun i ->
+                  incr total;
+                  if Invariance.instr_invariant ~static_warps:true variants i then incr inv)
+                b.Ir.insts)
+            (Ir.blocks f);
+          if !total = 0 then 0.0 else float_of_int !inv /. float_of_int !total));
+    Fmt.pr "  uniform branches: %d@." (List.length (Invariance.uniform_branches f))
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Static facts about a kernel")
+    Term.(const run $ file_arg $ kernel_arg)
+
+let () =
+  let doc = "dynamic compilation of data-parallel kernels for vector processors" in
+  try
+    exit
+      (Cmd.eval ~catch:false
+         (Cmd.group (Cmd.info "vektc" ~version:"1.0.0" ~doc)
+            [ check_cmd; compile_cmd; run_cmd; emulate_cmd; info_cmd ]))
+  with
+  | Api.Api_error e | Failure e | Invalid_argument e ->
+      Fmt.epr "error: %s@." e;
+      exit 1
+  | Vekt_ptx.Emulator.Trap e | Vekt_vm.Interp.Trap e ->
+      Fmt.epr "runtime trap: %s@." e;
+      exit 1
+  | Vekt_ptx.Mem.Fault e ->
+      Fmt.epr "memory fault: %s@." e;
+      exit 1

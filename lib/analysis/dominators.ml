@@ -1,0 +1,79 @@
+(** Dominator tree over IR functions (Cooper-Harvey-Kennedy iterative
+    algorithm).  Used by loop detection and by CSE's safety check that a
+    replacement definition dominates its new uses. *)
+
+module Ir = Vekt_ir.Ir
+module Ty = Vekt_ir.Ty
+
+
+type t = {
+  idom : (string, string) Hashtbl.t;  (** immediate dominator; entry maps to itself *)
+  rpo_index : (string, int) Hashtbl.t;
+}
+
+let compute (f : Ir.func) : t =
+  let rpo = Ir.reverse_postorder f in
+  let rpo_index = Hashtbl.create 16 in
+  List.iteri (fun i l -> Hashtbl.replace rpo_index l i) rpo;
+  let preds = Ir.predecessors f in
+  let idom = Hashtbl.create 16 in
+  Hashtbl.replace idom f.Ir.entry f.Ir.entry;
+  let intersect a b =
+    let rec go a b =
+      if String.equal a b then a
+      else
+        let ia = Hashtbl.find rpo_index a and ib = Hashtbl.find rpo_index b in
+        if ia > ib then go (Hashtbl.find idom a) b else go a (Hashtbl.find idom b)
+    in
+    go a b
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        if not (String.equal l f.Ir.entry) then begin
+          let ps =
+            Option.value (Hashtbl.find_opt preds l) ~default:[]
+            |> List.filter (fun p -> Hashtbl.mem idom p)
+          in
+          match ps with
+          | [] -> ()
+          | p0 :: rest ->
+              let new_idom = List.fold_left intersect p0 rest in
+              if Hashtbl.find_opt idom l <> Some new_idom then begin
+                Hashtbl.replace idom l new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  { idom; rpo_index }
+
+(** [dominates t a b] iff block [a] dominates block [b] (reflexive).
+    Unreachable blocks dominate nothing and are dominated by nothing. *)
+let dominates (t : t) a b =
+  if not (Hashtbl.mem t.idom b) then false
+  else
+    let rec walk b =
+      if String.equal a b then true
+      else
+        let p = Hashtbl.find t.idom b in
+        if String.equal p b then false else walk p
+    in
+    walk b
+
+let idom (t : t) b =
+  match Hashtbl.find_opt t.idom b with
+  | Some p when not (String.equal p b) -> Some p
+  | _ -> None
+
+(** Back edges [(src, dst)] where [dst] dominates [src]: natural-loop
+    headers, reported in kernel statistics. *)
+let back_edges (f : Ir.func) (t : t) =
+  List.concat_map
+    (fun b ->
+      List.filter_map
+        (fun s -> if dominates t s b.Ir.label then Some (b.Ir.label, s) else None)
+        (Ir.successors b))
+    (Ir.blocks f)

@@ -1,0 +1,102 @@
+(** Classic backward liveness dataflow over IR functions.
+
+    Drives the yield-on-diverge transformation: live-out registers at a
+    divergence site are spilled by the exit handler; live-in registers at an
+    entry point are restored by its entry handler (paper Algorithms 3/4).
+    Also reported as the "values restored per entry" statistic (Figure 8). *)
+
+module Ir = Vekt_ir.Ir
+module Ty = Vekt_ir.Ty
+
+
+module ISet = Set.Make (Int)
+
+type t = {
+  live_in : (string, ISet.t) Hashtbl.t;
+  live_out : (string, ISet.t) Hashtbl.t;
+}
+
+(** Per-block [gen] (upward-exposed uses) and [kill] (definitions). *)
+let gen_kill (b : Ir.block) =
+  let gen = ref ISet.empty and kill = ref ISet.empty in
+  List.iter
+    (fun i ->
+      List.iter (fun r -> if not (ISet.mem r !kill) then gen := ISet.add r !gen) (Ir.uses i);
+      match Ir.def i with Some d -> kill := ISet.add d !kill | None -> ())
+    b.insts;
+  List.iter
+    (fun r -> if not (ISet.mem r !kill) then gen := ISet.add r !gen)
+    (Ir.term_uses b.term);
+  (!gen, !kill)
+
+let compute (f : Ir.func) : t =
+  let live_in = Hashtbl.create 16 and live_out = Hashtbl.create 16 in
+  let gk = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      Hashtbl.replace gk b.Ir.label (gen_kill b);
+      Hashtbl.replace live_in b.Ir.label ISet.empty;
+      Hashtbl.replace live_out b.Ir.label ISet.empty)
+    (Ir.blocks f);
+  (* Iterate to fixpoint; post-order-ish sweep converges fast on reducible
+     kernels.  Unreachable blocks participate too (harmless). *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        let label = b.Ir.label in
+        let out =
+          List.fold_left
+            (fun acc s -> ISet.union acc (Hashtbl.find live_in s))
+            ISet.empty (Ir.successors b)
+        in
+        let gen, kill = Hashtbl.find gk label in
+        let inn = ISet.union gen (ISet.diff out kill) in
+        if not (ISet.equal out (Hashtbl.find live_out label)) then begin
+          Hashtbl.replace live_out label out;
+          changed := true
+        end;
+        if not (ISet.equal inn (Hashtbl.find live_in label)) then begin
+          Hashtbl.replace live_in label inn;
+          changed := true
+        end)
+      (List.rev (Ir.blocks f))
+  done;
+  { live_in; live_out }
+
+let live_in t label = Option.value (Hashtbl.find_opt t.live_in label) ~default:ISet.empty
+let live_out t label = Option.value (Hashtbl.find_opt t.live_out label) ~default:ISet.empty
+
+(** Per-instruction liveness within one block, scanned backwards from the
+    block's live-out set.  Returns, in instruction order, the set of
+    registers live {e after} each instruction.  Used by the VM's register
+    allocator to estimate pressure. *)
+let per_instruction (t : t) (b : Ir.block) : ISet.t array =
+  let n = List.length b.insts in
+  let after = Array.make (max n 1) ISet.empty in
+  let live = ref (live_out t b.Ir.label) in
+  List.iter (fun r -> live := ISet.add r !live) (Ir.term_uses b.term);
+  let insts = Array.of_list b.insts in
+  for idx = n - 1 downto 0 do
+    after.(idx) <- !live;
+    let i = insts.(idx) in
+    (match Ir.def i with Some d -> live := ISet.remove d !live | None -> ());
+    List.iter (fun r -> live := ISet.add r !live) (Ir.uses i)
+  done;
+  after
+
+(** Maximum simultaneously-live register count anywhere in the function,
+    weighted by [weight] (e.g. vector registers vs scalar). *)
+let max_pressure ?(weight = fun _ -> 1) (f : Ir.func) (t : t) : int =
+  let best = ref 0 in
+  List.iter
+    (fun b ->
+      let after = per_instruction t b in
+      Array.iter
+        (fun s ->
+          let p = ISet.fold (fun r acc -> acc + weight r) s 0 in
+          if p > !best then best := p)
+        after)
+    (Ir.blocks f);
+  !best

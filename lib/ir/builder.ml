@@ -1,0 +1,75 @@
+(** Imperative construction of IR functions.
+
+    Blocks accumulate instructions in order; [set_term] seals a block.  The
+    builder hands out fresh typed virtual registers and guarantees label
+    uniqueness. *)
+
+type t = {
+  func : Ir.func;
+  mutable current : Ir.block option;
+  mutable label_counter : int;
+}
+
+let create ?(warp_size = 1) fname =
+  {
+    func =
+      {
+        Ir.fname;
+        warp_size;
+        entry = "";
+        order = [];
+        btab = Hashtbl.create 16;
+        nregs = 0;
+        rty = Hashtbl.create 64;
+      };
+    current = None;
+    label_counter = 0;
+  }
+
+let func b = b.func
+
+let fresh_reg b ty : Ir.vreg =
+  let r = b.func.Ir.nregs in
+  b.func.Ir.nregs <- r + 1;
+  Hashtbl.replace b.func.Ir.rty r ty;
+  r
+
+let fresh_label b stem =
+  b.label_counter <- b.label_counter + 1;
+  let rec pick n =
+    let l = Fmt.str "%s.%d" stem n in
+    if Hashtbl.mem b.func.Ir.btab l then pick (n + 1) else l
+  in
+  pick b.label_counter
+
+(** Create a block (appended to layout order) and make it current.  The
+    first block created becomes the function entry. *)
+let start_block ?(kind = Ir.Body) b label =
+  if Hashtbl.mem b.func.Ir.btab label then
+    invalid_arg (Fmt.str "Builder.start_block: duplicate label %s" label);
+  let blk = { Ir.label; kind; insts = []; term = Ir.Return } in
+  Hashtbl.replace b.func.Ir.btab label blk;
+  b.func.Ir.order <- b.func.Ir.order @ [ label ];
+  if b.func.Ir.entry = "" then b.func.Ir.entry <- label;
+  b.current <- Some blk;
+  blk
+
+let switch_to b label =
+  b.current <- Some (Ir.block b.func label)
+
+let current b =
+  match b.current with
+  | Some blk -> blk
+  | None -> invalid_arg "Builder: no current block"
+
+let emit b i =
+  let blk = current b in
+  blk.Ir.insts <- blk.Ir.insts @ [ i ]
+
+(** Emit an instruction computing into a fresh register of type [ty]. *)
+let emit_val b ty mk =
+  let r = fresh_reg b ty in
+  emit b (mk r);
+  r
+
+let set_term b term = (current b).Ir.term <- term

@@ -1,0 +1,102 @@
+(** Human-readable printing of IR functions (for tests, goldens, debug). *)
+
+open Vekt_ptx
+
+let reg fmt r = Fmt.pf fmt "%%%d" r
+
+let operand fmt = function
+  | Ir.R r -> reg fmt r
+  | Ir.Imm (v, ty) -> Fmt.pf fmt "%a:%s" Scalar_ops.pp_value v (Printer.dtype_str ty)
+
+let dim_str = Printer.dim_str
+
+let ctx_field fmt = function
+  | Ir.Tid d -> Fmt.pf fmt "tid.%s" (dim_str d)
+  | Ir.Ntid d -> Fmt.pf fmt "ntid.%s" (dim_str d)
+  | Ir.Ctaid d -> Fmt.pf fmt "ctaid.%s" (dim_str d)
+  | Ir.Nctaid d -> Fmt.pf fmt "nctaid.%s" (dim_str d)
+  | Ir.Lane -> Fmt.string fmt "lane"
+  | Ir.Local_base -> Fmt.string fmt "local_base"
+  | Ir.Warp_width -> Fmt.string fmt "warp_width"
+  | Ir.Entry_id -> Fmt.string fmt "entry_id"
+
+let status_str = function
+  | Ir.Status_branch -> "branch"
+  | Ir.Status_barrier -> "barrier"
+  | Ir.Status_exit -> "exit"
+
+let instr fmt (i : Ir.instr) =
+  match i with
+  | Bin (op, ty, d, a, b) ->
+      Fmt.pf fmt "%a = %s %a %a, %a" reg d (Printer.binop_str op) Ty.pp ty operand a
+        operand b
+  | Un (op, ty, d, a) ->
+      Fmt.pf fmt "%a = %s %a %a" reg d (Printer.unop_str op) Ty.pp ty operand a
+  | Fma (ty, d, a, b, c) ->
+      Fmt.pf fmt "%a = fma %a %a, %a, %a" reg d Ty.pp ty operand a operand b operand c
+  | Cmp (op, ty, d, a, b) ->
+      Fmt.pf fmt "%a = cmp.%s %a %a, %a" reg d (Printer.cmp_str op) Ty.pp ty operand a
+        operand b
+  | Select (ty, d, c, a, b) ->
+      Fmt.pf fmt "%a = select %a %a ? %a : %a" reg d Ty.pp ty operand c operand a
+        operand b
+  | Mov (ty, d, a) -> Fmt.pf fmt "%a = mov %a %a" reg d Ty.pp ty operand a
+  | Cvt (dt, st, d, a) ->
+      Fmt.pf fmt "%a = cvt %a<-%a %a" reg d Ty.pp dt Ty.pp st operand a
+  | Load (sp, ty, d, base, off) ->
+      Fmt.pf fmt "%a = load.%s %s [%a%+d]" reg d (Printer.space_str sp)
+        (Printer.dtype_str ty) operand base off
+  | Store (sp, ty, base, off, v) ->
+      Fmt.pf fmt "store.%s %s [%a%+d], %a" (Printer.space_str sp) (Printer.dtype_str ty)
+        operand base off operand v
+  | Vload (sp, ty, d, base, off) ->
+      Fmt.pf fmt "%a = vload.%s %s [%a%+d]" reg d (Printer.space_str sp)
+        (Printer.dtype_str ty) operand base off
+  | Vstore (sp, ty, base, off, v) ->
+      Fmt.pf fmt "vstore.%s %s [%a%+d], %a" (Printer.space_str sp)
+        (Printer.dtype_str ty) operand base off operand v
+  | Atomic (sp, op, ty, d, base, off, b, c) ->
+      Fmt.pf fmt "%a = atomic.%s.%s %s [%a%+d], %a%a" reg d (Printer.space_str sp)
+        (Printer.atomop_str op) (Printer.dtype_str ty) operand base off operand b
+        (Fmt.option (fun fmt c -> Fmt.pf fmt ", %a" operand c))
+        c
+  | Broadcast (ty, d, a) -> Fmt.pf fmt "%a = broadcast %a %a" reg d Ty.pp ty operand a
+  | Extract (ty, d, a, l) ->
+      Fmt.pf fmt "%a = extract %s %a[%d]" reg d (Printer.dtype_str ty) operand a l
+  | Insert (ty, d, v, l, s) ->
+      Fmt.pf fmt "%a = insert %a %a[%d] <- %a" reg d Ty.pp ty operand v l operand s
+  | Reduce_add (d, a) -> Fmt.pf fmt "%a = reduce.add %a" reg d operand a
+  | Ctx_read (d, f, l) -> Fmt.pf fmt "%a = ctx[%d].%a" reg d l ctx_field f
+  | Spill (l, slot, ty, v) ->
+      Fmt.pf fmt "spill[%d] @%d %s, %a" l slot (Printer.dtype_str ty) operand v
+  | Restore (d, l, slot, ty) ->
+      Fmt.pf fmt "%a = restore[%d] @%d %s" reg d l slot (Printer.dtype_str ty)
+  | Set_resume (l, v) -> Fmt.pf fmt "set_resume[%d] %a" l operand v
+  | Set_status s -> Fmt.pf fmt "set_status %s" (status_str s)
+
+let terminator fmt = function
+  | Ir.Jump l -> Fmt.pf fmt "jump %s" l
+  | Ir.Branch (c, t, e) -> Fmt.pf fmt "branch %a ? %s : %s" operand c t e
+  | Ir.Switch (v, cases, d) ->
+      Fmt.pf fmt "switch %a [%a] default %s" operand v
+        (Fmt.list ~sep:Fmt.comma (fun fmt (c, l) -> Fmt.pf fmt "%d->%s" c l))
+        cases d
+  | Ir.Barrier l -> Fmt.pf fmt "barrier -> %s" l
+  | Ir.Return -> Fmt.string fmt "return"
+
+let kind_str = function
+  | Ir.Body -> ""
+  | Ir.Scheduler -> "  ; scheduler"
+  | Ir.Entry_handler -> "  ; entry handler"
+  | Ir.Exit_handler -> "  ; exit handler"
+
+let block fmt (b : Ir.block) =
+  Fmt.pf fmt "%s:%s@." b.label (kind_str b.kind);
+  List.iter (fun i -> Fmt.pf fmt "  %a@." instr i) b.insts;
+  Fmt.pf fmt "  %a@." terminator b.term
+
+let func fmt (f : Ir.func) =
+  Fmt.pf fmt "func %s (warp %d, %d regs) entry %s@." f.fname f.warp_size f.nregs f.entry;
+  List.iter (fun b -> block fmt b) (Ir.blocks f)
+
+let func_to_string = Fmt.to_to_string func

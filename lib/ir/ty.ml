@@ -1,0 +1,29 @@
+(** IR value types: a scalar element type (reusing the PTX datatypes) and a
+    lane width.  [width = 1] is scalar; [width = w > 1] is a [<w x elt>]
+    vector, as in LLVM. *)
+
+open Vekt_ptx
+
+type t = { elt : Ast.dtype; width : int }
+
+let scalar elt = { elt; width = 1 }
+let vector elt width =
+  if width < 2 then invalid_arg "Ty.vector: width must be >= 2";
+  { elt; width }
+
+let make elt width = if width = 1 then scalar elt else vector elt width
+let is_vector t = t.width > 1
+let is_pred t = t.elt = Ast.Pred
+let equal a b = a.elt = b.elt && a.width = b.width
+
+(** Same element type at a different width. *)
+let with_width t width = make t.elt width
+
+let pp fmt t =
+  if t.width = 1 then Fmt.string fmt (Printer.dtype_str t.elt)
+  else Fmt.pf fmt "<%d x %s>" t.width (Printer.dtype_str t.elt)
+
+let to_string = Fmt.to_to_string pp
+
+(** Bytes occupied by a value of this type in a (vector) register. *)
+let byte_size t = Ast.size_of t.elt * t.width

@@ -1,0 +1,309 @@
+(** Reference emulator for the PTX subset.
+
+    Executes a kernel launch by serializing scalar threads directly over the
+    AST — no vectorization, no warps — with CTA-barrier-aware round-robin
+    scheduling.  This is the correctness oracle against which the dynamic
+    vectorizing pipeline is validated: both share {!Scalar_ops}, so results
+    must match bit-for-bit. *)
+
+open Ast
+
+exception Trap of string
+exception Out_of_fuel
+
+type stats = {
+  mutable dyn_instrs : int;  (** dynamically executed instructions *)
+  mutable dyn_branches : int;
+  mutable barrier_waits : int;  (** thread-barrier arrival events *)
+}
+
+let empty_stats () = { dyn_instrs = 0; dyn_branches = 0; barrier_waits = 0 }
+
+type thread_state = Running | At_barrier | Done
+
+type thread = {
+  tid : Launch.dim3;
+  regs : (reg, Scalar_ops.value) Hashtbl.t;
+  local : Mem.t;
+  mutable pc : int;
+  mutable state : thread_state;
+}
+
+type cta_env = {
+  kernel : kernel;
+  code : stmt array;
+  labels : (string, int) Hashtbl.t;
+  global : Mem.t;
+  params : Mem.t;
+  consts : Mem.t;
+  const_layout : (string * int) list;
+  shared : Mem.t;
+  shared_layout : (string * int) list;
+  local_layout : (string * int) list;
+  local_size : int;
+  grid : Launch.dim3;
+  block : Launch.dim3;
+  ctaid : Launch.dim3;
+  stats : stats;
+}
+
+(** Build the module's constant bank from its [.const] declarations. *)
+let build_consts (m : modul) : Mem.t * (string * int) list =
+  let decls = List.map (fun c -> c.c_decl) m.m_consts in
+  let layout, total = Mem.layout decls in
+  let mem = Mem.create ~name:"const" total in
+  List.iter
+    (fun c ->
+      let base = List.assoc c.c_decl.a_name layout in
+      let ty = c.c_decl.a_ty in
+      let sz = size_of ty in
+      match c.c_init with
+      | None -> ()
+      | Some (Init_int vs) ->
+          List.iteri (fun i v -> Mem.store mem ty (base + (i * sz)) (Scalar_ops.I v)) vs
+      | Some (Init_float vs) ->
+          List.iteri (fun i v -> Mem.store mem ty (base + (i * sz)) (Scalar_ops.F v)) vs)
+    m.m_consts;
+  (mem, layout)
+
+let reg_default ty = if is_float ty then Scalar_ops.F 0.0 else Scalar_ops.I 0L
+
+let special_value env t = function
+  | Tid d -> (
+      match d with X -> t.tid.Launch.x | Y -> t.tid.Launch.y | Z -> t.tid.Launch.z)
+  | Ntid d -> (
+      match d with
+      | X -> env.block.Launch.x
+      | Y -> env.block.Launch.y
+      | Z -> env.block.Launch.z)
+  | Ctaid d -> (
+      match d with
+      | X -> env.ctaid.Launch.x
+      | Y -> env.ctaid.Launch.y
+      | Z -> env.ctaid.Launch.z)
+  | Nctaid d -> (
+      match d with
+      | X -> env.grid.Launch.x
+      | Y -> env.grid.Launch.y
+      | Z -> env.grid.Launch.z)
+  | Laneid -> 0  (* scalar reference execution: every thread is lane 0 *)
+  | Warpsize -> 1
+
+let var_offset env name =
+  match List.assoc_opt name env.shared_layout with
+  | Some off -> off
+  | None -> (
+      match List.assoc_opt name env.local_layout with
+      | Some off -> off
+      | None -> (
+          match List.assoc_opt name env.const_layout with
+          | Some off -> off
+          | None -> (
+              match List.assoc_opt name (Ast.param_layout env.kernel.k_params) with
+              | Some (off, _) -> off
+              | None -> raise (Trap (Fmt.str "unknown variable %s" name)))))
+
+let eval_operand env t : operand -> Scalar_ops.value = function
+  | Reg r -> (
+      match Hashtbl.find_opt t.regs r with
+      | Some v -> v
+      | None -> raise (Trap (Fmt.str "read of undeclared register %s" r)))
+  | Imm_int v -> Scalar_ops.I v
+  | Imm_float v -> Scalar_ops.F v
+  | Special s -> Scalar_ops.I (Int64.of_int (special_value env t s))
+  | Var v -> Scalar_ops.I (Int64.of_int (var_offset env v))
+
+let set_reg t r v = Hashtbl.replace t.regs r v
+
+let segment env (t : thread) = function
+  | Param -> env.params
+  | Global -> env.global
+  | Shared -> env.shared
+  | Local -> t.local
+  | Const -> env.consts
+
+let resolve_addr env t ({ base; offset } : address) : int =
+  let b =
+    match base with
+    | Areg r -> (
+        match eval_operand env t (Reg r) with
+        | Scalar_ops.I v -> Int64.to_int v
+        | Scalar_ops.F _ -> raise (Trap "float used as address"))
+    | Avar v -> var_offset env v
+  in
+  b + offset
+
+let guard_passes env t = function
+  | Always -> true
+  | If p -> Scalar_ops.to_bool (eval_operand env t (Reg p))
+  | Ifnot p -> not (Scalar_ops.to_bool (eval_operand env t (Reg p)))
+
+(** Execute one thread until it blocks at a barrier, exits, or runs out of
+    fuel.  Returns the number of instructions executed. *)
+let run_thread env (t : thread) ~fuel : int =
+  let executed = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && t.state = Running do
+    if !executed > fuel then raise Out_of_fuel;
+    if t.pc >= Array.length env.code then t.state <- Done
+    else begin
+      let stmt = env.code.(t.pc) in
+      t.pc <- t.pc + 1;
+      match stmt with
+      | Label _ -> ()
+      | Inst (g, i) ->
+          incr executed;
+          env.stats.dyn_instrs <- env.stats.dyn_instrs + 1;
+          if guard_passes env t g then (
+            match i with
+            | Binary (op, ty, d, a, b) ->
+                set_reg t d
+                  (Scalar_ops.binop op ty (eval_operand env t a) (eval_operand env t b))
+            | Unary (op, ty, d, a) ->
+                set_reg t d (Scalar_ops.unop op ty (eval_operand env t a))
+            | Mad (ty, d, a, b, c) ->
+                set_reg t d
+                  (Scalar_ops.mad ty (eval_operand env t a) (eval_operand env t b)
+                     (eval_operand env t c))
+            | Setp (op, ty, d, a, b) ->
+                set_reg t d
+                  (Scalar_ops.of_bool
+                     (Scalar_ops.cmp op ty (eval_operand env t a) (eval_operand env t b)))
+            | Selp (ty, d, a, b, p) ->
+                ignore ty;
+                let v =
+                  if Scalar_ops.to_bool (eval_operand env t (Reg p)) then
+                    eval_operand env t a
+                  else eval_operand env t b
+                in
+                set_reg t d v
+            | Mov (ty, d, a) ->
+                ignore ty;
+                set_reg t d (eval_operand env t a)
+            | Cvt (dty, sty, d, a) ->
+                set_reg t d (Scalar_ops.cvt ~dst:dty ~src:sty (eval_operand env t a))
+            | Ld (sp, ty, d, addr) ->
+                let seg = segment env t sp in
+                set_reg t d (Mem.load seg ty (resolve_addr env t addr))
+            | St (sp, ty, addr, v) ->
+                let seg = segment env t sp in
+                Mem.store seg ty (resolve_addr env t addr) (eval_operand env t v)
+            | Atom (sp, op, ty, d, addr, b, c) ->
+                let seg = segment env t sp in
+                let a = resolve_addr env t addr in
+                let old = Mem.load seg ty a in
+                let v = eval_operand env t b in
+                let extra = Option.map (eval_operand env t) c in
+                Mem.store seg ty a (Scalar_ops.atom op ty old v extra);
+                set_reg t d old
+            | Call _ -> raise (Trap "call survived inlining")
+            | Bra target -> (
+                env.stats.dyn_branches <- env.stats.dyn_branches + 1;
+                match Hashtbl.find_opt env.labels target with
+                | Some pc -> t.pc <- pc
+                | None -> raise (Trap (Fmt.str "branch to unknown label %s" target)))
+            | Bar ->
+                env.stats.barrier_waits <- env.stats.barrier_waits + 1;
+                t.state <- At_barrier;
+                continue_ := false
+            | Ret | Exit ->
+                t.state <- Done;
+                continue_ := false)
+    end
+  done;
+  !executed
+
+(** Run one CTA to completion: round-robin over threads, releasing barriers
+    when every non-exited thread has arrived. *)
+let run_cta env ~fuel =
+  let n = Launch.count env.block in
+  let threads =
+    Array.init n (fun i ->
+        let tid = Launch.unlinear ~dims:env.block i in
+        let regs = Hashtbl.create 64 in
+        List.iter (fun (r, ty) -> Hashtbl.replace regs r (reg_default ty)) env.kernel.k_regs;
+        {
+          tid;
+          regs;
+          local = Mem.create ~name:"local" env.local_size;
+          pc = 0;
+          state = Running;
+        })
+  in
+  let fuel_left = ref fuel in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    Array.iter
+      (fun t ->
+        if t.state = Running then begin
+          let used = run_thread env t ~fuel:!fuel_left in
+          fuel_left := !fuel_left - used;
+          if !fuel_left <= 0 then raise Out_of_fuel;
+          if used > 0 || t.state <> Running then progress := true
+        end)
+      threads;
+    (* A barrier synchronizes the CTA's live (non-exited) threads: it
+       releases when every one of them has arrived.  CUDA leaves barriers
+       with exited threads undefined; this deterministic choice matches the
+       dynamic execution manager so the oracle and the vectorized pipeline
+       agree. *)
+    let live = Array.to_list threads |> List.filter (fun t -> t.state <> Done) in
+    if live <> [] && List.for_all (fun t -> t.state = At_barrier) live then begin
+      List.iter (fun t -> t.state <- Running) live;
+      progress := true
+    end
+  done;
+  Array.iter
+    (fun t -> if t.state <> Done then raise (Trap "thread failed to terminate"))
+    threads
+
+(** Launch a kernel over a grid.
+
+    @param fuel maximum dynamic instructions per CTA (default 100M);
+      {!Out_of_fuel} is raised when exceeded, bounding runaway loops in
+      randomly generated kernels. *)
+let run ?(fuel = 100_000_000) (m : modul) ~kernel ~(args : Launch.arg list)
+    ~(global : Mem.t) ~(grid : Launch.dim3) ~(block : Launch.dim3) : stats =
+  let k =
+    match find_kernel m kernel with
+    | Some k -> k
+    | None -> raise (Trap (Fmt.str "no kernel named %s" kernel))
+  in
+  (* device functions are exhaustively inlined before execution *)
+  let k = Inline.expand m k in
+  let params = Launch.param_block k args in
+  let consts, const_layout = build_consts m in
+  let code = Array.of_list k.k_body in
+  let labels = Hashtbl.create 16 in
+  Array.iteri
+    (fun i s -> match s with Label l -> Hashtbl.replace labels l (i + 1) | _ -> ())
+    code;
+  let shared_layout, shared_size = Mem.layout k.k_shared in
+  let local_layout, local_size = Mem.layout k.k_local in
+  let stats = empty_stats () in
+  let ncta = Launch.count grid in
+  for c = 0 to ncta - 1 do
+    let ctaid = Launch.unlinear ~dims:grid c in
+    let env =
+      {
+        kernel = k;
+        code;
+        labels;
+        global;
+        params;
+        consts;
+        const_layout;
+        shared = Mem.create ~name:"shared" shared_size;
+        shared_layout;
+        local_layout;
+        local_size;
+        grid;
+        block;
+        ctaid;
+        stats;
+      }
+    in
+    run_cta env ~fuel
+  done;
+  stats

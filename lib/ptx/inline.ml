@@ -1,0 +1,133 @@
+(** Exhaustive inlining of [.func] device functions.
+
+    The paper's toolchain predates reliable function calls in the
+    programming model ("this work does not implement function calls, mainly
+    due to their relatively new introduction"); contemporary CUDA compilers
+    inlined every device function into the kernel before emitting PTX.  We
+    do the same as a PTX→PTX pass: each [call] is replaced by argument
+    moves, the callee body with freshly renamed registers and labels
+    ([ret] becomes a branch to the call's continuation), and return-value
+    moves.  Nested calls expand iteratively; recursion is rejected.
+
+    True calls — a thread-local call stack with yield-on-call — remain
+    future work here exactly as in the paper (§4.1). *)
+
+open Ast
+
+exception Error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+let max_depth = 32
+
+(* Rename every register occurrence in an instruction via [ren]. *)
+let rename_operand ren = function
+  | Reg r -> Reg (ren r)
+  | o -> o
+
+let rename_address ren ({ base; offset } : address) =
+  match base with Areg r -> { base = Areg (ren r); offset } | Avar _ -> { base; offset }
+
+let rename_instr ren lren (i : instr) : instr =
+  let ro = rename_operand ren in
+  match i with
+  | Binary (op, ty, d, a, b) -> Binary (op, ty, ren d, ro a, ro b)
+  | Unary (op, ty, d, a) -> Unary (op, ty, ren d, ro a)
+  | Mad (ty, d, a, b, c) -> Mad (ty, ren d, ro a, ro b, ro c)
+  | Setp (op, ty, d, a, b) -> Setp (op, ty, ren d, ro a, ro b)
+  | Selp (ty, d, a, b, p) -> Selp (ty, ren d, ro a, ro b, ren p)
+  | Mov (ty, d, a) -> Mov (ty, ren d, ro a)
+  | Cvt (dt, st, d, a) -> Cvt (dt, st, ren d, ro a)
+  | Ld (sp, ty, d, addr) -> Ld (sp, ty, ren d, rename_address ren addr)
+  | St (sp, ty, addr, v) -> St (sp, ty, rename_address ren addr, ro v)
+  | Atom (sp, op, ty, d, addr, b, c) ->
+      Atom (sp, op, ty, ren d, rename_address ren addr, ro b, Option.map ro c)
+  | Bra l -> Bra (lren l)
+  | Call (rets, f, args) -> Call (List.map ren rets, f, List.map ro args)
+  | Bar -> Bar
+  | Ret -> Ret
+  | Exit -> Exit
+
+let rename_guard ren = function
+  | Always -> Always
+  | If r -> If (ren r)
+  | Ifnot r -> Ifnot (ren r)
+
+(** Expand one call site: returns the replacement statements and the
+    register declarations to add to the caller. *)
+let expand_call (f : func_decl) ~(uid : int) (rets : reg list) (args : operand list) :
+    stmt list * (reg * dtype) list =
+  if List.length args <> List.length f.f_params then
+    err "call of %s: %d arguments for %d parameters" f.f_name (List.length args)
+      (List.length f.f_params);
+  if List.length rets <> List.length f.f_rets then
+    err "call of %s: %d return registers for %d returns" f.f_name (List.length rets)
+      (List.length f.f_rets);
+  let suffix r = Fmt.str "%s__inl%d" r uid in
+  let owned = f.f_rets @ f.f_params @ f.f_regs in
+  let ren r = if List.mem_assoc r owned then suffix r else r in
+  let lren l = Fmt.str "%s__inl%d" l uid in
+  let end_label = Fmt.str "$__ret__inl%d" uid in
+  let prologue =
+    List.map2
+      (fun (p, ty) arg -> Inst (Always, Mov (ty, suffix p, arg)))
+      f.f_params args
+  in
+  let body =
+    List.concat_map
+      (function
+        | Label l -> [ Label (lren l) ]
+        | Inst (g, Ret) -> [ Inst (rename_guard ren g, Bra end_label) ]
+        | Inst (g, i) -> [ Inst (rename_guard ren g, rename_instr ren lren i) ])
+      f.f_body
+  in
+  let epilogue =
+    Label end_label
+    :: List.map2
+         (fun (fr, ty) dst -> Inst (Always, Mov (ty, dst, Reg (suffix fr))))
+         f.f_rets rets
+  in
+  let decls = List.map (fun (r, ty) -> (suffix r, ty)) owned in
+  (prologue @ body @ epilogue, decls)
+
+(** Inline every call in [k] (iterating for nested calls).
+    @raise Error on unknown callees, arity mismatch, or recursion (detected
+    as expansion beyond {!max_depth} rounds). *)
+let expand (m : modul) (k : kernel) : kernel =
+  let uid = ref 0 in
+  let rec rounds depth (k : kernel) =
+    let has_call =
+      List.exists (function Inst (_, Call _) -> true | _ -> false) k.k_body
+    in
+    if not has_call then k
+    else if depth > max_depth then
+      err "kernel %s: call expansion exceeded depth %d (recursive .func?)" k.k_name
+        max_depth
+    else begin
+      let new_regs = ref [] in
+      let body =
+        List.concat_map
+          (function
+            | Inst (Always, Call (rets, fname, args)) -> (
+                match find_func m fname with
+                | None -> err "call of undefined .func %s" fname
+                | Some f ->
+                    incr uid;
+                    let stmts, decls = expand_call f ~uid:!uid rets args in
+                    new_regs := !new_regs @ decls;
+                    stmts)
+            | Inst ((If _ | Ifnot _), Call _) ->
+                (* Ifconv runs after inlining, so guarded calls must be
+                   handled here; keep the subset simple and reject. *)
+                err "guarded call in kernel %s (wrap the call in a branch)" k.k_name
+            | s -> [ s ])
+          k.k_body
+      in
+      rounds (depth + 1) { k with k_regs = k.k_regs @ !new_regs; k_body = body }
+    end
+  in
+  rounds 0 k
+
+(** Inline all kernels of a module; [.func] declarations are kept (they
+    are harmless and preserve printability). *)
+let run (m : modul) : modul = { m with m_kernels = List.map (expand m) m.m_kernels }

@@ -1,0 +1,235 @@
+(** Hand-written lexer for the PTX subset.
+
+    Identifiers may embed dots so that dotted opcodes ([add.s32]), special
+    registers ([%tid.x]) and directives ([.reg]) each arrive as a single
+    token; the parser splits on the dots. *)
+
+type token =
+  | Ident of string  (** identifiers, opcodes, directives, registers *)
+  | Int of int64
+  | Float of float
+  | Comma
+  | Semi
+  | Colon
+  | At
+  | Bang
+  | Plus
+  | Minus
+  | Eq
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Eof
+
+let pp_token fmt = function
+  | Ident s -> Fmt.pf fmt "%s" s
+  | Int i -> Fmt.pf fmt "%Ld" i
+  | Float f -> Fmt.pf fmt "%g" f
+  | Comma -> Fmt.string fmt ","
+  | Semi -> Fmt.string fmt ";"
+  | Colon -> Fmt.string fmt ":"
+  | At -> Fmt.string fmt "@"
+  | Bang -> Fmt.string fmt "!"
+  | Plus -> Fmt.string fmt "+"
+  | Minus -> Fmt.string fmt "-"
+  | Eq -> Fmt.string fmt "="
+  | Lbracket -> Fmt.string fmt "["
+  | Rbracket -> Fmt.string fmt "]"
+  | Lbrace -> Fmt.string fmt "{"
+  | Rbrace -> Fmt.string fmt "}"
+  | Lparen -> Fmt.string fmt "("
+  | Rparen -> Fmt.string fmt ")"
+  | Eof -> Fmt.string fmt "<eof>"
+
+exception Error of string * int  (** message, line number *)
+
+type t = { src : string; mutable pos : int; mutable line : int }
+
+let create src = { src; pos = 0; line = 1 }
+let peek_char lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx =
+  (match peek_char lx with Some '\n' -> lx.line <- lx.line + 1 | _ -> ());
+  lx.pos <- lx.pos + 1
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || c = '_' || c = '%' || c = '$' || c = '.'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws_and_comments lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_ws_and_comments lx
+  | Some '/' when lx.pos + 1 < String.length lx.src -> (
+      match lx.src.[lx.pos + 1] with
+      | '/' ->
+          while peek_char lx <> None && peek_char lx <> Some '\n' do
+            advance lx
+          done;
+          skip_ws_and_comments lx
+      | '*' ->
+          advance lx;
+          advance lx;
+          let rec loop () =
+            match peek_char lx with
+            | None -> raise (Error ("unterminated comment", lx.line))
+            | Some '*' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
+                advance lx;
+                advance lx
+            | Some _ ->
+                advance lx;
+                loop ()
+          in
+          loop ();
+          skip_ws_and_comments lx
+      | _ -> ())
+  | _ -> ()
+
+let lex_ident lx =
+  let start = lx.pos in
+  while (match peek_char lx with Some c -> is_ident_char c | None -> false) do
+    advance lx
+  done;
+  String.sub lx.src start (lx.pos - start)
+
+(* Numbers: decimal and hex integers, decimal floats with optional exponent,
+   and PTX hex floats 0f<8 hex digits> / 0d<16 hex digits>. *)
+let lex_number lx =
+  let start = lx.pos in
+  let len = String.length lx.src in
+  if
+    lx.pos + 1 < len
+    && lx.src.[lx.pos] = '0'
+    && (lx.src.[lx.pos + 1] = 'f' || lx.src.[lx.pos + 1] = 'F')
+    && lx.pos + 2 < len
+    && (match lx.src.[lx.pos + 2] with
+       | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+       | _ -> false)
+  then (
+    advance lx;
+    advance lx;
+    let hstart = lx.pos in
+    while
+      match peek_char lx with
+      | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> true
+      | _ -> false
+    do
+      advance lx
+    done;
+    let hex = String.sub lx.src hstart (lx.pos - hstart) in
+    if String.length hex <> 8 then raise (Error ("0f float needs 8 hex digits", lx.line));
+    Float (Int32.float_of_bits (Int32.of_string ("0x" ^ hex))))
+  else if
+    lx.pos + 1 < len
+    && lx.src.[lx.pos] = '0'
+    && (lx.src.[lx.pos + 1] = 'd' || lx.src.[lx.pos + 1] = 'D')
+    && lx.pos + 2 < len
+    && (match lx.src.[lx.pos + 2] with
+       | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+       | _ -> false)
+  then (
+    advance lx;
+    advance lx;
+    let hstart = lx.pos in
+    while
+      match peek_char lx with
+      | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> true
+      | _ -> false
+    do
+      advance lx
+    done;
+    let hex = String.sub lx.src hstart (lx.pos - hstart) in
+    if String.length hex <> 16 then raise (Error ("0d float needs 16 hex digits", lx.line));
+    Float (Int64.float_of_bits (Int64.of_string ("0x" ^ hex))))
+  else if
+    lx.pos + 1 < len
+    && lx.src.[lx.pos] = '0'
+    && (lx.src.[lx.pos + 1] = 'x' || lx.src.[lx.pos + 1] = 'X')
+  then (
+    advance lx;
+    advance lx;
+    let hstart = lx.pos in
+    while
+      match peek_char lx with
+      | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> true
+      | _ -> false
+    do
+      advance lx
+    done;
+    Int (Int64.of_string ("0x" ^ String.sub lx.src hstart (lx.pos - hstart))))
+  else begin
+    while (match peek_char lx with Some c -> is_digit c | None -> false) do
+      advance lx
+    done;
+    let is_float = ref false in
+    (match peek_char lx with
+    | Some '.'
+      when lx.pos + 1 < len && is_digit lx.src.[lx.pos + 1] ->
+        is_float := true;
+        advance lx;
+        while (match peek_char lx with Some c -> is_digit c | None -> false) do
+          advance lx
+        done
+    | _ -> ());
+    (match peek_char lx with
+    | Some ('e' | 'E')
+      when lx.pos + 1 < len
+           && (is_digit lx.src.[lx.pos + 1]
+              || ((lx.src.[lx.pos + 1] = '+' || lx.src.[lx.pos + 1] = '-')
+                 && lx.pos + 2 < len
+                 && is_digit lx.src.[lx.pos + 2])) ->
+        is_float := true;
+        advance lx;
+        (match peek_char lx with Some ('+' | '-') -> advance lx | _ -> ());
+        while (match peek_char lx with Some c -> is_digit c | None -> false) do
+          advance lx
+        done
+    | _ -> ());
+    let text = String.sub lx.src start (lx.pos - start) in
+    if !is_float then Float (float_of_string text) else Int (Int64.of_string text)
+  end
+
+let next lx =
+  skip_ws_and_comments lx;
+  match peek_char lx with
+  | None -> Eof
+  | Some c when is_digit c -> lex_number lx
+  | Some c when is_ident_start c -> Ident (lex_ident lx)
+  | Some c ->
+      advance lx;
+      (match c with
+      | ',' -> Comma
+      | ';' -> Semi
+      | ':' -> Colon
+      | '@' -> At
+      | '!' -> Bang
+      | '+' -> Plus
+      | '-' -> Minus
+      | '=' -> Eq
+      | '[' -> Lbracket
+      | ']' -> Rbracket
+      | '{' -> Lbrace
+      | '}' -> Rbrace
+      | '(' -> Lparen
+      | ')' -> Rparen
+      | _ -> raise (Error (Fmt.str "unexpected character %C" c, lx.line)))
+
+(** Lex the whole source, returning tokens paired with their line numbers
+    (the trailing [Eof] included). *)
+let tokenize src =
+  let lx = create src in
+  let rec go acc =
+    let line = lx.line in
+    match next lx with
+    | Eof -> List.rev ((Eof, line) :: acc)
+    | t -> go ((t, line) :: acc)
+  in
+  go []

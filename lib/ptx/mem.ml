@@ -1,0 +1,93 @@
+(** Byte-addressed little-endian memory segments.
+
+    One segment per address-space instance: the device global space, each
+    CTA's shared space, each thread's local space, the per-launch parameter
+    block and the module constant bank all use this representation. *)
+
+type t = { bytes : Bytes.t; name : string }
+
+exception Fault of string
+
+let fault fmt = Fmt.kstr (fun s -> raise (Fault s)) fmt
+
+let create ?(name = "mem") size =
+  if size < 0 then invalid_arg "Mem.create: negative size";
+  { bytes = Bytes.make size '\000'; name }
+
+let of_bytes ?(name = "mem") bytes = { bytes; name }
+let size t = Bytes.length t.bytes
+let bytes t = t.bytes
+
+let check t addr width =
+  if addr < 0 || addr + width > Bytes.length t.bytes then
+    fault "%s: access of %d bytes at %d outside [0,%d)" t.name width addr
+      (Bytes.length t.bytes)
+
+(** Load [size_of ty] bytes at [addr] as a value of type [ty]. *)
+let load t (ty : Ast.dtype) addr : Scalar_ops.value =
+  let width = Ast.size_of ty in
+  check t addr width;
+  let bits =
+    match width with
+    | 1 -> Int64.of_int (Char.code (Bytes.get t.bytes addr))
+    | 2 -> Int64.of_int (Bytes.get_uint16_le t.bytes addr)
+    | 4 -> Int64.of_int32 (Bytes.get_int32_le t.bytes addr)
+    | 8 -> Bytes.get_int64_le t.bytes addr
+    | _ -> assert false
+  in
+  Scalar_ops.of_bits ty bits
+
+let store t (ty : Ast.dtype) addr (v : Scalar_ops.value) =
+  let width = Ast.size_of ty in
+  check t addr width;
+  let bits = Scalar_ops.to_bits ty v in
+  match width with
+  | 1 -> Bytes.set_uint8 t.bytes addr (Int64.to_int (Int64.logand bits 0xffL))
+  | 2 -> Bytes.set_uint16_le t.bytes addr (Int64.to_int (Int64.logand bits 0xffffL))
+  | 4 -> Bytes.set_int32_le t.bytes addr (Int64.to_int32 bits)
+  | 8 -> Bytes.set_int64_le t.bytes addr bits
+  | _ -> assert false
+
+(** Typed array helpers used by host drivers and tests. *)
+
+let write_f32s t ~at xs =
+  List.iteri (fun i x -> store t Ast.F32 (at + (4 * i)) (Scalar_ops.F x)) xs
+
+let write_i32s t ~at xs =
+  List.iteri (fun i x -> store t Ast.S32 (at + (4 * i)) (Scalar_ops.I (Int64.of_int x))) xs
+
+let read_f32 t at =
+  match load t Ast.F32 at with Scalar_ops.F f -> f | _ -> assert false
+
+let read_f32s t ~at n = List.init n (fun i -> read_f32 t (at + (4 * i)))
+
+let read_i32 t at =
+  match load t Ast.S32 at with
+  | Scalar_ops.I v -> Int64.to_int v
+  | _ -> assert false
+
+let read_i32s t ~at n = List.init n (fun i -> read_i32 t (at + (4 * i)))
+
+let read_i64 t at =
+  match load t Ast.S64 at with Scalar_ops.I v -> v | _ -> assert false
+
+let read_f64 t at =
+  match load t Ast.F64 at with Scalar_ops.F f -> f | _ -> assert false
+
+let copy t = { t with bytes = Bytes.copy t.bytes }
+
+let equal a b = Bytes.equal a.bytes b.bytes
+
+(** Layout of named arrays within one segment: 16-byte alignment matches
+    PTX's default for arrays. *)
+let layout (decls : Ast.array_decl list) : (string * int) list * int =
+  let align16 n = (n + 15) / 16 * 16 in
+  let rec go off = function
+    | [] -> ([], off)
+    | (d : Ast.array_decl) :: rest ->
+        let off = align16 off in
+        let size = Ast.size_of d.a_ty * d.a_elems in
+        let tail, total = go (off + size) rest in
+        ((d.a_name, off) :: tail, total)
+  in
+  go 0 decls

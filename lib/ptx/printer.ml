@@ -1,0 +1,224 @@
+(** Pretty-printer for the PTX subset.  [Parser.parse_module (to_string m)]
+    round-trips (tested by property tests). *)
+
+open Ast
+
+let dtype_str = function
+  | Pred -> ".pred"
+  | B8 -> ".b8"
+  | B16 -> ".b16"
+  | B32 -> ".b32"
+  | B64 -> ".b64"
+  | U8 -> ".u8"
+  | U16 -> ".u16"
+  | U32 -> ".u32"
+  | U64 -> ".u64"
+  | S8 -> ".s8"
+  | S16 -> ".s16"
+  | S32 -> ".s32"
+  | S64 -> ".s64"
+  | F32 -> ".f32"
+  | F64 -> ".f64"
+
+let space_str = function
+  | Param -> "param"
+  | Global -> "global"
+  | Shared -> "shared"
+  | Local -> "local"
+  | Const -> "const"
+
+let dim_str = function X -> "x" | Y -> "y" | Z -> "z"
+
+let special_str = function
+  | Tid d -> "%tid." ^ dim_str d
+  | Ntid d -> "%ntid." ^ dim_str d
+  | Ctaid d -> "%ctaid." ^ dim_str d
+  | Nctaid d -> "%nctaid." ^ dim_str d
+  | Laneid -> "%laneid"
+  | Warpsize -> "%warpsize"
+
+(* Floats are printed as PTX hex literals so that round-tripping is exact. *)
+let operand_str = function
+  | Reg r -> r
+  | Imm_int i -> Int64.to_string i
+  | Imm_float f -> Fmt.str "0d%016Lx" (Int64.bits_of_float f)
+  | Special s -> special_str s
+  | Var v -> v
+
+let address_str { base; offset } =
+  let b = match base with Areg r -> r | Avar v -> v in
+  if offset = 0 then Fmt.str "[%s]" b
+  else if offset > 0 then Fmt.str "[%s+%d]" b offset
+  else Fmt.str "[%s%d]" b offset
+
+let binop_str = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul_lo -> "mul.lo"
+  | Mul_hi -> "mul.hi"
+  | Div -> "div"
+  | Rem -> "rem"
+  | Min -> "min"
+  | Max -> "max"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+
+let unop_str = function
+  | Neg -> "neg"
+  | Not -> "not"
+  | Abs -> "abs"
+  | Sqrt -> "sqrt.approx"
+  | Rsqrt -> "rsqrt.approx"
+  | Rcp -> "rcp.approx"
+  | Sin -> "sin.approx"
+  | Cos -> "cos.approx"
+  | Ex2 -> "ex2.approx"
+  | Lg2 -> "lg2.approx"
+
+let cmp_str = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let atomop_str = function
+  | Atom_add -> "add"
+  | Atom_min -> "min"
+  | Atom_max -> "max"
+  | Atom_exch -> "exch"
+  | Atom_cas -> "cas"
+
+let instr_str = function
+  | Binary (op, ty, d, a, b) ->
+      (* mul.lo is only meaningful for integers; floats print plain "mul". *)
+      let name =
+        match (op, ty) with
+        | Mul_lo, (F32 | F64) -> "mul"
+        | _ -> binop_str op
+      in
+      Fmt.str "%s%s %s, %s, %s" name (dtype_str ty) d (operand_str a) (operand_str b)
+  | Unary (op, ty, d, a) ->
+      Fmt.str "%s%s %s, %s" (unop_str op) (dtype_str ty) d (operand_str a)
+  | Mad (ty, d, a, b, c) ->
+      let name = if is_float ty then "fma.rn" else "mad.lo" in
+      Fmt.str "%s%s %s, %s, %s, %s" name (dtype_str ty) d (operand_str a)
+        (operand_str b) (operand_str c)
+  | Setp (cmp, ty, d, a, b) ->
+      Fmt.str "setp.%s%s %s, %s, %s" (cmp_str cmp) (dtype_str ty) d (operand_str a)
+        (operand_str b)
+  | Selp (ty, d, a, b, p) ->
+      Fmt.str "selp%s %s, %s, %s, %s" (dtype_str ty) d (operand_str a) (operand_str b) p
+  | Mov (ty, d, a) -> Fmt.str "mov%s %s, %s" (dtype_str ty) d (operand_str a)
+  | Cvt (dty, sty, d, a) ->
+      let rn = if is_float dty || is_float sty then ".rn" else "" in
+      Fmt.str "cvt%s%s%s %s, %s" rn (dtype_str dty) (dtype_str sty) d (operand_str a)
+  | Ld (sp, ty, d, addr) ->
+      Fmt.str "ld.%s%s %s, %s" (space_str sp) (dtype_str ty) d (address_str addr)
+  | St (sp, ty, addr, v) ->
+      Fmt.str "st.%s%s %s, %s" (space_str sp) (dtype_str ty) (address_str addr)
+        (operand_str v)
+  | Atom (sp, op, ty, d, addr, b, c) ->
+      let c = match c with None -> "" | Some c -> ", " ^ operand_str c in
+      Fmt.str "atom.%s.%s%s %s, %s, %s%s" (space_str sp) (atomop_str op) (dtype_str ty)
+        d (address_str addr) (operand_str b) c
+  | Bra t -> Fmt.str "bra %s" t
+  | Bar -> "bar.sync 0"
+  | Call (rets, f, args) ->
+      let rets = match rets with [] -> "" | rs -> Fmt.str "(%s), " (String.concat ", " rs) in
+      let args =
+        match args with
+        | [] -> ""
+        | a -> Fmt.str ", (%s)" (String.concat ", " (List.map operand_str a))
+      in
+      Fmt.str "call %s%s%s" rets f args
+  | Ret -> "ret"
+  | Exit -> "exit"
+
+let guard_str = function
+  | Always -> ""
+  | If r -> Fmt.str "@%s " r
+  | Ifnot r -> Fmt.str "@!%s " r
+
+let stmt_str = function
+  | Label l -> Fmt.str "%s:" l
+  | Inst (g, i) -> Fmt.str "\t%s%s;" (guard_str g) (instr_str i)
+
+let kernel_to_string k =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Fmt.kstr (fun s -> Buffer.add_string buf s) fmt in
+  pf ".entry %s (" k.k_name;
+  List.iteri
+    (fun i p ->
+      pf "%s.param %s %s" (if i = 0 then "" else ", ") (dtype_str p.p_ty) p.p_name)
+    k.k_params;
+  pf ")\n{\n";
+  (* Group consecutive same-type registers so declaration order (and thus
+     structural equality) survives a print/parse round-trip. *)
+  let rec reg_groups = function
+    | [] -> []
+    | (r, ty) :: rest ->
+        let same, rest' =
+          let rec take acc = function
+            | (r', ty') :: tl when equal_dtype ty ty' -> take (r' :: acc) tl
+            | tl -> (List.rev acc, tl)
+          in
+          take [ r ] rest
+        in
+        (ty, same) :: reg_groups rest'
+  in
+  List.iter
+    (fun (ty, regs) -> pf "\t.reg %s %s;\n" (dtype_str ty) (String.concat ", " regs))
+    (reg_groups k.k_regs);
+  List.iter
+    (fun a -> pf "\t.shared %s %s[%d];\n" (dtype_str a.a_ty) a.a_name a.a_elems)
+    k.k_shared;
+  List.iter
+    (fun a -> pf "\t.local %s %s[%d];\n" (dtype_str a.a_ty) a.a_name a.a_elems)
+    k.k_local;
+  List.iter (fun s -> pf "%s\n" (stmt_str s)) k.k_body;
+  pf "}\n";
+  Buffer.contents buf
+
+let const_to_string c =
+  let d = c.c_decl in
+  let init =
+    match c.c_init with
+    | None -> ""
+    | Some (Init_int is) ->
+        Fmt.str " = { %s }" (String.concat ", " (List.map Int64.to_string is))
+    | Some (Init_float fs) ->
+        Fmt.str " = { %s }"
+          (String.concat ", "
+             (List.map (fun f -> Fmt.str "0d%016Lx" (Int64.bits_of_float f)) fs))
+  in
+  Fmt.str ".const %s %s[%d]%s;\n" (dtype_str d.a_ty) d.a_name d.a_elems init
+
+let func_to_string (f : func_decl) =
+  let buf = Buffer.create 512 in
+  let pf fmt = Fmt.kstr (fun s -> Buffer.add_string buf s) fmt in
+  pf ".func ";
+  (match f.f_rets with
+  | [] -> ()
+  | rs ->
+      pf "(%s) "
+        (String.concat ", " (List.map (fun (r, ty) -> Fmt.str ".reg %s %s" (dtype_str ty) r) rs)));
+  pf "%s (%s)\n{\n" f.f_name
+    (String.concat ", "
+       (List.map (fun (r, ty) -> Fmt.str ".reg %s %s" (dtype_str ty) r) f.f_params));
+  List.iter
+    (fun (r, ty) -> pf "\t.reg %s %s;\n" (dtype_str ty) r)
+    f.f_regs;
+  List.iter (fun s -> pf "%s\n" (stmt_str s)) f.f_body;
+  pf "}\n";
+  Buffer.contents buf
+
+let to_string m =
+  String.concat "\n"
+    (List.map const_to_string m.m_consts
+    @ List.map func_to_string m.m_funcs
+    @ List.map kernel_to_string m.m_kernels)

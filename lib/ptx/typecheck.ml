@@ -1,0 +1,240 @@
+(** Static checks on a parsed PTX kernel: every register is declared exactly
+    once, operand register classes match instruction types (predicate
+    vs. data registers), branch targets exist, labels are unique, and
+    address bases refer to declared variables.
+
+    PTX tolerates width-compatible register reuse (e.g. a [.b32] register in
+    an [.s32] add); we check bit-width compatibility rather than exact type
+    equality, matching the PTX spec's untyped-register semantics. *)
+
+open Ast
+
+type error = { what : string; where : string }
+
+let err what where = { what; where }
+let pp_error fmt e = Fmt.pf fmt "%s (in %s)" e.what e.where
+
+exception Type_error of error
+
+let width_class ty =
+  match ty with Pred -> `Pred | _ -> `Bits (size_of ty * 8)
+
+let compatible declared used =
+  match (width_class declared, width_class used) with
+  | `Pred, `Pred -> true
+  | `Bits a, `Bits b -> a = b
+  | _ -> false
+
+let check_kernel ?(consts = []) ?(funcs = []) (k : kernel) : error list =
+  let errors = ref [] in
+  let add e = errors := e :: !errors in
+  let where = k.k_name in
+  (* Registers: unique declaration, build env. *)
+  let regs = Hashtbl.create 64 in
+  List.iter
+    (fun (r, ty) ->
+      if Hashtbl.mem regs r then add (err (Fmt.str "register %s declared twice" r) where)
+      else Hashtbl.add regs r ty)
+    k.k_regs;
+  let vars = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace vars p.p_name `Param) k.k_params;
+  List.iter (fun a -> Hashtbl.replace vars a.a_name `Shared) k.k_shared;
+  List.iter (fun a -> Hashtbl.replace vars a.a_name `Local) k.k_local;
+  List.iter (fun c -> Hashtbl.replace vars c `Const) consts;
+  (* Labels: unique, collect for branch-target checking. *)
+  let labels = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Label l ->
+          if Hashtbl.mem labels l then add (err (Fmt.str "label %s defined twice" l) where)
+          else Hashtbl.add labels l ()
+      | Inst _ -> ())
+    k.k_body;
+  let check_reg r expect ctx =
+    match Hashtbl.find_opt regs r with
+    | None -> add (err (Fmt.str "register %s not declared" r) ctx)
+    | Some declared ->
+        if not (compatible declared expect) then
+          add
+            (err
+               (Fmt.str "register %s has type %s, incompatible with %s" r
+                  (Printer.dtype_str declared) (Printer.dtype_str expect))
+               ctx)
+  in
+  let check_operand o expect ctx =
+    match o with
+    | Reg r -> check_reg r expect ctx
+    | Imm_int _ ->
+        if is_float expect && size_of expect < 4 then
+          add (err "integer immediate used as narrow float" ctx)
+    | Imm_float _ ->
+        if not (is_float expect) then add (err "float immediate in integer context" ctx)
+    | Special _ ->
+        (* Special registers are 32-bit unsigned. *)
+        if not (compatible U32 expect) then
+          add (err "special register used at non-32-bit width" ctx)
+    | Var v ->
+        (* Address-of a declared variable; must land in an integer register
+           wide enough for an address. *)
+        if not (Hashtbl.mem vars v) then
+          add (err (Fmt.str "unknown variable %s" v) ctx)
+        else if not (is_integer expect) || size_of expect < 4 then
+          add (err (Fmt.str "address of %s needs a 32/64-bit integer" v) ctx)
+  in
+  let check_addr (a : address) ctx =
+    match a.base with
+    | Areg r -> (
+        match Hashtbl.find_opt regs r with
+        | None -> add (err (Fmt.str "address register %s not declared" r) ctx)
+        | Some ty ->
+            if size_of ty <> 8 && size_of ty <> 4 then
+              add (err (Fmt.str "address register %s must be 32 or 64 bit" r) ctx))
+    | Avar v ->
+        if not (Hashtbl.mem vars v) then
+          add (err (Fmt.str "unknown variable %s in address" v) ctx)
+  in
+  let check_space_var (a : address) (sp : space) ctx =
+    match (a.base, sp) with
+    | Avar v, Param when Hashtbl.find_opt vars v <> Some `Param ->
+        add (err (Fmt.str "%s is not a parameter" v) ctx)
+    | Avar v, Shared when Hashtbl.find_opt vars v <> Some `Shared ->
+        add (err (Fmt.str "%s is not a shared array" v) ctx)
+    | Avar v, Local when Hashtbl.find_opt vars v <> Some `Local ->
+        add (err (Fmt.str "%s is not a local array" v) ctx)
+    | Avar v, Const when Hashtbl.find_opt vars v <> Some `Const ->
+        add (err (Fmt.str "%s is not a constant array" v) ctx)
+    | _ -> ()
+  in
+  let check_instr g i =
+    let ctx = Printer.instr_str i in
+    (match g with
+    | Always -> ()
+    | If r | Ifnot r -> check_reg r Pred ctx);
+    match i with
+    | Binary (op, ty, d, a, b) ->
+        if ty = Pred && not (List.mem op [ And; Or; Xor ]) then
+          add (err "arithmetic on predicates" ctx);
+        if is_float ty && List.mem op [ And; Or; Xor; Shl; Shr; Mul_hi; Rem ] then
+          add (err "bitwise/integer op on float type" ctx);
+        check_reg d ty ctx;
+        check_operand a ty ctx;
+        (* Shift amounts are .u32 regardless of the value type. *)
+        if op = Shl || op = Shr then check_operand b U32 ctx else check_operand b ty ctx
+    | Unary (op, ty, d, a) ->
+        if
+          List.mem op [ Sqrt; Rsqrt; Rcp; Sin; Cos; Ex2; Lg2 ] && not (is_float ty)
+        then add (err "transcendental on integer type" ctx);
+        if op = Not && is_float ty then add (err "bitwise not on float" ctx);
+        check_reg d ty ctx;
+        check_operand a ty ctx
+    | Mad (ty, d, a, b, c) ->
+        check_reg d ty ctx;
+        check_operand a ty ctx;
+        check_operand b ty ctx;
+        check_operand c ty ctx
+    | Setp (_, ty, d, a, b) ->
+        if ty = Pred then add (err "setp on predicate type" ctx);
+        check_reg d Pred ctx;
+        check_operand a ty ctx;
+        check_operand b ty ctx
+    | Selp (ty, d, a, b, p) ->
+        check_reg d ty ctx;
+        check_operand a ty ctx;
+        check_operand b ty ctx;
+        check_reg p Pred ctx
+    | Mov (ty, d, a) ->
+        check_reg d ty ctx;
+        check_operand a ty ctx
+    | Cvt (dty, sty, d, a) ->
+        check_reg d dty ctx;
+        check_operand a sty ctx
+    | Ld (sp, ty, d, addr) ->
+        if ty = Pred then add (err "loads of predicates are not addressable" ctx);
+        check_reg d ty ctx;
+        check_addr addr ctx;
+        check_space_var addr sp ctx
+    | St (sp, ty, addr, v) ->
+        if ty = Pred then add (err "stores of predicates are not addressable" ctx);
+        if sp = Param || sp = Const then add (err "store to read-only space" ctx);
+        check_addr addr ctx;
+        check_space_var addr sp ctx;
+        check_operand v ty ctx
+    | Atom (sp, op, ty, d, addr, b, c) ->
+        if sp <> Shared && sp <> Global then add (err "atomics only on shared/global" ctx);
+        if is_float ty && op <> Atom_add && op <> Atom_exch then
+          add (err "float atomic other than add/exch" ctx);
+        check_reg d ty ctx;
+        check_addr addr ctx;
+        check_space_var addr sp ctx;
+        check_operand b ty ctx;
+        Option.iter (fun c -> check_operand c ty ctx) c
+    | Bra t ->
+        if not (Hashtbl.mem labels t) then
+          add (err (Fmt.str "branch to undefined label %s" t) ctx)
+    | Call (rets, fname, args) -> (
+        match List.find_opt (fun (f : func_decl) -> f.f_name = fname) funcs with
+        | None -> add (err (Fmt.str "call of undefined .func %s" fname) ctx)
+        | Some f ->
+            if List.length rets <> List.length f.f_rets then
+              add (err (Fmt.str "call of %s: wrong number of return registers" fname) ctx)
+            else
+              List.iter2 (fun r (_, ty) -> check_reg r ty ctx) rets f.f_rets;
+            if List.length args <> List.length f.f_params then
+              add (err (Fmt.str "call of %s: wrong number of arguments" fname) ctx)
+            else List.iter2 (fun a (_, ty) -> check_operand a ty ctx) args f.f_params)
+    | Bar | Ret | Exit -> ()
+  in
+  List.iter (function Inst (g, i) -> check_instr g i | Label _ -> ()) k.k_body;
+  (* Guarded non-branch instructions are permitted in source PTX; the
+     if-conversion pass removes them before translation. Guarded barriers
+     are rejected outright (divergent barrier = UB in the execution model). *)
+  List.iter
+    (function
+      | Inst ((If _ | Ifnot _), Bar) -> add (err "guarded barrier" where)
+      | _ -> ())
+    k.k_body;
+  List.rev !errors
+
+(** Check a device function body: registers declared, labels resolved, no
+    barriers, no nested shared state. *)
+let check_func_decl ?(funcs = []) (f : func_decl) : error list =
+  let as_kernel =
+    {
+      k_name = "(func " ^ f.f_name ^ ")";
+      k_params = [];
+      k_regs = f.f_rets @ f.f_params @ f.f_regs;
+      k_shared = [];
+      k_local = [];
+      k_body = f.f_body;
+    }
+  in
+  let bar_errors =
+    List.filter_map
+      (function
+        | Inst (_, Bar) ->
+            Some (err "barrier inside .func" ("(func " ^ f.f_name ^ ")"))
+        | _ -> None)
+      f.f_body
+  in
+  bar_errors @ check_kernel ~funcs as_kernel
+
+let check_module (m : modul) : error list =
+  let dup_errors =
+    let seen = Hashtbl.create 8 in
+    List.filter_map
+      (fun k ->
+        if Hashtbl.mem seen k.k_name then
+          Some (err (Fmt.str "kernel %s defined twice" k.k_name) "module")
+        else (
+          Hashtbl.add seen k.k_name ();
+          None))
+      m.m_kernels
+  in
+  let consts = List.map (fun c -> c.c_decl.a_name) m.m_consts in
+  dup_errors
+  @ List.concat_map (check_func_decl ~funcs:m.m_funcs) m.m_funcs
+  @ List.concat_map (check_kernel ~consts ~funcs:m.m_funcs) m.m_kernels
+
+(** Raise [Type_error] on the first problem found. *)
+let check_module_exn m =
+  match check_module m with [] -> () | e :: _ -> raise (Type_error e)

@@ -1,0 +1,146 @@
+(** CUDA-Runtime-style host API (paper §3: "the proposed compilation model
+    is wrapped by an API front-end for heterogeneous computing").
+
+    Typical use:
+    {[
+      let dev = Api.create_device () in
+      let m = Api.load_module dev ptx_source in
+      let a = Api.malloc dev (4 * n) in
+      Api.write_f32s dev a data;
+      let r = Api.launch dev m ~kernel:"vecadd" ~grid:(Launch.dim3 g)
+                ~block:(Launch.dim3 b) ~args:[ Ptr a; I32 n ] in
+      Fmt.pr "%.2f GFLOP/s@." r.Api.gflops
+    ]} *)
+
+module Machine = Vekt_vm.Machine
+module Interp = Vekt_vm.Interp
+module Vectorize = Vekt_transform.Vectorize
+open Vekt_ptx
+
+exception Api_error of string
+
+type device = {
+  machine : Machine.t;
+  workers : int;
+  global : Mem.t;
+  mutable brk : int;  (** bump-allocator watermark *)
+  em_costs : Exec_manager.costs;
+}
+
+(** Launch-configuration knobs, fixed when a module is loaded. *)
+type config = {
+  mode : Vectorize.mode;
+  widths : int list;
+  optimize : bool;
+  affine : bool;
+      (** coalesce provably-contiguous/uniform memory accesses (the
+          paper's §4 future-work optimization) *)
+  specialize_args : bool;
+      (** bake concrete kernel-argument values into the code (the paper's
+          §5.1 future-work specialization parameter) *)
+  verify : bool;
+}
+
+let default_config =
+  { mode = Vectorize.Dynamic; widths = Translation_cache.default_widths;
+    optimize = true; affine = false; specialize_args = false; verify = false }
+
+type modul = {
+  ast : Ast.modul;
+  config : config;
+  device : device;
+  consts : Mem.t;
+  caches : (string, Translation_cache.t) Hashtbl.t;
+}
+
+let create_device ?(machine = Machine.sse4) ?workers ?(global_bytes = 64 * 1024 * 1024)
+    ?(em_costs = Exec_manager.default_costs) () : device =
+  {
+    machine;
+    workers = Option.value workers ~default:machine.Machine.cores;
+    global = Mem.create ~name:"global" global_bytes;
+    brk = 64 (* keep address 0 unallocated to catch null-ish bugs *);
+    em_costs;
+  }
+
+(** Allocate [bytes] of device global memory (16-byte aligned). *)
+let malloc (d : device) bytes : int =
+  if bytes < 0 then raise (Api_error "malloc: negative size");
+  let base = (d.brk + 15) / 16 * 16 in
+  if base + bytes > Mem.size d.global then raise (Api_error "malloc: out of device memory");
+  d.brk <- base + bytes;
+  base
+
+let write_f32s d addr xs = Mem.write_f32s d.global ~at:addr xs
+let write_i32s d addr xs = Mem.write_i32s d.global ~at:addr xs
+let read_f32s d addr n = Mem.read_f32s d.global ~at:addr n
+let read_i32s d addr n = Mem.read_i32s d.global ~at:addr n
+
+(** Parse, type-check and register a PTX module.  Kernels are analyzed and
+    translated lazily on first launch (the translation cache is shared by
+    all launches of this module). *)
+let load_module ?(config = default_config) (d : device) (src : string) : modul =
+  let ast =
+    try Parser.parse_module src with
+    | Parser.Error (msg, line) -> raise (Api_error (Fmt.str "parse error:%d: %s" line msg))
+    | Lexer.Error (msg, line) -> raise (Api_error (Fmt.str "lex error:%d: %s" line msg))
+  in
+  (match Typecheck.check_module ast with
+  | [] -> ()
+  | e :: _ -> raise (Api_error (Fmt.str "type error: %a" Typecheck.pp_error e)));
+  let consts, _ = Emulator.build_consts ast in
+  { ast; config; device = d; consts; caches = Hashtbl.create 4 }
+
+let kernel_cache (m : modul) ~kernel : Translation_cache.t =
+  match Hashtbl.find_opt m.caches kernel with
+  | Some c -> c
+  | None ->
+      let c =
+        Translation_cache.prepare ~mode:m.config.mode ~affine:m.config.affine
+          ~specialize_args:m.config.specialize_args ~machine:m.device.machine
+          ~widths:m.config.widths ~optimize:m.config.optimize
+          ~verify:m.config.verify m.ast ~kernel
+      in
+      Hashtbl.replace m.caches kernel c;
+      c
+
+type report = {
+  stats : Stats.t;
+  cycles : float;  (** wall cycles: max over parallel workers *)
+  time_ms : float;
+  gflops : float;
+  avg_warp_size : float;
+}
+
+let launch ?fuel (m : modul) ~kernel ~(grid : Launch.dim3) ~(block : Launch.dim3)
+    ~(args : Launch.arg list) : report =
+  let k =
+    match Ast.find_kernel m.ast kernel with
+    | Some k -> k
+    | None -> raise (Api_error (Fmt.str "no kernel named %s" kernel))
+  in
+  let cache = kernel_cache m ~kernel in
+  let params = Launch.param_block k args in
+  let stats =
+    Exec_manager.launch_kernel ~costs:m.device.em_costs ?fuel ~workers:m.device.workers
+      cache ~grid ~block ~global:m.device.global ~params ~consts:m.consts
+  in
+  let cycles = Float.max stats.Stats.wall_cycles 1.0 in
+  let time_s = cycles /. (m.device.machine.Machine.clock_ghz *. 1e9) in
+  let flops = float_of_int stats.Stats.counters.Interp.flops in
+  {
+    stats;
+    cycles;
+    time_ms = time_s *. 1e3;
+    gflops = (flops /. time_s) /. 1e9;
+    avg_warp_size = Stats.average_warp_size stats;
+  }
+
+(** Run the same launch through the reference PTX emulator (the oracle) on
+    a copy of device memory; returns the resulting global memory for
+    comparison with the vectorized pipeline's. *)
+let launch_reference (m : modul) ~kernel ~grid ~block ~(args : Launch.arg list) :
+    Mem.t =
+  let global = Mem.copy m.device.global in
+  ignore (Emulator.run m.ast ~kernel ~args ~global ~grid ~block);
+  global

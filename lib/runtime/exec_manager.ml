@@ -1,0 +1,211 @@
+(** The dynamic execution manager (paper §3, §5.2).
+
+    One execution manager runs per worker thread.  It owns a static
+    partition of the kernel grid's CTAs and, for each CTA: the thread
+    context pool, the CTA's shared-memory segment, a contiguous local-memory
+    arena partitioned per thread, barrier bookkeeping, and the warp
+    former/scheduler.  The scheduling loop picks a ready thread round-robin,
+    greedily packs the largest possible warp of ready threads waiting at the
+    same entry point, queries the translation cache for that width's
+    specialization, and calls it.  On return it disposes each lane according
+    to the warp's resume status (ready / barrier queue / terminated).
+
+    Warps are formed within a single CTA (lanes share the CTA's shared
+    segment and barrier).  Under the static policy warps may only contain
+    consecutive [tid.x] threads of one row, matching the assumptions of
+    thread-invariant elimination (§6.2). *)
+
+module Ir = Vekt_ir.Ir
+module Interp = Vekt_vm.Interp
+module Machine = Vekt_vm.Machine
+module Vectorize = Vekt_transform.Vectorize
+open Vekt_ptx
+
+exception Launch_error of string
+
+(** Modelled execution-manager overheads, in CPU cycles.  These feed the
+    Figure 9 attribution; see DESIGN.md §2 for calibration notes. *)
+type costs = {
+  per_kernel_call : float;  (** cache query, argument setup, indirect call *)
+  per_candidate_scan : float;  (** per context examined during warp formation *)
+  per_lane_update : float;  (** status disposition per lane after a yield *)
+  per_barrier_release : float;  (** per context moved out of the barrier queue *)
+}
+
+let default_costs =
+  {
+    per_kernel_call = 50.0;
+    per_candidate_scan = 1.5;
+    per_lane_update = 4.0;
+    per_barrier_release = 3.0;
+  }
+
+type tstate = Ready | Blocked | Done
+
+type thr = {
+  info : Interp.thread_info;
+  linear : int;  (** linear thread index within the CTA *)
+  row : int;  (** tid.y/tid.z row identifier (static warps never cross rows) *)
+  mutable state : tstate;
+}
+
+(** Execute one CTA to completion.  [fuel] bounds the number of subkernel
+    calls (divergent runaway loops yield forever otherwise). *)
+let run_cta ?(costs = default_costs) ?(fuel = 5_000_000) (cache : Translation_cache.t)
+    ~(launch : Interp.launch_info) ~(ctaid : Launch.dim3) ~(global : Mem.t)
+    ~(params : Mem.t) ~(consts : Mem.t) ~(stats : Stats.t) () : unit =
+  let block = launch.Interp.block in
+  let n = Launch.count block in
+  let shared = Mem.create ~name:"shared" cache.Translation_cache.shared_bytes in
+  let local =
+    Mem.create ~name:"local-arena" (n * cache.Translation_cache.local_bytes)
+  in
+  let mem =
+    { Interp.global; shared; local; params; consts }
+  in
+  let threads =
+    Array.init n (fun i ->
+        let tid = Launch.unlinear ~dims:block i in
+        {
+          info =
+            {
+              Interp.tid;
+              ctaid;
+              local_base = i * cache.Translation_cache.local_bytes;
+              resume_point = 0;
+            };
+          linear = i;
+          row = tid.Launch.y + (block.Launch.y * tid.Launch.z);
+          state = Ready;
+        })
+  in
+  stats.Stats.threads_launched <- stats.Stats.threads_launched + n;
+  let remaining = ref n in
+  let cursor = ref 0 in
+  let calls_left = ref fuel in
+  let static = cache.Translation_cache.mode = Vectorize.Static_tie in
+  (* Find the next ready thread round-robin from the cursor. *)
+  let next_ready () =
+    let rec go tried i =
+      if tried >= n then None
+      else if threads.(i).state = Ready then Some i
+      else go (tried + 1) ((i + 1) mod n)
+    in
+    go 0 !cursor
+  in
+  (* Dynamic warp formation: scan from [start], collecting ready threads
+     waiting at the same entry point, up to the maximum specialization
+     width. *)
+  let form_dynamic start =
+    let t0 = threads.(start) in
+    let entry = t0.info.Interp.resume_point in
+    let want = Translation_cache.max_width cache in
+    let members = ref [ start ] in
+    let scanned = ref 0 in
+    let i = ref ((start + 1) mod n) in
+    while List.length !members < want && !i <> start do
+      incr scanned;
+      let t = threads.(!i) in
+      if t.state = Ready && t.info.Interp.resume_point = entry then
+        members := !i :: !members;
+      i := (!i + 1) mod n
+    done;
+    stats.Stats.em_cycles <-
+      stats.Stats.em_cycles +. (float_of_int !scanned *. costs.per_candidate_scan);
+    List.rev !members
+  in
+  (* Static warp formation: only consecutive linear indices in the same
+     row, starting at the scheduled thread. *)
+  let form_static start =
+    let t0 = threads.(start) in
+    let entry = t0.info.Interp.resume_point in
+    let want = Translation_cache.max_width cache in
+    let members = ref [ start ] in
+    let scanned = ref 0 in
+    let i = ref (start + 1) in
+    while
+      List.length !members < want
+      && !i < n
+      && threads.(!i).state = Ready
+      && threads.(!i).info.Interp.resume_point = entry
+      && threads.(!i).row = t0.row
+    do
+      incr scanned;
+      members := !i :: !members;
+      incr i
+    done;
+    stats.Stats.em_cycles <-
+      stats.Stats.em_cycles +. (float_of_int !scanned *. costs.per_candidate_scan);
+    List.rev !members
+  in
+  while !remaining > 0 do
+    match next_ready () with
+    | None ->
+        (* No runnable thread: every live thread is parked at the barrier.
+           Release them all (barriers synchronize live threads; threads
+           that already exited don't count, same as the oracle). *)
+        let released = ref 0 in
+        Array.iter
+          (fun t ->
+            if t.state = Blocked then begin
+              t.state <- Ready;
+              incr released
+            end)
+          threads;
+        if !released = 0 then raise (Launch_error "no ready threads and empty barrier queue");
+        stats.Stats.barrier_releases <- stats.Stats.barrier_releases + !released;
+        stats.Stats.em_cycles <-
+          stats.Stats.em_cycles +. (float_of_int !released *. costs.per_barrier_release)
+    | Some start ->
+        decr calls_left;
+        if !calls_left <= 0 then raise Interp.Out_of_fuel;
+        let members = if static then form_static start else form_dynamic start in
+        let ws = Translation_cache.best_width cache (List.length members) in
+        let members = List.filteri (fun i _ -> i < ws) members in
+        let entry = Translation_cache.get cache ~params ~ws () in
+        let lanes = Array.of_list (List.map (fun i -> threads.(i).info) members) in
+        let warp =
+          { Interp.lanes; entry_id = threads.(start).info.Interp.resume_point;
+            status = Ir.Status_exit }
+        in
+        Stats.record_warp stats ws;
+        stats.Stats.em_cycles <- stats.Stats.em_cycles +. costs.per_kernel_call;
+        Interp.exec ~timing:entry.Translation_cache.timing
+          ~counters:stats.Stats.counters entry.Translation_cache.vfunc ~launch warp mem;
+        stats.Stats.em_cycles <-
+          stats.Stats.em_cycles +. (float_of_int ws *. costs.per_lane_update);
+        List.iter
+          (fun i ->
+            let t = threads.(i) in
+            match warp.Interp.status with
+            | Ir.Status_exit ->
+                t.state <- Done;
+                decr remaining
+            | Ir.Status_barrier -> t.state <- Blocked
+            | Ir.Status_branch -> t.state <- Ready)
+          members;
+        cursor := (start + 1) mod n
+  done
+
+(** Run a whole kernel launch: CTAs are statically partitioned round-robin
+    over [workers] execution managers; each worker's statistics are merged
+    into the returned aggregate, with wall cycles the maximum over
+    workers. *)
+let launch_kernel ?(costs = default_costs) ?fuel ?(workers = 4)
+    (cache : Translation_cache.t) ~(grid : Launch.dim3) ~(block : Launch.dim3)
+    ~(global : Mem.t) ~(params : Mem.t) ~(consts : Mem.t) : Stats.t =
+  let ncta = Launch.count grid in
+  let launch = { Interp.grid; block } in
+  let aggregate = Stats.create () in
+  let workers = max 1 (min workers ncta) in
+  for w = 0 to workers - 1 do
+    let wstats = Stats.create () in
+    let c = ref w in
+    while !c < ncta do
+      let ctaid = Launch.unlinear ~dims:grid !c in
+      run_cta ~costs ?fuel cache ~launch ~ctaid ~global ~params ~consts ~stats:wstats ();
+      c := !c + workers
+    done;
+    Stats.merge_into ~into:aggregate wstats
+  done;
+  aggregate

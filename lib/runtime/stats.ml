@@ -1,0 +1,94 @@
+(** Launch statistics collected by the execution managers.
+
+    These are the raw series behind the paper's evaluation figures:
+    warp-size histogram (Fig. 7), restores per entry (Fig. 8), cycle
+    attribution between execution manager, yield handlers and subkernel
+    bodies (Fig. 9), and total cycles (speedups, Fig. 6/10). *)
+
+module Interp = Vekt_vm.Interp
+
+type t = {
+  counters : Interp.counters;  (** VM-side counters, summed over workers *)
+  warp_hist : (int, int) Hashtbl.t;  (** warp size → kernel entries *)
+  mutable em_cycles : float;  (** cycles modelled inside the execution manager *)
+  mutable barrier_releases : int;
+  mutable threads_launched : int;
+  mutable wall_cycles : float;  (** max over workers (parallel execution) *)
+}
+
+let create () =
+  {
+    counters = Interp.fresh_counters ();
+    warp_hist = Hashtbl.create 8;
+    em_cycles = 0.0;
+    barrier_releases = 0;
+    threads_launched = 0;
+    wall_cycles = 0.0;
+  }
+
+let record_warp t ws =
+  Hashtbl.replace t.warp_hist ws (Option.value (Hashtbl.find_opt t.warp_hist ws) ~default:0 + 1)
+
+(** Mean number of threads per formed warp (Figure 7's metric). *)
+let average_warp_size t =
+  let n = ref 0 and sum = ref 0 in
+  Hashtbl.iter
+    (fun ws count ->
+      n := !n + count;
+      sum := !sum + (ws * count))
+    t.warp_hist;
+  if !n = 0 then 0.0 else float_of_int !sum /. float_of_int !n
+
+(** Fraction of kernel entries made at warp size [ws]. *)
+let warp_fraction t ws =
+  let total = Hashtbl.fold (fun _ c acc -> acc + c) t.warp_hist 0 in
+  if total = 0 then 0.0
+  else
+    float_of_int (Option.value (Hashtbl.find_opt t.warp_hist ws) ~default:0)
+    /. float_of_int total
+
+(** Mean values restored per thread per kernel entry (Figure 8). *)
+let average_restores_per_thread t =
+  let entries_threads =
+    Hashtbl.fold (fun ws count acc -> acc + (ws * count)) t.warp_hist 0
+  in
+  if entries_threads = 0 then 0.0
+  else float_of_int t.counters.Interp.restores /. float_of_int entries_threads
+
+(** Total modelled cycles: subkernel + yield handlers + execution manager.
+    [wall_cycles] is the parallel (max-over-workers) version used for
+    speedups; this is the serial sum used for attribution fractions. *)
+let total_cycles t = Interp.total_cycles t.counters +. t.em_cycles
+
+(** Figure 9's three fractions: (execution manager, yields, subkernel). *)
+let cycle_breakdown t =
+  let em = t.em_cycles +. t.counters.Interp.cycles_scheduler in
+  let yield = t.counters.Interp.cycles_entry +. t.counters.Interp.cycles_exit in
+  let body = t.counters.Interp.cycles_body in
+  let total = em +. yield +. body in
+  if total = 0.0 then (0.0, 0.0, 0.0)
+  else (em /. total, yield /. total, body /. total)
+
+(** Merge per-worker statistics into an aggregate; wall cycles take the
+    maximum (workers run in parallel), everything else sums. *)
+let merge_into ~(into : t) (w : t) =
+  let c = into.counters and d = w.counters in
+  c.Interp.dyn_instrs <- c.Interp.dyn_instrs + d.Interp.dyn_instrs;
+  c.Interp.blocks_executed <- c.Interp.blocks_executed + d.Interp.blocks_executed;
+  c.Interp.kernel_calls <- c.Interp.kernel_calls + d.Interp.kernel_calls;
+  c.Interp.restores <- c.Interp.restores + d.Interp.restores;
+  c.Interp.spills <- c.Interp.spills + d.Interp.spills;
+  c.Interp.flops <- c.Interp.flops + d.Interp.flops;
+  c.Interp.cycles_body <- c.Interp.cycles_body +. d.Interp.cycles_body;
+  c.Interp.cycles_scheduler <- c.Interp.cycles_scheduler +. d.Interp.cycles_scheduler;
+  c.Interp.cycles_entry <- c.Interp.cycles_entry +. d.Interp.cycles_entry;
+  c.Interp.cycles_exit <- c.Interp.cycles_exit +. d.Interp.cycles_exit;
+  Hashtbl.iter
+    (fun ws count ->
+      Hashtbl.replace into.warp_hist ws
+        (Option.value (Hashtbl.find_opt into.warp_hist ws) ~default:0 + count))
+    w.warp_hist;
+  into.em_cycles <- into.em_cycles +. w.em_cycles;
+  into.barrier_releases <- into.barrier_releases + w.barrier_releases;
+  into.threads_launched <- into.threads_launched + w.threads_launched;
+  into.wall_cycles <- Float.max into.wall_cycles (total_cycles w)

@@ -1,0 +1,126 @@
+(** The dynamic translation cache (paper §5.1).
+
+    Holds, per kernel, the scalar IR produced by the PTX→IR frontend and
+    lazily built specializations per warp size.  Execution managers query
+    it with a warp size; the first query for a size triggers vectorization,
+    optimization and timing analysis ("JIT compilation"), whose simulated
+    cost is charged to compilation statistics rather than kernel cycles
+    (the paper translates at kernel granularity, off the measured path). *)
+
+module Ir = Vekt_ir.Ir
+module Verify = Vekt_ir.Verify
+module Ptx_to_ir = Vekt_transform.Ptx_to_ir
+module Plan = Vekt_transform.Plan
+module Vectorize = Vekt_transform.Vectorize
+module Dce = Vekt_transform.Dce
+module Passes = Vekt_transform.Passes
+module Machine = Vekt_vm.Machine
+module Timing = Vekt_vm.Timing
+open Vekt_ptx
+
+type entry = {
+  vfunc : Ir.func;
+  timing : Timing.t;
+  vect : Vectorize.vectorized;
+  static_instrs : int;  (** static instruction count after optimization *)
+}
+
+type t = {
+  kernel_name : string;
+  scalar : Ir.func;
+  plan : Plan.t;
+  shared_bytes : int;
+  local_bytes : int;  (** per-thread local memory: declared + spill area *)
+  mode : Vectorize.mode;
+  affine : bool;  (** coalesce affine/uniform memory accesses (§4 future work) *)
+  specialize_args : bool;
+      (** specialize on concrete kernel-argument values (§5.1 future work) *)
+  machine : Machine.t;
+  optimize : bool;
+  widths : int list;  (** available specializations, descending *)
+  specializations : (int * string, entry) Hashtbl.t;
+      (** keyed by (warp size, parameter-block digest; "" = generic) *)
+  mutable compile_count : int;
+  mutable verify : bool;
+}
+
+let default_widths = [ 4; 2; 1 ]
+
+(** Parse-time preparation of one kernel: frontend to scalar IR plus the
+    divergence plan shared by all specializations. *)
+let prepare ?(mode = Vectorize.Dynamic) ?(affine = false) ?(specialize_args = false)
+    ?(machine = Machine.sse4) ?(widths = default_widths) ?(optimize = true)
+    ?(verify = false) (m : Ast.modul) ~kernel : t =
+  let widths = List.sort_uniq (fun a b -> compare b a) widths in
+  if widths = [] || List.exists (fun w -> w < 1) widths then
+    invalid_arg "Translation_cache.prepare: invalid widths";
+  if not (List.mem 1 widths) then
+    invalid_arg "Translation_cache.prepare: a scalar (width 1) specialization is required";
+  let tr = Ptx_to_ir.frontend m ~kernel in
+  let plan = Plan.compute tr.Ptx_to_ir.func ~local_decl_bytes:tr.Ptx_to_ir.local_decl_bytes in
+  {
+    kernel_name = kernel;
+    scalar = tr.Ptx_to_ir.func;
+    plan;
+    shared_bytes = tr.Ptx_to_ir.shared_bytes;
+    local_bytes = Plan.local_bytes plan ~local_decl_bytes:tr.Ptx_to_ir.local_decl_bytes;
+    mode;
+    affine;
+    specialize_args;
+    machine;
+    optimize;
+    widths;
+    specializations = Hashtbl.create 4;
+    compile_count = 0;
+    verify;
+  }
+
+(** Get (or build) the specialization for exactly [ws] lanes.  With
+    [params] (and the cache built with [specialize_args]), the scalar
+    kernel is first specialized on the concrete argument values and the
+    result is cached under the parameter block's digest. *)
+let get (t : t) ?params ~ws () : entry =
+  let params = if t.specialize_args then params else None in
+  let key =
+    ( ws,
+      match params with
+      | None -> ""
+      | Some p -> Digest.to_hex (Digest.bytes (Mem.bytes p)) )
+  in
+  match Hashtbl.find_opt t.specializations key with
+  | Some e -> e
+  | None ->
+      if not (List.mem ws t.widths) then
+        invalid_arg (Fmt.str "no %d-wide specialization of %s" ws t.kernel_name);
+      t.compile_count <- t.compile_count + 1;
+      let scalar =
+        match params with
+        | None -> t.scalar
+        | Some p ->
+            let copy = Ir.copy_func t.scalar in
+            ignore (Vekt_transform.Specialize.params copy ~params:p);
+            copy
+      in
+      let vect = Vectorize.run ~mode:t.mode ~affine:t.affine ~plan:t.plan scalar ~ws in
+      if t.optimize then ignore (Passes.optimize vect.Vectorize.func)
+      else ignore (Dce.run vect.Vectorize.func);
+      if t.verify then Verify.check_exn vect.Vectorize.func;
+      let timing = Timing.analyze t.machine vect.Vectorize.func in
+      let e =
+        {
+          vfunc = vect.Vectorize.func;
+          timing;
+          vect;
+          static_instrs = Ir.size vect.Vectorize.func;
+        }
+      in
+      Hashtbl.replace t.specializations key e;
+      e
+
+(** Largest available width not exceeding [n]. *)
+let best_width (t : t) n = List.find (fun w -> w <= n) t.widths
+
+let max_width (t : t) = List.hd t.widths
+
+(** Entry IDs shared by all specializations of this kernel. *)
+let entry_ids (t : t) = t.plan.Plan.entry_ids

@@ -1,0 +1,59 @@
+(** Dead-code elimination.
+
+    Liveness-driven: a pure instruction whose destination is dead after it
+    is removed.  Run after vectorization, where it cleans up unused
+    pack/unpack traffic (the paper: "a subsequent dead-code elimination
+    pass removes unused instructions"). *)
+
+module Ir = Vekt_ir.Ir
+module Liveness = Vekt_analysis.Liveness
+module ISet = Set.Make (Int)
+
+(** One liveness-compute-and-sweep.  Returns the number of removed
+    instructions. *)
+let sweep (f : Ir.func) : int =
+  let live = Liveness.compute f in
+  let removed = ref 0 in
+  List.iter
+    (fun (b : Ir.block) ->
+      let out = ref (Liveness.live_out live b.Ir.label) in
+      List.iter (fun r -> out := ISet.add r !out) (Ir.term_uses b.Ir.term);
+      (* Walk backwards, keeping instructions whose def is live or that
+         have side effects. *)
+      let kept =
+        List.fold_left
+          (fun kept i ->
+            let keep =
+              (not (Ir.is_pure i))
+              ||
+              match Ir.def i with
+              | Some d -> ISet.mem d !out
+              | None -> true
+            in
+            if keep then begin
+              (match Ir.def i with Some d -> out := ISet.remove d !out | None -> ());
+              List.iter (fun r -> out := ISet.add r !out) (Ir.uses i);
+              i :: kept
+            end
+            else begin
+              incr removed;
+              kept
+            end)
+          []
+          (List.rev b.Ir.insts)
+      in
+      b.Ir.insts <- kept)
+    (Ir.blocks f);
+  !removed
+
+(** Iterate sweeps to a fixpoint (removing one instruction can kill the
+    producers of its operands). *)
+let run (f : Ir.func) : int =
+  let total = ref 0 in
+  let rec go () =
+    let n = sweep f in
+    total := !total + n;
+    if n > 0 then go ()
+  in
+  go ();
+  !total

@@ -1,0 +1,48 @@
+(** Optimization pipeline applied to specialized kernels ("the translation
+    cache applies existing LLVM transformation passes including traditional
+    compiler optimizations such as basic block fusion and common
+    subexpression elimination", paper §5.1).
+
+    Order: constant folding exposes copies and dead branches; CSE turns
+    redundant computations (including the thread-invariant replicas of
+    §6.2) into copies; DCE sweeps the dead copies and pack/unpack traffic;
+    fusion then merges the straightened control flow.  A second round picks
+    up what fusion exposed.  The pipeline mutates the function in place and
+    returns per-pass removal statistics. *)
+
+module Ir = Vekt_ir.Ir
+
+type stats = {
+  folded : int;
+  branches_folded : int;
+  cse_replaced : int;
+  dce_removed : int;
+  blocks_fused : int;
+}
+
+let round (f : Ir.func) : stats =
+  let cf = Constfold.run f in
+  let cse_replaced = Cse.run f in
+  let dce_removed = Dce.run f in
+  let blocks_fused = Fusion.run f in
+  {
+    folded = cf.Constfold.folded;
+    branches_folded = cf.Constfold.branches_folded;
+    cse_replaced;
+    dce_removed;
+    blocks_fused;
+  }
+
+let add a b =
+  {
+    folded = a.folded + b.folded;
+    branches_folded = a.branches_folded + b.branches_folded;
+    cse_replaced = a.cse_replaced + b.cse_replaced;
+    dce_removed = a.dce_removed + b.dce_removed;
+    blocks_fused = a.blocks_fused + b.blocks_fused;
+  }
+
+let optimize (f : Ir.func) : stats =
+  let s1 = round f in
+  let s2 = round f in
+  add s1 s2

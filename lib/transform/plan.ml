@@ -1,0 +1,83 @@
+(** Divergence plan for a scalar kernel: entry points, entry IDs and spill
+    slots, computed once on the scalar IR and shared by every warp-size
+    specialization (the translation cache is queried by entry ID and warp
+    size, so IDs must agree across specializations).
+
+    Entry points (paper Algorithm 2): the kernel entry (ID 0), every
+    successor of a conditional branch, and every barrier continuation.
+    Spill slots are byte offsets in a thread's local memory, placed after
+    its declared [.local] arrays; every register live into any entry point
+    gets a slot. *)
+
+module Ir = Vekt_ir.Ir
+module Ty = Vekt_ir.Ty
+module Builder = Vekt_ir.Builder
+module Verify = Vekt_ir.Verify
+module Liveness = Vekt_analysis.Liveness
+module Invariance = Vekt_analysis.Invariance
+
+
+module ISet = Set.Make (Int)
+
+type t = {
+  entry_ids : (string * int) list;  (** (block label, entry id); entry is 0 *)
+  slots : (Ir.vreg, int) Hashtbl.t;
+  spill_base : int;  (** first spill byte (after declared locals) *)
+  spill_bytes : int;  (** size of the spill area *)
+  live : Liveness.t;
+}
+
+let id_of_label t l = List.assoc_opt l t.entry_ids
+let label_of_id t id = List.find_opt (fun (_, i) -> i = id) t.entry_ids |> Option.map fst
+let slot t r = Hashtbl.find_opt t.slots r
+
+(** Registers live into the entry-point block [l] (restored by its entry
+    handler; Figure 8's per-entry statistic). *)
+let entry_live t l = Liveness.live_in t.live l
+
+let compute (f : Ir.func) ~(local_decl_bytes : int) : t =
+  let live = Liveness.compute f in
+  (* Collect entry points in a deterministic order: entry first, then in
+     block layout order. *)
+  let entry_labels = ref [ f.Ir.entry ] in
+  let add l = if not (List.mem l !entry_labels) then entry_labels := !entry_labels @ [ l ] in
+  List.iter
+    (fun b ->
+      match b.Ir.term with
+      | Ir.Branch (_, t, e) ->
+          add t;
+          add e
+      | Ir.Barrier l -> add l
+      | Ir.Jump _ | Ir.Switch _ | Ir.Return -> ())
+    (Ir.blocks f);
+  let entry_ids = List.mapi (fun i l -> (l, i)) !entry_labels in
+  (* Slot every register live into any entry point. *)
+  let slotted =
+    List.fold_left
+      (fun acc (l, _) -> ISet.union acc (Liveness.live_in live l))
+      ISet.empty entry_ids
+  in
+  let slots = Hashtbl.create 32 in
+  let align n a = (n + a - 1) / a * a in
+  let spill_base = align local_decl_bytes 16 in
+  let off = ref spill_base in
+  ISet.iter
+    (fun r ->
+      let sz = Vekt_ptx.Ast.size_of (Ir.reg_ty f r).Ty.elt in
+      off := align !off sz;
+      Hashtbl.replace slots r !off;
+      off := !off + sz)
+    slotted;
+  {
+    entry_ids;
+    slots;
+    spill_base;
+    spill_bytes = align !off 16 - spill_base;
+    live;
+  }
+
+(** Thread-local bytes a thread of this kernel needs: declared locals plus
+    the spill area. *)
+let local_bytes t ~local_decl_bytes =
+  let align n a = (n + a - 1) / a * a in
+  align local_decl_bytes 16 + t.spill_bytes

@@ -1,0 +1,39 @@
+(** Kernel-argument specialization (paper §5.1 future work: "the
+    translation cache could be modified to support querying for additional
+    specialization parameters beyond warp size such as optimization level
+    or particular kernel argument values").
+
+    Given a concrete parameter block, every load from the read-only
+    [.param] space with a constant address becomes an immediate move.
+    Downstream constant folding then propagates sizes, strides and base
+    pointers, the affine analysis sees constant bases, and uniform loop
+    bounds fold into the divergence structure.
+
+    The pass runs on a {e copy} of the scalar function: the translation
+    cache keys specializations by (warp size, parameter digest), so
+    launches with different arguments get their own code, exactly like
+    value-specializing JITs. *)
+
+module Ir = Vekt_ir.Ir
+module Ty = Vekt_ir.Ty
+open Vekt_ptx
+
+(** Rewrite param loads against the concrete [params] block.  Returns the
+    number of loads replaced. *)
+let params (f : Ir.func) ~(params : Mem.t) : int =
+  let replaced = ref 0 in
+  List.iter
+    (fun (b : Ir.block) ->
+      b.Ir.insts <-
+        List.map
+          (fun i ->
+            match i with
+            | Ir.Load (Ast.Param, ty, d, Ir.Imm (Scalar_ops.I base, _), off)
+              when Int64.to_int base + off + Ast.size_of ty <= Mem.size params ->
+                incr replaced;
+                let v = Mem.load params ty (Int64.to_int base + off) in
+                Ir.Mov (Ty.scalar ty, d, Ir.Imm (v, ty))
+            | i -> i)
+          b.Ir.insts)
+    (Ir.blocks f);
+  !replaced

@@ -1,0 +1,40 @@
+(** All benchmark applications, in the order the evaluation figures list
+    them. *)
+
+let all : Workload.t list =
+  [
+    W_vecadd.workload;
+    W_throughput.workload;
+    W_reduction.workload;
+    W_blackscholes.workload;
+    W_mersenne.workload;
+    W_matrixmul.workload;
+    W_cp.workload;
+    W_scan.workload;
+    W_histogram.workload;
+    W_transpose.workload;
+    W_nbody.workload;
+    W_convolution.workload;
+    W_scalarprod.workload;
+    W_bitonic.workload;
+    W_binomial.workload;
+    W_montecarlo.workload;
+    W_sobol.workload;
+    W_fastwalsh.workload;
+    W_dwthaar.workload;
+    W_boxfilter.workload;
+    W_mriq.workload;
+    W_eigenvalues.workload;
+    W_sobel.workload;
+    W_atomics.workload;
+    W_recursivegaussian.workload;
+    W_imagedenoising.workload;
+    W_threadfence.workload;
+  ]
+
+let find name = List.find_opt (fun (w : Workload.t) -> String.equal w.name name) all
+
+let find_exn name =
+  match find name with
+  | Some w -> w
+  | None -> invalid_arg (Fmt.str "unknown workload %s" name)

@@ -1,0 +1,88 @@
+(** SimpleAtomicIntrinsics (CUDA SDK): a bundle of global atomic
+    read-modify-writes (add, min, max, exchange, compare-and-swap) hammered
+    by every thread.  Exercises the serialized-RMW path of the machine
+    model; convergent control flow. *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+let src =
+  {|
+.entry atomics (.param .u64 cells, .param .u32 n)
+{
+  .reg .u32 %r1, %r2, %r3, %gid, %old, %v, %n;
+  .reg .u64 %pc, %a;
+  .reg .pred %p;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ctaid.x;
+  mov.u32 %r3, %ntid.x;
+  mad.lo.u32 %gid, %r2, %r3, %r1;
+  ld.param.u32 %n, [n];
+  setp.ge.u32 %p, %gid, %n;
+  @%p bra DONE;
+  ld.param.u64 %pc, [cells];
+
+  // cells[0] += gid
+  atom.global.add.u32 %old, [%pc], %gid;
+  // cells[1] = min(cells[1], gid ^ 21)
+  xor.b32 %v, %gid, 21;
+  add.u64 %a, %pc, 4;
+  atom.global.min.s32 %old, [%a], %v;
+  // cells[2] = max(cells[2], gid ^ 13)
+  xor.b32 %v, %gid, 13;
+  add.u64 %a, %pc, 8;
+  atom.global.max.s32 %old, [%a], %v;
+  // cells[3]: every thread exchanges; sum of (old values + final) is the
+  // sum of everything written, so the digest below is order-independent
+  add.u64 %a, %pc, 12;
+  atom.global.exch.u32 %old, [%a], %gid;
+  add.u64 %a, %pc, 16;
+  atom.global.add.u32 %old, [%a], %old;
+  // cells[5]: CAS ladder — only the thread seeing the expected value wins
+  add.u64 %a, %pc, 20;
+  atom.global.cas.u32 %old, [%a], %gid, 4096;
+DONE:
+  exit;
+}
+|}
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let n = 128 * scale in
+  let cells = Api.malloc dev 24 in
+  (* i32 sentinels: large-but-representable bounds *)
+  Api.write_i32s dev cells [ 0; 0x7FFFFFFF; -0x7FFFFFFF; 999_999; 0; 0 ];
+  let sum = n * (n - 1) / 2 in
+  let mins = List.init n (fun g -> g lxor 21) in
+  let maxs = List.init n (fun g -> g lxor 13) in
+  let block = 32 in
+  {
+    Workload.args = [ Launch.Ptr cells; Launch.I32 n ];
+    grid = Launch.dim3 (n / block);
+    block = Launch.dim3 block;
+    check =
+      (fun dev ->
+        match Api.read_i32s dev cells 6 with
+        | [ c0; c1; c2; c3; c4; c5 ] ->
+            (* exchange order is nondeterministic across warps, but
+               old-values + the final cell always sum to the initial value
+               plus every gid written *)
+            if c0 <> sum then Error (Fmt.str "add: %d <> %d" c0 sum)
+            else if c1 <> List.fold_left min 0x7FFFFFFF mins then Error "min wrong"
+            else if c2 <> List.fold_left max (-0x7FFFFFFF) maxs then Error "max wrong"
+            else if c3 + c4 <> 999_999 + sum then
+              Error (Fmt.str "exch digest: %d" (c3 + c4))
+            else if c5 <> 4096 then Error "cas: winner should flip cell to 4096"
+            else Ok ()
+        | _ -> Error "read failed")
+  }
+
+let workload : Workload.t =
+  {
+    name = "atomics";
+    paper_name = "SimpleAtomicIntrinsics";
+    category = Workload.Memory_bound;
+    src;
+    kernel = "atomics";
+    setup;
+  }

@@ -1,0 +1,141 @@
+(** BinomialOptions (CUDA SDK): binomial-tree option pricing by backward
+    induction, one option per CTA, one barrier per level.  Uniform control
+    flow with an unrolled-style inner loop — the paper reports 2.25×. *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+let steps = 64 (* = block size; thread i owns node i *)
+
+let src =
+  Fmt.str
+    {|
+.entry binomial (.param .u64 sp, .param .u64 xp, .param .u64 outp)
+{
+  .reg .u32 %%tid, %%cta, %%lvl, %%i2;
+  .reg .u64 %%ps, %%px, %%po, %%a, %%off, %%sa, %%sb;
+  .reg .f32 %%s, %%x, %%u, %%exp_arg, %%leaf, %%va, %%vb, %%payoff;
+  .reg .pred %%p, %%q;
+  .shared .f32 vals[%d];
+
+  mov.u32 %%tid, %%tid.x;
+  mov.u32 %%cta, %%ctaid.x;
+  cvt.u64.u32 %%off, %%cta;
+  shl.b64 %%off, %%off, 2;
+  ld.param.u64 %%ps, [sp];
+  add.u64 %%a, %%ps, %%off;
+  ld.global.f32 %%s, [%%a];
+  ld.param.u64 %%px, [xp];
+  add.u64 %%a, %%px, %%off;
+  ld.global.f32 %%x, [%%a];
+
+  // leaf value: payoff of S * exp(vsd * (2*tid - steps)) against X
+  cvt.rn.f32.u32 %%u, %%tid;
+  mul.f32 %%u, %%u, 0f40000000;
+  sub.f32 %%exp_arg, %%u, 0f%08x;           // 2*tid - steps
+  mul.f32 %%exp_arg, %%exp_arg, 0f3d4ccccd; // vsd = 0.05
+  mul.f32 %%exp_arg, %%exp_arg, 0f3fb8aa3b; // * log2(e)
+  ex2.approx.f32 %%exp_arg, %%exp_arg;
+  mul.f32 %%leaf, %%s, %%exp_arg;
+  sub.f32 %%payoff, %%leaf, %%x;
+  max.f32 %%payoff, %%payoff, 0f00000000;
+
+  cvt.u64.u32 %%off, %%tid;
+  shl.b64 %%off, %%off, 2;
+  mov.u64 %%sa, vals;
+  add.u64 %%sa, %%sa, %%off;
+  st.shared.f32 [%%sa], %%payoff;
+  bar.sync 0;
+
+  // backward induction: V[i] = (pu*V[i+1] + pd*V[i]) * df
+  mov.u32 %%lvl, %d;
+LEVEL:
+  setp.eq.u32 %%p, %%lvl, 0;
+  @@%%p bra PRICED;
+  setp.ge.u32 %%q, %%tid, %%lvl;
+  @@%%q bra SKIP;
+  ld.shared.f32 %%va, [%%sa];
+  add.u64 %%sb, %%sa, 4;
+  ld.shared.f32 %%vb, [%%sb];
+  mul.f32 %%vb, %%vb, 0f3f028f5c;     // pu = 0.51
+  fma.rn.f32 %%va, %%va, 0f3efae148, %%vb;  // pd = 0.49
+  mul.f32 %%va, %%va, 0f3f7fbe77;     // df = 0.999
+SKIP:
+  bar.sync 0;
+  @@%%q bra NOSTORE;
+  st.shared.f32 [%%sa], %%va;
+NOSTORE:
+  bar.sync 0;
+  sub.u32 %%lvl, %%lvl, 1;
+  bra LEVEL;
+
+PRICED:
+  setp.ne.u32 %%p, %%tid, 0;
+  @@%%p bra DONE;
+  mov.u64 %%sa, vals;
+  ld.shared.f32 %%va, [%%sa];
+  ld.param.u64 %%po, [outp];
+  cvt.u64.u32 %%off, %%cta;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%a, %%po, %%off;
+  st.global.f32 [%%a], %%va;
+DONE:
+  exit;
+}
+|}
+    (steps + 1)
+    (Int32.to_int (Int32.bits_of_float (float_of_int steps)))
+    steps
+
+let reference s x =
+  let r32 = Workload.r32 in
+  let log2e = Int32.float_of_bits 0x3fb8aa3bl in
+  let vsd = Int32.float_of_bits 0x3d4ccccdl in
+  let pu = Int32.float_of_bits 0x3f028f5cl in
+  let pd = Int32.float_of_bits 0x3efae148l in
+  let df = Int32.float_of_bits 0x3f7fbe77l in
+  let vals =
+    Array.init (steps + 1) (fun i ->
+        if i > steps then 0.0
+        else begin
+          let u = r32 (r32 (float_of_int i) *. 2.0) in
+          let e = r32 (r32 (r32 (u -. float_of_int steps) *. vsd) *. log2e) in
+          let e = Workload.r32 (Float.exp2 e) in
+          let leaf = r32 (s *. e) in
+          Float.max (r32 (leaf -. x)) 0.0
+        end)
+  in
+  for lvl = steps downto 1 do
+    for i = 0 to lvl - 1 do
+      let vb = r32 (vals.(i + 1) *. pu) in
+      vals.(i) <- r32 (r32 (r32 (vals.(i) *. pd) +. vb) *. df)
+    done
+  done;
+  vals.(0)
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let opts = 4 * scale in
+  let sp = Api.malloc dev (4 * opts)
+  and xp = Api.malloc dev (4 * opts)
+  and outp = Api.malloc dev (4 * opts) in
+  let ss = List.map (fun v -> Workload.r32 (25.0 +. (20.0 *. (v +. 0.5)))) (Workload.rand_f32s ~seed:111 opts) in
+  let xs = List.map (fun v -> Workload.r32 (25.0 +. (20.0 *. (v +. 0.5)))) (Workload.rand_f32s ~seed:112 opts) in
+  Api.write_f32s dev sp ss;
+  Api.write_f32s dev xp xs;
+  let expected = List.map2 reference ss xs in
+  {
+    Workload.args = [ Launch.Ptr sp; Launch.Ptr xp; Launch.Ptr outp ];
+    grid = Launch.dim3 opts;
+    block = Launch.dim3 (steps + 1);
+    check = (fun dev -> Workload.check_f32s dev ~at:outp ~expected ~tol:1e-4 ~what:"price");
+  }
+
+let workload : Workload.t =
+  {
+    name = "binomial";
+    paper_name = "BinomialOptions";
+    category = Workload.Sync_heavy;
+    src;
+    kernel = "binomial";
+    setup;
+  }

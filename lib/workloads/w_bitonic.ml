@@ -1,0 +1,123 @@
+(** Bitonic sort (CUDA SDK): sorts one shared-memory array per CTA with
+    the classic k/j compare-exchange network — a barrier per stage and a
+    tid-dependent partner/direction test, i.e. structured divergence. *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+let n_elems = 64
+
+let src =
+  Fmt.str
+    {|
+.entry bitonic (.param .u64 inp, .param .u64 outp)
+{
+  .reg .u32 %%tid, %%cta, %%gbase, %%k, %%j, %%ixj, %%dir, %%vi, %%vj, %%lo, %%hi, %%idx;
+  .reg .u64 %%pin, %%pout, %%a, %%off, %%sa, %%sb;
+  .reg .pred %%p, %%q, %%asc;
+  .shared .s32 buf[%d];
+
+  mov.u32 %%tid, %%tid.x;
+  mov.u32 %%cta, %%ctaid.x;
+  mul.lo.u32 %%gbase, %%cta, %d;
+
+  // load
+  add.u32 %%idx, %%gbase, %%tid;
+  cvt.u64.u32 %%off, %%idx;
+  shl.b64 %%off, %%off, 2;
+  ld.param.u64 %%pin, [inp];
+  add.u64 %%a, %%pin, %%off;
+  ld.global.s32 %%vi, [%%a];
+  cvt.u64.u32 %%off, %%tid;
+  shl.b64 %%off, %%off, 2;
+  mov.u64 %%sa, buf;
+  add.u64 %%sa, %%sa, %%off;
+  st.shared.s32 [%%sa], %%vi;
+  bar.sync 0;
+
+  mov.u32 %%k, 2;
+K_LOOP:
+  setp.gt.u32 %%p, %%k, %d;
+  @@%%p bra SORTED;
+  shr.u32 %%j, %%k, 1;
+J_LOOP:
+  setp.eq.u32 %%p, %%j, 0;
+  @@%%p bra J_DONE;
+
+  xor.b32 %%ixj, %%tid, %%j;
+  setp.le.u32 %%p, %%ixj, %%tid;
+  @@%%p bra NOSWAP;         // only the lower index of each pair works
+
+  cvt.u64.u32 %%off, %%tid;
+  shl.b64 %%off, %%off, 2;
+  mov.u64 %%sa, buf;
+  add.u64 %%sa, %%sa, %%off;
+  ld.shared.s32 %%vi, [%%sa];
+  cvt.u64.u32 %%off, %%ixj;
+  shl.b64 %%off, %%off, 2;
+  mov.u64 %%sb, buf;
+  add.u64 %%sb, %%sb, %%off;
+  ld.shared.s32 %%vj, [%%sb];
+
+  // ascending iff (tid & k) == 0
+  and.b32 %%dir, %%tid, %%k;
+  setp.eq.u32 %%asc, %%dir, 0;
+  min.s32 %%lo, %%vi, %%vj;
+  max.s32 %%hi, %%vi, %%vj;
+  selp.s32 %%vi, %%lo, %%hi, %%asc;
+  selp.s32 %%vj, %%hi, %%lo, %%asc;
+  st.shared.s32 [%%sa], %%vi;
+  st.shared.s32 [%%sb], %%vj;
+
+NOSWAP:
+  bar.sync 0;
+  shr.u32 %%j, %%j, 1;
+  bra J_LOOP;
+J_DONE:
+  shl.b32 %%k, %%k, 1;
+  bra K_LOOP;
+
+SORTED:
+  cvt.u64.u32 %%off, %%tid;
+  shl.b64 %%off, %%off, 2;
+  mov.u64 %%sa, buf;
+  add.u64 %%sa, %%sa, %%off;
+  ld.shared.s32 %%vi, [%%sa];
+  add.u32 %%idx, %%gbase, %%tid;
+  cvt.u64.u32 %%off, %%idx;
+  shl.b64 %%off, %%off, 2;
+  ld.param.u64 %%pout, [outp];
+  add.u64 %%a, %%pout, %%off;
+  st.global.s32 [%%a], %%vi;
+  exit;
+}
+|}
+    n_elems n_elems n_elems
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let ncta = 2 * scale in
+  let n = ncta * n_elems in
+  let inp = Api.malloc dev (4 * n) and outp = Api.malloc dev (4 * n) in
+  let data = Workload.rand_i32s ~seed:101 ~bound:10_000 n in
+  Api.write_i32s dev inp data;
+  let expected =
+    List.concat
+      (List.init ncta (fun c ->
+           List.sort compare (List.filteri (fun i _ -> i / n_elems = c) data)))
+  in
+  {
+    Workload.args = [ Launch.Ptr inp; Launch.Ptr outp ];
+    grid = Launch.dim3 ncta;
+    block = Launch.dim3 n_elems;
+    check = (fun dev -> Workload.check_i32s dev ~at:outp ~expected ~what:"sorted");
+  }
+
+let workload : Workload.t =
+  {
+    name = "bitonic";
+    paper_name = "BitonicSort";
+    category = Workload.Divergent;
+    src;
+    kernel = "bitonic";
+    setup;
+  }

@@ -1,0 +1,161 @@
+(** BlackScholes (CUDA SDK): per-option closed-form pricing using the
+    polynomial CND approximation.  Convergent control flow, transcendental-
+    heavy — a showcase for vectorized [sqrt]/[lg2]/[ex2]. *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+(* exp(x) = ex2(x * log2(e)); ln(x) = lg2(x) / log2(e). *)
+let src =
+  {|
+.entry blackscholes (.param .u64 sp, .param .u64 xp, .param .u64 tp,
+                     .param .u64 callp, .param .u32 n)
+{
+  .reg .u32 %r1, %r2, %r3, %i, %n;
+  .reg .u64 %ps, %px, %pt, %pc, %off, %a;
+  .reg .f32 %s, %x, %t, %sqrtt, %d1, %d2, %k1, %k2, %cnd1, %cnd2;
+  .reg .f32 %ln, %tmp, %poly, %expd, %absd1, %absd2, %call;
+  .reg .pred %p, %neg;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ctaid.x;
+  mov.u32 %r3, %ntid.x;
+  mad.lo.u32 %i, %r2, %r3, %r1;
+  ld.param.u32 %n, [n];
+  setp.ge.u32 %p, %i, %n;
+  @%p bra DONE;
+
+  cvt.u64.u32 %off, %i;
+  shl.b64 %off, %off, 2;
+  ld.param.u64 %ps, [sp];
+  add.u64 %a, %ps, %off;
+  ld.global.f32 %s, [%a];
+  ld.param.u64 %px, [xp];
+  add.u64 %a, %px, %off;
+  ld.global.f32 %x, [%a];
+  ld.param.u64 %pt, [tp];
+  add.u64 %a, %pt, %off;
+  ld.global.f32 %t, [%a];
+
+  // d1 = (ln(S/X) + (r + v^2/2) T) / (v sqrt(T));  r=0.02, v=0.30
+  sqrt.approx.f32 %sqrtt, %t;
+  div.f32 %ln, %s, %x;
+  lg2.approx.f32 %ln, %ln;
+  mul.f32 %ln, %ln, 0f3f317218;        // * ln(2)
+  fma.rn.f32 %d1, 0f3d851eb8, %t, %ln; // + 0.065*T  (r + v^2/2)
+  mul.f32 %tmp, 0f3e99999a, %sqrtt;    // v*sqrt(T)
+  div.f32 %d1, %d1, %tmp;
+  sub.f32 %d2, %d1, %tmp;
+
+  // CND(d) via Abramowitz-Stegun with K = 1/(1+0.2316419|d|)
+  abs.f32 %absd1, %d1;
+  fma.rn.f32 %k1, 0f3e6c3604, %absd1, 0f3f800000;
+  rcp.approx.f32 %k1, %k1;
+  // poly = K (0.31938 + K (-0.35656 + K (1.78148 + K (-1.82126 + K*1.33027))))
+  fma.rn.f32 %poly, %k1, 0f3faa456d, 0fbfe91dbd;
+  fma.rn.f32 %poly, %poly, %k1, 0f3fe40778;
+  fma.rn.f32 %poly, %poly, %k1, 0fbeb68f07;
+  fma.rn.f32 %poly, %poly, %k1, 0f3ea385ec;
+  mul.f32 %poly, %poly, %k1;
+  // exp(-d^2/2)/sqrt(2 pi)
+  mul.f32 %expd, %absd1, %absd1;
+  mul.f32 %expd, %expd, 0fbf000000;
+  mul.f32 %expd, %expd, 0f3fb8aa3b;    // * log2(e)
+  ex2.approx.f32 %expd, %expd;
+  mul.f32 %expd, %expd, 0f3ecc422a;    // * 1/sqrt(2 pi)
+  mul.f32 %cnd1, %expd, %poly;
+  sub.f32 %cnd1, 0f3f800000, %cnd1;
+  setp.lt.f32 %neg, %d1, 0f00000000;
+  sub.f32 %tmp, 0f3f800000, %cnd1;
+  selp.f32 %cnd1, %tmp, %cnd1, %neg;
+
+  abs.f32 %absd2, %d2;
+  fma.rn.f32 %k2, 0f3e6c3604, %absd2, 0f3f800000;
+  rcp.approx.f32 %k2, %k2;
+  fma.rn.f32 %poly, %k2, 0f3faa456d, 0fbfe91dbd;
+  fma.rn.f32 %poly, %poly, %k2, 0f3fe40778;
+  fma.rn.f32 %poly, %poly, %k2, 0fbeb68f07;
+  fma.rn.f32 %poly, %poly, %k2, 0f3ea385ec;
+  mul.f32 %poly, %poly, %k2;
+  mul.f32 %expd, %absd2, %absd2;
+  mul.f32 %expd, %expd, 0fbf000000;
+  mul.f32 %expd, %expd, 0f3fb8aa3b;
+  ex2.approx.f32 %expd, %expd;
+  mul.f32 %expd, %expd, 0f3ecc422a;
+  mul.f32 %cnd2, %expd, %poly;
+  sub.f32 %cnd2, 0f3f800000, %cnd2;
+  setp.lt.f32 %neg, %d2, 0f00000000;
+  sub.f32 %tmp, 0f3f800000, %cnd2;
+  selp.f32 %cnd2, %tmp, %cnd2, %neg;
+
+  // call = S*CND(d1) - X*exp(-rT)*CND(d2)
+  mul.f32 %tmp, %t, 0fbca3d70a;        // -r*T
+  mul.f32 %tmp, %tmp, 0f3fb8aa3b;
+  ex2.approx.f32 %tmp, %tmp;
+  mul.f32 %tmp, %tmp, %x;
+  mul.f32 %tmp, %tmp, %cnd2;
+  mul.f32 %call, %s, %cnd1;
+  sub.f32 %call, %call, %tmp;
+
+  ld.param.u64 %pc, [callp];
+  add.u64 %a, %pc, %off;
+  st.global.f32 [%a], %call;
+DONE:
+  exit;
+}
+|}
+
+(* Double-precision host reference; validated with a relative tolerance
+   because the kernel uses .approx transcendentals. *)
+let reference s x t =
+  let r = 0.02 and v = 0.30 in
+  let cnd d =
+    let k = 1.0 /. (1.0 +. (0.2316419 *. Float.abs d)) in
+    let poly =
+      k
+      *. (0.31938153
+         +. (k
+            *. (-0.356563782
+               +. (k *. (1.781477937 +. (k *. (-1.821255978 +. (k *. 1.330274429))))))))
+    in
+    let w = exp (-0.5 *. d *. d) /. sqrt (2.0 *. Float.pi) *. poly in
+    if d < 0.0 then w else 1.0 -. w
+  in
+  let d1 = (log (s /. x) +. ((r +. (v *. v /. 2.0)) *. t)) /. (v *. sqrt t) in
+  let d2 = d1 -. (v *. sqrt t) in
+  (s *. cnd d1) -. (x *. exp (-.r *. t) *. cnd d2)
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let n = 256 * scale in
+  let sp = Api.malloc dev (4 * n)
+  and xp = Api.malloc dev (4 * n)
+  and tp = Api.malloc dev (4 * n)
+  and callp = Api.malloc dev (4 * n) in
+  let ss = List.map (fun v -> 20.0 +. (30.0 *. (v +. 0.5))) (Workload.rand_f32s ~seed:11 n) in
+  let xs = List.map (fun v -> 20.0 +. (30.0 *. (v +. 0.5))) (Workload.rand_f32s ~seed:12 n) in
+  let ts = List.map (fun v -> 0.25 +. (1.5 *. (v +. 0.5))) (Workload.rand_f32s ~seed:13 n) in
+  Api.write_f32s dev sp ss;
+  Api.write_f32s dev xp xs;
+  Api.write_f32s dev tp ts;
+  let expected =
+    List.map2 (fun (s, x) t -> reference s x t) (List.combine ss xs) ts
+  in
+  let block = 128 in
+  {
+    Workload.args =
+      [ Launch.Ptr sp; Launch.Ptr xp; Launch.Ptr tp; Launch.Ptr callp; Launch.I32 n ];
+    grid = Launch.dim3 ((n + block - 1) / block);
+    block = Launch.dim3 block;
+    check =
+      (fun dev -> Workload.check_f32s dev ~at:callp ~expected ~tol:5e-3 ~what:"call");
+  }
+
+let workload : Workload.t =
+  {
+    name = "blackscholes";
+    paper_name = "BlackScholes";
+    category = Workload.Uniform_compute;
+    src;
+    kernel = "blackscholes";
+    setup;
+  }

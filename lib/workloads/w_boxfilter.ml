@@ -1,0 +1,96 @@
+(** BoxFilter (CUDA SDK): radius-8 sliding-window mean with edge clamping.
+    Memory-bound with frequent re-loads; edge threads diverge on the clamp
+    (the paper's ≈1.0× class). *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+let radius = 8
+
+let src =
+  Fmt.str
+    {|
+.entry boxfilter (.param .u64 inp, .param .u64 outp, .param .u32 n)
+{
+  .reg .u32 %%r1, %%r2, %%r3, %%gid, %%n, %%j, %%idx, %%nm1;
+  .reg .s32 %%sidx;
+  .reg .u64 %%pin, %%pout, %%a, %%off;
+  .reg .f32 %%acc, %%v;
+  .reg .pred %%p;
+
+  mov.u32 %%r1, %%tid.x;
+  mov.u32 %%r2, %%ctaid.x;
+  mov.u32 %%r3, %%ntid.x;
+  mad.lo.u32 %%gid, %%r2, %%r3, %%r1;
+  ld.param.u32 %%n, [n];
+  setp.ge.u32 %%p, %%gid, %%n;
+  @@%%p bra DONE;
+
+  ld.param.u64 %%pin, [inp];
+  sub.u32 %%nm1, %%n, 1;
+  mov.f32 %%acc, 0f00000000;
+  mov.u32 %%j, 0;
+TAP:
+  setp.gt.u32 %%p, %%j, %d;
+  @@%%p bra STORE;
+  // clamped index: min(max(gid + j - radius, 0), n-1) in signed arithmetic
+  add.u32 %%idx, %%gid, %%j;
+  sub.s32 %%sidx, %%idx, %d;
+  max.s32 %%sidx, %%sidx, 0;
+  min.s32 %%sidx, %%sidx, %%nm1;
+  cvt.u64.u32 %%off, %%sidx;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%a, %%pin, %%off;
+  ld.global.f32 %%v, [%%a];
+  add.f32 %%acc, %%acc, %%v;
+  add.u32 %%j, %%j, 1;
+  bra TAP;
+
+STORE:
+  mul.f32 %%acc, %%acc, 0f%08x;   // 1 / (2*radius + 1)
+  ld.param.u64 %%pout, [outp];
+  cvt.u64.u32 %%off, %%gid;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%a, %%pout, %%off;
+  st.global.f32 [%%a], %%acc;
+DONE:
+  exit;
+}
+|}
+    (2 * radius) radius
+    (Int32.to_int (Int32.bits_of_float (1.0 /. float_of_int ((2 * radius) + 1))))
+
+let reference xs n =
+  let r32 = Workload.r32 in
+  let inv = Int32.float_of_bits (Int32.bits_of_float (1.0 /. float_of_int ((2 * radius) + 1))) in
+  List.init n (fun gid ->
+      let acc = ref 0.0 in
+      for j = 0 to 2 * radius do
+        let idx = max 0 (min (n - 1) (gid + j - radius)) in
+        acc := r32 (!acc +. xs.(idx))
+      done;
+      r32 (!acc *. inv))
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let n = 400 * scale in
+  let inp = Api.malloc dev (4 * n) and outp = Api.malloc dev (4 * n) in
+  let xs = Array.of_list (Workload.rand_f32s ~seed:141 n) in
+  Api.write_f32s dev inp (Array.to_list xs);
+  let expected = reference xs n in
+  let block = 128 in
+  {
+    Workload.args = [ Launch.Ptr inp; Launch.Ptr outp; Launch.I32 n ];
+    grid = Launch.dim3 ((n + block - 1) / block);
+    block = Launch.dim3 block;
+    check = (fun dev -> Workload.check_f32s dev ~at:outp ~expected ~tol:0.0 ~what:"box");
+  }
+
+let workload : Workload.t =
+  {
+    name = "boxfilter";
+    paper_name = "BoxFilter";
+    category = Workload.Memory_bound;
+    src;
+    kernel = "boxfilter";
+    setup;
+  }

@@ -1,0 +1,105 @@
+(** ConvolutionSeparable (CUDA SDK), row pass: radius-4 1-D convolution
+    with coefficients in the constant bank.  Interior threads are fully
+    convergent; boundary threads diverge on the edge guards. *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+let radius = 4
+
+(* f32-exact kernel taps (powers of two), so the host reference matches
+   bit-for-bit. *)
+let taps = [ 0.0625; 0.125; 0.1875; 0.25; 0.375; 0.25; 0.1875; 0.125; 0.0625 ]
+
+let src =
+  Fmt.str
+    {|
+.const .f32 coeffs[%d] = { %s };
+
+.entry convrow (.param .u64 inp, .param .u64 outp, .param .u32 n)
+{
+  .reg .u32 %%r1, %%r2, %%r3, %%gid, %%n, %%j, %%idx, %%cidx;
+  .reg .u64 %%pin, %%pout, %%a, %%off, %%ca;
+  .reg .f32 %%acc, %%v, %%c;
+  .reg .pred %%p, %%q;
+
+  mov.u32 %%r1, %%tid.x;
+  mov.u32 %%r2, %%ctaid.x;
+  mov.u32 %%r3, %%ntid.x;
+  mad.lo.u32 %%gid, %%r2, %%r3, %%r1;
+  ld.param.u32 %%n, [n];
+  setp.ge.u32 %%p, %%gid, %%n;
+  @@%%p bra DONE;
+
+  ld.param.u64 %%pin, [inp];
+  mov.f32 %%acc, 0f00000000;
+  mov.u32 %%j, 0;
+TAP:
+  setp.gt.u32 %%p, %%j, %d;
+  @@%%p bra STORE;
+  // idx = gid + j - radius; skip taps outside [0, n)
+  add.u32 %%idx, %%gid, %%j;
+  sub.u32 %%idx, %%idx, %d;
+  setp.ge.u32 %%q, %%idx, %%n;      // unsigned: also catches idx < 0
+  @@%%q bra NEXT;
+  cvt.u64.u32 %%off, %%idx;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%a, %%pin, %%off;
+  ld.global.f32 %%v, [%%a];
+  cvt.u64.u32 %%ca, %%j;
+  shl.b64 %%ca, %%ca, 2;
+  ld.const.f32 %%c, [%%ca];
+  fma.rn.f32 %%acc, %%v, %%c, %%acc;
+NEXT:
+  add.u32 %%j, %%j, 1;
+  bra TAP;
+
+STORE:
+  ld.param.u64 %%pout, [outp];
+  cvt.u64.u32 %%off, %%gid;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%a, %%pout, %%off;
+  st.global.f32 [%%a], %%acc;
+DONE:
+  exit;
+}
+|}
+    (List.length taps)
+    (String.concat ", " (List.map (Fmt.str "%.10g") taps))
+    (2 * radius) radius
+
+let reference xs n =
+  let r32 = Workload.r32 in
+  let taps = Array.of_list taps in
+  List.init n (fun gid ->
+      let acc = ref 0.0 in
+      for j = 0 to 2 * radius do
+        let idx = gid + j - radius in
+        if idx >= 0 && idx < n then
+          acc := r32 (r32 (xs.(idx) *. taps.(j)) +. !acc)
+      done;
+      !acc)
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let n = 500 * scale in
+  let inp = Api.malloc dev (4 * n) and outp = Api.malloc dev (4 * n) in
+  let xs = Array.of_list (Workload.rand_f32s ~seed:81 n) in
+  Api.write_f32s dev inp (Array.to_list xs);
+  let expected = reference xs n in
+  let block = 128 in
+  {
+    Workload.args = [ Launch.Ptr inp; Launch.Ptr outp; Launch.I32 n ];
+    grid = Launch.dim3 ((n + block - 1) / block);
+    block = Launch.dim3 block;
+    check = (fun dev -> Workload.check_f32s dev ~at:outp ~expected ~tol:0.0 ~what:"conv");
+  }
+
+let workload : Workload.t =
+  {
+    name = "convolution";
+    paper_name = "ConvolutionSeparable";
+    category = Workload.Memory_bound;
+    src;
+    kernel = "convrow";
+    setup;
+  }

@@ -1,0 +1,111 @@
+(** cp — Coulombic Potential (Parboil): each thread computes the potential
+    at one 2-D grid point by summing contributions from all atoms.
+    Unrolled, fully convergent, compute-bound; the paper's best case
+    (3.9×). *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+let src =
+  {|
+.entry cp (.param .u64 atoms, .param .u64 outp, .param .u32 natoms, .param .u32 width)
+{
+  .reg .u32 %tx, %bx, %ntx, %ty, %by, %gx, %gy, %i, %natoms, %width, %idx;
+  .reg .u64 %patoms, %pout, %off, %a;
+  .reg .f32 %x, %y, %ax, %ay, %aq, %dx, %dy, %r2, %rinv, %pot;
+  .reg .pred %p;
+
+  mov.u32 %tx, %tid.x;
+  mov.u32 %bx, %ctaid.x;
+  mov.u32 %ntx, %ntid.x;
+  mad.lo.u32 %gx, %bx, %ntx, %tx;
+  mov.u32 %ty, %tid.y;
+  mov.u32 %by, %ctaid.y;
+  mov.u32 %ntx, %ntid.y;
+  mad.lo.u32 %gy, %by, %ntx, %ty;
+  ld.param.u32 %natoms, [natoms];
+  ld.param.u32 %width, [width];
+
+  cvt.rn.f32.u32 %x, %gx;
+  mul.f32 %x, %x, 0f3dcccccd;       // spacing 0.1
+  cvt.rn.f32.u32 %y, %gy;
+  mul.f32 %y, %y, 0f3dcccccd;
+
+  ld.param.u64 %patoms, [atoms];
+  mov.f32 %pot, 0f00000000;
+  mov.u32 %i, 0;
+ATOM_LOOP:
+  setp.ge.u32 %p, %i, %natoms;
+  @%p bra DONE;
+  mul.lo.u32 %idx, %i, 12;
+  cvt.u64.u32 %off, %idx;
+  add.u64 %a, %patoms, %off;
+  ld.global.f32 %ax, [%a];
+  ld.global.f32 %ay, [%a+4];
+  ld.global.f32 %aq, [%a+8];
+  sub.f32 %dx, %x, %ax;
+  sub.f32 %dy, %y, %ay;
+  mul.f32 %r2, %dx, %dx;
+  fma.rn.f32 %r2, %dy, %dy, %r2;
+  add.f32 %r2, %r2, 0f3a83126f;     // softening 0.001
+  rsqrt.approx.f32 %rinv, %r2;
+  fma.rn.f32 %pot, %aq, %rinv, %pot;
+  add.u32 %i, %i, 1;
+  bra ATOM_LOOP;
+
+DONE:
+  mad.lo.u32 %idx, %gy, %width, %gx;
+  cvt.u64.u32 %off, %idx;
+  shl.b64 %off, %off, 2;
+  ld.param.u64 %pout, [outp];
+  add.u64 %a, %pout, %off;
+  st.global.f32 [%a], %pot;
+  exit;
+}
+|}
+
+let reference ~atoms ~width ~height =
+  Array.init (width * height) (fun i ->
+      let gx = i mod width and gy = i / width in
+      let x = float_of_int gx *. 0.1 and y = float_of_int gy *. 0.1 in
+      let pot = ref 0.0 in
+      List.iter
+        (fun (ax, ay, aq) ->
+          let dx = x -. ax and dy = y -. ay in
+          pot := !pot +. (aq /. sqrt ((dx *. dx) +. (dy *. dy) +. 0.001)))
+        atoms;
+      !pot)
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let width = 16 * scale and height = 16 and natoms = 32 * scale in
+  let axs = Workload.rand_f32s ~seed:31 natoms in
+  let ays = Workload.rand_f32s ~seed:32 natoms in
+  let aqs = Workload.rand_f32s ~seed:33 natoms in
+  let atoms =
+    List.map2
+      (fun (ax, ay) aq -> ((ax +. 0.5) *. 1.6, (ay +. 0.5) *. 1.6, aq))
+      (List.combine axs ays) aqs
+  in
+  let patoms = Api.malloc dev (12 * natoms) in
+  List.iteri
+    (fun i (ax, ay, aq) -> Api.write_f32s dev (patoms + (12 * i)) [ ax; ay; aq ])
+    atoms;
+  let pout = Api.malloc dev (4 * width * height) in
+  let expected = Array.to_list (reference ~atoms ~width ~height) in
+  {
+    Workload.args =
+      [ Launch.Ptr patoms; Launch.Ptr pout; Launch.I32 natoms; Launch.I32 width ];
+    grid = Launch.dim3 (width / 8) ~y:(height / 8);
+    block = Launch.dim3 8 ~y:8;
+    check = (fun dev -> Workload.check_f32s dev ~at:pout ~expected ~tol:2e-3 ~what:"pot");
+  }
+
+let workload : Workload.t =
+  {
+    name = "cp";
+    paper_name = "cp";
+    category = Workload.Uniform_compute;
+    src;
+    kernel = "cp";
+    setup;
+  }

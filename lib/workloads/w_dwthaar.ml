@@ -1,0 +1,93 @@
+(** DwtHaar1D (CUDA SDK): one level of the Haar discrete wavelet transform.
+    Each thread produces one approximation and one detail coefficient from
+    a pair of inputs — streaming and fully convergent except the tail
+    guard. *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+(* inv_sqrt2 as an f32 constant *)
+let inv_sqrt2_bits = 0x3f3504f3
+
+let src =
+  Fmt.str
+    {|
+.entry dwthaar (.param .u64 inp, .param .u64 approxp, .param .u64 detailp, .param .u32 npairs)
+{
+  .reg .u32 %%r1, %%r2, %%r3, %%gid, %%np, %%idx;
+  .reg .u64 %%pin, %%pa, %%pd, %%a, %%off;
+  .reg .f32 %%x, %%y, %%s, %%d;
+  .reg .pred %%p;
+
+  mov.u32 %%r1, %%tid.x;
+  mov.u32 %%r2, %%ctaid.x;
+  mov.u32 %%r3, %%ntid.x;
+  mad.lo.u32 %%gid, %%r2, %%r3, %%r1;
+  ld.param.u32 %%np, [npairs];
+  setp.ge.u32 %%p, %%gid, %%np;
+  @@%%p bra DONE;
+
+  shl.b32 %%idx, %%gid, 1;
+  cvt.u64.u32 %%off, %%idx;
+  shl.b64 %%off, %%off, 2;
+  ld.param.u64 %%pin, [inp];
+  add.u64 %%a, %%pin, %%off;
+  ld.global.f32 %%x, [%%a];
+  ld.global.f32 %%y, [%%a+4];
+
+  add.f32 %%s, %%x, %%y;
+  mul.f32 %%s, %%s, 0f%08x;
+  sub.f32 %%d, %%x, %%y;
+  mul.f32 %%d, %%d, 0f%08x;
+
+  cvt.u64.u32 %%off, %%gid;
+  shl.b64 %%off, %%off, 2;
+  ld.param.u64 %%pa, [approxp];
+  add.u64 %%a, %%pa, %%off;
+  st.global.f32 [%%a], %%s;
+  ld.param.u64 %%pd, [detailp];
+  add.u64 %%a, %%pd, %%off;
+  st.global.f32 [%%a], %%d;
+DONE:
+  exit;
+}
+|}
+    inv_sqrt2_bits inv_sqrt2_bits
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let npairs = 400 * scale in
+  let inp = Api.malloc dev (8 * npairs)
+  and approxp = Api.malloc dev (4 * npairs)
+  and detailp = Api.malloc dev (4 * npairs) in
+  let xs = Array.of_list (Workload.rand_f32s ~seed:131 (2 * npairs)) in
+  Api.write_f32s dev inp (Array.to_list xs);
+  let r32 = Workload.r32 in
+  let is2 = Int32.float_of_bits (Int32.of_int inv_sqrt2_bits) in
+  let approx =
+    List.init npairs (fun i -> r32 (r32 (xs.(2 * i) +. xs.((2 * i) + 1)) *. is2))
+  in
+  let detail =
+    List.init npairs (fun i -> r32 (r32 (xs.(2 * i) -. xs.((2 * i) + 1)) *. is2))
+  in
+  let block = 128 in
+  {
+    Workload.args =
+      [ Launch.Ptr inp; Launch.Ptr approxp; Launch.Ptr detailp; Launch.I32 npairs ];
+    grid = Launch.dim3 ((npairs + block - 1) / block);
+    block = Launch.dim3 block;
+    check =
+      (fun dev ->
+        match Workload.check_f32s dev ~at:approxp ~expected:approx ~tol:0.0 ~what:"approx" with
+        | Error _ as e -> e
+        | Ok () -> Workload.check_f32s dev ~at:detailp ~expected:detail ~tol:0.0 ~what:"detail");
+  }
+
+let workload : Workload.t =
+  {
+    name = "dwthaar";
+    paper_name = "DwtHaar1D";
+    category = Workload.Memory_bound;
+    src;
+    kernel = "dwthaar";
+    setup;
+  }

@@ -1,0 +1,152 @@
+(** Eigenvalues (CUDA SDK): bisection for eigenvalues of a symmetric
+    tridiagonal matrix.  Each thread refines one eigenvalue interval; the
+    inner Sturm-sequence count has a data-dependent sign test per matrix
+    row and the bisection trip count differs per interval — the archetypal
+    divergent numerical kernel. *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+let matrix_n = 24
+
+let src =
+  Fmt.str
+    {|
+.entry eigen (.param .u64 diag, .param .u64 offd, .param .u64 outp, .param .u32 iters)
+{
+  .reg .u32 %%r1, %%r2, %%r3, %%gid, %%i, %%count, %%iters, %%it, %%idx;
+  .reg .u64 %%pd, %%po, %%pout, %%a, %%off;
+  .reg .f32 %%lo, %%hi, %%mid, %%d, %%e, %%q, %%tmp;
+  .reg .pred %%p, %%neg;
+
+  mov.u32 %%r1, %%tid.x;
+  mov.u32 %%r2, %%ctaid.x;
+  mov.u32 %%r3, %%ntid.x;
+  mad.lo.u32 %%gid, %%r2, %%r3, %%r1;
+  ld.param.u32 %%iters, [iters];
+  ld.param.u64 %%pd, [diag];
+  ld.param.u64 %%po, [offd];
+
+  // initial interval from Gershgorin-ish bounds, staggered per thread
+  cvt.rn.f32.u32 %%tmp, %%gid;
+  mul.f32 %%tmp, %%tmp, 0f3c23d70a;   // 0.01 * gid
+  mov.f32 %%lo, 0fc0800000;           // -4.0
+  add.f32 %%lo, %%lo, %%tmp;
+  mov.f32 %%hi, 0f40800000;           // +4.0
+  add.f32 %%hi, %%hi, %%tmp;
+
+  mov.u32 %%it, 0;
+BISECT:
+  setp.ge.u32 %%p, %%it, %%iters;
+  @@%%p bra DONE;
+  add.f32 %%mid, %%lo, %%hi;
+  mul.f32 %%mid, %%mid, 0f3f000000;
+
+  // Sturm count: number of eigenvalues below mid
+  mov.u32 %%count, 0;
+  mov.f32 %%q, 0f3f800000;
+  mov.u32 %%i, 0;
+STURM:
+  setp.ge.u32 %%p, %%i, %d;
+  @@%%p bra STURM_DONE;
+  mul.lo.u32 %%idx, %%i, 4;
+  cvt.u64.u32 %%off, %%idx;
+  add.u64 %%a, %%pd, %%off;
+  ld.global.f32 %%d, [%%a];
+  add.u64 %%a, %%po, %%off;
+  ld.global.f32 %%e, [%%a];
+  // q = d - mid - e*e/q  (guard tiny q)
+  abs.f32 %%tmp, %%q;
+  setp.lt.f32 %%neg, %%tmp, 0f2edbe6ff;   // 1e-10
+  @@%%neg bra TINY;
+  mul.f32 %%tmp, %%e, %%e;
+  div.f32 %%tmp, %%tmp, %%q;
+  sub.f32 %%q, %%d, %%tmp;
+  sub.f32 %%q, %%q, %%mid;
+  bra QDONE;
+TINY:
+  sub.f32 %%q, %%d, %%mid;
+QDONE:
+  setp.lt.f32 %%neg, %%q, 0f00000000;
+  @@!%%neg bra POS;
+  add.u32 %%count, %%count, 1;
+POS:
+  add.u32 %%i, %%i, 1;
+  bra STURM;
+STURM_DONE:
+
+  // shrink the interval towards the (gid mod n)-th eigenvalue
+  rem.u32 %%idx, %%gid, %d;
+  setp.gt.u32 %%p, %%count, %%idx;
+  @@%%p bra GO_LO;
+  mov.f32 %%lo, %%mid;
+  bra NEXT;
+GO_LO:
+  mov.f32 %%hi, %%mid;
+NEXT:
+  add.u32 %%it, %%it, 1;
+  bra BISECT;
+
+DONE:
+  add.f32 %%mid, %%lo, %%hi;
+  mul.f32 %%mid, %%mid, 0f3f000000;
+  ld.param.u64 %%pout, [outp];
+  cvt.u64.u32 %%off, %%gid;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%a, %%pout, %%off;
+  st.global.f32 [%%a], %%mid;
+  exit;
+}
+|}
+    matrix_n matrix_n
+
+let reference ~diag ~offd ~iters gid =
+  let r32 = Workload.r32 in
+  let lo = ref (r32 (-4.0 +. r32 (r32 (float_of_int gid) *. Int32.float_of_bits 0x3c23d70al))) in
+  let hi = ref (r32 (4.0 +. r32 (r32 (float_of_int gid) *. Int32.float_of_bits 0x3c23d70al))) in
+  for _it = 1 to iters do
+    let mid = r32 (r32 (!lo +. !hi) *. 0.5) in
+    let count = ref 0 in
+    let q = ref 1.0 in
+    for i = 0 to matrix_n - 1 do
+      let d = diag.(i) and e = offd.(i) in
+      if Float.abs !q < Int32.float_of_bits 0x2edbe6ffl then q := r32 (d -. mid)
+      else begin
+        let t = r32 (r32 (e *. e) /. !q) in
+        q := r32 (r32 (d -. t) -. mid)
+      end;
+      if !q < 0.0 then incr count
+    done;
+    if !count > gid mod matrix_n then hi := mid else lo := mid
+  done;
+  r32 (r32 (!lo +. !hi) *. 0.5)
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let nthreads = 64 * scale in
+  let iters = 12 in
+  let diag = Array.of_list (List.map (fun v -> v *. 4.0) (Workload.rand_f32s ~seed:161 matrix_n)) in
+  let offd = Array.of_list (Workload.rand_f32s ~seed:162 matrix_n) in
+  let diag = Array.map Workload.r32 diag in
+  let pd = Api.malloc dev (4 * matrix_n)
+  and po = Api.malloc dev (4 * matrix_n)
+  and pout = Api.malloc dev (4 * nthreads) in
+  Api.write_f32s dev pd (Array.to_list diag);
+  Api.write_f32s dev po (Array.to_list offd);
+  let expected = List.init nthreads (reference ~diag ~offd ~iters) in
+  let block = 64 in
+  {
+    Workload.args = [ Launch.Ptr pd; Launch.Ptr po; Launch.Ptr pout; Launch.I32 iters ];
+    grid = Launch.dim3 (nthreads / block);
+    block = Launch.dim3 block;
+    check = (fun dev -> Workload.check_f32s dev ~at:pout ~expected ~tol:1e-4 ~what:"eig");
+  }
+
+let workload : Workload.t =
+  {
+    name = "eigenvalues";
+    paper_name = "Eigenvalues";
+    category = Workload.Divergent;
+    src;
+    kernel = "eigen";
+    setup;
+  }

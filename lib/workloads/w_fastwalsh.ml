@@ -1,0 +1,120 @@
+(** FastWalshTransform (CUDA SDK): in-place Walsh–Hadamard butterfly over
+    a shared-memory tile, one barrier per level; at each level half the
+    threads perform the butterfly (tid-dependent divergence). *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+let n_elems = 64
+
+let src =
+  Fmt.str
+    {|
+.entry fwt (.param .u64 inp, .param .u64 outp)
+{
+  .reg .u32 %%tid, %%cta, %%idx, %%step, %%pairm;
+  .reg .u64 %%pin, %%pout, %%a, %%off, %%sa, %%sb;
+  .reg .f32 %%x, %%y, %%sum;
+  .reg .pred %%p, %%q;
+  .shared .f32 buf[%d];
+
+  mov.u32 %%tid, %%tid.x;
+  mov.u32 %%cta, %%ctaid.x;
+  mul.lo.u32 %%idx, %%cta, %d;
+  add.u32 %%idx, %%idx, %%tid;
+  cvt.u64.u32 %%off, %%idx;
+  shl.b64 %%off, %%off, 2;
+  ld.param.u64 %%pin, [inp];
+  add.u64 %%a, %%pin, %%off;
+  ld.global.f32 %%x, [%%a];
+  cvt.u64.u32 %%off, %%tid;
+  shl.b64 %%off, %%off, 2;
+  mov.u64 %%sa, buf;
+  add.u64 %%sa, %%sa, %%off;
+  st.shared.f32 [%%sa], %%x;
+  bar.sync 0;
+
+  mov.u32 %%step, 1;
+LEVEL:
+  setp.ge.u32 %%p, %%step, %d;
+  @@%%p bra OUT;
+  and.b32 %%pairm, %%tid, %%step;
+  setp.ne.u32 %%q, %%pairm, 0;
+  @@%%q bra SKIP;        // only the low element of each pair works
+  ld.shared.f32 %%x, [%%sa];
+  cvt.u64.u32 %%off, %%step;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%sb, %%sa, %%off;
+  ld.shared.f32 %%y, [%%sb];
+  add.f32 %%sum, %%x, %%y;
+  sub.f32 %%y, %%x, %%y;
+  st.shared.f32 [%%sa], %%sum;
+  st.shared.f32 [%%sb], %%y;
+SKIP:
+  bar.sync 0;
+  shl.b32 %%step, %%step, 1;
+  bra LEVEL;
+
+OUT:
+  ld.shared.f32 %%x, [%%sa];
+  mul.lo.u32 %%idx, %%cta, %d;
+  add.u32 %%idx, %%idx, %%tid;
+  cvt.u64.u32 %%off, %%idx;
+  shl.b64 %%off, %%off, 2;
+  ld.param.u64 %%pout, [outp];
+  add.u64 %%a, %%pout, %%off;
+  st.global.f32 [%%a], %%x;
+  exit;
+}
+|}
+    n_elems n_elems n_elems n_elems
+
+let reference xs =
+  let r32 = Workload.r32 in
+  let buf = Array.of_list xs in
+  let step = ref 1 in
+  while !step < n_elems do
+    for t = 0 to n_elems - 1 do
+      if t land !step = 0 then begin
+        let x = buf.(t) and y = buf.(t + !step) in
+        buf.(t) <- r32 (x +. y);
+        buf.(t + !step) <- r32 (x -. y)
+      end
+    done;
+    step := !step * 2
+  done;
+  Array.to_list buf
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let ncta = 4 * scale in
+  let n = ncta * n_elems in
+  let inp = Api.malloc dev (4 * n) and outp = Api.malloc dev (4 * n) in
+  let xs = Workload.rand_f32s ~seed:121 n in
+  Api.write_f32s dev inp xs;
+  let rec chunks l =
+    if l = [] then []
+    else
+      let rec take n acc = function
+        | x :: tl when n > 0 -> take (n - 1) (x :: acc) tl
+        | tl -> (List.rev acc, tl)
+      in
+      let c, rest = take n_elems [] l in
+      c :: chunks rest
+  in
+  let expected = List.concat_map reference (chunks xs) in
+  {
+    Workload.args = [ Launch.Ptr inp; Launch.Ptr outp ];
+    grid = Launch.dim3 ncta;
+    block = Launch.dim3 n_elems;
+    check = (fun dev -> Workload.check_f32s dev ~at:outp ~expected ~tol:0.0 ~what:"fwt");
+  }
+
+let workload : Workload.t =
+  {
+    name = "fastwalsh";
+    paper_name = "FastWalshTransform";
+    category = Workload.Sync_heavy;
+    src;
+    kernel = "fwt";
+    setup;
+  }

@@ -1,0 +1,93 @@
+(** Histogram64 (CUDA SDK): 64-bin histogram with shared-memory atomics
+    per CTA and a global atomic merge — data-dependent bin selection. *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+let bins = 64
+let block = 64
+
+let src =
+  Fmt.str
+    {|
+.entry histogram (.param .u64 inp, .param .u64 histp, .param .u32 n)
+{
+  .reg .u32 %%tid, %%gid, %%r2, %%r3, %%v, %%bin, %%old, %%cnt, %%stride, %%i;
+  .reg .u64 %%pin, %%ph, %%a, %%off, %%sa;
+  .reg .pred %%p;
+  .shared .u32 hist[%d];
+
+  mov.u32 %%tid, %%tid.x;
+  mov.u32 %%r2, %%ctaid.x;
+  mov.u32 %%r3, %%ntid.x;
+  mad.lo.u32 %%gid, %%r2, %%r3, %%tid;
+  ld.param.u32 %%cnt, [n];
+
+  // zero this CTA's bins (one per thread; block == bins)
+  cvt.u64.u32 %%off, %%tid;
+  shl.b64 %%off, %%off, 2;
+  mov.u64 %%sa, hist;
+  add.u64 %%sa, %%sa, %%off;
+  st.shared.u32 [%%sa], 0;
+  bar.sync 0;
+
+  // grid-stride loop over the input
+  mul.lo.u32 %%stride, %%r3, %%nctaid.x;
+  mov.u32 %%i, %%gid;
+LOOP:
+  setp.ge.u32 %%p, %%i, %%cnt;
+  @@%%p bra MERGE;
+  ld.param.u64 %%pin, [inp];
+  cvt.u64.u32 %%off, %%i;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%a, %%pin, %%off;
+  ld.global.u32 %%v, [%%a];
+  and.b32 %%bin, %%v, %d;
+  cvt.u64.u32 %%off, %%bin;
+  shl.b64 %%off, %%off, 2;
+  mov.u64 %%sa, hist;
+  add.u64 %%sa, %%sa, %%off;
+  atom.shared.add.u32 %%old, [%%sa], 1;
+  add.u32 %%i, %%i, %%stride;
+  bra LOOP;
+
+MERGE:
+  bar.sync 0;
+  cvt.u64.u32 %%off, %%tid;
+  shl.b64 %%off, %%off, 2;
+  mov.u64 %%sa, hist;
+  add.u64 %%sa, %%sa, %%off;
+  ld.shared.u32 %%v, [%%sa];
+  ld.param.u64 %%ph, [histp];
+  add.u64 %%a, %%ph, %%off;
+  atom.global.add.u32 %%old, [%%a], %%v;
+  exit;
+}
+|}
+    bins (bins - 1)
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let n = 600 * scale in
+  let inp = Api.malloc dev (4 * n) and histp = Api.malloc dev (4 * bins) in
+  let data = Workload.rand_i32s ~seed:51 ~bound:1_000_000 n in
+  Api.write_i32s dev inp data;
+  let expected = Array.make bins 0 in
+  List.iter (fun v -> expected.(v land (bins - 1)) <- expected.(v land (bins - 1)) + 1) data;
+  {
+    Workload.args = [ Launch.Ptr inp; Launch.Ptr histp; Launch.I32 n ];
+    grid = Launch.dim3 4;
+    block = Launch.dim3 block;
+    check =
+      (fun dev ->
+        Workload.check_i32s dev ~at:histp ~expected:(Array.to_list expected) ~what:"bin");
+  }
+
+let workload : Workload.t =
+  {
+    name = "histogram";
+    paper_name = "Histogram64";
+    category = Workload.Divergent;
+    src;
+    kernel = "histogram";
+    setup;
+  }

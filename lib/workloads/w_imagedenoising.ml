@@ -1,0 +1,143 @@
+(** ImageDenoising (CUDA SDK), NLM-lite: each pixel is replaced by a
+    similarity-weighted average of its 5×5 neighbourhood, weights from
+    [ex2] of the colour distance.  Compute-bound with nested uniform loops
+    and boundary divergence. *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+let radius = 2
+
+let src =
+  Fmt.str
+    {|
+.entry denoise (.param .u64 inp, .param .u64 outp, .param .u32 width, .param .u32 height)
+{
+  .reg .u32 %%tx, %%bx, %%nt, %%ty, %%by, %%x, %%y, %%w, %%h, %%dx, %%dy, %%idx;
+  .reg .s32 %%nx, %%ny;
+  .reg .u64 %%pin, %%pout, %%a, %%off;
+  .reg .f32 %%center, %%v, %%d, %%wgt, %%acc, %%norm;
+  .reg .pred %%p;
+
+  mov.u32 %%tx, %%tid.x;
+  mov.u32 %%bx, %%ctaid.x;
+  mov.u32 %%nt, %%ntid.x;
+  mad.lo.u32 %%x, %%bx, %%nt, %%tx;
+  mov.u32 %%ty, %%tid.y;
+  mov.u32 %%by, %%ctaid.y;
+  mov.u32 %%nt, %%ntid.y;
+  mad.lo.u32 %%y, %%by, %%nt, %%ty;
+  ld.param.u32 %%w, [width];
+  ld.param.u32 %%h, [height];
+  setp.ge.u32 %%p, %%x, %%w;
+  @@%%p bra DONE;
+  setp.ge.u32 %%p, %%y, %%h;
+  @@%%p bra DONE;
+
+  ld.param.u64 %%pin, [inp];
+  mad.lo.u32 %%idx, %%y, %%w, %%x;
+  cvt.u64.u32 %%off, %%idx;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%a, %%pin, %%off;
+  ld.global.f32 %%center, [%%a];
+
+  mov.f32 %%acc, 0f00000000;
+  mov.f32 %%norm, 0f00000000;
+  mov.u32 %%dy, 0;
+ROW:
+  setp.gt.u32 %%p, %%dy, %d;
+  @@%%p bra STORE;
+  mov.u32 %%dx, 0;
+COL:
+  setp.gt.u32 %%p, %%dx, %d;
+  @@%%p bra ROW_NEXT;
+  // neighbour coordinates, skipped when off the image
+  add.u32 %%idx, %%x, %%dx;
+  sub.s32 %%nx, %%idx, %d;
+  add.u32 %%idx, %%y, %%dy;
+  sub.s32 %%ny, %%idx, %d;
+  setp.lt.s32 %%p, %%nx, 0;
+  @@%%p bra COL_NEXT;
+  setp.ge.s32 %%p, %%nx, %%w;
+  @@%%p bra COL_NEXT;
+  setp.lt.s32 %%p, %%ny, 0;
+  @@%%p bra COL_NEXT;
+  setp.ge.s32 %%p, %%ny, %%h;
+  @@%%p bra COL_NEXT;
+
+  mad.lo.u32 %%idx, %%ny, %%w, %%nx;
+  cvt.u64.u32 %%off, %%idx;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%a, %%pin, %%off;
+  ld.global.f32 %%v, [%%a];
+  sub.f32 %%d, %%v, %%center;
+  mul.f32 %%d, %%d, %%d;
+  mul.f32 %%d, %%d, 0fc1200000;   // * -10
+  mul.f32 %%d, %%d, 0f3fb8aa3b;   // * log2(e)
+  ex2.approx.f32 %%wgt, %%d;
+  fma.rn.f32 %%acc, %%wgt, %%v, %%acc;
+  add.f32 %%norm, %%norm, %%wgt;
+
+COL_NEXT:
+  add.u32 %%dx, %%dx, 1;
+  bra COL;
+ROW_NEXT:
+  add.u32 %%dy, %%dy, 1;
+  bra ROW;
+
+STORE:
+  div.f32 %%acc, %%acc, %%norm;
+  mad.lo.u32 %%idx, %%y, %%w, %%x;
+  cvt.u64.u32 %%off, %%idx;
+  shl.b64 %%off, %%off, 2;
+  ld.param.u64 %%pout, [outp];
+  add.u64 %%a, %%pout, %%off;
+  st.global.f32 [%%a], %%acc;
+DONE:
+  exit;
+}
+|}
+    (2 * radius) (2 * radius) radius radius
+
+let reference img ~w ~h =
+  List.init (w * h) (fun i ->
+      let x = i mod w and y = i / w in
+      let center = img.((y * w) + x) in
+      let acc = ref 0.0 and norm = ref 0.0 in
+      for dy = -radius to radius do
+        for dx = -radius to radius do
+          let nx = x + dx and ny = y + dy in
+          if nx >= 0 && nx < w && ny >= 0 && ny < h then begin
+            let v = img.((ny * w) + nx) in
+            let d = v -. center in
+            let wgt = Float.exp2 (d *. d *. -10.0 *. 1.4426950408889634) in
+            acc := !acc +. (wgt *. v);
+            norm := !norm +. wgt
+          end
+        done
+      done;
+      !acc /. !norm)
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let w = 16 * scale and h = 16 in
+  let inp = Api.malloc dev (4 * w * h) and outp = Api.malloc dev (4 * w * h) in
+  let img = Array.of_list (Workload.rand_f32s ~seed:191 (w * h)) in
+  Api.write_f32s dev inp (Array.to_list img);
+  let expected = reference img ~w ~h in
+  {
+    Workload.args = [ Launch.Ptr inp; Launch.Ptr outp; Launch.I32 w; Launch.I32 h ];
+    grid = Launch.dim3 (w / 8) ~y:(h / 8);
+    block = Launch.dim3 8 ~y:8;
+    check =
+      (fun dev -> Workload.check_f32s dev ~at:outp ~expected ~tol:1e-3 ~what:"denoise");
+  }
+
+let workload : Workload.t =
+  {
+    name = "imagedenoising";
+    paper_name = "ImageDenoising";
+    category = Workload.Uniform_compute;
+    src;
+    kernel = "denoise";
+    setup;
+  }

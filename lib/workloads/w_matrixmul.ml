@@ -1,0 +1,147 @@
+(** MatrixMul (CUDA SDK): classic 8×8-tiled shared-memory matrix multiply
+    with two barriers per tile — sync-heavy, 2-D thread blocks. *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+let tile = 8
+
+let src =
+  Fmt.str
+    {|
+.entry matrixmul (.param .u64 ap, .param .u64 bp, .param .u64 cp, .param .u32 dim)
+{
+  .reg .u32 %%tx, %%ty, %%bx, %%by, %%row, %%col, %%k, %%t, %%ntiles, %%dim, %%idx;
+  .reg .u64 %%pa, %%pb, %%pc, %%off, %%sa, %%sb, %%base;
+  .reg .f32 %%a, %%b, %%acc;
+  .reg .pred %%p;
+  .shared .f32 tileA[%d];
+  .shared .f32 tileB[%d];
+
+  mov.u32 %%tx, %%tid.x;
+  mov.u32 %%ty, %%tid.y;
+  mov.u32 %%bx, %%ctaid.x;
+  mov.u32 %%by, %%ctaid.y;
+  ld.param.u32 %%dim, [dim];
+
+  mad.lo.u32 %%row, %%by, %d, %%ty;
+  mad.lo.u32 %%col, %%bx, %d, %%tx;
+  mov.f32 %%acc, 0f00000000;
+  shr.u32 %%ntiles, %%dim, 3;   // dim / tile, tile = 8
+
+  mov.u32 %%t, 0;
+TILE_LOOP:
+  setp.ge.u32 %%p, %%t, %%ntiles;
+  @@%%p bra TILES_DONE;
+
+  // load A[row][t*T+tx] into tileA[ty][tx]
+  mul.lo.u32 %%idx, %%t, %d;
+  add.u32 %%idx, %%idx, %%tx;
+  mad.lo.u32 %%idx, %%row, %%dim, %%idx;
+  cvt.u64.u32 %%off, %%idx;
+  shl.b64 %%off, %%off, 2;
+  ld.param.u64 %%pa, [ap];
+  add.u64 %%base, %%pa, %%off;
+  ld.global.f32 %%a, [%%base];
+  mad.lo.u32 %%idx, %%ty, %d, %%tx;
+  cvt.u64.u32 %%off, %%idx;
+  shl.b64 %%off, %%off, 2;
+  mov.u64 %%sa, tileA;
+  add.u64 %%sa, %%sa, %%off;
+  st.shared.f32 [%%sa], %%a;
+
+  // load B[t*T+ty][col] into tileB[ty][tx]
+  mul.lo.u32 %%idx, %%t, %d;
+  add.u32 %%idx, %%idx, %%ty;
+  mad.lo.u32 %%idx, %%idx, %%dim, %%col;
+  cvt.u64.u32 %%off, %%idx;
+  shl.b64 %%off, %%off, 2;
+  ld.param.u64 %%pb, [bp];
+  add.u64 %%base, %%pb, %%off;
+  ld.global.f32 %%b, [%%base];
+  mad.lo.u32 %%idx, %%ty, %d, %%tx;
+  cvt.u64.u32 %%off, %%idx;
+  shl.b64 %%off, %%off, 2;
+  mov.u64 %%sb, tileB;
+  add.u64 %%sb, %%sb, %%off;
+  st.shared.f32 [%%sb], %%b;
+
+  bar.sync 0;
+
+  mov.u32 %%k, 0;
+K_LOOP:
+  setp.ge.u32 %%p, %%k, %d;
+  @@%%p bra K_DONE;
+  mad.lo.u32 %%idx, %%ty, %d, %%k;
+  cvt.u64.u32 %%off, %%idx;
+  shl.b64 %%off, %%off, 2;
+  mov.u64 %%sa, tileA;
+  add.u64 %%sa, %%sa, %%off;
+  ld.shared.f32 %%a, [%%sa];
+  mad.lo.u32 %%idx, %%k, %d, %%tx;
+  cvt.u64.u32 %%off, %%idx;
+  shl.b64 %%off, %%off, 2;
+  mov.u64 %%sb, tileB;
+  add.u64 %%sb, %%sb, %%off;
+  ld.shared.f32 %%b, [%%sb];
+  fma.rn.f32 %%acc, %%a, %%b, %%acc;
+  add.u32 %%k, %%k, 1;
+  bra K_LOOP;
+K_DONE:
+
+  bar.sync 0;
+  add.u32 %%t, %%t, 1;
+  bra TILE_LOOP;
+
+TILES_DONE:
+  mad.lo.u32 %%idx, %%row, %%dim, %%col;
+  cvt.u64.u32 %%off, %%idx;
+  shl.b64 %%off, %%off, 2;
+  ld.param.u64 %%pc, [cp];
+  add.u64 %%base, %%pc, %%off;
+  st.global.f32 [%%base], %%acc;
+  exit;
+}
+|}
+    (tile * tile) (tile * tile) tile tile tile tile tile tile tile tile tile
+
+(* Host reference with matching f32 fma rounding order. *)
+let reference a b dim =
+  let r32 = Workload.r32 in
+  Array.init (dim * dim) (fun i ->
+      let row = i / dim and col = i mod dim in
+      let acc = ref 0.0 in
+      for k = 0 to dim - 1 do
+        acc := r32 (r32 (a.((row * dim) + k) *. b.((k * dim) + col)) +. !acc)
+      done;
+      !acc)
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let dim = tile * 2 * scale in
+  let bytes = 4 * dim * dim in
+  let ap = Api.malloc dev bytes
+  and bp = Api.malloc dev bytes
+  and cp = Api.malloc dev bytes in
+  let a = Workload.rand_f32s ~seed:21 (dim * dim) in
+  let b = Workload.rand_f32s ~seed:22 (dim * dim) in
+  Api.write_f32s dev ap a;
+  Api.write_f32s dev bp b;
+  let expected =
+    Array.to_list (reference (Array.of_list a) (Array.of_list b) dim)
+  in
+  {
+    Workload.args = [ Launch.Ptr ap; Launch.Ptr bp; Launch.Ptr cp; Launch.I32 dim ];
+    grid = Launch.dim3 (dim / tile) ~y:(dim / tile);
+    block = Launch.dim3 tile ~y:tile;
+    check = (fun dev -> Workload.check_f32s dev ~at:cp ~expected ~tol:1e-5 ~what:"C");
+  }
+
+let workload : Workload.t =
+  {
+    name = "matrixmul";
+    paper_name = "MatrixMul";
+    category = Workload.Sync_heavy;
+    src;
+    kernel = "matrixmul";
+    setup;
+  }

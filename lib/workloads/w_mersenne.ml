@@ -1,0 +1,108 @@
+(** MersenneTwister-like PRNG workload (CUDA SDK).
+
+    Each thread runs a twisted-feedback generator whose inner loop branches
+    on a data-dependent state bit and whose trip count depends on the
+    thread index — the uncorrelated per-thread control flow that makes
+    dynamic warp formation pathological in the paper (4.9× slowdown under
+    DWF; recovered by static warp formation, Fig. 10). *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+let src =
+  {|
+.entry mersenne (.param .u64 outp, .param .u32 rounds)
+{
+  .reg .u32 %r1, %r2, %r3, %gid, %state, %i, %rounds, %count, %bit, %tmp;
+  .reg .u64 %pout, %off;
+  .reg .pred %p, %odd;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ctaid.x;
+  mov.u32 %r3, %ntid.x;
+  mad.lo.u32 %gid, %r2, %r3, %r1;
+
+  // seed differs per thread
+  mad.lo.u32 %state, %gid, 1812433253, 12345;
+  ld.param.u32 %rounds, [rounds];
+  // trip count is gid-dependent: rounds + (gid % 7)
+  rem.u32 %tmp, %gid, 7;
+  add.u32 %rounds, %rounds, %tmp;
+
+  mov.u32 %i, 0;
+  mov.u32 %count, 0;
+LOOP:
+  setp.ge.u32 %p, %i, %rounds;
+  @%p bra DONE;
+
+  // twisted feedback: branch on the low state bit (uncorrelated!)
+  and.b32 %bit, %state, 1;
+  shr.u32 %state, %state, 1;
+  setp.eq.u32 %odd, %bit, 1;
+  @!%odd bra EVEN;
+  xor.b32 %state, %state, 0x9908B0DF;
+  add.u32 %count, %count, 1;
+  bra NEXT;
+EVEN:
+  mad.lo.u32 %state, %state, 69069, 1;
+NEXT:
+  add.u32 %i, %i, 1;
+  bra LOOP;
+
+DONE:
+  xor.b32 %state, %state, %count;
+  ld.param.u64 %pout, [outp];
+  cvt.u64.u32 %off, %gid;
+  shl.b64 %off, %off, 2;
+  add.u64 %pout, %pout, %off;
+  st.global.u32 [%pout], %state;
+  exit;
+}
+|}
+
+(* The tempering constant; keep in sync with the kernel source. *)
+let form_const = 0x9908B0DF
+
+let reference ~rounds gid =
+  let mask = 0xFFFFFFFF in
+  let state = ref ((gid * 1812433253) + 12345 land mask) in
+  state := !state land mask;
+  let rounds = rounds + (gid mod 7) in
+  let count = ref 0 in
+  for _i = 1 to rounds do
+    let bit = !state land 1 in
+    state := !state lsr 1;
+    if bit = 1 then begin
+      state := !state lxor form_const;
+      incr count
+    end
+    else state := ((!state * 69069) + 1) land mask
+  done;
+  !state lxor !count land mask
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let n = 256 * scale in
+  let rounds = 24 in
+  let outp = Api.malloc dev (4 * n) in
+  let expected =
+    List.init n (fun gid ->
+        let v = reference ~rounds gid in
+        if v land 0x80000000 <> 0 then v - (1 lsl 32) else v)
+  in
+  let block = 64 in
+  {
+    Workload.args = [ Launch.Ptr outp; Launch.I32 rounds ];
+    grid = Launch.dim3 (n / block);
+    block = Launch.dim3 block;
+    check = (fun dev -> Workload.check_i32s dev ~at:outp ~expected ~what:"state");
+  }
+
+let workload : Workload.t =
+  {
+    name = "mersenne";
+    paper_name = "MersenneTwister";
+    category = Workload.Divergent;
+    src;
+    kernel = "mersenne";
+    setup;
+  }

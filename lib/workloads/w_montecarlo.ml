@@ -1,0 +1,160 @@
+(** MonteCarlo (CUDA SDK): option pricing by simulated price paths.  Each
+    thread walks a fixed number of xorshift-driven paths (integer RNG, so
+    results are exactly reproducible), accumulates payoffs, and a shared
+    tree combines per-thread means.  Uniform trip counts — convergent. *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+let block = 32
+let paths_per_thread = 4
+let path_steps = 8
+
+let src =
+  Fmt.str
+    {|
+.entry montecarlo (.param .u64 outp, .param .u32 seed0)
+{
+  .reg .u32 %%tid, %%cta, %%state, %%pathi, %%stepi, %%half, %%s0;
+  .reg .u64 %%po, %%a, %%off, %%sa, %%sb;
+  .reg .f32 %%price, %%uf, %%acc, %%other, %%pay;
+  .reg .pred %%p, %%q;
+  .shared .f32 payoffs[%d];
+
+  mov.u32 %%tid, %%tid.x;
+  mov.u32 %%cta, %%ctaid.x;
+  ld.param.u32 %%s0, [seed0];
+  mad.lo.u32 %%state, %%cta, %d, %%tid;
+  mad.lo.u32 %%state, %%state, 2654435761, %%s0;
+
+  mov.f32 %%acc, 0f00000000;
+  mov.u32 %%pathi, 0;
+PATH:
+  setp.ge.u32 %%p, %%pathi, %d;
+  @@%%p bra REDUCE;
+  mov.f32 %%price, 0f42c80000;          // S0 = 100
+  mov.u32 %%stepi, 0;
+STEP:
+  setp.ge.u32 %%p, %%stepi, %d;
+  @@%%p bra PATH_DONE;
+  // xorshift32
+  shl.b32 %%s0, %%state, 13;
+  xor.b32 %%state, %%state, %%s0;
+  shr.u32 %%s0, %%state, 17;
+  xor.b32 %%state, %%state, %%s0;
+  shl.b32 %%s0, %%state, 5;
+  xor.b32 %%state, %%state, %%s0;
+  // u in [0,1): state * 2^-32
+  cvt.rn.f32.u32 %%uf, %%state;
+  mul.f32 %%uf, %%uf, 0f2f800000;
+  // price *= 1 + mu*dt + sig*(u - 0.5)
+  sub.f32 %%uf, %%uf, 0f3f000000;
+  mul.f32 %%uf, %%uf, 0f3d23d70a;       // sigma step 0.04
+  add.f32 %%uf, %%uf, 0f3f804189;       // 1 + mu*dt (mu*dt = 0.001)
+  mul.f32 %%price, %%price, %%uf;
+  add.u32 %%stepi, %%stepi, 1;
+  bra STEP;
+PATH_DONE:
+  sub.f32 %%pay, %%price, 0f42c60000;   // strike 99
+  max.f32 %%pay, %%pay, 0f00000000;
+  add.f32 %%acc, %%acc, %%pay;
+  add.u32 %%pathi, %%pathi, 1;
+  bra PATH;
+
+REDUCE:
+  cvt.u64.u32 %%off, %%tid;
+  shl.b64 %%off, %%off, 2;
+  mov.u64 %%sa, payoffs;
+  add.u64 %%sa, %%sa, %%off;
+  st.shared.f32 [%%sa], %%acc;
+  bar.sync 0;
+  mov.u32 %%half, %d;
+TREE:
+  setp.ge.u32 %%p, %%tid, %%half;
+  @@%%p bra SKIP;
+  ld.shared.f32 %%acc, [%%sa];
+  cvt.u64.u32 %%off, %%half;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%sb, %%sa, %%off;
+  ld.shared.f32 %%other, [%%sb];
+  add.f32 %%acc, %%acc, %%other;
+  st.shared.f32 [%%sa], %%acc;
+SKIP:
+  bar.sync 0;
+  shr.u32 %%half, %%half, 1;
+  setp.gt.u32 %%q, %%half, 0;
+  @@%%q bra TREE;
+
+  setp.ne.u32 %%p, %%tid, 0;
+  @@%%p bra DONE;
+  mov.u64 %%sa, payoffs;
+  ld.shared.f32 %%acc, [%%sa];
+  mul.f32 %%acc, %%acc, 0f%08x;         // / (block * paths)
+  ld.param.u64 %%po, [outp];
+  cvt.u64.u32 %%off, %%cta;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%a, %%po, %%off;
+  st.global.f32 [%%a], %%acc;
+DONE:
+  exit;
+}
+|}
+    block block paths_per_thread path_steps (block / 2)
+    (Int32.to_int
+       (Int32.bits_of_float (1.0 /. float_of_int (block * paths_per_thread))))
+
+let reference ~seed0 cta =
+  let r32 = Workload.r32 in
+  let mask = 0xFFFFFFFF in
+  let c1 = Int32.float_of_bits 0x2f800000l in
+  let sig_ = Int32.float_of_bits 0x3d23d70al in
+  let mu1 = Int32.float_of_bits 0x3f804189l in
+  let partial = Array.make block 0.0 in
+  for tid = 0 to block - 1 do
+    let state = ref ((((cta * block) + tid) * 2654435761 + seed0) land mask) in
+    let acc = ref 0.0 in
+    for _path = 1 to paths_per_thread do
+      let price = ref 100.0 in
+      for _step = 1 to path_steps do
+        state := (!state lxor (!state lsl 13)) land mask;
+        state := !state lxor (!state lsr 17);
+        state := (!state lxor (!state lsl 5)) land mask;
+        let u = r32 (r32 (float_of_int !state) *. c1) in
+        let f = r32 (r32 (r32 (u -. 0.5) *. sig_) +. mu1) in
+        price := r32 (!price *. f)
+      done;
+      let pay = Float.max (r32 (!price -. 99.0)) 0.0 in
+      acc := r32 (!acc +. pay)
+    done;
+    partial.(tid) <- !acc
+  done;
+  let half = ref (block / 2) in
+  while !half > 0 do
+    for t = 0 to !half - 1 do
+      partial.(t) <- r32 (partial.(t) +. partial.(t + !half))
+    done;
+    half := !half / 2
+  done;
+  r32 (partial.(0) *. (1.0 /. float_of_int (block * paths_per_thread)))
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let ncta = 4 * scale in
+  let seed0 = 7919 in
+  let outp = Api.malloc dev (4 * ncta) in
+  let expected = List.init ncta (reference ~seed0) in
+  {
+    Workload.args = [ Launch.Ptr outp; Launch.I32 seed0 ];
+    grid = Launch.dim3 ncta;
+    block = Launch.dim3 block;
+    check = (fun dev -> Workload.check_f32s dev ~at:outp ~expected ~tol:0.0 ~what:"mc");
+  }
+
+let workload : Workload.t =
+  {
+    name = "montecarlo";
+    paper_name = "MonteCarlo";
+    category = Workload.Uniform_compute;
+    src;
+    kernel = "montecarlo";
+    setup;
+  }

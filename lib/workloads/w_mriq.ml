@@ -1,0 +1,148 @@
+(** mri-q (Parboil): Q-matrix computation for non-Cartesian MRI
+    reconstruction.  Each voxel accumulates sin/cos contributions from the
+    k-space samples; samples with negligible magnitude are skipped, which
+    makes the inner loop's control flow data-dependent per thread — the
+    irregularity the paper blames for mri-q's slowdown under dynamic warp
+    formation. *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+let src =
+  {|
+.entry mriq (.param .u64 kvals, .param .u64 xyz, .param .u64 qrp, .param .u64 qip,
+             .param .u32 nk, .param .u32 nx)
+{
+  .reg .u32 %r1, %r2, %r3, %gid, %k, %nk, %nx, %idx;
+  .reg .u64 %pk, %px, %pqr, %pqi, %a, %off;
+  .reg .f32 %x, %y, %z, %kx, %ky, %kz, %phi, %arg, %qr, %qi, %c, %s;
+  .reg .pred %p, %skip;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ctaid.x;
+  mov.u32 %r3, %ntid.x;
+  mad.lo.u32 %gid, %r2, %r3, %r1;
+  ld.param.u32 %nx, [nx];
+  setp.ge.u32 %p, %gid, %nx;
+  @%p bra DONE;
+
+  ld.param.u64 %px, [xyz];
+  mul.lo.u32 %idx, %gid, 12;
+  cvt.u64.u32 %off, %idx;
+  add.u64 %a, %px, %off;
+  ld.global.f32 %x, [%a];
+  ld.global.f32 %y, [%a+4];
+  ld.global.f32 %z, [%a+8];
+
+  ld.param.u32 %nk, [nk];
+  ld.param.u64 %pk, [kvals];
+  mov.f32 %qr, 0f00000000;
+  mov.f32 %qi, 0f00000000;
+  mov.u32 %k, 0;
+KLOOP:
+  setp.ge.u32 %p, %k, %nk;
+  @%p bra STORE;
+  mul.lo.u32 %idx, %k, 16;
+  cvt.u64.u32 %off, %idx;
+  add.u64 %a, %pk, %off;
+  ld.global.f32 %phi, [%a+12];
+  // importance cut: skip samples whose contribution at THIS voxel is
+  // negligible (|phi * x| < 0.0625) — per-thread, uncorrelated divergence
+  mul.f32 %arg, %phi, %x;
+  abs.f32 %arg, %arg;
+  setp.lt.f32 %skip, %arg, 0f3d800000;
+  @%skip bra NEXT;
+  ld.global.f32 %kx, [%a];
+  ld.global.f32 %ky, [%a+4];
+  ld.global.f32 %kz, [%a+8];
+  mul.f32 %arg, %kx, %x;
+  fma.rn.f32 %arg, %ky, %y, %arg;
+  fma.rn.f32 %arg, %kz, %z, %arg;
+  mul.f32 %arg, %arg, 0f40c90fdb;   // 2*pi
+  cos.approx.f32 %c, %arg;
+  sin.approx.f32 %s, %arg;
+  fma.rn.f32 %qr, %phi, %c, %qr;
+  fma.rn.f32 %qi, %phi, %s, %qi;
+NEXT:
+  add.u32 %k, %k, 1;
+  bra KLOOP;
+
+STORE:
+  cvt.u64.u32 %off, %gid;
+  shl.b64 %off, %off, 2;
+  ld.param.u64 %pqr, [qrp];
+  add.u64 %a, %pqr, %off;
+  st.global.f32 [%a], %qr;
+  ld.param.u64 %pqi, [qip];
+  add.u64 %a, %pqi, %off;
+  st.global.f32 [%a], %qi;
+DONE:
+  exit;
+}
+|}
+
+let reference ~samples ~voxels =
+  List.map
+    (fun (x, y, z) ->
+      let qr = ref 0.0 and qi = ref 0.0 in
+      List.iter
+        (fun (kx, ky, kz, phi) ->
+          if Float.abs (Workload.r32 (phi *. x)) >= 0.0625 then begin
+            let arg = 2.0 *. Float.pi *. ((kx *. x) +. (ky *. y) +. (kz *. z)) in
+            qr := !qr +. (phi *. cos arg);
+            qi := !qi +. (phi *. sin arg)
+          end)
+        samples;
+      (!qr, !qi))
+    voxels
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let nk = 64 * scale and nx = 128 * scale in
+  let kx = Workload.rand_f32s ~seed:151 nk in
+  let ky = Workload.rand_f32s ~seed:152 nk in
+  let kz = Workload.rand_f32s ~seed:153 nk in
+  let phi = Workload.rand_f32s ~seed:154 nk in
+  let samples =
+    List.init nk (fun i ->
+        (List.nth kx i, List.nth ky i, List.nth kz i, List.nth phi i))
+  in
+  let pk = Api.malloc dev (16 * nk) in
+  List.iteri
+    (fun i (a, b, c, d) -> Api.write_f32s dev (pk + (16 * i)) [ a; b; c; d ])
+    samples;
+  let vx = Workload.rand_f32s ~seed:155 nx in
+  let vy = Workload.rand_f32s ~seed:156 nx in
+  let vz = Workload.rand_f32s ~seed:157 nx in
+  let voxels = List.init nx (fun i -> (List.nth vx i, List.nth vy i, List.nth vz i)) in
+  let px = Api.malloc dev (12 * nx) in
+  List.iteri (fun i (a, b, c) -> Api.write_f32s dev (px + (12 * i)) [ a; b; c ]) voxels;
+  let qrp = Api.malloc dev (4 * nx) and qip = Api.malloc dev (4 * nx) in
+  let expected = reference ~samples ~voxels in
+  let block = 64 in
+  {
+    Workload.args =
+      [ Launch.Ptr pk; Launch.Ptr px; Launch.Ptr qrp; Launch.Ptr qip;
+        Launch.I32 nk; Launch.I32 nx ];
+    grid = Launch.dim3 (nx / block);
+    block = Launch.dim3 block;
+    check =
+      (fun dev ->
+        match
+          Workload.check_f32s dev ~at:qrp ~expected:(List.map fst expected) ~tol:5e-3
+            ~what:"Qr"
+        with
+        | Error _ as e -> e
+        | Ok () ->
+            Workload.check_f32s dev ~at:qip ~expected:(List.map snd expected) ~tol:5e-3
+              ~what:"Qi");
+  }
+
+let workload : Workload.t =
+  {
+    name = "mriq";
+    paper_name = "mri-q";
+    category = Workload.Divergent;
+    src;
+    kernel = "mriq";
+    setup;
+  }

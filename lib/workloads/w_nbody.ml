@@ -1,0 +1,125 @@
+(** Nbody (CUDA SDK): all-pairs gravitational accelerations.  One thread
+    per body, an O(N) inner loop of fma/rsqrt work — compute-bound and
+    fully convergent (the paper's Figure 9 shows it almost entirely inside
+    the subkernel). *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+(* body layout: x, y, z, mass — 16 bytes *)
+let src =
+  {|
+.entry nbody (.param .u64 bodies, .param .u64 accp, .param .u32 n)
+{
+  .reg .u32 %r1, %r2, %r3, %gid, %i, %n, %idx;
+  .reg .u64 %pb, %pa, %a, %off;
+  .reg .f32 %x, %y, %z, %bx, %by, %bz, %bm, %dx, %dy, %dz;
+  .reg .f32 %r2v, %inv, %inv3, %s, %ax, %ay, %az;
+  .reg .pred %p;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ctaid.x;
+  mov.u32 %r3, %ntid.x;
+  mad.lo.u32 %gid, %r2, %r3, %r1;
+  ld.param.u32 %n, [n];
+  ld.param.u64 %pb, [bodies];
+
+  mul.lo.u32 %idx, %gid, 16;
+  cvt.u64.u32 %off, %idx;
+  add.u64 %a, %pb, %off;
+  ld.global.f32 %x, [%a];
+  ld.global.f32 %y, [%a+4];
+  ld.global.f32 %z, [%a+8];
+
+  mov.f32 %ax, 0f00000000;
+  mov.f32 %ay, 0f00000000;
+  mov.f32 %az, 0f00000000;
+  mov.u32 %i, 0;
+LOOP:
+  setp.ge.u32 %p, %i, %n;
+  @%p bra DONE;
+  mul.lo.u32 %idx, %i, 16;
+  cvt.u64.u32 %off, %idx;
+  add.u64 %a, %pb, %off;
+  ld.global.f32 %bx, [%a];
+  ld.global.f32 %by, [%a+4];
+  ld.global.f32 %bz, [%a+8];
+  ld.global.f32 %bm, [%a+12];
+  sub.f32 %dx, %bx, %x;
+  sub.f32 %dy, %by, %y;
+  sub.f32 %dz, %bz, %z;
+  mul.f32 %r2v, %dx, %dx;
+  fma.rn.f32 %r2v, %dy, %dy, %r2v;
+  fma.rn.f32 %r2v, %dz, %dz, %r2v;
+  add.f32 %r2v, %r2v, 0f3a83126f;     // softening^2
+  rsqrt.approx.f32 %inv, %r2v;
+  mul.f32 %inv3, %inv, %inv;
+  mul.f32 %inv3, %inv3, %inv;
+  mul.f32 %s, %bm, %inv3;
+  fma.rn.f32 %ax, %s, %dx, %ax;
+  fma.rn.f32 %ay, %s, %dy, %ay;
+  fma.rn.f32 %az, %s, %dz, %az;
+  add.u32 %i, %i, 1;
+  bra LOOP;
+
+DONE:
+  mul.lo.u32 %idx, %gid, 12;
+  cvt.u64.u32 %off, %idx;
+  ld.param.u64 %pa, [accp];
+  add.u64 %a, %pa, %off;
+  st.global.f32 [%a], %ax;
+  st.global.f32 [%a+4], %ay;
+  st.global.f32 [%a+8], %az;
+  exit;
+}
+|}
+
+let reference bodies =
+  let n = Array.length bodies in
+  Array.init n (fun i ->
+      let x, y, z, _ = bodies.(i) in
+      let ax = ref 0.0 and ay = ref 0.0 and az = ref 0.0 in
+      for j = 0 to n - 1 do
+        let bx, by, bz, bm = bodies.(j) in
+        let dx = bx -. x and dy = by -. y and dz = bz -. z in
+        let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. 0.001 in
+        let inv = 1.0 /. sqrt r2 in
+        let s = bm *. inv *. inv *. inv in
+        ax := !ax +. (s *. dx);
+        ay := !ay +. (s *. dy);
+        az := !az +. (s *. dz)
+      done;
+      (!ax, !ay, !az))
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let n = 128 * scale in
+  let pb = Api.malloc dev (16 * n) and pa = Api.malloc dev (12 * n) in
+  let xs = Array.of_list (Workload.rand_f32s ~seed:71 n) in
+  let ys = Array.of_list (Workload.rand_f32s ~seed:72 n) in
+  let zs = Array.of_list (Workload.rand_f32s ~seed:73 n) in
+  let ms = Array.of_list (List.map (fun v -> v +. 0.6) (Workload.rand_f32s ~seed:74 n)) in
+  let bodies = Array.init n (fun i -> (xs.(i), ys.(i), zs.(i), ms.(i))) in
+  Array.iteri
+    (fun i (x, y, z, m) -> Api.write_f32s dev (pb + (16 * i)) [ x; y; z; m ])
+    bodies;
+  let expected =
+    reference bodies |> Array.to_list
+    |> List.concat_map (fun (ax, ay, az) -> [ ax; ay; az ])
+  in
+  let block = 64 in
+  {
+    Workload.args = [ Launch.Ptr pb; Launch.Ptr pa; Launch.I32 n ];
+    grid = Launch.dim3 (n / block);
+    block = Launch.dim3 block;
+    check = (fun dev -> Workload.check_f32s dev ~at:pa ~expected ~tol:5e-3 ~what:"acc");
+  }
+
+let workload : Workload.t =
+  {
+    name = "nbody";
+    paper_name = "Nbody";
+    category = Workload.Uniform_compute;
+    src;
+    kernel = "nbody";
+    setup;
+  }

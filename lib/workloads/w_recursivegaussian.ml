@@ -1,0 +1,113 @@
+(** RecursiveGaussian (CUDA SDK): Deriche-style IIR Gaussian filter.  One
+    thread per image column, a sequential recurrence down the column —
+    convergent control flow with a long dependent FP chain per thread, the
+    opposite ILP profile from the throughput microbenchmark. *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+(* first-order IIR: y[i] = a*x[i] + b*y[i-1], downward pass then upward *)
+let src =
+  {|
+.entry rgauss (.param .u64 inp, .param .u64 outp, .param .u32 width, .param .u32 height)
+{
+  .reg .u32 %r1, %r2, %r3, %col, %row, %w, %h, %idx;
+  .reg .u64 %pin, %pout, %a, %off;
+  .reg .f32 %x, %y, %v;
+  .reg .pred %p;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ctaid.x;
+  mov.u32 %r3, %ntid.x;
+  mad.lo.u32 %col, %r2, %r3, %r1;
+  ld.param.u32 %w, [width];
+  ld.param.u32 %h, [height];
+  setp.ge.u32 %p, %col, %w;
+  @%p bra DONE;
+  ld.param.u64 %pin, [inp];
+  ld.param.u64 %pout, [outp];
+
+  // downward pass: out[r][c] = a*in[r][c] + b*out[r-1][c]
+  mov.f32 %y, 0f00000000;
+  mov.u32 %row, 0;
+DOWN:
+  setp.ge.u32 %p, %row, %h;
+  @%p bra UPINIT;
+  mad.lo.u32 %idx, %row, %w, %col;
+  cvt.u64.u32 %off, %idx;
+  shl.b64 %off, %off, 2;
+  add.u64 %a, %pin, %off;
+  ld.global.f32 %x, [%a];
+  mul.f32 %v, %x, 0f3ecccccd;       // a = 0.4
+  fma.rn.f32 %y, %y, 0f3f19999a, %v; // b = 0.6
+  add.u64 %a, %pout, %off;
+  st.global.f32 [%a], %y;
+  add.u32 %row, %row, 1;
+  bra DOWN;
+
+UPINIT:
+  // upward pass: out[r][c] = a*out[r][c] + b*out[r+1][c]
+  mov.f32 %y, 0f00000000;
+  sub.u32 %row, %h, 1;
+UP:
+  mad.lo.u32 %idx, %row, %w, %col;
+  cvt.u64.u32 %off, %idx;
+  shl.b64 %off, %off, 2;
+  add.u64 %a, %pout, %off;
+  ld.global.f32 %x, [%a];
+  mul.f32 %v, %x, 0f3ecccccd;
+  fma.rn.f32 %y, %y, 0f3f19999a, %v;
+  st.global.f32 [%a], %y;
+  setp.eq.u32 %p, %row, 0;
+  @%p bra DONE;
+  sub.u32 %row, %row, 1;
+  bra UP;
+
+DONE:
+  exit;
+}
+|}
+
+let reference img ~w ~h =
+  let r32 = Workload.r32 in
+  let a = Workload.r32 0.4 and b = Workload.r32 0.6 in
+  let out = Array.make (w * h) 0.0 in
+  for col = 0 to w - 1 do
+    let y = ref 0.0 in
+    for row = 0 to h - 1 do
+      let v = r32 (img.((row * w) + col) *. a) in
+      y := r32 (r32 (!y *. b) +. v);
+      out.((row * w) + col) <- !y
+    done;
+    let y = ref 0.0 in
+    for row = h - 1 downto 0 do
+      let v = r32 (out.((row * w) + col) *. a) in
+      y := r32 (r32 (!y *. b) +. v);
+      out.((row * w) + col) <- !y
+    done
+  done;
+  Array.to_list out
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let w = 64 * scale and h = 32 in
+  let inp = Api.malloc dev (4 * w * h) and outp = Api.malloc dev (4 * w * h) in
+  let img = Array.of_list (Workload.rand_f32s ~seed:181 (w * h)) in
+  Api.write_f32s dev inp (Array.to_list img);
+  let expected = reference img ~w ~h in
+  let block = 64 in
+  {
+    Workload.args = [ Launch.Ptr inp; Launch.Ptr outp; Launch.I32 w; Launch.I32 h ];
+    grid = Launch.dim3 (w / block);
+    block = Launch.dim3 block;
+    check = (fun dev -> Workload.check_f32s dev ~at:outp ~expected ~tol:0.0 ~what:"iir");
+  }
+
+let workload : Workload.t =
+  {
+    name = "recursivegaussian";
+    paper_name = "RecursiveGaussian";
+    category = Workload.Uniform_compute;
+    src;
+    kernel = "rgauss";
+    setup;
+  }

@@ -1,0 +1,120 @@
+(** Reduction (CUDA SDK): shared-memory tree sum per CTA, barrier at every
+    level — the paper's canonical sync-heavy workload. *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+let block = 64
+
+let src =
+  Fmt.str
+    {|
+.entry reduce (.param .u64 inp, .param .u64 outp, .param .u32 n)
+{
+  .reg .u32 %%tid, %%gid, %%r2, %%r3, %%half, %%n;
+  .reg .u64 %%pin, %%pout, %%addr, %%off, %%sa, %%sb;
+  .reg .f32 %%a, %%b;
+  .reg .pred %%p, %%q;
+  .shared .f32 buf[%d];
+
+  mov.u32 %%tid, %%tid.x;
+  mov.u32 %%r2, %%ctaid.x;
+  mov.u32 %%r3, %%ntid.x;
+  mad.lo.u32 %%gid, %%r2, %%r3, %%tid;
+  ld.param.u32 %%n, [n];
+
+  mov.f32 %%a, 0f00000000;
+  setp.ge.u32 %%p, %%gid, %%n;
+  @@%%p bra PAD;
+  ld.param.u64 %%pin, [inp];
+  cvt.u64.u32 %%off, %%gid;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%addr, %%pin, %%off;
+  ld.global.f32 %%a, [%%addr];
+PAD:
+  cvt.u64.u32 %%off, %%tid;
+  shl.b64 %%off, %%off, 2;
+  mov.u64 %%sa, buf;
+  add.u64 %%sa, %%sa, %%off;
+  st.shared.f32 [%%sa], %%a;
+  bar.sync 0;
+
+  mov.u32 %%half, %d;
+LOOP:
+  setp.ge.u32 %%p, %%tid, %%half;
+  @@%%p bra SKIP;
+  ld.shared.f32 %%a, [%%sa];
+  cvt.u64.u32 %%off, %%half;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%sb, %%sa, %%off;
+  ld.shared.f32 %%b, [%%sb];
+  add.f32 %%a, %%a, %%b;
+  st.shared.f32 [%%sa], %%a;
+SKIP:
+  bar.sync 0;
+  shr.u32 %%half, %%half, 1;
+  setp.gt.u32 %%q, %%half, 0;
+  @@%%q bra LOOP;
+
+  setp.ne.u32 %%p, %%tid, 0;
+  @@%%p bra DONE;
+  ld.param.u64 %%pout, [outp];
+  cvt.u64.u32 %%off, %%ctaid.x;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%pout, %%pout, %%off;
+  mov.u64 %%sa, buf;
+  ld.shared.f32 %%a, [%%sa];
+  st.global.f32 [%%pout], %%a;
+DONE:
+  exit;
+}
+|}
+    block (block / 2)
+
+(* Host reference reproducing the tree-sum's f32 rounding order. *)
+let cta_sum xs =
+  let r32 = Workload.r32 in
+  let buf = Array.of_list xs in
+  let half = ref (block / 2) in
+  while !half > 0 do
+    for t = 0 to !half - 1 do
+      buf.(t) <- r32 (buf.(t) +. buf.(t + !half))
+    done;
+    half := !half / 2
+  done;
+  buf.(0)
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let ncta = 4 * scale in
+  let n = (ncta * block) - 17 (* ragged tail exercises the pad path *) in
+  let inp = Api.malloc dev (4 * ncta * block) and outp = Api.malloc dev (4 * ncta) in
+  let xs = Workload.rand_f32s ~seed:7 n in
+  Api.write_f32s dev inp xs;
+  let padded = xs @ List.init ((ncta * block) - n) (fun _ -> 0.0) in
+  let rec chunks = function
+    | [] -> []
+    | l ->
+        let rec take n acc = function
+          | x :: tl when n > 0 -> take (n - 1) (x :: acc) tl
+          | tl -> (List.rev acc, tl)
+        in
+        let c, rest = take block [] l in
+        c :: chunks rest
+  in
+  let expected = List.map cta_sum (chunks padded) in
+  {
+    Workload.args = [ Launch.Ptr inp; Launch.Ptr outp; Launch.I32 n ];
+    grid = Launch.dim3 ncta;
+    block = Launch.dim3 block;
+    check = (fun dev -> Workload.check_f32s dev ~at:outp ~expected ~tol:0.0 ~what:"sum");
+  }
+
+let workload : Workload.t =
+  {
+    name = "reduction";
+    paper_name = "Reduction";
+    category = Workload.Sync_heavy;
+    src;
+    kernel = "reduce";
+    setup;
+  }

@@ -1,0 +1,137 @@
+(** ScalarProd (CUDA SDK): batched dot products.  One CTA per vector pair;
+    each thread strides through the pair accumulating privately, then a
+    shared-memory tree combines the partials.  Memory-bound with frequent
+    synchronization — the paper reports ≈1.0× for this class. *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+let block = 32
+let veclen = 256
+
+let src =
+  Fmt.str
+    {|
+.entry scalarprod (.param .u64 ap, .param .u64 bp, .param .u64 cp, .param .u32 len)
+{
+  .reg .u32 %%tid, %%cta, %%i, %%len, %%base, %%idx, %%half;
+  .reg .u64 %%pa, %%pb, %%pc, %%a, %%b, %%off, %%sa, %%sb;
+  .reg .f32 %%x, %%y, %%acc, %%other;
+  .reg .pred %%p, %%q;
+  .shared .f32 partial[%d];
+
+  mov.u32 %%tid, %%tid.x;
+  mov.u32 %%cta, %%ctaid.x;
+  ld.param.u32 %%len, [len];
+  ld.param.u64 %%pa, [ap];
+  ld.param.u64 %%pb, [bp];
+  mul.lo.u32 %%base, %%cta, %%len;
+
+  mov.f32 %%acc, 0f00000000;
+  mov.u32 %%i, %%tid;
+ACC:
+  setp.ge.u32 %%p, %%i, %%len;
+  @@%%p bra REDUCE;
+  add.u32 %%idx, %%base, %%i;
+  cvt.u64.u32 %%off, %%idx;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%a, %%pa, %%off;
+  add.u64 %%b, %%pb, %%off;
+  ld.global.f32 %%x, [%%a];
+  ld.global.f32 %%y, [%%b];
+  fma.rn.f32 %%acc, %%x, %%y, %%acc;
+  add.u32 %%i, %%i, %d;
+  bra ACC;
+
+REDUCE:
+  cvt.u64.u32 %%off, %%tid;
+  shl.b64 %%off, %%off, 2;
+  mov.u64 %%sa, partial;
+  add.u64 %%sa, %%sa, %%off;
+  st.shared.f32 [%%sa], %%acc;
+  bar.sync 0;
+
+  mov.u32 %%half, %d;
+TREE:
+  setp.ge.u32 %%p, %%tid, %%half;
+  @@%%p bra SKIP;
+  ld.shared.f32 %%acc, [%%sa];
+  cvt.u64.u32 %%off, %%half;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%sb, %%sa, %%off;
+  ld.shared.f32 %%other, [%%sb];
+  add.f32 %%acc, %%acc, %%other;
+  st.shared.f32 [%%sa], %%acc;
+SKIP:
+  bar.sync 0;
+  shr.u32 %%half, %%half, 1;
+  setp.gt.u32 %%q, %%half, 0;
+  @@%%q bra TREE;
+
+  setp.ne.u32 %%p, %%tid, 0;
+  @@%%p bra DONE;
+  ld.param.u64 %%pc, [cp];
+  cvt.u64.u32 %%off, %%cta;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%a, %%pc, %%off;
+  mov.u64 %%sa, partial;
+  ld.shared.f32 %%x, [%%sa];
+  st.global.f32 [%%a], %%x;
+DONE:
+  exit;
+}
+|}
+    block block (block / 2)
+
+let reference a b =
+  let r32 = Workload.r32 in
+  (* per-thread strided accumulation, then the tree *)
+  let partial = Array.make block 0.0 in
+  for t = 0 to block - 1 do
+    let i = ref t in
+    while !i < veclen do
+      partial.(t) <- r32 (r32 (a.(!i) *. b.(!i)) +. partial.(t));
+      i := !i + block
+    done
+  done;
+  let half = ref (block / 2) in
+  while !half > 0 do
+    for t = 0 to !half - 1 do
+      partial.(t) <- r32 (partial.(t) +. partial.(t + !half))
+    done;
+    half := !half / 2
+  done;
+  partial.(0)
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let pairs = 4 * scale in
+  let n = pairs * veclen in
+  let ap = Api.malloc dev (4 * n)
+  and bp = Api.malloc dev (4 * n)
+  and cp = Api.malloc dev (4 * pairs) in
+  let xs = Array.of_list (Workload.rand_f32s ~seed:91 n) in
+  let ys = Array.of_list (Workload.rand_f32s ~seed:92 n) in
+  Api.write_f32s dev ap (Array.to_list xs);
+  Api.write_f32s dev bp (Array.to_list ys);
+  let expected =
+    List.init pairs (fun p ->
+        reference
+          (Array.sub xs (p * veclen) veclen)
+          (Array.sub ys (p * veclen) veclen))
+  in
+  {
+    Workload.args = [ Launch.Ptr ap; Launch.Ptr bp; Launch.Ptr cp; Launch.I32 veclen ];
+    grid = Launch.dim3 pairs;
+    block = Launch.dim3 block;
+    check = (fun dev -> Workload.check_f32s dev ~at:cp ~expected ~tol:0.0 ~what:"dot");
+  }
+
+let workload : Workload.t =
+  {
+    name = "scalarprod";
+    paper_name = "ScalarProd";
+    category = Workload.Memory_bound;
+    src;
+    kernel = "scalarprod";
+    setup;
+  }

@@ -1,0 +1,135 @@
+(** Scan (CUDA SDK): Hillis–Steele inclusive prefix sum per CTA in shared
+    memory, double-buffered, one barrier per step — sync-heavy with a
+    tid-dependent guard each round. *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+let block = 64
+
+let src =
+  Fmt.str
+    {|
+.entry scan (.param .u64 inp, .param .u64 outp)
+{
+  .reg .u32 %%tid, %%gid, %%r2, %%r3, %%offset, %%idx;
+  .reg .u64 %%pin, %%pout, %%a, %%off, %%src, %%dst, %%tmp;
+  .reg .f32 %%x, %%y;
+  .reg .pred %%p, %%q;
+  .shared .f32 buf0[%d];
+  .shared .f32 buf1[%d];
+
+  mov.u32 %%tid, %%tid.x;
+  mov.u32 %%r2, %%ctaid.x;
+  mov.u32 %%r3, %%ntid.x;
+  mad.lo.u32 %%gid, %%r2, %%r3, %%tid;
+
+  ld.param.u64 %%pin, [inp];
+  cvt.u64.u32 %%off, %%gid;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%a, %%pin, %%off;
+  ld.global.f32 %%x, [%%a];
+  cvt.u64.u32 %%off, %%tid;
+  shl.b64 %%off, %%off, 2;
+  mov.u64 %%src, buf0;
+  mov.u64 %%dst, buf1;
+  add.u64 %%a, %%src, %%off;
+  st.shared.f32 [%%a], %%x;
+  bar.sync 0;
+
+  mov.u32 %%offset, 1;
+STEP:
+  setp.ge.u32 %%p, %%offset, %d;
+  @@%%p bra DONE;
+
+  // read own value (and neighbour when in range) from src buffer
+  cvt.u64.u32 %%off, %%tid;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%a, %%src, %%off;
+  ld.shared.f32 %%x, [%%a];
+  setp.lt.u32 %%q, %%tid, %%offset;
+  @@%%q bra NOADD;
+  sub.u32 %%idx, %%tid, %%offset;
+  cvt.u64.u32 %%off, %%idx;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%a, %%src, %%off;
+  ld.shared.f32 %%y, [%%a];
+  add.f32 %%x, %%x, %%y;
+NOADD:
+  cvt.u64.u32 %%off, %%tid;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%a, %%dst, %%off;
+  st.shared.f32 [%%a], %%x;
+  bar.sync 0;
+
+  mov.u64 %%tmp, %%src;
+  mov.u64 %%src, %%dst;
+  mov.u64 %%dst, %%tmp;
+  shl.b32 %%offset, %%offset, 1;
+  bra STEP;
+
+DONE:
+  cvt.u64.u32 %%off, %%tid;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%a, %%src, %%off;
+  ld.shared.f32 %%x, [%%a];
+  ld.param.u64 %%pout, [outp];
+  cvt.u64.u32 %%off, %%gid;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%a, %%pout, %%off;
+  st.global.f32 [%%a], %%x;
+  exit;
+}
+|}
+    block block block
+
+(* Host reference reproducing the double-buffered rounding order. *)
+let cta_scan xs =
+  let r32 = Workload.r32 in
+  let src = Array.of_list xs in
+  let dst = Array.make block 0.0 in
+  let rec go src dst offset =
+    if offset >= block then src
+    else begin
+      for t = 0 to block - 1 do
+        if t < offset then dst.(t) <- src.(t)
+        else dst.(t) <- r32 (src.(t) +. src.(t - offset))
+      done;
+      go dst src (offset * 2)
+    end
+  in
+  Array.to_list (go src dst 1)
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let ncta = 4 * scale in
+  let n = ncta * block in
+  let inp = Api.malloc dev (4 * n) and outp = Api.malloc dev (4 * n) in
+  let xs = Workload.rand_f32s ~seed:41 n in
+  Api.write_f32s dev inp xs;
+  let rec chunks l =
+    if l = [] then []
+    else
+      let rec take n acc = function
+        | x :: tl when n > 0 -> take (n - 1) (x :: acc) tl
+        | tl -> (List.rev acc, tl)
+      in
+      let c, rest = take block [] l in
+      c :: chunks rest
+  in
+  let expected = List.concat_map cta_scan (chunks xs) in
+  {
+    Workload.args = [ Launch.Ptr inp; Launch.Ptr outp ];
+    grid = Launch.dim3 ncta;
+    block = Launch.dim3 block;
+    check = (fun dev -> Workload.check_f32s dev ~at:outp ~expected ~tol:0.0 ~what:"scan");
+  }
+
+let workload : Workload.t =
+  {
+    name = "scan";
+    paper_name = "Scan";
+    category = Workload.Sync_heavy;
+    src;
+    kernel = "scan";
+    setup;
+  }

@@ -1,0 +1,118 @@
+(** SobelFilter (CUDA SDK): 3×3 gradient-magnitude stencil over a 2-D
+    image.  Interior threads are convergent; the border clamp diverges.
+    Memory-bound with 2-D thread blocks. *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+let src =
+  {|
+.entry sobel (.param .u64 inp, .param .u64 outp, .param .u32 width, .param .u32 height)
+{
+  .reg .u32 %tx, %bx, %nt, %ty, %by, %x, %y, %w, %h, %idx, %xm, %xp, %ym, %yp;
+  .reg .s32 %sx;
+  .reg .u64 %pin, %pout, %a, %off;
+  .reg .f32 %gx, %gy, %v, %mag;
+  .reg .pred %p;
+
+  mov.u32 %tx, %tid.x;
+  mov.u32 %bx, %ctaid.x;
+  mov.u32 %nt, %ntid.x;
+  mad.lo.u32 %x, %bx, %nt, %tx;
+  mov.u32 %ty, %tid.y;
+  mov.u32 %by, %ctaid.y;
+  mov.u32 %nt, %ntid.y;
+  mad.lo.u32 %y, %by, %nt, %ty;
+  ld.param.u32 %w, [width];
+  ld.param.u32 %h, [height];
+  setp.ge.u32 %p, %x, %w;
+  @%p bra DONE;
+  setp.ge.u32 %p, %y, %h;
+  @%p bra DONE;
+
+  // clamped neighbour coordinates
+  sub.s32 %sx, %x, 1;
+  max.s32 %sx, %sx, 0;
+  mov.u32 %xm, %sx;
+  add.u32 %xp, %x, 1;
+  sub.u32 %idx, %w, 1;
+  min.u32 %xp, %xp, %idx;
+  sub.s32 %sx, %y, 1;
+  max.s32 %sx, %sx, 0;
+  mov.u32 %ym, %sx;
+  add.u32 %yp, %y, 1;
+  sub.u32 %idx, %h, 1;
+  min.u32 %yp, %yp, %idx;
+
+  ld.param.u64 %pin, [inp];
+  // gx = (right - left) row-weighted; gy = (down - up)
+  mad.lo.u32 %idx, %y, %w, %xp;
+  cvt.u64.u32 %off, %idx;
+  shl.b64 %off, %off, 2;
+  add.u64 %a, %pin, %off;
+  ld.global.f32 %gx, [%a];
+  mad.lo.u32 %idx, %y, %w, %xm;
+  cvt.u64.u32 %off, %idx;
+  shl.b64 %off, %off, 2;
+  add.u64 %a, %pin, %off;
+  ld.global.f32 %v, [%a];
+  sub.f32 %gx, %gx, %v;
+  mad.lo.u32 %idx, %yp, %w, %x;
+  cvt.u64.u32 %off, %idx;
+  shl.b64 %off, %off, 2;
+  add.u64 %a, %pin, %off;
+  ld.global.f32 %gy, [%a];
+  mad.lo.u32 %idx, %ym, %w, %x;
+  cvt.u64.u32 %off, %idx;
+  shl.b64 %off, %off, 2;
+  add.u64 %a, %pin, %off;
+  ld.global.f32 %v, [%a];
+  sub.f32 %gy, %gy, %v;
+
+  mul.f32 %mag, %gx, %gx;
+  fma.rn.f32 %mag, %gy, %gy, %mag;
+  sqrt.approx.f32 %mag, %mag;
+
+  mad.lo.u32 %idx, %y, %w, %x;
+  cvt.u64.u32 %off, %idx;
+  shl.b64 %off, %off, 2;
+  ld.param.u64 %pout, [outp];
+  add.u64 %a, %pout, %off;
+  st.global.f32 [%a], %mag;
+DONE:
+  exit;
+}
+|}
+
+let reference img ~w ~h =
+  let r32 = Workload.r32 in
+  List.init (w * h) (fun i ->
+      let x = i mod w and y = i / w in
+      let clamp v lo hi = max lo (min hi v) in
+      let at xx yy = img.((yy * w) + xx) in
+      let gx = r32 (at (clamp (x + 1) 0 (w - 1)) y -. at (clamp (x - 1) 0 (w - 1)) y) in
+      let gy = r32 (at x (clamp (y + 1) 0 (h - 1)) -. at x (clamp (y - 1) 0 (h - 1))) in
+      r32 (sqrt (r32 (r32 (gx *. gx) +. r32 (gy *. gy)))))
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let w = 16 * scale and h = 16 in
+  let inp = Api.malloc dev (4 * w * h) and outp = Api.malloc dev (4 * w * h) in
+  let img = Array.of_list (Workload.rand_f32s ~seed:171 (w * h)) in
+  Api.write_f32s dev inp (Array.to_list img);
+  let expected = reference img ~w ~h in
+  {
+    Workload.args = [ Launch.Ptr inp; Launch.Ptr outp; Launch.I32 w; Launch.I32 h ];
+    grid = Launch.dim3 (w / 8) ~y:(h / 8);
+    block = Launch.dim3 8 ~y:8;
+    check = (fun dev -> Workload.check_f32s dev ~at:outp ~expected ~tol:1e-5 ~what:"sobel");
+  }
+
+let workload : Workload.t =
+  {
+    name = "sobel";
+    paper_name = "SobelFilter";
+    category = Workload.Memory_bound;
+    src;
+    kernel = "sobel";
+    setup;
+  }

@@ -1,0 +1,92 @@
+(** SobolQRNG (CUDA SDK): quasi-random sequence generation from direction
+    vectors in the constant bank.  The inner loop XORs a direction vector
+    per set bit of the gray-coded index — a data-dependent branch per bit,
+    but neighbouring indices mostly agree (the paper's ≈1.0× class). *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+(* Direction vectors for one dimension: v[j] = 1 << (31 - j). *)
+let directions = List.init 32 (fun j -> Int64.shift_left 1L (31 - j))
+
+let src =
+  Fmt.str
+    {|
+.const .u32 dirs[32] = { %s };
+
+.entry sobol (.param .u64 outp, .param .u32 n)
+{
+  .reg .u32 %%r1, %%r2, %%r3, %%gid, %%n, %%gray, %%x, %%j, %%bit;
+  .reg .u64 %%po, %%a, %%off, %%ca;
+  .reg .pred %%p, %%q;
+
+  mov.u32 %%r1, %%tid.x;
+  mov.u32 %%r2, %%ctaid.x;
+  mov.u32 %%r3, %%ntid.x;
+  mad.lo.u32 %%gid, %%r2, %%r3, %%r1;
+  ld.param.u32 %%n, [n];
+  setp.ge.u32 %%p, %%gid, %%n;
+  @@%%p bra DONE;
+
+  // gray code of the index
+  shr.u32 %%gray, %%gid, 1;
+  xor.b32 %%gray, %%gray, %%gid;
+
+  mov.u32 %%x, 0;
+  mov.u32 %%j, 0;
+BIT:
+  setp.ge.u32 %%p, %%j, 32;
+  @@%%p bra STORE;
+  shr.u32 %%bit, %%gray, %%j;
+  and.b32 %%bit, %%bit, 1;
+  setp.eq.u32 %%q, %%bit, 0;
+  @@%%q bra NEXT;
+  cvt.u64.u32 %%ca, %%j;
+  shl.b64 %%ca, %%ca, 2;
+  ld.const.u32 %%bit, [%%ca];
+  xor.b32 %%x, %%x, %%bit;
+NEXT:
+  add.u32 %%j, %%j, 1;
+  bra BIT;
+
+STORE:
+  ld.param.u64 %%po, [outp];
+  cvt.u64.u32 %%off, %%gid;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%a, %%po, %%off;
+  st.global.u32 [%%a], %%x;
+DONE:
+  exit;
+}
+|}
+    (String.concat ", " (List.map Int64.to_string directions))
+
+let reference gid =
+  let gray = gid lxor (gid lsr 1) in
+  let x = ref 0 in
+  List.iteri
+    (fun j v -> if gray land (1 lsl j) <> 0 then x := !x lxor Int64.to_int v)
+    directions;
+  if !x land 0x80000000 <> 0 then !x - (1 lsl 32) else !x
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let n = 500 * scale in
+  let outp = Api.malloc dev (4 * n) in
+  let expected = List.init n reference in
+  let block = 128 in
+  {
+    Workload.args = [ Launch.Ptr outp; Launch.I32 n ];
+    grid = Launch.dim3 ((n + block - 1) / block);
+    block = Launch.dim3 block;
+    check = (fun dev -> Workload.check_i32s dev ~at:outp ~expected ~what:"sobol");
+  }
+
+let workload : Workload.t =
+  {
+    name = "sobolqrng";
+    paper_name = "SobolQRNG";
+    category = Workload.Memory_bound;
+    src;
+    kernel = "sobol";
+    setup;
+  }

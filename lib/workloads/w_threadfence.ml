@@ -1,0 +1,160 @@
+(** ThreadFenceReduction (CUDA SDK): single-kernel global reduction.  Each
+    CTA reduces its slice in shared memory; the last CTA to finish (decided
+    by a global atomic counter) reduces the per-CTA partials.  Mixes
+    barriers, global atomics, and a CTA-level divergent "am I last?"
+    branch. *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+let block = 32
+
+let src =
+  Fmt.str
+    {|
+.entry tfreduce (.param .u64 inp, .param .u64 partial, .param .u64 outp,
+                 .param .u64 counter, .param .u32 n)
+{
+  .reg .u32 %%tid, %%cta, %%nt, %%gid, %%n, %%half, %%old, %%ncta, %%i;
+  .reg .u64 %%pin, %%pp, %%po, %%pc, %%a, %%off, %%sa, %%sb;
+  .reg .f32 %%x, %%y;
+  .reg .pred %%p, %%q;
+  .shared .f32 buf[%d];
+
+  mov.u32 %%tid, %%tid.x;
+  mov.u32 %%cta, %%ctaid.x;
+  mov.u32 %%nt, %%ntid.x;
+  mad.lo.u32 %%gid, %%cta, %%nt, %%tid;
+  ld.param.u32 %%n, [n];
+
+  mov.f32 %%x, 0f00000000;
+  setp.ge.u32 %%p, %%gid, %%n;
+  @@%%p bra PAD;
+  ld.param.u64 %%pin, [inp];
+  cvt.u64.u32 %%off, %%gid;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%a, %%pin, %%off;
+  ld.global.f32 %%x, [%%a];
+PAD:
+  cvt.u64.u32 %%off, %%tid;
+  shl.b64 %%off, %%off, 2;
+  mov.u64 %%sa, buf;
+  add.u64 %%sa, %%sa, %%off;
+  st.shared.f32 [%%sa], %%x;
+  bar.sync 0;
+
+  mov.u32 %%half, %d;
+TREE:
+  setp.ge.u32 %%p, %%tid, %%half;
+  @@%%p bra SKIP;
+  ld.shared.f32 %%x, [%%sa];
+  cvt.u64.u32 %%off, %%half;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%sb, %%sa, %%off;
+  ld.shared.f32 %%y, [%%sb];
+  add.f32 %%x, %%x, %%y;
+  st.shared.f32 [%%sa], %%x;
+SKIP:
+  bar.sync 0;
+  shr.u32 %%half, %%half, 1;
+  setp.gt.u32 %%q, %%half, 0;
+  @@%%q bra TREE;
+
+  // thread 0 publishes the CTA partial and takes a ticket
+  setp.ne.u32 %%p, %%tid, 0;
+  @@%%p bra WAIT;
+  mov.u64 %%sa, buf;
+  ld.shared.f32 %%x, [%%sa];
+  ld.param.u64 %%pp, [partial];
+  cvt.u64.u32 %%off, %%cta;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%a, %%pp, %%off;
+  st.global.f32 [%%a], %%x;
+  ld.param.u64 %%pc, [counter];
+  atom.global.add.u32 %%old, [%%pc], 1;
+  // last CTA's thread 0 reduces the partials
+  mov.u32 %%ncta, %%nctaid.x;
+  sub.u32 %%ncta, %%ncta, 1;
+  setp.ne.u32 %%p, %%old, %%ncta;
+  @@%%p bra WAIT;
+  mov.f32 %%x, 0f00000000;
+  mov.u32 %%i, 0;
+  mov.u32 %%ncta, %%nctaid.x;
+FINAL:
+  setp.ge.u32 %%p, %%i, %%ncta;
+  @@%%p bra PUBLISH;
+  cvt.u64.u32 %%off, %%i;
+  shl.b64 %%off, %%off, 2;
+  add.u64 %%a, %%pp, %%off;
+  ld.global.f32 %%y, [%%a];
+  add.f32 %%x, %%x, %%y;
+  add.u32 %%i, %%i, 1;
+  bra FINAL;
+PUBLISH:
+  ld.param.u64 %%po, [outp];
+  st.global.f32 [%%po], %%x;
+WAIT:
+  exit;
+}
+|}
+    block (block / 2)
+
+(* Soundness note: the "last CTA reduces" idiom relies on partials being
+   visible by the time the ticket says all CTAs finished.  Our CTAs run to
+   completion sequentially per worker, and workers are simulated in order,
+   so the partial of every earlier CTA is in global memory before the last
+   ticket — the same guarantee __threadfence gives the original. *)
+
+let cta_sum xs =
+  let r32 = Workload.r32 in
+  let buf = Array.of_list xs in
+  let half = ref (block / 2) in
+  while !half > 0 do
+    for t = 0 to !half - 1 do
+      buf.(t) <- r32 (buf.(t) +. buf.(t + !half))
+    done;
+    half := !half / 2
+  done;
+  buf.(0)
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let ncta = 4 * scale in
+  let n = (ncta * block) - 5 in
+  let inp = Api.malloc dev (4 * ncta * block) in
+  let partial = Api.malloc dev (4 * ncta) in
+  let outp = Api.malloc dev 4 in
+  let counter = Api.malloc dev 4 in
+  let xs = Workload.rand_f32s ~seed:201 n in
+  Api.write_f32s dev inp xs;
+  let padded = xs @ List.init ((ncta * block) - n) (fun _ -> 0.0) in
+  let rec chunks l =
+    if l = [] then []
+    else
+      let rec take k acc = function
+        | x :: tl when k > 0 -> take (k - 1) (x :: acc) tl
+        | tl -> (List.rev acc, tl)
+      in
+      let c, rest = take block [] l in
+      c :: chunks rest
+  in
+  let partials = List.map cta_sum (chunks padded) in
+  let expected = List.fold_left (fun a b -> Workload.r32 (a +. b)) 0.0 partials in
+  {
+    Workload.args =
+      [ Launch.Ptr inp; Launch.Ptr partial; Launch.Ptr outp; Launch.Ptr counter;
+        Launch.I32 n ];
+    grid = Launch.dim3 ncta;
+    block = Launch.dim3 block;
+    check =
+      (fun dev -> Workload.check_f32s dev ~at:outp ~expected:[ expected ] ~tol:0.0 ~what:"sum");
+  }
+
+let workload : Workload.t =
+  {
+    name = "threadfence";
+    paper_name = "ThreadFenceReduction";
+    category = Workload.Sync_heavy;
+    src;
+    kernel = "tfreduce";
+    setup;
+  }

@@ -1,0 +1,113 @@
+(** The Table-1 peak-throughput microbenchmark: "back-to-back floating
+    point multiply and adds within a heavily unrolled loop launched over
+    576 threads" (paper §6).
+
+    Each thread runs [iters] iterations of a loop whose body is [chains]
+    independent multiply–add chains, unrolled [unroll] times.  Independent
+    chains hide FP latency exactly as Volkov's analysis prescribes; the
+    vectorized specialization should therefore saturate the machine's FP
+    ports. *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+let chains = 8
+let unroll = 16
+
+(* The kernel source is generated so the unrolled body stays in sync with
+   the host-side expected-value computation. *)
+let src =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  pf ".entry throughput (.param .u64 out, .param .u32 iters)\n{\n";
+  pf "  .reg .u32 %%r1, %%r2, %%r3, %%gid, %%i, %%iters;\n";
+  pf "  .reg .u64 %%pout, %%off;\n";
+  pf "  .reg .f32 %%m, %%s;\n";
+  for c = 0 to chains - 1 do
+    pf "  .reg .f32 %%a%d;\n" c
+  done;
+  pf "  .reg .pred %%p;\n";
+  pf "  mov.u32 %%r1, %%tid.x;\n";
+  pf "  mov.u32 %%r2, %%ctaid.x;\n";
+  pf "  mov.u32 %%r3, %%ntid.x;\n";
+  pf "  mad.lo.u32 %%gid, %%r2, %%r3, %%r1;\n";
+  pf "  ld.param.u32 %%iters, [iters];\n";
+  (* seed each chain differently but thread-uniformly cheap *)
+  pf "  cvt.rn.f32.u32 %%s, %%gid;\n";
+  pf "  mul.f32 %%s, %%s, 0f3727c5ac;\n";
+  (* ~1e-5f *)
+  pf "  mov.f32 %%m, 0f3f7fff58;\n";
+  (* multiplier just under 1.0 keeps values bounded *)
+  for c = 0 to chains - 1 do
+    pf "  add.f32 %%a%d, %%s, 0f3f8%d0000;\n" c c
+  done;
+  pf "  mov.u32 %%i, 0;\n";
+  pf "LOOP:\n";
+  for _u = 1 to unroll do
+    for c = 0 to chains - 1 do
+      pf "  fma.rn.f32 %%a%d, %%a%d, %%m, 0f38d1b717;\n" c c
+    done
+  done;
+  pf "  add.u32 %%i, %%i, 1;\n";
+  pf "  setp.lt.u32 %%p, %%i, %%iters;\n";
+  pf "  @@%%p bra LOOP;\n";
+  for c = 1 to chains - 1 do
+    pf "  add.f32 %%a0, %%a0, %%a%d;\n" c
+  done;
+  pf "  cvt.u64.u32 %%off, %%gid;\n";
+  pf "  shl.b64 %%off, %%off, 2;\n";
+  pf "  ld.param.u64 %%pout, [out];\n";
+  pf "  add.u64 %%pout, %%pout, %%off;\n";
+  pf "  st.global.f32 [%%pout], %%a0;\n";
+  pf "  exit;\n}\n";
+  Buffer.contents buf
+
+(* Host-side reference, mirroring the kernel's f32 operation order. *)
+let expected_for ~iters gid =
+  let r32 = Workload.r32 in
+  let m = Int32.float_of_bits 0x3f7fff58l in
+  let c0 = Int32.float_of_bits 0x38d1b717l in
+  let s = r32 (r32 (float_of_int gid) *. Int32.float_of_bits 0x3727c5acl) in
+  let a =
+    Array.init chains (fun c ->
+        r32 (s +. Int32.float_of_bits (Int32.of_string (Fmt.str "0x3f8%d0000" c))))
+  in
+  for _i = 1 to iters do
+    for _u = 1 to unroll do
+      for c = 0 to chains - 1 do
+        a.(c) <- r32 (r32 (a.(c) *. m) +. c0)
+      done
+    done
+  done;
+  let acc = ref a.(0) in
+  for c = 1 to chains - 1 do
+    acc := r32 (!acc +. a.(c))
+  done;
+  !acc
+
+let threads = 576
+let block = 144
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let iters = 8 * scale in
+  let out = Api.malloc dev (4 * threads) in
+  let expected = List.init threads (fun gid -> expected_for ~iters gid) in
+  {
+    Workload.args = [ Launch.Ptr out; Launch.I32 iters ];
+    grid = Launch.dim3 (threads / block);
+    block = Launch.dim3 block;
+    check = (fun dev -> Workload.check_f32s dev ~at:out ~expected ~tol:0.0 ~what:"out");
+  }
+
+(** FLOPs one launch performs (for GFLOP/s reporting). *)
+let flops ~iters = threads * iters * unroll * chains * 2
+
+let workload : Workload.t =
+  {
+    name = "throughput";
+    paper_name = "Throughput";
+    category = Workload.Uniform_compute;
+    src;
+    kernel = "throughput";
+    setup;
+  }

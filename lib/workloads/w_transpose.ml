@@ -1,0 +1,90 @@
+(** Transpose (CUDA SDK): tiled matrix transpose staged through shared
+    memory with one barrier — the classic memory-bound kernel. *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+let tile = 8
+
+let src =
+  Fmt.str
+    {|
+.entry transpose (.param .u64 inp, .param .u64 outp, .param .u32 width, .param .u32 height)
+{
+  .reg .u32 %%tx, %%ty, %%bx, %%by, %%x, %%y, %%ox, %%oy, %%idx, %%width, %%height;
+  .reg .u64 %%pin, %%pout, %%a, %%off, %%sa;
+  .reg .f32 %%v;
+  .shared .f32 tilebuf[%d];
+
+  mov.u32 %%tx, %%tid.x;
+  mov.u32 %%ty, %%tid.y;
+  mov.u32 %%bx, %%ctaid.x;
+  mov.u32 %%by, %%ctaid.y;
+  ld.param.u32 %%width, [width];
+  ld.param.u32 %%height, [height];
+
+  mad.lo.u32 %%x, %%bx, %d, %%tx;
+  mad.lo.u32 %%y, %%by, %d, %%ty;
+  mad.lo.u32 %%idx, %%y, %%width, %%x;
+  cvt.u64.u32 %%off, %%idx;
+  shl.b64 %%off, %%off, 2;
+  ld.param.u64 %%pin, [inp];
+  add.u64 %%a, %%pin, %%off;
+  ld.global.f32 %%v, [%%a];
+
+  mad.lo.u32 %%idx, %%ty, %d, %%tx;
+  cvt.u64.u32 %%off, %%idx;
+  shl.b64 %%off, %%off, 2;
+  mov.u64 %%sa, tilebuf;
+  add.u64 %%sa, %%sa, %%off;
+  st.shared.f32 [%%sa], %%v;
+  bar.sync 0;
+
+  // write transposed: out[(bx*T+ty') * height + by*T+tx'] from tile[tx'][ty']
+  mad.lo.u32 %%ox, %%by, %d, %%tx;
+  mad.lo.u32 %%oy, %%bx, %d, %%ty;
+  mad.lo.u32 %%idx, %%tx, %d, %%ty;
+  cvt.u64.u32 %%off, %%idx;
+  shl.b64 %%off, %%off, 2;
+  mov.u64 %%sa, tilebuf;
+  add.u64 %%sa, %%sa, %%off;
+  ld.shared.f32 %%v, [%%sa];
+  mad.lo.u32 %%idx, %%oy, %%height, %%ox;
+  cvt.u64.u32 %%off, %%idx;
+  shl.b64 %%off, %%off, 2;
+  ld.param.u64 %%pout, [outp];
+  add.u64 %%a, %%pout, %%off;
+  st.global.f32 [%%a], %%v;
+  exit;
+}
+|}
+    (tile * tile) tile tile tile tile tile tile
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let width = tile * 2 * scale and height = tile * 2 in
+  let n = width * height in
+  let inp = Api.malloc dev (4 * n) and outp = Api.malloc dev (4 * n) in
+  let xs = Array.of_list (Workload.rand_f32s ~seed:61 n) in
+  Api.write_f32s dev inp (Array.to_list xs);
+  let expected =
+    List.init n (fun i ->
+        let ox = i mod height and oy = i / height in
+        xs.((ox * width) + oy))
+  in
+  {
+    Workload.args =
+      [ Launch.Ptr inp; Launch.Ptr outp; Launch.I32 width; Launch.I32 height ];
+    grid = Launch.dim3 (width / tile) ~y:(height / tile);
+    block = Launch.dim3 tile ~y:tile;
+    check = (fun dev -> Workload.check_f32s dev ~at:outp ~expected ~tol:0.0 ~what:"T");
+  }
+
+let workload : Workload.t =
+  {
+    name = "transpose";
+    paper_name = "Transpose";
+    category = Workload.Memory_bound;
+    src;
+    kernel = "transpose";
+    setup;
+  }

@@ -1,0 +1,67 @@
+(** VectorAdd: the canonical streaming kernel (CUDA SDK).  Memory-bound,
+    fully convergent apart from the tail guard. *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+let src =
+  {|
+.entry vecadd (.param .u64 a, .param .u64 b, .param .u64 c, .param .u32 n)
+{
+  .reg .u32 %r1, %r2, %r3, %i, %n;
+  .reg .u64 %pa, %pb, %pc, %off;
+  .reg .f32 %x, %y, %z;
+  .reg .pred %p;
+
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ctaid.x;
+  mov.u32 %r3, %ntid.x;
+  mad.lo.u32 %i, %r2, %r3, %r1;
+  ld.param.u32 %n, [n];
+  setp.ge.u32 %p, %i, %n;
+  @%p bra DONE;
+
+  cvt.u64.u32 %off, %i;
+  shl.b64 %off, %off, 2;
+  ld.param.u64 %pa, [a];
+  ld.param.u64 %pb, [b];
+  ld.param.u64 %pc, [c];
+  add.u64 %pa, %pa, %off;
+  add.u64 %pb, %pb, %off;
+  add.u64 %pc, %pc, %off;
+  ld.global.f32 %x, [%pa];
+  ld.global.f32 %y, [%pb];
+  add.f32 %z, %x, %y;
+  st.global.f32 [%pc], %z;
+
+DONE:
+  exit;
+}
+|}
+
+let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
+  let n = 500 * scale in
+  let a = Api.malloc dev (4 * n)
+  and b = Api.malloc dev (4 * n)
+  and c = Api.malloc dev (4 * n) in
+  let xs = Workload.rand_f32s ~seed:1 n and ys = Workload.rand_f32s ~seed:2 n in
+  Api.write_f32s dev a xs;
+  Api.write_f32s dev b ys;
+  let expected = List.map2 (fun x y -> Workload.r32 (x +. y)) xs ys in
+  let block = 128 in
+  {
+    Workload.args = [ Launch.Ptr a; Launch.Ptr b; Launch.Ptr c; Launch.I32 n ];
+    grid = Launch.dim3 ((n + block - 1) / block);
+    block = Launch.dim3 block;
+    check = (fun dev -> Workload.check_f32s dev ~at:c ~expected ~tol:0.0 ~what:"c");
+  }
+
+let workload : Workload.t =
+  {
+    name = "vecadd";
+    paper_name = "VectorAdd";
+    category = Workload.Memory_bound;
+    src;
+    kernel = "vecadd";
+    setup;
+  }

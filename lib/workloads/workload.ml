@@ -1,0 +1,98 @@
+(** Benchmark-application harness.
+
+    Each workload mirrors one of the CUDA SDK / Parboil applications the
+    paper evaluates: a kernel in the PTX subset, host-side input setup, and
+    a host-computed expected output so results are validated independently
+    of both the oracle emulator and the vectorizing pipeline.
+
+    [category] records the control-flow/synchronization character the paper
+    ascribes to the application, which is what the figure shapes depend
+    on. *)
+
+module Api = Vekt_runtime.Api
+open Vekt_ptx
+
+type category =
+  | Uniform_compute  (** unrolled, convergent, compute-bound (cp, BinomialOptions) *)
+  | Memory_bound  (** streaming, little arithmetic (BoxFilter, ScalarProd) *)
+  | Sync_heavy  (** frequent CTA barriers (MatrixMul, Reduction, Scan) *)
+  | Divergent  (** irregular control flow (MersenneTwister, mri-q) *)
+
+let category_name = function
+  | Uniform_compute -> "uniform-compute"
+  | Memory_bound -> "memory-bound"
+  | Sync_heavy -> "sync-heavy"
+  | Divergent -> "divergent"
+
+(** A prepared launch: inputs are in device memory; [check] validates the
+    outputs against host-computed expectations. *)
+type instance = {
+  args : Launch.arg list;
+  grid : Launch.dim3;
+  block : Launch.dim3;
+  check : Api.device -> (unit, string) result;
+}
+
+type t = {
+  name : string;
+  paper_name : string;  (** application name as the paper's figures label it *)
+  category : category;
+  src : string;
+  kernel : string;
+  setup : ?scale:int -> Api.device -> instance;
+      (** [scale] grows the problem size; 1 = test-sized default *)
+}
+
+(* --- check helpers --- *)
+
+let check_f32s dev ~at ~expected ~tol ~what : (unit, string) result =
+  let actual = Api.read_f32s dev at (List.length expected) in
+  let rec go i ex ac =
+    match (ex, ac) with
+    | [], [] -> Ok ()
+    | e :: ex, a :: ac ->
+        let err = Float.abs (a -. e) in
+        let rel = err /. Float.max 1e-6 (Float.abs e) in
+        if err > tol && rel > tol then
+          Error (Fmt.str "%s[%d]: expected %g, got %g" what i e a)
+        else go (i + 1) ex ac
+    | _ -> Error "length mismatch"
+  in
+  go 0 expected actual
+
+let check_i32s dev ~at ~expected ~what : (unit, string) result =
+  let actual = Api.read_i32s dev at (List.length expected) in
+  let rec go i ex ac =
+    match (ex, ac) with
+    | [], [] -> Ok ()
+    | e :: ex, a :: ac ->
+        if a <> e then Error (Fmt.str "%s[%d]: expected %d, got %d" what i e a)
+        else go (i + 1) ex ac
+    | _ -> Error "length mismatch"
+  in
+  go 0 expected actual
+
+(** Deterministic pseudo-random input data (xorshift), so runs are
+    reproducible without any global RNG state.  Values are exactly
+    representable in f32 so host-side references operating in rounded
+    single precision match device contents bit for bit. *)
+let rand_f32s ~seed n =
+  let s = ref (Int64.of_int (seed * 2654435761 + 12345)) in
+  List.init n (fun _ ->
+      s := Int64.logxor !s (Int64.shift_left !s 13);
+      s := Int64.logxor !s (Int64.shift_right_logical !s 7);
+      s := Int64.logxor !s (Int64.shift_left !s 17);
+      let m = Int64.to_int (Int64.logand !s 0xFFFFFFL) in
+      Scalar_ops.round_f32 ((float_of_int m /. float_of_int 0xFFFFFF) -. 0.5))
+
+let rand_i32s ~seed ~bound n =
+  let s = ref (Int64.of_int (seed * 2654435761 + 99991)) in
+  List.init n (fun _ ->
+      s := Int64.logxor !s (Int64.shift_left !s 13);
+      s := Int64.logxor !s (Int64.shift_right_logical !s 7);
+      s := Int64.logxor !s (Int64.shift_left !s 17);
+      Int64.to_int (Int64.unsigned_rem !s (Int64.of_int bound)))
+
+(** f32 rounding helper for host-side expected-value computation: keeps the
+    host reference in single precision like the kernel. *)
+let r32 = Scalar_ops.round_f32

@@ -1,0 +1,474 @@
+(* End-to-end differential tests: every workload, every configuration, is
+   run through the dynamic vectorizing pipeline and must (a) satisfy its
+   host-computed check and (b) leave global memory bit-identical to the
+   reference PTX emulator.  A QCheck generator then hammers the same
+   equivalence with random divergent kernels. *)
+
+module Api = Vekt_runtime.Api
+module Stats = Vekt_runtime.Stats
+module Interp = Vekt_vm.Interp
+module Vectorize = Vekt_transform.Vectorize
+open Vekt_ptx
+open Vekt_workloads
+
+let configs =
+  [
+    ("scalar", { Api.default_config with widths = [ 1 ] });
+    ("w2", { Api.default_config with widths = [ 2; 1 ] });
+    ("w4-dynamic", Api.default_config);
+    ("w4-static-tie", { Api.default_config with mode = Vectorize.Static_tie });
+    ("w4-noopt", { Api.default_config with optimize = false });
+    ("w8", { Api.default_config with widths = [ 8; 4; 2; 1 ] });
+    ("w4-affine-uniform", { Api.default_config with affine = true });
+    ( "w4-static-affine",
+      { Api.default_config with mode = Vectorize.Static_tie; affine = true } );
+    ("w4-spec-args", { Api.default_config with specialize_args = true });
+    ( "w4-everything",
+      {
+        Api.default_config with
+        mode = Vectorize.Static_tie;
+        affine = true;
+        specialize_args = true;
+      } );
+  ]
+
+let run_workload (w : Workload.t) (config : Api.config) =
+  let dev = Api.create_device () in
+  let m = Api.load_module ~config dev w.Workload.src in
+  let inst = w.Workload.setup dev in
+  let reference =
+    Api.launch_reference m ~kernel:w.Workload.kernel ~grid:inst.Workload.grid
+      ~block:inst.Workload.block ~args:inst.Workload.args
+  in
+  let report =
+    Api.launch m ~kernel:w.Workload.kernel ~grid:inst.Workload.grid
+      ~block:inst.Workload.block ~args:inst.Workload.args
+  in
+  (dev, inst, reference, report)
+
+let test_workload_config (w : Workload.t) name config () =
+  let dev, inst, reference, report = run_workload w config in
+  (match inst.Workload.check dev with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s/%s: host check: %s" w.Workload.name name e);
+  Alcotest.(check bool)
+    (Fmt.str "%s/%s bit-exact vs oracle" w.Workload.name name)
+    true
+    (Mem.equal reference dev.Api.global);
+  Alcotest.(check bool) "progress recorded" true (report.Api.cycles > 0.0)
+
+(* --- behavioural assertions on the statistics --- *)
+
+let test_uniform_kernel_full_warps () =
+  (* blackscholes is fully convergent: every warp entry must be width 4. *)
+  let _, _, _, report = run_workload W_blackscholes.workload Api.default_config in
+  Alcotest.(check (float 0.001)) "avg warp size" 4.0 report.Api.avg_warp_size;
+  Alcotest.(check (float 0.001)) "all entries at 4" 1.0
+    (Stats.warp_fraction report.Api.stats 4)
+
+let test_divergent_kernel_small_warps () =
+  let _, _, _, report = run_workload W_mersenne.workload Api.default_config in
+  Alcotest.(check bool) "some narrow warps" true
+    (Stats.warp_fraction report.Api.stats 4 < 0.999);
+  Alcotest.(check bool) "avg < max" true (report.Api.avg_warp_size < 4.0)
+
+let test_speedup_compute_bound () =
+  (* cp must get close to the lane-count speedup over the scalar pipeline. *)
+  let _, _, _, scalar =
+    run_workload W_cp.workload { Api.default_config with widths = [ 1 ] }
+  in
+  let _, _, _, vec4 = run_workload W_cp.workload Api.default_config in
+  let speedup = scalar.Api.cycles /. vec4.Api.cycles in
+  Alcotest.(check bool) (Fmt.str "cp speedup %.2f > 2.5" speedup) true (speedup > 2.5)
+
+let test_mersenne_dwf_slowdown () =
+  (* The paper's MersenneTwister pathology: dynamic warp formation makes it
+     slower than scalar; static warp formation recovers. *)
+  let _, _, _, scalar =
+    run_workload W_mersenne.workload { Api.default_config with widths = [ 1 ] }
+  in
+  let _, _, _, dwf = run_workload W_mersenne.workload Api.default_config in
+  let _, _, _, swf =
+    run_workload W_mersenne.workload
+      { Api.default_config with mode = Vectorize.Static_tie }
+  in
+  Alcotest.(check bool) "DWF slower than scalar" true (dwf.Api.cycles > scalar.Api.cycles);
+  Alcotest.(check bool) "SWF much better than DWF" true
+    (swf.Api.cycles *. 1.5 < dwf.Api.cycles)
+
+let test_barrier_kernel_restores () =
+  (* reduction yields at every barrier, so entry handlers must restore
+     live values; the average must be positive and modest (Fig. 8). *)
+  let _, _, _, report = run_workload W_reduction.workload Api.default_config in
+  let avg = Stats.average_restores_per_thread report.Api.stats in
+  Alcotest.(check bool) (Fmt.str "avg restores %.2f in (0, 16)" avg) true
+    (avg > 0.0 && avg < 16.0)
+
+let test_breakdown_sums_to_one () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let _, _, _, report = run_workload w Api.default_config in
+      let em, yld, body = Stats.cycle_breakdown report.Api.stats in
+      Alcotest.(check (float 1e-6)) (w.Workload.name ^ " fractions") 1.0 (em +. yld +. body))
+    Registry.all
+
+let test_compute_bound_body_dominates () =
+  let _, _, _, report = run_workload W_throughput.workload Api.default_config in
+  let _, _, body = Stats.cycle_breakdown report.Api.stats in
+  Alcotest.(check bool) (Fmt.str "body fraction %.2f > 0.8" body) true (body > 0.8)
+
+let test_scalar_pipeline_never_diverges () =
+  (* Width-1 specializations can never take the divergent exit: every
+     branch sum is 0 or 1.  The warp histogram must be all-1s. *)
+  let _, _, _, report =
+    run_workload W_mersenne.workload { Api.default_config with widths = [ 1 ] }
+  in
+  Alcotest.(check (float 0.0)) "all width 1" 1.0 (Stats.warp_fraction report.Api.stats 1)
+
+let test_spec_args_caches_per_arguments () =
+  (* two launches with different scalar arguments must produce two
+     specializations, and both must be correct *)
+  let dev = Api.create_device () in
+  let config = { Api.default_config with specialize_args = true; widths = [ 4; 1 ] } in
+  let m = Api.load_module ~config dev W_vecadd.src in
+  let inst = W_vecadd.workload.Workload.setup dev in
+  let r1 =
+    Api.launch m ~kernel:"vecadd" ~grid:inst.Workload.grid ~block:inst.Workload.block
+      ~args:inst.Workload.args
+  in
+  (match inst.Workload.check dev with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "first launch: %s" e);
+  let cache = Api.kernel_cache m ~kernel:"vecadd" in
+  let compiles_before = cache.Vekt_runtime.Translation_cache.compile_count in
+  (* different n: different param digest *)
+  let args2 =
+    List.mapi
+      (fun i a -> if i = 3 then Launch.I32 123 else a)
+      inst.Workload.args
+  in
+  ignore
+    (Api.launch m ~kernel:"vecadd" ~grid:inst.Workload.grid ~block:inst.Workload.block
+       ~args:args2);
+  Alcotest.(check bool) "new specialization compiled" true
+    (cache.Vekt_runtime.Translation_cache.compile_count > compiles_before);
+  ignore r1
+
+let test_spec_args_folds_params () =
+  (* argument specialization must shrink the static instruction count *)
+  let cache_instrs specialize_args =
+    let dev = Api.create_device () in
+    let config = { Api.default_config with specialize_args; widths = [ 4; 1 ] } in
+    let m = Api.load_module ~config dev W_vecadd.src in
+    let inst = W_vecadd.workload.Workload.setup dev in
+    ignore
+      (Api.launch m ~kernel:"vecadd" ~grid:inst.Workload.grid
+         ~block:inst.Workload.block ~args:inst.Workload.args);
+    let cache = Api.kernel_cache m ~kernel:"vecadd" in
+    Hashtbl.fold
+      (fun (ws, _) (e : Vekt_runtime.Translation_cache.entry) acc ->
+        if ws = 4 then e.Vekt_runtime.Translation_cache.static_instrs else acc)
+      cache.Vekt_runtime.Translation_cache.specializations 0
+  in
+  Alcotest.(check bool) "fewer instructions when specialized" true
+    (cache_instrs true < cache_instrs false)
+
+let test_device_functions_through_pipeline () =
+  (* a kernel built from .func calls must run bit-exact through the full
+     vectorizing pipeline in every configuration *)
+  let src =
+    {|
+.func (.reg .f32 %r) sq (.reg .f32 %x)
+{
+  mul.f32 %r, %x, %x;
+  ret;
+}
+
+.func (.reg .f32 %r) poly (.reg .f32 %x)
+{
+  .reg .f32 %t;
+  call (%t), sq, (%x);
+  fma.rn.f32 %r, %t, 0f3f000000, %x;
+  ret;
+}
+
+.entry fk (.param .u64 p, .param .u32 n)
+{
+  .reg .u32 %r1, %r2, %r3, %gid, %n;
+  .reg .u64 %po, %off;
+  .reg .f32 %x, %y;
+  .reg .pred %pr;
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %ctaid.x;
+  mov.u32 %r3, %ntid.x;
+  mad.lo.u32 %gid, %r2, %r3, %r1;
+  ld.param.u32 %n, [n];
+  setp.ge.u32 %pr, %gid, %n;
+  @%pr bra DONE;
+  cvt.rn.f32.u32 %x, %gid;
+  mul.f32 %x, %x, 0f3d4ccccd;
+  call (%y), poly, (%x);
+  ld.param.u64 %po, [p];
+  cvt.u64.u32 %off, %gid;
+  shl.b64 %off, %off, 2;
+  add.u64 %po, %po, %off;
+  st.global.f32 [%po], %y;
+DONE:
+  exit;
+}
+|}
+  in
+  let n = 100 in
+  List.iter
+    (fun (name, config) ->
+      let dev = Api.create_device () in
+      let m = Api.load_module ~config dev src in
+      let p = Api.malloc dev (4 * n) in
+      let args = [ Launch.Ptr p; Launch.I32 n ] in
+      let reference =
+        Api.launch_reference m ~kernel:"fk" ~grid:(Launch.dim3 2)
+          ~block:(Launch.dim3 64) ~args
+      in
+      ignore (Api.launch m ~kernel:"fk" ~grid:(Launch.dim3 2) ~block:(Launch.dim3 64) ~args);
+      Alcotest.(check bool) (name ^ " bit-exact") true
+        (Mem.equal reference dev.Api.global))
+    configs;
+  (* spot-check a value on the host: poly(x) = 0.5 x^2 + x *)
+  let dev = Api.create_device () in
+  let m = Api.load_module dev src in
+  let p = Api.malloc dev (4 * n) in
+  ignore
+    (Api.launch m ~kernel:"fk" ~grid:(Launch.dim3 2) ~block:(Launch.dim3 64)
+       ~args:[ Launch.Ptr p; Launch.I32 n ]);
+  let r32 = Vekt_ptx.Scalar_ops.round_f32 in
+  let x = r32 (r32 20.0 *. Int32.float_of_bits 0x3d4ccccdl) in
+  let expect = r32 (r32 (r32 (x *. x) *. 0.5) +. x) in
+  Alcotest.(check (float 0.0)) "poly(x20)" expect (List.nth (Api.read_f32s dev p n) 20)
+
+let test_throughput_table1_shape () =
+  let gflops ws =
+    let dev = Api.create_device () in
+    let config =
+      { Api.default_config with widths = (if ws = 1 then [ 1 ] else [ ws; 1 ]) }
+    in
+    let m = Api.load_module ~config dev W_throughput.src in
+    let inst = W_throughput.setup ~scale:2 dev in
+    let r =
+      Api.launch m ~kernel:"throughput" ~grid:inst.Workload.grid
+        ~block:inst.Workload.block ~args:inst.Workload.args
+    in
+    r.Api.gflops
+  in
+  let g1 = gflops 1 and g2 = gflops 2 and g4 = gflops 4 and g8 = gflops 8 in
+  Alcotest.(check bool) (Fmt.str "scaling 1→2 (%.1f, %.1f)" g1 g2) true (g2 > 1.6 *. g1);
+  Alcotest.(check bool) (Fmt.str "scaling 2→4 (%.1f, %.1f)" g2 g4) true (g4 > 1.6 *. g2);
+  Alcotest.(check bool) (Fmt.str "ws8 collapses (%.1f < %.1f)" g8 g4) true (g8 < 0.7 *. g4)
+
+(* --- random-kernel differential property --- *)
+
+(* Structured generator: straight-line u32 arithmetic, divergent diamonds,
+   data-dependent bounded loops, CTA barriers and global atomics; each
+   thread finally stores a digest of its registers.  Any semantic mismatch
+   between the reference emulator and any pipeline configuration fails. *)
+module Gen_kernel = struct
+  open QCheck.Gen
+
+  let nregs = 6
+
+  type stmt =
+    | Arith of string * int * string * string (* op, dst, a, b *)
+    | If of string * int * stmt list * stmt list (* cmp, reg, then, else *)
+    | Loop of int * int * stmt list (* counter reg bound mask, body *)
+    | Barrier
+    | Atomic_add of int (* source reg *)
+
+  let op = oneofl [ "add.u32"; "sub.u32"; "mul.lo.u32"; "xor.b32"; "and.b32"; "min.u32"; "shl.b32" ]
+  let cmp = oneofl [ "lt"; "gt"; "eq"; "ne" ]
+  let reg = map (fun i -> abs i mod nregs) small_int
+
+  let operand =
+    oneof
+      [ map (fun r -> Fmt.str "%%r%d" r) reg;
+        map (fun i -> string_of_int (abs i mod 64)) small_int ]
+
+  let rec stmt ~depth =
+    if depth <= 0 then arith
+    else
+      frequency
+        [
+          (6, arith);
+          (2, if_stmt ~depth);
+          (2, loop ~depth);
+          (1, return Barrier);
+          (1, map (fun r -> Atomic_add r) reg);
+        ]
+
+  and arith =
+    map3 (fun o d (a, b) -> Arith (o, d, a, b)) op reg (pair operand operand)
+
+  and if_stmt ~depth =
+    let body = list_size (int_range 1 3) (stmt ~depth:(depth - 1)) in
+    map3 (fun c r (t, e) -> If (c, r, t, e)) cmp reg (pair body body)
+
+  and loop ~depth =
+    let body = list_size (int_range 1 3) (stmt ~depth:(depth - 1)) in
+    map3 (fun r m body -> Loop (r, m, body)) reg (int_range 1 7) body
+
+  let kernel_gen = list_size (int_range 2 8) (stmt ~depth:2)
+
+  let to_src stmts =
+    let buf = Buffer.create 1024 in
+    let pf fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+    let label = ref 0 in
+    let fresh () =
+      incr label;
+      Fmt.str "L%d" !label
+    in
+    pf ".entry rand (.param .u64 out, .param .u64 acc)\n{\n";
+    pf "  .reg .u32 %s, %%t, %%cnt0, %%cnt1, %%cnt2, %%cnt3, %%old;\n"
+      (String.concat ", " (List.init nregs (fun i -> Fmt.str "%%r%d" i)));
+    pf "  .reg .u64 %%po, %%pacc, %%off;\n  .reg .pred %%p;\n";
+    pf "  mov.u32 %%r0, %%tid.x;\n";
+    pf "  mad.lo.u32 %%r1, %%r0, 2654435761, 977;\n";
+    pf "  mov.u32 %%r2, %%ntid.x;\n  mov.u32 %%r3, %%ctaid.x;\n";
+    pf "  mad.lo.u32 %%r4, %%r3, %%r2, %%r0;\n  mov.u32 %%r5, 12345;\n";
+    let rec emit ~lvl = function
+      | Arith (o, d, a, b) ->
+          (* shifts need small amounts; mask via operand choice is fine
+             because Scalar_ops clamps identically on both sides *)
+          pf "  %s %%r%d, %s, %s;\n" o d a b
+      | If (c, r, t, e) ->
+          let le = fresh () and lj = fresh () in
+          pf "  setp.%s.u32 %%p, %%r%d, 13;\n" c r;
+          pf "  @@!%%p bra %s;\n" le;
+          List.iter (emit ~lvl) t;
+          pf "  bra %s;\n" lj;
+          pf "%s:\n" le;
+          List.iter (emit ~lvl) e;
+          pf "%s:\n" lj
+      | Loop (r, m, body) ->
+          (* each nesting level owns its counter register, so inner loops
+             cannot clobber an outer trip count *)
+          let lh = fresh () and lx = fresh () in
+          pf "  and.b32 %%cnt%d, %%r%d, %d;\n" lvl r m;
+          pf "%s:\n" lh;
+          pf "  setp.eq.u32 %%p, %%cnt%d, 0;\n" lvl;
+          pf "  @@%%p bra %s;\n" lx;
+          List.iter (emit ~lvl:(lvl + 1)) body;
+          pf "  sub.u32 %%cnt%d, %%cnt%d, 1;\n" lvl lvl;
+          pf "  bra %s;\n" lh;
+          pf "%s:\n" lx
+      | Barrier -> pf "  bar.sync 0;\n"
+      | Atomic_add r ->
+          pf "  ld.param.u64 %%pacc, [acc];\n";
+          pf "  atom.global.add.u32 %%old, [%%pacc], %%r%d;\n" r;
+          pf "  xor.b32 %%r%d, %%r%d, %%old;\n" r r
+    in
+    List.iter (emit ~lvl:0) stmts;
+    (* digest all registers into out[gid]; gid is recomputed because the
+       random statements may clobber %r4 *)
+    pf "  mov.u32 %%cnt0, %%tid.x;\n";
+    pf "  mov.u32 %%cnt1, %%ntid.x;\n";
+    pf "  mov.u32 %%cnt2, %%ctaid.x;\n";
+    pf "  mad.lo.u32 %%r4, %%cnt2, %%cnt1, %%cnt0;\n";
+    pf "  xor.b32 %%t, %%r0, %%r1;\n";
+    pf "  xor.b32 %%t, %%t, %%r2;\n";
+    pf "  xor.b32 %%t, %%t, %%r3;\n";
+    pf "  xor.b32 %%t, %%t, %%r5;\n";
+    pf "  ld.param.u64 %%po, [out];\n";
+    pf "  cvt.u64.u32 %%off, %%r4;\n";
+    pf "  shl.b64 %%off, %%off, 2;\n";
+    pf "  add.u64 %%po, %%po, %%off;\n";
+    pf "  st.global.u32 [%%po], %%t;\n";
+    pf "  exit;\n}\n";
+    Buffer.contents buf
+end
+
+(* Note: Loop bodies may contain atomics whose interleaving is
+   order-dependent through the xor of the fetched old value; warps change
+   the interleaving, so generated kernels with Atomic_add inside loops or
+   ifs would be racy.  The generator keeps atomics commutative (sum is
+   deterministic), and the xor digests only the thread's own values, which
+   are interleaving-dependent for %old — so the digest drops %r4 and any
+   register clobbered by Atomic_add would break comparability.  To keep
+   the differential property sound, atomics are rewritten to not feed the
+   digest: we compare only the accumulated counter (commutative) and the
+   digest of non-atomic registers. *)
+
+let atomic_free stmts =
+  let rec clean = function
+    | Gen_kernel.Atomic_add _ -> Gen_kernel.Arith ("add.u32", 5, "%r5", "1")
+    | Gen_kernel.If (c, r, t, e) -> Gen_kernel.If (c, r, List.map clean t, List.map clean e)
+    | Gen_kernel.Loop (r, m, b) -> Gen_kernel.Loop (r, m, List.map clean b)
+    | s -> s
+  in
+  List.map clean stmts
+
+let prop_random_kernel_differential =
+  QCheck.Test.make ~name:"random kernels: pipeline == oracle" ~count:60
+    (QCheck.make
+       ~print:(fun s -> Gen_kernel.to_src (atomic_free s))
+       Gen_kernel.kernel_gen)
+    (fun stmts ->
+      let src = Gen_kernel.to_src (atomic_free stmts) in
+      let threads = 32 and ctas = 2 in
+      let n = threads * ctas in
+      let run config =
+        let dev = Api.create_device () in
+        let m = Api.load_module ~config dev src in
+        let out = Api.malloc dev (4 * n) in
+        let acc = Api.malloc dev 4 in
+        ignore
+          (Api.launch ~fuel:2_000_000 m ~kernel:"rand" ~grid:(Launch.dim3 ctas)
+             ~block:(Launch.dim3 threads)
+             ~args:[ Launch.Ptr out; Launch.Ptr acc ]);
+        Mem.bytes dev.Api.global |> Bytes.to_string
+      in
+      let oracle =
+        let dev = Api.create_device () in
+        let m = Api.load_module dev src in
+        let out = Api.malloc dev (4 * n) in
+        let acc = Api.malloc dev 4 in
+        let g =
+          Api.launch_reference m ~kernel:"rand" ~grid:(Launch.dim3 ctas)
+            ~block:(Launch.dim3 threads)
+            ~args:[ Launch.Ptr out; Launch.Ptr acc ]
+        in
+        Mem.bytes g |> Bytes.to_string
+      in
+      List.for_all (fun (_, config) -> String.equal (run config) oracle) configs)
+
+let workload_cases =
+  List.concat_map
+    (fun (w : Workload.t) ->
+      List.map
+        (fun (name, config) ->
+          Alcotest.test_case
+            (Fmt.str "%s/%s" w.Workload.name name)
+            `Quick
+            (test_workload_config w name config))
+        configs)
+    Registry.all
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ("workloads", workload_cases);
+      ( "behaviour",
+        [
+          Alcotest.test_case "uniform full warps" `Quick test_uniform_kernel_full_warps;
+          Alcotest.test_case "divergent small warps" `Quick test_divergent_kernel_small_warps;
+          Alcotest.test_case "cp speedup" `Quick test_speedup_compute_bound;
+          Alcotest.test_case "mersenne DWF pathology" `Quick test_mersenne_dwf_slowdown;
+          Alcotest.test_case "barrier restores" `Quick test_barrier_kernel_restores;
+          Alcotest.test_case "breakdown sums" `Quick test_breakdown_sums_to_one;
+          Alcotest.test_case "body dominates" `Quick test_compute_bound_body_dominates;
+          Alcotest.test_case "scalar never diverges" `Quick test_scalar_pipeline_never_diverges;
+          Alcotest.test_case "spec-args caching" `Quick test_spec_args_caches_per_arguments;
+          Alcotest.test_case "device functions" `Quick test_device_functions_through_pipeline;
+          Alcotest.test_case "spec-args folding" `Quick test_spec_args_folds_params;
+          Alcotest.test_case "table1 shape" `Quick test_throughput_table1_shape;
+        ] );
+      ( "random",
+        [ QCheck_alcotest.to_alcotest prop_random_kernel_differential ] );
+    ]

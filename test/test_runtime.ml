@@ -1,0 +1,296 @@
+(* Tests for the runtime: translation cache, execution manager (warp
+   formation policies, barrier bookkeeping, CTA partitioning), statistics
+   and the host API. *)
+
+module Api = Vekt_runtime.Api
+module TC = Vekt_runtime.Translation_cache
+module EM = Vekt_runtime.Exec_manager
+module Stats = Vekt_runtime.Stats
+module Interp = Vekt_vm.Interp
+module Vectorize = Vekt_transform.Vectorize
+open Vekt_ptx
+
+let diverging_src =
+  {|
+.entry div4 (.param .u64 out)
+{
+  .reg .u32 %tid, %v, %bucket;
+  .reg .u64 %po, %off;
+  .reg .pred %p;
+  mov.u32 %tid, %tid.x;
+  and.b32 %bucket, %tid, 3;
+  setp.eq.u32 %p, %bucket, 0;
+  @%p bra B0;
+  setp.eq.u32 %p, %bucket, 1;
+  @%p bra B1;
+  setp.eq.u32 %p, %bucket, 2;
+  @%p bra B2;
+  mov.u32 %v, 33;
+  bra OUT;
+B0: mov.u32 %v, 10;
+  bra OUT;
+B1: mov.u32 %v, 11;
+  bra OUT;
+B2: mov.u32 %v, 22;
+OUT:
+  ld.param.u64 %po, [out];
+  cvt.u64.u32 %off, %tid;
+  shl.b64 %off, %off, 2;
+  add.u64 %po, %po, %off;
+  st.global.u32 [%po], %v;
+  exit;
+}
+|}
+
+let barrier_src =
+  {|
+.entry bexch (.param .u64 out)
+{
+  .reg .u32 %tid, %v, %other;
+  .reg .u64 %po, %off, %sa;
+  .shared .u32 buf[32];
+  mov.u32 %tid, %tid.x;
+  cvt.u64.u32 %off, %tid;
+  shl.b64 %off, %off, 2;
+  mov.u64 %sa, buf;
+  add.u64 %sa, %sa, %off;
+  st.shared.u32 [%sa], %tid;
+  bar.sync 0;
+  xor.b32 %other, %tid, 31;
+  cvt.u64.u32 %off, %other;
+  shl.b64 %off, %off, 2;
+  mov.u64 %sa, buf;
+  add.u64 %sa, %sa, %off;
+  ld.shared.u32 %v, [%sa];
+  ld.param.u64 %po, [out];
+  cvt.u64.u32 %off, %tid;
+  shl.b64 %off, %off, 2;
+  add.u64 %po, %po, %off;
+  st.global.u32 [%po], %v;
+  exit;
+}
+|}
+
+(* --- Translation cache --- *)
+
+let prepare ?mode ?widths src ~kernel =
+  TC.prepare ?mode ?widths (Parser.parse_module src) ~kernel
+
+let test_cache_lazy_and_memoized () =
+  let c = prepare diverging_src ~kernel:"div4" in
+  Alcotest.(check int) "nothing compiled yet" 0 c.TC.compile_count;
+  let e1 = TC.get c ~ws:4 () in
+  Alcotest.(check int) "one compile" 1 c.TC.compile_count;
+  let e2 = TC.get c ~ws:4 () in
+  Alcotest.(check int) "cached" 1 c.TC.compile_count;
+  Alcotest.(check bool) "same entry" true (e1 == e2);
+  ignore (TC.get c ~ws:1 ());
+  Alcotest.(check int) "second width compiles" 2 c.TC.compile_count
+
+let test_cache_rejects_unknown_width () =
+  let c = prepare diverging_src ~kernel:"div4" in
+  Alcotest.(check bool) "width 3 invalid" true
+    (try
+       ignore (TC.get c ~ws:3 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_cache_best_width () =
+  let c = prepare diverging_src ~kernel:"div4" in
+  Alcotest.(check int) "7 -> 4" 4 (TC.best_width c 7);
+  Alcotest.(check int) "3 -> 2" 2 (TC.best_width c 3);
+  Alcotest.(check int) "1 -> 1" 1 (TC.best_width c 1)
+
+let test_cache_requires_scalar () =
+  Alcotest.(check bool) "widths without 1 rejected" true
+    (try
+       ignore (prepare ~widths:[ 4; 2 ] diverging_src ~kernel:"div4");
+       false
+     with Invalid_argument _ -> true)
+
+let test_cache_entry_ids_shared () =
+  let c = prepare diverging_src ~kernel:"div4" in
+  let e4 = TC.get c ~ws:4 () in
+  let e1 = TC.get c ~ws:1 () in
+  Alcotest.(check bool) "same entry ids across widths" true
+    (e4.TC.vect.Vectorize.entry_ids = e1.TC.vect.Vectorize.entry_ids)
+
+(* --- Execution manager --- *)
+
+let launch ?(mode = Vectorize.Dynamic) ?(block = 32) ?(grid = 1) ?workers src ~kernel =
+  let cache = TC.prepare ~mode (Parser.parse_module src) ~kernel in
+  let global = Mem.create 1024 in
+  let k = Option.get (Ast.find_kernel (Parser.parse_module src) kernel) in
+  let params = Launch.param_block k [ Launch.Ptr 0 ] in
+  let stats =
+    EM.launch_kernel ?workers cache ~grid:(Launch.dim3 grid) ~block:(Launch.dim3 block)
+      ~global ~params ~consts:(Mem.create 0)
+  in
+  (stats, global)
+
+let test_em_four_way_divergence () =
+  (* four-way bucket switch: after full divergence, reformation should
+     rebuild full warps (threads mod 4 reconverge at OUT). *)
+  let stats, global = launch diverging_src ~kernel:"div4" in
+  let expected = List.init 32 (fun t -> [| 10; 11; 22; 33 |].(t land 3)) in
+  Alcotest.(check (list int)) "values" expected (Mem.read_i32s global ~at:0 32);
+  Alcotest.(check bool) "warps reformed" true (Stats.average_warp_size stats > 1.5)
+
+let test_em_barrier_exchange () =
+  let stats, global = launch barrier_src ~kernel:"bexch" in
+  let expected = List.init 32 (fun t -> t lxor 31) in
+  Alcotest.(check (list int)) "exchange" expected (Mem.read_i32s global ~at:0 32);
+  Alcotest.(check bool) "barrier released" true (stats.Stats.barrier_releases >= 32)
+
+let test_em_static_warps_row_aligned () =
+  (* static policy with 2-D blocks: warps never cross tid.y rows *)
+  let src =
+    {|
+.entry rows (.param .u64 out)
+{
+  .reg .u32 %tx, %ty, %idx;
+  .reg .u64 %po, %off;
+  mov.u32 %tx, %tid.x;
+  mov.u32 %ty, %tid.y;
+  mad.lo.u32 %idx, %ty, 6, %tx;
+  ld.param.u64 %po, [out];
+  cvt.u64.u32 %off, %idx;
+  shl.b64 %off, %off, 2;
+  add.u64 %po, %po, %off;
+  st.global.u32 [%po], %idx;
+  exit;
+}
+|}
+  in
+  let cache = TC.prepare ~mode:Vectorize.Static_tie (Parser.parse_module src) ~kernel:"rows" in
+  let global = Mem.create 1024 in
+  let k = Option.get (Ast.find_kernel (Parser.parse_module src) "rows") in
+  let params = Launch.param_block k [ Launch.Ptr 0 ] in
+  let stats =
+    EM.launch_kernel cache ~grid:(Launch.dim3 1)
+      ~block:(Launch.dim3 6 ~y:4) (* 6-wide rows: warps must split 4+2 *)
+      ~global ~params ~consts:(Mem.create 0)
+  in
+  Alcotest.(check (list int)) "identity" (List.init 24 Fun.id)
+    (Mem.read_i32s global ~at:0 24);
+  (* 4 rows x (one warp of 4 + one warp of 2) *)
+  Alcotest.(check (option int)) "warps of 4" (Some 4)
+    (Hashtbl.find_opt stats.Stats.warp_hist 4);
+  Alcotest.(check (option int)) "warps of 2" (Some 4)
+    (Hashtbl.find_opt stats.Stats.warp_hist 2)
+
+let test_em_multicta_partitioning () =
+  (* results must be independent of the worker count *)
+  let run workers =
+    let _, global = launch ~grid:8 ~workers diverging_src ~kernel:"div4" in
+    Bytes.to_string (Mem.bytes global)
+  in
+  let r1 = run 1 in
+  Alcotest.(check bool) "1 vs 3 workers" true (String.equal r1 (run 3));
+  Alcotest.(check bool) "1 vs 8 workers" true (String.equal r1 (run 8))
+
+let test_em_wall_cycles_max_not_sum () =
+  let stats1, _ = launch ~grid:4 ~workers:1 diverging_src ~kernel:"div4" in
+  let stats4, _ = launch ~grid:4 ~workers:4 diverging_src ~kernel:"div4" in
+  Alcotest.(check bool) "parallel wall < serial wall" true
+    (stats4.Stats.wall_cycles < stats1.Stats.wall_cycles);
+  (* total work is the same *)
+  Alcotest.(check int) "same dyn instrs"
+    stats1.Stats.counters.Interp.dyn_instrs stats4.Stats.counters.Interp.dyn_instrs
+
+(* --- Stats --- *)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.record_warp a 4;
+  Stats.record_warp b 4;
+  Stats.record_warp b 2;
+  a.Stats.em_cycles <- 100.0;
+  b.Stats.em_cycles <- 50.0;
+  let into = Stats.create () in
+  Stats.merge_into ~into a;
+  Stats.merge_into ~into b;
+  Alcotest.(check (option int)) "hist 4" (Some 2) (Hashtbl.find_opt into.Stats.warp_hist 4);
+  Alcotest.(check (float 1e-9)) "em sums" 150.0 into.Stats.em_cycles;
+  Alcotest.(check (float 0.01)) "avg ws" (10.0 /. 3.0) (Stats.average_warp_size into)
+
+(* --- API --- *)
+
+let test_api_malloc_alignment_and_oom () =
+  let dev = Api.create_device ~global_bytes:4096 () in
+  let a = Api.malloc dev 10 in
+  let b = Api.malloc dev 10 in
+  Alcotest.(check int) "aligned" 0 (a mod 16);
+  Alcotest.(check bool) "disjoint" true (b >= a + 10);
+  Alcotest.(check bool) "oom" true
+    (try
+       ignore (Api.malloc dev 100_000);
+       false
+     with Api.Api_error _ -> true)
+
+let test_api_bad_module () =
+  let dev = Api.create_device () in
+  Alcotest.(check bool) "parse error surfaced" true
+    (try
+       ignore (Api.load_module dev ".entry k ( { }");
+       false
+     with Api.Api_error _ -> true);
+  Alcotest.(check bool) "type error surfaced" true
+    (try
+       ignore (Api.load_module dev {|.entry k () { add.u32 %a, %a, 1; exit; }|});
+       false
+     with Api.Api_error _ -> true)
+
+let test_api_unknown_kernel () =
+  let dev = Api.create_device () in
+  let m = Api.load_module dev {|.entry k () { exit; }|} in
+  Alcotest.(check bool) "unknown kernel" true
+    (try
+       ignore (Api.launch m ~kernel:"nope" ~grid:(Launch.dim3 1) ~block:(Launch.dim3 1) ~args:[]);
+       false
+     with Api.Api_error _ -> true)
+
+let test_api_arg_mismatch () =
+  let dev = Api.create_device () in
+  let m = Api.load_module dev {|.entry k (.param .u32 n) { exit; }|} in
+  Alcotest.(check bool) "arity" true
+    (try
+       ignore (Api.launch m ~kernel:"k" ~grid:(Launch.dim3 1) ~block:(Launch.dim3 1) ~args:[]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "kind" true
+    (try
+       ignore
+         (Api.launch m ~kernel:"k" ~grid:(Launch.dim3 1) ~block:(Launch.dim3 1)
+            ~args:[ Launch.F32 1.0 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "translation_cache",
+        [
+          Alcotest.test_case "lazy+memoized" `Quick test_cache_lazy_and_memoized;
+          Alcotest.test_case "unknown width" `Quick test_cache_rejects_unknown_width;
+          Alcotest.test_case "best width" `Quick test_cache_best_width;
+          Alcotest.test_case "requires scalar" `Quick test_cache_requires_scalar;
+          Alcotest.test_case "entry ids shared" `Quick test_cache_entry_ids_shared;
+        ] );
+      ( "exec_manager",
+        [
+          Alcotest.test_case "4-way divergence" `Quick test_em_four_way_divergence;
+          Alcotest.test_case "barrier exchange" `Quick test_em_barrier_exchange;
+          Alcotest.test_case "static rows" `Quick test_em_static_warps_row_aligned;
+          Alcotest.test_case "partitioning" `Quick test_em_multicta_partitioning;
+          Alcotest.test_case "wall cycles" `Quick test_em_wall_cycles_max_not_sum;
+        ] );
+      ("stats", [ Alcotest.test_case "merge" `Quick test_stats_merge ]);
+      ( "api",
+        [
+          Alcotest.test_case "malloc" `Quick test_api_malloc_alignment_and_oom;
+          Alcotest.test_case "bad module" `Quick test_api_bad_module;
+          Alcotest.test_case "unknown kernel" `Quick test_api_unknown_kernel;
+          Alcotest.test_case "arg mismatch" `Quick test_api_arg_mismatch;
+        ] );
+    ]

@@ -1,0 +1,328 @@
+(* Tests for the vector-machine substrate: machine descriptions, the µop
+   timing model (scoreboard, chunking, register-pressure spills) and the
+   IR interpreter. *)
+
+module Ir = Vekt_ir.Ir
+module Ty = Vekt_ir.Ty
+module Builder = Vekt_ir.Builder
+module Machine = Vekt_vm.Machine
+module Timing = Vekt_vm.Timing
+module Interp = Vekt_vm.Interp
+open Vekt_ptx
+
+let s32 = Ty.scalar Ast.S32
+let f32 = Ty.scalar Ast.F32
+let imm_i n = Ir.Imm (Scalar_ops.I (Int64.of_int n), Ast.S32)
+let imm_f x = Ir.Imm (Scalar_ops.F x, Ast.F32)
+
+(* --- Machine --- *)
+
+let test_machine_peak () =
+  Alcotest.(check (float 0.1)) "sse4 peak" 108.8 (Machine.peak_sp_gflops Machine.sse4);
+  Alcotest.(check (float 0.1)) "avx peak" 217.6 (Machine.peak_sp_gflops Machine.avx)
+
+let test_machine_chunks () =
+  Alcotest.(check int) "4xf32 on sse" 1 (Machine.chunks Machine.sse4 Ast.F32 4);
+  Alcotest.(check int) "8xf32 on sse" 2 (Machine.chunks Machine.sse4 Ast.F32 8);
+  Alcotest.(check int) "8xf32 on avx" 1 (Machine.chunks Machine.avx Ast.F32 8);
+  Alcotest.(check int) "4xf64 on sse" 2 (Machine.chunks Machine.sse4 Ast.F64 4)
+
+(* --- Timing --- *)
+
+(* A block of [n] dependent vector fmas (a serial chain) vs [n] independent
+   ones: the chain must cost roughly latency*n, the independent set roughly
+   n/throughput. *)
+let fma_block ~dependent n =
+  let b = Builder.create ~warp_size:4 "t" in
+  ignore (Builder.start_block b "entry");
+  let v4 = Ty.vector Ast.F32 4 in
+  let acc = Builder.fresh_reg b v4 in
+  Builder.emit b (Ir.Mov (v4, acc, imm_f 1.0));
+  let regs = Array.init n (fun _ -> Builder.fresh_reg b v4) in
+  for i = 0 to n - 1 do
+    let src = if dependent then (if i = 0 then acc else regs.(i - 1)) else acc in
+    Builder.emit b (Ir.Fma (v4, regs.(i), Ir.R src, imm_f 0.5, imm_f 0.25))
+  done;
+  (* keep everything alive through a store of the last value *)
+  Builder.emit b
+    (Ir.Store (Ast.Global, Ast.F32, Ir.Imm (Scalar_ops.I 0L, Ast.S64), 0,
+               Ir.Imm (Scalar_ops.F 0.0, Ast.F32)));
+  Builder.set_term b Ir.Return;
+  Builder.func b
+
+let test_timing_dependent_slower () =
+  let dep = Timing.analyze Machine.sse4 (fma_block ~dependent:true 32) in
+  let ind = Timing.analyze Machine.sse4 (fma_block ~dependent:false 32) in
+  let c t = (Option.get (Timing.block_cost t "entry")).Timing.cycles in
+  Alcotest.(check bool)
+    (Fmt.str "chain %.0f >> independent %.0f" (c dep) (c ind))
+    true
+    (c dep > 2.0 *. c ind)
+
+let test_timing_flops_counted () =
+  let t = Timing.analyze Machine.sse4 (fma_block ~dependent:false 10) in
+  (* 10 fmas x 4 lanes x 2 flops *)
+  Alcotest.(check int) "flops" 80 (Timing.flops t "entry")
+
+let test_timing_wide_vectors_chunked () =
+  let mk w =
+    let b = Builder.create ~warp_size:w "t" in
+    ignore (Builder.start_block b "entry");
+    let v = Ty.vector Ast.F32 w in
+    let x = Builder.fresh_reg b v in
+    Builder.emit b (Ir.Bin (Ast.Add, v, x, imm_f 1.0, imm_f 2.0));
+    Builder.emit b
+      (Ir.Store (Ast.Global, Ast.F32, Ir.Imm (Scalar_ops.I 0L, Ast.S64), 0, imm_f 0.0));
+    Builder.set_term b Ir.Return;
+    Builder.func b
+  in
+  let u w =
+    (Option.get (Timing.block_cost (Timing.analyze Machine.sse4 (mk w)) "entry"))
+      .Timing.uops
+  in
+  (* the store contributes 1 µop; the add contributes chunks *)
+  Alcotest.(check int) "4-wide 1 chunk" 2 (u 4);
+  Alcotest.(check int) "8-wide 2 chunks" 3 (u 8);
+  Alcotest.(check int) "16-wide 4 chunks" 5 (u 16)
+
+let test_timing_pressure_spills () =
+  (* many simultaneously-live vector registers -> spill penalty *)
+  let mk n =
+    let b = Builder.create ~warp_size:4 "t" in
+    ignore (Builder.start_block b "entry");
+    let v4 = Ty.vector Ast.F32 4 in
+    let regs = Array.init n (fun _ -> Builder.fresh_reg b v4) in
+    Array.iter (fun r -> Builder.emit b (Ir.Mov (v4, r, imm_f 1.0))) regs;
+    (* keep all alive: a use after all defs *)
+    let acc = Builder.fresh_reg b v4 in
+    Builder.emit b (Ir.Mov (v4, acc, imm_f 0.0));
+    Array.iter
+      (fun r -> Builder.emit b (Ir.Bin (Ast.Add, v4, acc, Ir.R acc, Ir.R r)))
+      regs;
+    Builder.emit b
+      (Ir.Store (Ast.Global, Ast.F32, Ir.Imm (Scalar_ops.I 0L, Ast.S64), 0, imm_f 0.0));
+    Builder.set_term b Ir.Return;
+    Builder.func b
+  in
+  let cost n =
+    Option.get (Timing.block_cost (Timing.analyze Machine.sse4 (mk n)) "entry")
+  in
+  Alcotest.(check int) "8 regs fit" 0 (cost 8).Timing.spill_uops;
+  Alcotest.(check bool) "40 regs spill" true ((cost 40).Timing.spill_uops > 0);
+  Alcotest.(check bool) "pressure reported" true ((cost 40).Timing.max_vec_pressure > 16)
+
+let test_timing_scalar_cheaper_ports () =
+  (* a vector f32 add and a scalar f32 add cost the same port slots, so
+     4x the work at equal cost: the vector machine's raison d'etre *)
+  let mk width =
+    let b = Builder.create ~warp_size:width "t" in
+    ignore (Builder.start_block b "entry");
+    let ty = Ty.make Ast.F32 width in
+    for _ = 1 to 16 do
+      let r = Builder.fresh_reg b ty in
+      Builder.emit b (Ir.Bin (Ast.Add, ty, r, imm_f 1.0, imm_f 2.0));
+      Builder.emit b
+        (Ir.Store (Ast.Global, Ast.F32, Ir.Imm (Scalar_ops.I 0L, Ast.S64), 0,
+                   (if width = 1 then Ir.R r else imm_f 0.0)))
+    done;
+    Builder.set_term b Ir.Return;
+    Builder.func b
+  in
+  let c w =
+    (Option.get (Timing.block_cost (Timing.analyze Machine.sse4 (mk w)) "entry"))
+      .Timing.cycles
+  in
+  Alcotest.(check bool) "within 30%" true (Float.abs (c 4 -. c 1) /. c 1 < 0.3)
+
+(* --- Interp --- *)
+
+let mems ?(global = 64) ?(shared = 64) ?(local = 256) () =
+  {
+    Interp.global = Mem.create global;
+    shared = Mem.create shared;
+    local = Mem.create local;
+    params = Mem.create 16;
+    consts = Mem.create 16;
+  }
+
+let warp4 ?(entry = 0) () =
+  {
+    Interp.lanes =
+      Array.init 4 (fun i ->
+          {
+            Interp.tid = Launch.dim3 i;
+            ctaid = Launch.dim3 0;
+            local_base = i * 64;
+            resume_point = 0;
+          });
+    entry_id = entry;
+    status = Ir.Status_exit;
+  }
+
+let launch1 = { Interp.grid = Launch.dim3 2; block = Launch.dim3 4 }
+
+let test_interp_vector_arith () =
+  let b = Builder.create ~warp_size:4 "t" in
+  ignore (Builder.start_block b "entry");
+  let v4 = Ty.vector Ast.S32 4 in
+  let tid = Builder.fresh_reg b v4 in
+  for l = 0 to 3 do
+    let s = Builder.fresh_reg b s32 in
+    Builder.emit b (Ir.Ctx_read (s, Ir.Tid Ast.X, l));
+    Builder.emit b (Ir.Insert (v4, tid, Ir.R tid, l, Ir.R s))
+  done;
+  let sq = Builder.fresh_reg b v4 in
+  Builder.emit b (Ir.Bin (Ast.Mul_lo, v4, sq, Ir.R tid, Ir.R tid));
+  (* store each lane to global[4*lane] *)
+  for l = 0 to 3 do
+    let s = Builder.fresh_reg b s32 in
+    Builder.emit b (Ir.Extract (Ast.S32, s, Ir.R sq, l));
+    Builder.emit b
+      (Ir.Store (Ast.Global, Ast.S32, Ir.Imm (Scalar_ops.I (Int64.of_int (4 * l)), Ast.S64), 0, Ir.R s))
+  done;
+  Builder.set_term b Ir.Return;
+  let f = Builder.func b in
+  Vekt_ir.Verify.check_exn f;
+  let mem = mems () in
+  Interp.exec f ~launch:launch1 (warp4 ()) mem;
+  Alcotest.(check (list int)) "squares" [ 0; 1; 4; 9 ] (Mem.read_i32s mem.Interp.global ~at:0 4)
+
+let test_interp_spill_restore_roundtrip () =
+  let b = Builder.create ~warp_size:4 "t" in
+  ignore (Builder.start_block b "entry");
+  let v4 = Ty.vector Ast.F32 4 in
+  let x = Builder.fresh_reg b v4 in
+  for l = 0 to 3 do
+    let s = Builder.fresh_reg b (Ty.scalar Ast.U32) in
+    Builder.emit b (Ir.Ctx_read (s, Ir.Tid Ast.X, l));
+    let c = Builder.fresh_reg b f32 in
+    Builder.emit b (Ir.Cvt (f32, Ty.scalar Ast.U32, c, Ir.R s));
+    Builder.emit b (Ir.Insert (v4, x, Ir.R x, l, Ir.R c))
+  done;
+  for l = 0 to 3 do
+    Builder.emit b (Ir.Spill (l, 16, Ast.F32, Ir.R x))
+  done;
+  (* restore into fresh scalars and write out *)
+  for l = 0 to 3 do
+    let r = Builder.fresh_reg b f32 in
+    Builder.emit b (Ir.Restore (r, l, 16, Ast.F32));
+    Builder.emit b
+      (Ir.Store (Ast.Global, Ast.F32, Ir.Imm (Scalar_ops.I (Int64.of_int (4 * l)), Ast.S64), 0, Ir.R r))
+  done;
+  Builder.set_term b Ir.Return;
+  let f = Builder.func b in
+  Vekt_ir.Verify.check_exn f;
+  let mem = mems () in
+  let counters = Interp.fresh_counters () in
+  Interp.exec ~counters f ~launch:launch1 (warp4 ()) mem;
+  Alcotest.(check (list (float 0.0))) "roundtrip" [ 0.; 1.; 2.; 3. ]
+    (Mem.read_f32s mem.Interp.global ~at:0 4);
+  Alcotest.(check int) "restores counted" 4 counters.Interp.restores;
+  Alcotest.(check int) "spills counted" 4 counters.Interp.spills
+
+let test_interp_switch_and_resume () =
+  let b = Builder.create ~warp_size:4 "t" in
+  ignore (Builder.start_block b "entry" ~kind:Ir.Scheduler);
+  let eid = Builder.emit_val b s32 (fun d -> Ir.Ctx_read (d, Ir.Entry_id, 0)) in
+  Builder.set_term b (Ir.Switch (Ir.R eid, [ (0, "a"); (7, "bb") ], "a"));
+  ignore (Builder.start_block b "a");
+  Builder.emit b (Ir.Set_status Ir.Status_exit);
+  Builder.set_term b Ir.Return;
+  ignore (Builder.start_block b "bb");
+  for l = 0 to 3 do
+    Builder.emit b (Ir.Set_resume (l, imm_i (100 + l)))
+  done;
+  Builder.emit b (Ir.Set_status Ir.Status_barrier);
+  Builder.set_term b Ir.Return;
+  let f = Builder.func b in
+  let mem = mems () in
+  let w = warp4 ~entry:7 () in
+  Interp.exec f ~launch:launch1 w mem;
+  Alcotest.(check bool) "status barrier" true (w.Interp.status = Ir.Status_barrier);
+  Alcotest.(check int) "lane 2 resume" 102 w.Interp.lanes.(2).Interp.resume_point
+
+let test_interp_reduce_add () =
+  let b = Builder.create ~warp_size:4 "t" in
+  ignore (Builder.start_block b "entry");
+  let p4 = Ty.vector Ast.Pred 4 in
+  let v4 = Ty.vector Ast.S32 4 in
+  let tid = Builder.fresh_reg b v4 in
+  for l = 0 to 3 do
+    let s = Builder.fresh_reg b s32 in
+    Builder.emit b (Ir.Ctx_read (s, Ir.Tid Ast.X, l));
+    Builder.emit b (Ir.Insert (v4, tid, Ir.R tid, l, Ir.R s))
+  done;
+  let p = Builder.fresh_reg b p4 in
+  Builder.emit b (Ir.Cmp (Ast.Ge, v4, p, Ir.R tid, imm_i 2));
+  let sum = Builder.fresh_reg b s32 in
+  Builder.emit b (Ir.Reduce_add (sum, Ir.R p));
+  Builder.emit b
+    (Ir.Store (Ast.Global, Ast.S32, Ir.Imm (Scalar_ops.I 0L, Ast.S64), 0, Ir.R sum));
+  Builder.set_term b Ir.Return;
+  let f = Builder.func b in
+  let mem = mems () in
+  Interp.exec f ~launch:launch1 (warp4 ()) mem;
+  Alcotest.(check int) "two lanes >= 2" 2 (Mem.read_i32 mem.Interp.global 0)
+
+let test_interp_wrong_warp_width () =
+  let b = Builder.create ~warp_size:2 "t" in
+  ignore (Builder.start_block b "entry");
+  Builder.set_term b Ir.Return;
+  let f = Builder.func b in
+  Alcotest.(check bool) "trapped" true
+    (try
+       Interp.exec f ~launch:launch1 (warp4 ()) (mems ());
+       false
+     with Interp.Trap _ -> true)
+
+let test_interp_fuel () =
+  let b = Builder.create ~warp_size:4 "t" in
+  ignore (Builder.start_block b "entry");
+  Builder.set_term b (Ir.Jump "entry");
+  let f = Builder.func b in
+  Alcotest.check_raises "fuel" Interp.Out_of_fuel (fun () ->
+      Interp.exec ~fuel:100 f ~launch:launch1 (warp4 ()) (mems ()))
+
+let test_interp_imm_splat () =
+  let b = Builder.create ~warp_size:4 "t" in
+  ignore (Builder.start_block b "entry");
+  let v4 = Ty.vector Ast.F32 4 in
+  let x = Builder.fresh_reg b v4 in
+  Builder.emit b (Ir.Bin (Ast.Add, v4, x, imm_f 1.5, imm_f 2.0));
+  let s = Builder.fresh_reg b f32 in
+  Builder.emit b (Ir.Extract (Ast.F32, s, Ir.R x, 3));
+  Builder.emit b
+    (Ir.Store (Ast.Global, Ast.F32, Ir.Imm (Scalar_ops.I 0L, Ast.S64), 0, Ir.R s));
+  Builder.set_term b Ir.Return;
+  let f = Builder.func b in
+  let mem = mems () in
+  Interp.exec f ~launch:launch1 (warp4 ()) mem;
+  Alcotest.(check (float 0.0)) "splat lane 3" 3.5 (Mem.read_f32 mem.Interp.global 0)
+
+let () =
+  Alcotest.run "vm"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "peak" `Quick test_machine_peak;
+          Alcotest.test_case "chunks" `Quick test_machine_chunks;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "dependent slower" `Quick test_timing_dependent_slower;
+          Alcotest.test_case "flops" `Quick test_timing_flops_counted;
+          Alcotest.test_case "chunking" `Quick test_timing_wide_vectors_chunked;
+          Alcotest.test_case "pressure spills" `Quick test_timing_pressure_spills;
+          Alcotest.test_case "vector parity" `Quick test_timing_scalar_cheaper_ports;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "vector arith" `Quick test_interp_vector_arith;
+          Alcotest.test_case "spill/restore" `Quick test_interp_spill_restore_roundtrip;
+          Alcotest.test_case "switch/resume" `Quick test_interp_switch_and_resume;
+          Alcotest.test_case "reduce add" `Quick test_interp_reduce_add;
+          Alcotest.test_case "warp width" `Quick test_interp_wrong_warp_width;
+          Alcotest.test_case "fuel" `Quick test_interp_fuel;
+          Alcotest.test_case "imm splat" `Quick test_interp_imm_splat;
+        ] );
+    ]
