@@ -35,14 +35,43 @@ let scale = ref 2
 
 type run = { report : Api.report; name : string }
 
+(* With [--trace-dir DIR], every workload launch writes a Chrome
+   trace-event artifact DIR/<workload>-<seq>.json (multiple configs of
+   the same workload get successive sequence numbers), so any figure
+   regression can be drilled into in Perfetto. *)
+let trace_dir : string option ref = ref None
+let trace_seq = ref 0
+
+let emit_trace name (t : Vekt_obs.Trace.t) =
+  match !trace_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      incr trace_seq;
+      let path = Fmt.str "%s/%s-%03d.json" dir name !trace_seq in
+      let oc = open_out_bin path in
+      output_string oc (Vekt_obs.Trace.to_chrome_json t);
+      close_out oc
+
 let run_workload ?em_costs (w : Workload.t) (config : Api.config) : run =
   let dev = Api.create_device ?em_costs () in
   let m = Api.load_module ~config dev w.Workload.src in
   let inst = w.Workload.setup ~scale:!scale dev in
+  let tracer =
+    match !trace_dir with
+    | Some _ -> Some (Vekt_obs.Trace.create ~capacity:(1 lsl 18) ())
+    | None -> None
+  in
+  let sink =
+    match tracer with
+    | Some t -> Vekt_obs.Trace.sink t
+    | None -> Vekt_obs.Sink.noop
+  in
   let report =
-    Api.launch m ~kernel:w.Workload.kernel ~grid:inst.Workload.grid
+    Api.launch ~sink m ~kernel:w.Workload.kernel ~grid:inst.Workload.grid
       ~block:inst.Workload.block ~args:inst.Workload.args
   in
+  Option.iter (emit_trace w.Workload.name) tracer;
   (match inst.Workload.check dev with
   | Ok () -> ()
   | Error e -> Fmt.failwith "%s: wrong results under %s: %s" w.Workload.name "bench" e);
@@ -397,6 +426,9 @@ let () =
   let rec parse_args = function
     | "--scale" :: n :: rest ->
         scale := int_of_string n;
+        parse_args rest
+    | "--trace-dir" :: dir :: rest ->
+        trace_dir := Some dir;
         parse_args rest
     | x :: rest -> x :: parse_args rest
     | [] -> []

@@ -26,6 +26,7 @@ module Passes = Vekt_transform.Passes
 module Invariance = Vekt_analysis.Invariance
 module Api = Vekt_runtime.Api
 module Stats = Vekt_runtime.Stats
+module Obs = Vekt_obs
 open Vekt_ptx
 open Cmdliner
 
@@ -191,8 +192,18 @@ let dump_arg =
 
 (* ---- run ---- *)
 
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let has_suffix ~suffix s =
+  let n = String.length s and m = String.length suffix in
+  n >= m && String.sub s (n - m) m = suffix
+
 let run_cmd =
-  let run file kernel grid block arg_specs dumps static affine ws =
+  let run file kernel grid block arg_specs dumps static affine ws trace profile
+      metrics =
     let src, m = load file in
     let kernel = pick_kernel m kernel in
     let dev = Api.create_device () in
@@ -206,8 +217,14 @@ let run_cmd =
     in
     let api_m = Api.load_module ~config dev src in
     let args = List.map (parse_arg_spec dev) arg_specs in
+    let tracer = Option.map (fun _ -> Obs.Trace.create ()) trace in
+    let sink =
+      match tracer with Some t -> Obs.Trace.sink t | None -> Obs.Sink.noop
+    in
+    let prof = if profile then Some (Obs.Divergence.create ()) else None in
     let r =
-      Api.launch api_m ~kernel ~grid:(Launch.dim3 grid) ~block:(Launch.dim3 block)
+      Api.launch ~sink ?profile:prof api_m ~kernel ~grid:(Launch.dim3 grid)
+        ~block:(Launch.dim3 block)
         ~args:(List.map (fun a -> a.launch_arg) args)
     in
     List.iter (dump_result dev args) dumps;
@@ -215,13 +232,73 @@ let run_cmd =
     Fmt.pr
       "%.0f cycles (%.3f ms), %.2f GFLOP/s, avg warp %.2f; cycles: EM %.0f%% yield %.0f%% kernel %.0f%%@."
       r.Api.cycles r.Api.time_ms r.Api.gflops r.Api.avg_warp_size (100. *. em)
-      (100. *. yld) (100. *. body)
+      (100. *. yld) (100. *. body);
+    (match (trace, tracer) with
+    | Some path, Some t ->
+        let contents =
+          if has_suffix ~suffix:".txt" path then Obs.Trace.to_text t
+          else Obs.Trace.to_chrome_json t
+        in
+        write_file path contents;
+        Fmt.pr "trace: %d events (%d dropped) -> %s@." (Obs.Trace.recorded t)
+          (Obs.Trace.dropped t) path
+    | _ -> ());
+    (match prof with
+    | Some p ->
+        Obs.Divergence.report Fmt.stdout p;
+        Fmt.pr
+          "profile totals: %d warps, %d restores (stats: %d warps, %d restores)@."
+          (Obs.Divergence.total_entries p)
+          (Obs.Divergence.total_restores p)
+          (Hashtbl.fold (fun _ c a -> a + c) r.Api.stats.Stats.warp_hist 0)
+          r.Api.stats.Stats.counters.Vekt_vm.Interp.restores
+    | None -> ());
+    match metrics with
+    | Some path ->
+        let reg = Api.metrics api_m ~kernel r in
+        if path = "-" then Obs.Metrics.pp Fmt.stdout reg
+        else begin
+          let contents =
+            if has_suffix ~suffix:".json" path then Obs.Metrics.to_json reg
+            else Obs.Metrics.to_csv reg
+          in
+          write_file path contents;
+          Fmt.pr "metrics: %d series -> %s@."
+            (List.length (Obs.Metrics.names reg))
+            path
+        end
+    | None -> ()
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record an event trace and write it to $(docv): Chrome \
+             trace-event JSON (open in Perfetto), or plain text if $(docv) \
+             ends in .txt")
+  in
+  let profile_arg =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"Print the per-entry-point divergence profile after the run")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Export the metrics registry to $(docv): CSV by default, JSON if \
+             $(docv) ends in .json, human-readable on stdout if $(docv) is -")
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Launch a kernel on the simulated vector machine")
     Term.(
       const run $ file_arg $ kernel_arg $ grid_arg $ block_arg $ args_arg $ dump_arg
-      $ static_arg $ affine_arg $ ws_arg)
+      $ static_arg $ affine_arg $ ws_arg $ trace_arg $ profile_arg $ metrics_arg)
 
 (* ---- emulate ---- *)
 

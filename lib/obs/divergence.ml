@@ -1,0 +1,184 @@
+(** Divergence profiles: per-entry-point warp/restore/spill histograms
+    plus per-block execution hotness.
+
+    Entry points are the yield targets the divergence plan assigns ids
+    to ({!Vekt_transform.Plan.entry_ids}); entry 0 is the kernel start,
+    every other id is a reconvergence point reached after a divergent
+    yield.  The execution manager records one {!record_entry} per
+    subkernel call with the restore/spill deltas of that call, so the
+    profile decomposes Figure 7 (warp sizes) and Figure 8 (restores)
+    *per entry point* instead of per launch; the interpreter bumps
+    {!touch_block} per executed block, which ranks the hot divergent
+    branches.
+
+    The profiler is allocation-free per warp after the first call for a
+    given entry id (one [entry_prof] record per entry point, reused). *)
+
+type entry_prof = {
+  mutable entries : int;  (** subkernel calls made at this entry point *)
+  mutable threads : int;  (** lanes across those calls *)
+  mutable restores : int;
+  mutable spills : int;
+  warp_hist : (int, int) Hashtbl.t;  (** warp size → calls *)
+}
+
+type t = {
+  by_entry : (int, entry_prof) Hashtbl.t;
+  hotness : (string, int) Hashtbl.t;  (** block label → executions *)
+  mutable entry_names : (string * int) list;  (** (block label, entry id) *)
+}
+
+let create () =
+  { by_entry = Hashtbl.create 8; hotness = Hashtbl.create 32; entry_names = [] }
+
+(** Attach the kernel's (label, id) entry-point table (from the plan) so
+    reports print labels instead of bare ids. *)
+let set_entry_names t names = t.entry_names <- names
+
+let entry_name t id =
+  match List.find_opt (fun (_, i) -> i = id) t.entry_names with
+  | Some (l, _) -> l
+  | None -> Fmt.str "entry#%d" id
+
+let prof t entry_id =
+  match Hashtbl.find_opt t.by_entry entry_id with
+  | Some p -> p
+  | None ->
+      let p =
+        { entries = 0; threads = 0; restores = 0; spills = 0; warp_hist = Hashtbl.create 4 }
+      in
+      Hashtbl.replace t.by_entry entry_id p;
+      p
+
+let record_entry t ~entry_id ~ws ~restores ~spills =
+  let p = prof t entry_id in
+  p.entries <- p.entries + 1;
+  p.threads <- p.threads + ws;
+  p.restores <- p.restores + restores;
+  p.spills <- p.spills + spills;
+  Hashtbl.replace p.warp_hist ws
+    (Option.value (Hashtbl.find_opt p.warp_hist ws) ~default:0 + 1)
+
+let touch_block t label =
+  Hashtbl.replace t.hotness label
+    (Option.value (Hashtbl.find_opt t.hotness label) ~default:0 + 1)
+
+(* ---- aggregate views (used by reports and reconciliation tests) ---- *)
+
+let entry_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.by_entry [] |> List.sort compare
+
+let total_entries t = Hashtbl.fold (fun _ p a -> a + p.entries) t.by_entry 0
+let total_threads t = Hashtbl.fold (fun _ p a -> a + p.threads) t.by_entry 0
+let total_restores t = Hashtbl.fold (fun _ p a -> a + p.restores) t.by_entry 0
+let total_spills t = Hashtbl.fold (fun _ p a -> a + p.spills) t.by_entry 0
+
+(** Warp-size histogram summed over all entry points (must reconcile
+    with {!Vekt_runtime.Stats.t.warp_hist}). *)
+let warp_hist t =
+  let acc = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ p ->
+      Hashtbl.iter
+        (fun ws c ->
+          Hashtbl.replace acc ws (Option.value (Hashtbl.find_opt acc ws) ~default:0 + c))
+        p.warp_hist)
+    t.by_entry;
+  Hashtbl.fold (fun ws c l -> (ws, c) :: l) acc []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let avg_ws (p : entry_prof) =
+  if p.entries = 0 then 0.0 else float_of_int p.threads /. float_of_int p.entries
+
+let restores_per_thread (p : entry_prof) =
+  if p.threads = 0 then 0.0 else float_of_int p.restores /. float_of_int p.threads
+
+let merge ~into t =
+  Hashtbl.iter
+    (fun id (p : entry_prof) ->
+      let q = prof into id in
+      Hashtbl.iter
+        (fun ws c ->
+          Hashtbl.replace q.warp_hist ws
+            (Option.value (Hashtbl.find_opt q.warp_hist ws) ~default:0 + c))
+        p.warp_hist;
+      q.entries <- q.entries + p.entries;
+      q.threads <- q.threads + p.threads;
+      q.restores <- q.restores + p.restores;
+      q.spills <- q.spills + p.spills)
+    t.by_entry;
+  Hashtbl.iter
+    (fun l c ->
+      Hashtbl.replace into.hotness l
+        (Option.value (Hashtbl.find_opt into.hotness l) ~default:0 + c))
+    t.hotness;
+  if into.entry_names = [] then into.entry_names <- t.entry_names
+
+(** Per-entry-point divergence table plus the top divergent branches
+    (re-entry points ranked by warps formed below full width) and the
+    hottest interpreted blocks. *)
+let report ?(top = 8) ppf t =
+  let ids = entry_ids t in
+  Fmt.pf ppf "per-entry-point divergence profile (%d entry points)@."
+    (List.length ids);
+  Fmt.pf ppf "  %3s %-16s %8s %8s %7s %9s %9s %7s@." "id" "entry" "warps"
+    "threads" "avg-ws" "restores" "rest/thr" "spills";
+  List.iter
+    (fun id ->
+      let p = Hashtbl.find t.by_entry id in
+      Fmt.pf ppf "  %3d %-16s %8d %8d %7.2f %9d %9.2f %7d@." id
+        (entry_name t id) p.entries p.threads (avg_ws p) p.restores
+        (restores_per_thread p) p.spills)
+    ids;
+  let max_ws =
+    List.fold_left (fun acc (ws, _) -> max acc ws) 1 (warp_hist t)
+  in
+  let divergent =
+    List.filter_map
+      (fun id ->
+        if id = 0 then None
+        else
+          let p = Hashtbl.find t.by_entry id in
+          let narrow =
+            Hashtbl.fold
+              (fun ws c acc -> if ws < max_ws then acc + c else acc)
+              p.warp_hist 0
+          in
+          if p.entries = 0 then None else Some (id, p, narrow))
+      ids
+    |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+  in
+  (match divergent with
+  | [] -> Fmt.pf ppf "no divergent re-entries (fully convergent launch)@."
+  | ds ->
+      Fmt.pf ppf "top divergent branches (re-entries below full width %d):@."
+        max_ws;
+      List.iteri
+        (fun i (id, p, narrow) ->
+          if i < top then
+            Fmt.pf ppf "  %-16s %6d re-entries, %6d narrow, avg width %.2f, %d restores@."
+              (entry_name t id) p.entries narrow (avg_ws p) p.restores)
+        ds);
+  let hot =
+    Hashtbl.fold (fun l c acc -> (l, c) :: acc) t.hotness []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  if hot <> [] then begin
+    Fmt.pf ppf "hottest blocks:@.";
+    List.iteri
+      (fun i (l, c) -> if i < top then Fmt.pf ppf "  %-24s %10d@." l c)
+      hot
+  end
+
+(** Snapshot the profile into a metrics registry under [prefix]. *)
+let to_metrics ?(prefix = "divergence") t (m : Metrics.t) =
+  Metrics.incr ~by:(total_entries t) (Metrics.counter m (prefix ^ ".warps"));
+  Metrics.incr ~by:(total_threads t) (Metrics.counter m (prefix ^ ".threads"));
+  Metrics.incr ~by:(total_restores t) (Metrics.counter m (prefix ^ ".restores"));
+  Metrics.incr ~by:(total_spills t) (Metrics.counter m (prefix ^ ".spills"));
+  List.iter
+    (fun id ->
+      let p = Hashtbl.find t.by_entry id in
+      let h = Metrics.histogram m (Fmt.str "%s.entry%d.warp_size" prefix id) in
+      Hashtbl.iter (fun ws c -> Metrics.observe_n h ~bin:ws c) p.warp_hist)
+    (entry_ids t)

@@ -1,0 +1,108 @@
+(** Typed observability events emitted by the instrumented runtime.
+
+    One constructor per interesting transition in the JIT + execution
+    manager: warp formation, subkernel dispatch, yields back to the
+    manager, barrier releases, JIT compilations and translation-cache
+    queries.  Timestamps ([ts]) are *modelled* cycles — the same clock
+    the paper's Figure 9 attribution uses — taken per worker as
+    [em_cycles + total interpreter cycles] at emission time, so each
+    worker's timeline is monotone.  JIT compilation has no modelled
+    cost (the paper translates off the measured path), so compile
+    events carry measured wall microseconds instead; see DESIGN.md. *)
+
+type yield_kind = Yield_exit | Yield_barrier | Yield_branch
+
+let yield_kind_name = function
+  | Yield_exit -> "exit"
+  | Yield_barrier -> "barrier"
+  | Yield_branch -> "branch"
+
+type t =
+  | Warp_formed of {
+      ts : float;
+      worker : int;
+      entry_id : int;
+      size : int;  (** lanes packed into the warp (after width trimming) *)
+      scanned : int;  (** candidate contexts examined to form it *)
+    }
+  | Subkernel_call of {
+      ts : float;
+      dur : float;  (** modelled cycles spent inside the specialization *)
+      worker : int;
+      kernel : string;
+      entry_id : int;
+      ws : int;
+    }
+  | Yield of {
+      ts : float;
+      worker : int;
+      entry_id : int;  (** entry point the warp was called at *)
+      kind : yield_kind;
+      lanes : int;
+    }
+  | Barrier_release of { ts : float; worker : int; released : int }
+  | Compile_begin of { ts : float; worker : int; kernel : string; ws : int }
+  | Compile_end of {
+      ts : float;
+      worker : int;
+      kernel : string;
+      ws : int;
+      wall_us : float;  (** measured compilation wall time, microseconds *)
+      static_instrs : int;
+    }
+  | Cache_hit of { ts : float; worker : int; kernel : string; ws : int }
+  | Cache_miss of { ts : float; worker : int; kernel : string; ws : int }
+
+let ts = function
+  | Warp_formed e -> e.ts
+  | Subkernel_call e -> e.ts
+  | Yield e -> e.ts
+  | Barrier_release e -> e.ts
+  | Compile_begin e -> e.ts
+  | Compile_end e -> e.ts
+  | Cache_hit e -> e.ts
+  | Cache_miss e -> e.ts
+
+let worker = function
+  | Warp_formed e -> e.worker
+  | Subkernel_call e -> e.worker
+  | Yield e -> e.worker
+  | Barrier_release e -> e.worker
+  | Compile_begin e -> e.worker
+  | Compile_end e -> e.worker
+  | Cache_hit e -> e.worker
+  | Cache_miss e -> e.worker
+
+let name = function
+  | Warp_formed _ -> "warp_formed"
+  | Subkernel_call _ -> "subkernel_call"
+  | Yield _ -> "yield"
+  | Barrier_release _ -> "barrier_release"
+  | Compile_begin _ -> "compile_begin"
+  | Compile_end _ -> "compile_end"
+  | Cache_hit _ -> "cache_hit"
+  | Cache_miss _ -> "cache_miss"
+
+(** One-line plain-text rendering (the [--trace out.txt] format). *)
+let pp ppf e =
+  let p fmt = Fmt.pf ppf fmt in
+  match e with
+  | Warp_formed e ->
+      p "%12.1f w%d warp_formed entry=%d size=%d scanned=%d" e.ts e.worker
+        e.entry_id e.size e.scanned
+  | Subkernel_call e ->
+      p "%12.1f w%d subkernel_call kernel=%s entry=%d ws=%d dur=%.1f" e.ts
+        e.worker e.kernel e.entry_id e.ws e.dur
+  | Yield e ->
+      p "%12.1f w%d yield entry=%d kind=%s lanes=%d" e.ts e.worker e.entry_id
+        (yield_kind_name e.kind) e.lanes
+  | Barrier_release e ->
+      p "%12.1f w%d barrier_release released=%d" e.ts e.worker e.released
+  | Compile_begin e ->
+      p "%12.1f w%d compile_begin kernel=%s ws=%d" e.ts e.worker e.kernel e.ws
+  | Compile_end e ->
+      p "%12.1f w%d compile_end kernel=%s ws=%d wall_us=%.1f instrs=%d" e.ts
+        e.worker e.kernel e.ws e.wall_us e.static_instrs
+  | Cache_hit e -> p "%12.1f w%d cache_hit kernel=%s ws=%d" e.ts e.worker e.kernel e.ws
+  | Cache_miss e ->
+      p "%12.1f w%d cache_miss kernel=%s ws=%d" e.ts e.worker e.kernel e.ws

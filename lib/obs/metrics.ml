@@ -1,0 +1,184 @@
+(** Metrics registry: named counters, gauges and histograms with JSON
+    and CSV exporters.
+
+    A registry is the export-side companion of the raw mutable stats
+    records kept on the hot paths ({!Vekt_vm.Interp.counters},
+    {!Vekt_runtime.Stats}): those stay plain records for speed, and are
+    snapshotted into a registry by name when a machine-readable dump is
+    requested ([vektc run --metrics], bench artifacts).  Registration
+    order is preserved so exports are stable and diffable.
+
+    Histograms are integer-binned (bin value → occurrence count), which
+    matches every distribution the paper reports: warp sizes, restores
+    per entry, specialization widths. *)
+
+type hist = {
+  mutable count : int;
+  mutable sum : float;
+  bins : (int, int) Hashtbl.t;
+}
+
+type value = Counter of int ref | Gauge of float ref | Hist of hist
+
+type t = {
+  tbl : (string, value) Hashtbl.t;
+  mutable rev_order : string list;
+}
+
+let create () = { tbl = Hashtbl.create 32; rev_order = [] }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Hist _ -> "histogram"
+
+let find_or_register t name make =
+  match Hashtbl.find_opt t.tbl name with
+  | Some v -> v
+  | None ->
+      let v = make () in
+      Hashtbl.replace t.tbl name v;
+      t.rev_order <- name :: t.rev_order;
+      v
+
+let wrong_kind name v want =
+  invalid_arg (Fmt.str "Metrics: %s is a %s, not a %s" name (kind_name v) want)
+
+(** Get or create the counter [name]. *)
+let counter t name : int ref =
+  match find_or_register t name (fun () -> Counter (ref 0)) with
+  | Counter r -> r
+  | v -> wrong_kind name v "counter"
+
+(** Get or create the gauge [name]. *)
+let gauge t name : float ref =
+  match find_or_register t name (fun () -> Gauge (ref 0.0)) with
+  | Gauge r -> r
+  | v -> wrong_kind name v "gauge"
+
+(** Get or create the histogram [name]. *)
+let histogram t name : hist =
+  match
+    find_or_register t name (fun () ->
+        Hist { count = 0; sum = 0.0; bins = Hashtbl.create 8 })
+  with
+  | Hist h -> h
+  | v -> wrong_kind name v "histogram"
+
+let incr ?(by = 1) (c : int ref) = c := !c + by
+let set (g : float ref) v = g := v
+
+(** Record [n] observations of [bin]. *)
+let observe_n (h : hist) ~bin n =
+  h.count <- h.count + n;
+  h.sum <- h.sum +. (float_of_int bin *. float_of_int n);
+  Hashtbl.replace h.bins bin
+    (Option.value (Hashtbl.find_opt h.bins bin) ~default:0 + n)
+
+let observe h bin = observe_n h ~bin 1
+
+let hist_mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
+
+let hist_bins h =
+  Hashtbl.fold (fun b c acc -> (b, c) :: acc) h.bins []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(** Registered names in registration order. *)
+let names t = List.rev t.rev_order
+
+let find t name = Hashtbl.find_opt t.tbl name
+
+(* ---- exporters ---- *)
+
+let add_float b x =
+  if Float.is_nan x then Buffer.add_string b "0"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.0f" x)
+  else Buffer.add_string b (Printf.sprintf "%.6g" x)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(** [{"name": {"type": ..., ...}, ...}] in registration order. *)
+let to_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i name ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '"';
+      json_escape b name;
+      Buffer.add_string b "\":";
+      match Hashtbl.find t.tbl name with
+      | Counter c ->
+          Buffer.add_string b (Printf.sprintf "{\"type\":\"counter\",\"value\":%d}" !c)
+      | Gauge g ->
+          Buffer.add_string b "{\"type\":\"gauge\",\"value\":";
+          add_float b !g;
+          Buffer.add_char b '}'
+      | Hist h ->
+          Buffer.add_string b
+            (Printf.sprintf "{\"type\":\"histogram\",\"count\":%d,\"sum\":" h.count);
+          add_float b h.sum;
+          Buffer.add_string b ",\"bins\":{";
+          List.iteri
+            (fun j (bin, c) ->
+              if j > 0 then Buffer.add_char b ',';
+              Buffer.add_string b (Printf.sprintf "\"%d\":%d" bin c))
+            (hist_bins h);
+          Buffer.add_string b "}}")
+    (names t);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(** [name,kind,key,value] rows; histograms expand to one [bin:N] row per
+    bin plus [count] and [sum] rows. *)
+let to_csv t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "name,kind,key,value\n";
+  let esc s =
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+    else s
+  in
+  List.iter
+    (fun key ->
+      let name = esc key in
+      match Hashtbl.find t.tbl key with
+      | Counter c -> Buffer.add_string b (Printf.sprintf "%s,counter,,%d\n" name !c)
+      | Gauge g ->
+          Buffer.add_string b (Printf.sprintf "%s,gauge,," name);
+          add_float b !g;
+          Buffer.add_char b '\n'
+      | Hist h ->
+          Buffer.add_string b (Printf.sprintf "%s,histogram,count,%d\n" name h.count);
+          Buffer.add_string b (Printf.sprintf "%s,histogram,sum," name);
+          add_float b h.sum;
+          Buffer.add_char b '\n';
+          List.iter
+            (fun (bin, c) ->
+              Buffer.add_string b (Printf.sprintf "%s,histogram,bin:%d,%d\n" name bin c))
+            (hist_bins h))
+    (names t);
+  Buffer.contents b
+
+(** Human-readable dump (the [--metrics -] form). *)
+let pp ppf t =
+  List.iter
+    (fun name ->
+      match Hashtbl.find t.tbl name with
+      | Counter c -> Fmt.pf ppf "%-32s %d@." name !c
+      | Gauge g -> Fmt.pf ppf "%-32s %g@." name !g
+      | Hist h ->
+          Fmt.pf ppf "%-32s count=%d mean=%.2f %a@." name h.count (hist_mean h)
+            Fmt.(list ~sep:sp (pair ~sep:(any ":") int int))
+            (hist_bins h))
+    (names t)

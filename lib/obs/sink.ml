@@ -1,0 +1,22 @@
+(** Event sink: where instrumented code sends {!Event.t}s.
+
+    [Noop] is the default everywhere, and instrumented call sites are
+    written as
+
+    {[ if Sink.enabled sink then Sink.emit sink (Event.Warp_formed { ... }) ]}
+
+    so that with no sink attached no event is even constructed — the
+    hot path pays one branch and allocates nothing. *)
+
+type t = Noop | Fn of (Event.t -> unit)
+
+let noop = Noop
+let fn f = Fn f
+let enabled = function Noop -> false | Fn _ -> true
+let emit t e = match t with Noop -> () | Fn f -> f e
+
+(** Fan out to two sinks (e.g. a trace ring plus a live counter). *)
+let tee a b =
+  match (a, b) with
+  | Noop, s | s, Noop -> s
+  | Fn f, Fn g -> Fn (fun e -> f e; g e)

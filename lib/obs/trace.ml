@@ -1,0 +1,176 @@
+(** Low-overhead event tracer: a preallocated ring buffer of typed events.
+
+    Recording is O(1) with no allocation beyond the event itself; when
+    the ring is full the oldest events are overwritten (and counted as
+    dropped, which the exporters report).  Export formats:
+
+    - {!to_chrome_json}: Chrome trace-event JSON (the ["traceEvents"]
+      array form), loadable in Perfetto / [chrome://tracing].  Modelled
+      cycles are written as microsecond timestamps (1 cycle = 1 µs of
+      trace time); each worker is a [tid], so parallel execution
+      managers render as parallel tracks.
+    - {!to_text}: one event per line, for grepping and diffing. *)
+
+type t = {
+  buf : Event.t array;
+  mutable next : int;  (** next write slot *)
+  mutable total : int;  (** events ever recorded (>= capacity ⇒ drops) *)
+}
+
+let dummy = Event.Barrier_release { ts = 0.0; worker = 0; released = 0 }
+
+let create ?(capacity = 1 lsl 16) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
+  { buf = Array.make capacity dummy; next = 0; total = 0 }
+
+let capacity t = Array.length t.buf
+let recorded t = t.total
+let dropped t = max 0 (t.total - capacity t)
+
+let record t e =
+  t.buf.(t.next) <- e;
+  t.next <- (t.next + 1) mod capacity t;
+  t.total <- t.total + 1
+
+(** The tracer as a {!Sink.t}, for plugging into the runtime hooks. *)
+let sink t = Sink.fn (record t)
+
+(** Retained events, oldest first. *)
+let events t =
+  let cap = capacity t in
+  let n = min t.total cap in
+  List.init n (fun i -> t.buf.(((t.next - n + i) mod cap + cap) mod cap))
+
+(* ---- Chrome trace-event export ---- *)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+type jarg = S of string | I of int | F of float
+
+let add_num b x =
+  (* JSON has no NaN/inf literals; clamp defensively. *)
+  if Float.is_nan x then Buffer.add_string b "0"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.0f" x)
+  else Buffer.add_string b (Printf.sprintf "%.3f" x)
+
+let add_record b ~name ~cat ~ph ~ts ?dur ~pid ~tid (args : (string * jarg) list) =
+  Buffer.add_string b "{\"name\":\"";
+  json_escape b name;
+  Buffer.add_string b "\",\"cat\":\"";
+  json_escape b cat;
+  Buffer.add_string b (Printf.sprintf "\",\"ph\":\"%s\",\"ts\":" ph);
+  add_num b ts;
+  (match dur with
+  | Some d ->
+      Buffer.add_string b ",\"dur\":";
+      add_num b d
+  | None -> ());
+  Buffer.add_string b (Printf.sprintf ",\"pid\":%d,\"tid\":%d" pid tid);
+  if args <> [] then begin
+    Buffer.add_string b ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        json_escape b k;
+        Buffer.add_string b "\":";
+        match v with
+        | S s ->
+            Buffer.add_char b '"';
+            json_escape b s;
+            Buffer.add_char b '"'
+        | I n -> Buffer.add_string b (string_of_int n)
+        | F x -> add_num b x)
+      args;
+    Buffer.add_char b '}'
+  end;
+  Buffer.add_char b '}'
+
+(* Execution-manager events live in pid 0; JIT events in pid 1 so
+   Perfetto shows compilation as its own process track. *)
+let em_pid = 0
+let jit_pid = 1
+
+let add_chrome_event b (e : Event.t) =
+  match e with
+  | Event.Warp_formed v ->
+      add_record b ~name:"warp_formed" ~cat:"em" ~ph:"i" ~ts:v.ts ~pid:em_pid
+        ~tid:v.worker
+        [ ("entry", I v.entry_id); ("size", I v.size); ("scanned", I v.scanned) ]
+  | Event.Subkernel_call v ->
+      add_record b ~name:"subkernel" ~cat:"em" ~ph:"X" ~ts:v.ts ~dur:v.dur
+        ~pid:em_pid ~tid:v.worker
+        [ ("kernel", S v.kernel); ("entry", I v.entry_id); ("ws", I v.ws) ]
+  | Event.Yield v ->
+      add_record b ~name:"yield" ~cat:"em" ~ph:"i" ~ts:v.ts ~pid:em_pid
+        ~tid:v.worker
+        [
+          ("entry", I v.entry_id);
+          ("kind", S (Event.yield_kind_name v.kind));
+          ("lanes", I v.lanes);
+        ]
+  | Event.Barrier_release v ->
+      add_record b ~name:"barrier_release" ~cat:"em" ~ph:"i" ~ts:v.ts ~pid:em_pid
+        ~tid:v.worker
+        [ ("released", I v.released) ]
+  | Event.Compile_begin v ->
+      add_record b ~name:"compile" ~cat:"jit" ~ph:"B" ~ts:v.ts ~pid:jit_pid
+        ~tid:v.worker
+        [ ("kernel", S v.kernel); ("ws", I v.ws) ]
+  | Event.Compile_end v ->
+      add_record b ~name:"compile" ~cat:"jit" ~ph:"E" ~ts:v.ts ~pid:jit_pid
+        ~tid:v.worker
+        [
+          ("kernel", S v.kernel);
+          ("ws", I v.ws);
+          ("wall_us", F v.wall_us);
+          ("static_instrs", I v.static_instrs);
+        ]
+  | Event.Cache_hit v ->
+      add_record b ~name:"cache_hit" ~cat:"jit" ~ph:"i" ~ts:v.ts ~pid:jit_pid
+        ~tid:v.worker
+        [ ("kernel", S v.kernel); ("ws", I v.ws) ]
+  | Event.Cache_miss v ->
+      add_record b ~name:"cache_miss" ~cat:"jit" ~ph:"i" ~ts:v.ts ~pid:jit_pid
+        ~tid:v.worker
+        [ ("kernel", S v.kernel); ("ws", I v.ws) ]
+
+let to_chrome_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  add_record b ~name:"process_name" ~cat:"__metadata" ~ph:"M" ~ts:0.0 ~pid:em_pid
+    ~tid:0
+    [ ("name", S "execution manager") ];
+  Buffer.add_char b ',';
+  add_record b ~name:"process_name" ~cat:"__metadata" ~ph:"M" ~ts:0.0
+    ~pid:jit_pid ~tid:0
+    [ ("name", S "dynamic translation") ];
+  List.iter
+    (fun e ->
+      Buffer.add_char b ',';
+      add_chrome_event b e)
+    (events t);
+  Buffer.add_string b "],\"displayTimeUnit\":\"ns\",\"otherData\":{";
+  Buffer.add_string b (Printf.sprintf "\"recorded\":%d,\"dropped\":%d" (recorded t) (dropped t));
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+let to_text t =
+  let b = Buffer.create 4096 in
+  if dropped t > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "# ring full: %d oldest events dropped\n" (dropped t));
+  List.iter (fun e -> Buffer.add_string b (Fmt.str "%a\n" Event.pp e)) (events t);
+  Buffer.contents b

@@ -112,8 +112,10 @@ type report = {
   avg_warp_size : float;
 }
 
-let launch ?fuel (m : modul) ~kernel ~(grid : Launch.dim3) ~(block : Launch.dim3)
-    ~(args : Launch.arg list) : report =
+let launch ?fuel ?(sink = Vekt_obs.Sink.noop)
+    ?(profile : Vekt_obs.Divergence.t option) (m : modul) ~kernel
+    ~(grid : Launch.dim3) ~(block : Launch.dim3) ~(args : Launch.arg list) :
+    report =
   let k =
     match Ast.find_kernel m.ast kernel with
     | Some k -> k
@@ -123,7 +125,8 @@ let launch ?fuel (m : modul) ~kernel ~(grid : Launch.dim3) ~(block : Launch.dim3
   let params = Launch.param_block k args in
   let stats =
     Exec_manager.launch_kernel ~costs:m.device.em_costs ?fuel ~workers:m.device.workers
-      cache ~grid ~block ~global:m.device.global ~params ~consts:m.consts
+      ~sink ?profile cache ~grid ~block ~global:m.device.global ~params
+      ~consts:m.consts
   in
   let cycles = Float.max stats.Stats.wall_cycles 1.0 in
   let time_s = cycles /. (m.device.machine.Machine.clock_ghz *. 1e9) in
@@ -135,6 +138,19 @@ let launch ?fuel (m : modul) ~kernel ~(grid : Launch.dim3) ~(block : Launch.dim3
     gflops = (flops /. time_s) /. 1e9;
     avg_warp_size = Stats.average_warp_size stats;
   }
+
+(** Export a launch report plus the kernel's JIT-cache state (hit/miss
+    rates, per-specialization compile cost) into one metrics registry —
+    the machine-readable form behind [vektc run --metrics]. *)
+let metrics (m : modul) ~kernel (r : report) : Vekt_obs.Metrics.t =
+  let reg = Stats.to_metrics r.stats in
+  let module M = Vekt_obs.Metrics in
+  M.set (M.gauge reg "launch.time_ms") r.time_ms;
+  M.set (M.gauge reg "launch.gflops") r.gflops;
+  (match Hashtbl.find_opt m.caches kernel with
+  | Some c -> Translation_cache.metrics_into c reg
+  | None -> ());
+  reg
 
 (** Run the same launch through the reference PTX emulator (the oracle) on
     a copy of device memory; returns the resulting global memory for

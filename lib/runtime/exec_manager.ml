@@ -19,6 +19,7 @@ module Ir = Vekt_ir.Ir
 module Interp = Vekt_vm.Interp
 module Machine = Vekt_vm.Machine
 module Vectorize = Vekt_transform.Vectorize
+module Obs = Vekt_obs
 open Vekt_ptx
 
 exception Launch_error of string
@@ -50,8 +51,17 @@ type thr = {
 }
 
 (** Execute one CTA to completion.  [fuel] bounds the number of subkernel
-    calls (divergent runaway loops yield forever otherwise). *)
-let run_cta ?(costs = default_costs) ?(fuel = 5_000_000) (cache : Translation_cache.t)
+    calls (divergent runaway loops yield forever otherwise); exhausting
+    it raises {!Launch_error} naming the kernel and CTA.
+
+    [sink] receives warp-formation / dispatch / yield / barrier events
+    timestamped on this worker's modelled-cycle clock; [profile]
+    accumulates per-entry-point divergence statistics.  Both default to
+    off, in which case the instrumented paths reduce to one branch and
+    allocate nothing. *)
+let run_cta ?(costs = default_costs) ?(fuel = 5_000_000)
+    ?(sink = Obs.Sink.noop) ?(profile : Obs.Divergence.t option) ?(worker = 0)
+    (cache : Translation_cache.t)
     ~(launch : Interp.launch_info) ~(ctaid : Launch.dim3) ~(global : Mem.t)
     ~(params : Mem.t) ~(consts : Mem.t) ~(stats : Stats.t) () : unit =
   let block = launch.Interp.block in
@@ -101,18 +111,21 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000) (cache : Translation_ca
     let entry = t0.info.Interp.resume_point in
     let want = Translation_cache.max_width cache in
     let members = ref [ start ] in
+    let nmembers = ref 1 in
     let scanned = ref 0 in
     let i = ref ((start + 1) mod n) in
-    while List.length !members < want && !i <> start do
+    while !nmembers < want && !i <> start do
       incr scanned;
       let t = threads.(!i) in
-      if t.state = Ready && t.info.Interp.resume_point = entry then
+      if t.state = Ready && t.info.Interp.resume_point = entry then begin
         members := !i :: !members;
+        incr nmembers
+      end;
       i := (!i + 1) mod n
     done;
     stats.Stats.em_cycles <-
       stats.Stats.em_cycles +. (float_of_int !scanned *. costs.per_candidate_scan);
-    List.rev !members
+    (List.rev !members, !scanned)
   in
   (* Static warp formation: only consecutive linear indices in the same
      row, starting at the scheduled thread. *)
@@ -121,10 +134,11 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000) (cache : Translation_ca
     let entry = t0.info.Interp.resume_point in
     let want = Translation_cache.max_width cache in
     let members = ref [ start ] in
+    let nmembers = ref 1 in
     let scanned = ref 0 in
     let i = ref (start + 1) in
     while
-      List.length !members < want
+      !nmembers < want
       && !i < n
       && threads.(!i).state = Ready
       && threads.(!i).info.Interp.resume_point = entry
@@ -132,11 +146,23 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000) (cache : Translation_ca
     do
       incr scanned;
       members := !i :: !members;
+      incr nmembers;
       incr i
     done;
     stats.Stats.em_cycles <-
       stats.Stats.em_cycles +. (float_of_int !scanned *. costs.per_candidate_scan);
-    List.rev !members
+    (List.rev !members, !scanned)
+  in
+  (* Modelled-cycle clock for this worker: execution-manager overheads
+     plus everything the interpreter has accounted so far.  Monotone
+     across the CTAs this worker runs, so trace timestamps nest. *)
+  let now () = stats.Stats.em_cycles +. Interp.total_cycles stats.Stats.counters in
+  let fuel_error () =
+    raise
+      (Launch_error
+         (Fmt.str "out of fuel in kernel %s, CTA %a: %d subkernel calls made"
+            cache.Translation_cache.kernel_name Launch.pp_dim3 ctaid
+            (fuel - !calls_left)))
   in
   while !remaining > 0 do
     match next_ready () with
@@ -155,23 +181,65 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000) (cache : Translation_ca
         if !released = 0 then raise (Launch_error "no ready threads and empty barrier queue");
         stats.Stats.barrier_releases <- stats.Stats.barrier_releases + !released;
         stats.Stats.em_cycles <-
-          stats.Stats.em_cycles +. (float_of_int !released *. costs.per_barrier_release)
+          stats.Stats.em_cycles +. (float_of_int !released *. costs.per_barrier_release);
+        if Obs.Sink.enabled sink then
+          Obs.Sink.emit sink
+            (Obs.Event.Barrier_release { ts = now (); worker; released = !released })
     | Some start ->
         decr calls_left;
-        if !calls_left <= 0 then raise Interp.Out_of_fuel;
-        let members = if static then form_static start else form_dynamic start in
+        if !calls_left <= 0 then fuel_error ();
+        let members, scanned =
+          if static then form_static start else form_dynamic start
+        in
+        let entry_id = threads.(start).info.Interp.resume_point in
         let ws = Translation_cache.best_width cache (List.length members) in
         let members = List.filteri (fun i _ -> i < ws) members in
-        let entry = Translation_cache.get cache ~params ~ws () in
-        let lanes = Array.of_list (List.map (fun i -> threads.(i).info) members) in
-        let warp =
-          { Interp.lanes; entry_id = threads.(start).info.Interp.resume_point;
-            status = Ir.Status_exit }
+        if Obs.Sink.enabled sink then
+          Obs.Sink.emit sink
+            (Obs.Event.Warp_formed
+               { ts = now (); worker; entry_id; size = ws; scanned });
+        let entry =
+          Translation_cache.get cache ~params ~sink ~now:(now ()) ~worker ~ws ()
         in
+        let lanes = Array.of_list (List.map (fun i -> threads.(i).info) members) in
+        let warp = { Interp.lanes; entry_id; status = Ir.Status_exit } in
         Stats.record_warp stats ws;
         stats.Stats.em_cycles <- stats.Stats.em_cycles +. costs.per_kernel_call;
-        Interp.exec ~timing:entry.Translation_cache.timing
-          ~counters:stats.Stats.counters entry.Translation_cache.vfunc ~launch warp mem;
+        let restores0 = stats.Stats.counters.Interp.restores in
+        let spills0 = stats.Stats.counters.Interp.spills in
+        let call_ts = if Obs.Sink.enabled sink then now () else 0.0 in
+        (try
+           Interp.exec ~timing:entry.Translation_cache.timing
+             ~counters:stats.Stats.counters ?profile entry.Translation_cache.vfunc
+             ~launch warp mem
+         with Interp.Out_of_fuel -> fuel_error ());
+        (match profile with
+        | None -> ()
+        | Some p ->
+            Obs.Divergence.record_entry p ~entry_id ~ws
+              ~restores:(stats.Stats.counters.Interp.restores - restores0)
+              ~spills:(stats.Stats.counters.Interp.spills - spills0));
+        if Obs.Sink.enabled sink then begin
+          let ts = now () in
+          Obs.Sink.emit sink
+            (Obs.Event.Subkernel_call
+               {
+                 ts = call_ts;
+                 dur = ts -. call_ts;
+                 worker;
+                 kernel = cache.Translation_cache.kernel_name;
+                 entry_id;
+                 ws;
+               });
+          let kind =
+            match warp.Interp.status with
+            | Ir.Status_exit -> Obs.Event.Yield_exit
+            | Ir.Status_barrier -> Obs.Event.Yield_barrier
+            | Ir.Status_branch -> Obs.Event.Yield_branch
+          in
+          Obs.Sink.emit sink
+            (Obs.Event.Yield { ts; worker; entry_id; kind; lanes = ws })
+        end;
         stats.Stats.em_cycles <-
           stats.Stats.em_cycles +. (float_of_int ws *. costs.per_lane_update);
         List.iter
@@ -192,18 +260,24 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000) (cache : Translation_ca
     into the returned aggregate, with wall cycles the maximum over
     workers. *)
 let launch_kernel ?(costs = default_costs) ?fuel ?(workers = 4)
+    ?(sink = Obs.Sink.noop) ?(profile : Obs.Divergence.t option)
     (cache : Translation_cache.t) ~(grid : Launch.dim3) ~(block : Launch.dim3)
     ~(global : Mem.t) ~(params : Mem.t) ~(consts : Mem.t) : Stats.t =
   let ncta = Launch.count grid in
   let launch = { Interp.grid; block } in
   let aggregate = Stats.create () in
   let workers = max 1 (min workers ncta) in
+  (match profile with
+  | Some p ->
+      Obs.Divergence.set_entry_names p (Translation_cache.entry_ids cache)
+  | None -> ());
   for w = 0 to workers - 1 do
     let wstats = Stats.create () in
     let c = ref w in
     while !c < ncta do
       let ctaid = Launch.unlinear ~dims:grid !c in
-      run_cta ~costs ?fuel cache ~launch ~ctaid ~global ~params ~consts ~stats:wstats ();
+      run_cta ~costs ?fuel ~sink ?profile ~worker:w cache ~launch ~ctaid ~global
+        ~params ~consts ~stats:wstats ();
       c := !c + workers
     done;
     Stats.merge_into ~into:aggregate wstats

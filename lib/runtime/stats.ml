@@ -70,19 +70,11 @@ let cycle_breakdown t =
   else (em /. total, yield /. total, body /. total)
 
 (** Merge per-worker statistics into an aggregate; wall cycles take the
-    maximum (workers run in parallel), everything else sums. *)
+    maximum (workers run in parallel), everything else sums.  VM-side
+    counters merge via {!Interp.merge_counters}, driven by the field
+    tables in {!Interp} — one place to extend when adding a counter. *)
 let merge_into ~(into : t) (w : t) =
-  let c = into.counters and d = w.counters in
-  c.Interp.dyn_instrs <- c.Interp.dyn_instrs + d.Interp.dyn_instrs;
-  c.Interp.blocks_executed <- c.Interp.blocks_executed + d.Interp.blocks_executed;
-  c.Interp.kernel_calls <- c.Interp.kernel_calls + d.Interp.kernel_calls;
-  c.Interp.restores <- c.Interp.restores + d.Interp.restores;
-  c.Interp.spills <- c.Interp.spills + d.Interp.spills;
-  c.Interp.flops <- c.Interp.flops + d.Interp.flops;
-  c.Interp.cycles_body <- c.Interp.cycles_body +. d.Interp.cycles_body;
-  c.Interp.cycles_scheduler <- c.Interp.cycles_scheduler +. d.Interp.cycles_scheduler;
-  c.Interp.cycles_entry <- c.Interp.cycles_entry +. d.Interp.cycles_entry;
-  c.Interp.cycles_exit <- c.Interp.cycles_exit +. d.Interp.cycles_exit;
+  Interp.merge_counters ~into:into.counters w.counters;
   Hashtbl.iter
     (fun ws count ->
       Hashtbl.replace into.warp_hist ws
@@ -92,3 +84,33 @@ let merge_into ~(into : t) (w : t) =
   into.barrier_releases <- into.barrier_releases + w.barrier_releases;
   into.threads_launched <- into.threads_launched + w.threads_launched;
   into.wall_cycles <- Float.max into.wall_cycles (total_cycles w)
+
+(** Snapshot every statistic into a metrics registry (names are stable:
+    [vm.*] for interpreter counters, [em.*] for execution-manager ones,
+    [warp.*] for the formation histogram and derived means). *)
+let to_metrics ?(metrics = Vekt_obs.Metrics.create ()) (t : t) :
+    Vekt_obs.Metrics.t =
+  let module M = Vekt_obs.Metrics in
+  List.iter
+    (fun (name, get, _) -> M.counter metrics ("vm." ^ name) := get t.counters)
+    Interp.int_counter_fields;
+  List.iter
+    (fun (name, get, _) ->
+      M.set (M.gauge metrics ("vm." ^ name)) (get t.counters))
+    Interp.cycle_counter_fields;
+  M.set (M.gauge metrics "em.cycles") t.em_cycles;
+  M.counter metrics "em.barrier_releases" := t.barrier_releases;
+  M.counter metrics "em.threads_launched" := t.threads_launched;
+  M.set (M.gauge metrics "wall.cycles") t.wall_cycles;
+  M.set (M.gauge metrics "total.cycles") (total_cycles t);
+  let h = M.histogram metrics "warp.size" in
+  Hashtbl.iter (fun ws count -> M.observe_n h ~bin:ws count) t.warp_hist;
+  M.set (M.gauge metrics "warp.avg_size") (average_warp_size t);
+  M.set
+    (M.gauge metrics "warp.restores_per_thread")
+    (average_restores_per_thread t);
+  let em, yld, body = cycle_breakdown t in
+  M.set (M.gauge metrics "breakdown.em") em;
+  M.set (M.gauge metrics "breakdown.yield") yld;
+  M.set (M.gauge metrics "breakdown.subkernel") body;
+  metrics

@@ -18,11 +18,14 @@ module Machine = Vekt_vm.Machine
 module Timing = Vekt_vm.Timing
 open Vekt_ptx
 
+module Obs = Vekt_obs
+
 type entry = {
   vfunc : Ir.func;
   timing : Timing.t;
   vect : Vectorize.vectorized;
   static_instrs : int;  (** static instruction count after optimization *)
+  compile_us : float;  (** measured wall time this specialization cost to build *)
 }
 
 type t = {
@@ -41,6 +44,9 @@ type t = {
   specializations : (int * string, entry) Hashtbl.t;
       (** keyed by (warp size, parameter-block digest; "" = generic) *)
   mutable compile_count : int;
+  mutable hits : int;  (** cache queries answered without compiling *)
+  mutable misses : int;
+  mutable compile_wall_us : float;  (** total wall time spent compiling *)
   mutable verify : bool;
 }
 
@@ -72,14 +78,22 @@ let prepare ?(mode = Vectorize.Dynamic) ?(affine = false) ?(specialize_args = fa
     widths;
     specializations = Hashtbl.create 4;
     compile_count = 0;
+    hits = 0;
+    misses = 0;
+    compile_wall_us = 0.0;
     verify;
   }
 
 (** Get (or build) the specialization for exactly [ws] lanes.  With
     [params] (and the cache built with [specialize_args]), the scalar
     kernel is first specialized on the concrete argument values and the
-    result is cached under the parameter block's digest. *)
-let get (t : t) ?params ~ws () : entry =
+    result is cached under the parameter block's digest.
+
+    [sink] receives cache hit/miss and compile begin/end events; [now]
+    is the caller's modelled-cycle clock at query time (events from
+    different subsystems share one timeline per worker). *)
+let get (t : t) ?params ?(sink = Obs.Sink.noop) ?(now = 0.0) ?(worker = 0) ~ws
+    () : entry =
   let params = if t.specialize_args then params else None in
   let key =
     ( ws,
@@ -88,11 +102,25 @@ let get (t : t) ?params ~ws () : entry =
       | Some p -> Digest.to_hex (Digest.bytes (Mem.bytes p)) )
   in
   match Hashtbl.find_opt t.specializations key with
-  | Some e -> e
+  | Some e ->
+      t.hits <- t.hits + 1;
+      if Obs.Sink.enabled sink then
+        Obs.Sink.emit sink
+          (Obs.Event.Cache_hit { ts = now; worker; kernel = t.kernel_name; ws });
+      e
   | None ->
       if not (List.mem ws t.widths) then
         invalid_arg (Fmt.str "no %d-wide specialization of %s" ws t.kernel_name);
+      t.misses <- t.misses + 1;
       t.compile_count <- t.compile_count + 1;
+      if Obs.Sink.enabled sink then begin
+        Obs.Sink.emit sink
+          (Obs.Event.Cache_miss { ts = now; worker; kernel = t.kernel_name; ws });
+        Obs.Sink.emit sink
+          (Obs.Event.Compile_begin
+             { ts = now; worker; kernel = t.kernel_name; ws })
+      end;
+      let wall0 = Sys.time () in
       let scalar =
         match params with
         | None -> t.scalar
@@ -106,15 +134,29 @@ let get (t : t) ?params ~ws () : entry =
       else ignore (Dce.run vect.Vectorize.func);
       if t.verify then Verify.check_exn vect.Vectorize.func;
       let timing = Timing.analyze t.machine vect.Vectorize.func in
+      let compile_us = (Sys.time () -. wall0) *. 1e6 in
+      t.compile_wall_us <- t.compile_wall_us +. compile_us;
       let e =
         {
           vfunc = vect.Vectorize.func;
           timing;
           vect;
           static_instrs = Ir.size vect.Vectorize.func;
+          compile_us;
         }
       in
       Hashtbl.replace t.specializations key e;
+      if Obs.Sink.enabled sink then
+        Obs.Sink.emit sink
+          (Obs.Event.Compile_end
+             {
+               ts = now +. compile_us;
+               worker;
+               kernel = t.kernel_name;
+               ws;
+               wall_us = compile_us;
+               static_instrs = e.static_instrs;
+             });
       e
 
 (** Largest available width not exceeding [n]. *)
@@ -124,3 +166,27 @@ let max_width (t : t) = List.hd t.widths
 
 (** Entry IDs shared by all specializations of this kernel. *)
 let entry_ids (t : t) = t.plan.Plan.entry_ids
+
+(** Hit rate of the cache so far, in [0;1] ([0.0] before any query). *)
+let hit_rate (t : t) =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+
+(** Snapshot JIT-side state (hit/miss rate, per-specialization compile
+    cost and size) into a metrics registry. *)
+let metrics_into (t : t) (m : Obs.Metrics.t) =
+  let module M = Obs.Metrics in
+  M.counter m "jit.compiles" := t.compile_count;
+  M.counter m "jit.cache_hits" := t.hits;
+  M.counter m "jit.cache_misses" := t.misses;
+  M.set (M.gauge m "jit.hit_rate") (hit_rate t);
+  M.set (M.gauge m "jit.compile_wall_us") t.compile_wall_us;
+  Hashtbl.iter
+    (fun (ws, digest) (e : entry) ->
+      let key =
+        if digest = "" then Fmt.str "jit.w%d" ws
+        else Fmt.str "jit.w%d.%s" ws (String.sub digest 0 8)
+      in
+      M.set (M.gauge m (key ^ ".compile_us")) e.compile_us;
+      M.counter m (key ^ ".static_instrs") := e.static_instrs)
+    t.specializations

@@ -74,6 +74,40 @@ let fresh_counters () =
 let total_cycles c =
   c.cycles_body +. c.cycles_scheduler +. c.cycles_entry +. c.cycles_exit
 
+(** Field tables naming every counter, driving the generic merge below
+    and the metrics-registry export in {!Vekt_runtime.Stats} — the one
+    place to extend when adding a counter. *)
+let int_counter_fields :
+    (string * (counters -> int) * (counters -> int -> unit)) list =
+  [
+    ("dyn_instrs", (fun c -> c.dyn_instrs), fun c v -> c.dyn_instrs <- v);
+    ( "blocks_executed",
+      (fun c -> c.blocks_executed),
+      fun c v -> c.blocks_executed <- v );
+    ("kernel_calls", (fun c -> c.kernel_calls), fun c v -> c.kernel_calls <- v);
+    ("restores", (fun c -> c.restores), fun c v -> c.restores <- v);
+    ("spills", (fun c -> c.spills), fun c v -> c.spills <- v);
+    ("flops", (fun c -> c.flops), fun c v -> c.flops <- v);
+  ]
+
+let cycle_counter_fields :
+    (string * (counters -> float) * (counters -> float -> unit)) list =
+  [
+    ("cycles_body", (fun c -> c.cycles_body), fun c v -> c.cycles_body <- v);
+    ( "cycles_scheduler",
+      (fun c -> c.cycles_scheduler),
+      fun c v -> c.cycles_scheduler <- v );
+    ("cycles_entry", (fun c -> c.cycles_entry), fun c v -> c.cycles_entry <- v);
+    ("cycles_exit", (fun c -> c.cycles_exit), fun c v -> c.cycles_exit <- v);
+  ]
+
+(** Sum [d]'s counters into [into], field by field. *)
+let merge_counters ~(into : counters) (d : counters) =
+  List.iter (fun (_, get, set) -> set into (get into + get d)) int_counter_fields;
+  List.iter
+    (fun (_, get, set) -> set into (get into +. get d))
+    cycle_counter_fields
+
 (** Register values: scalars or lane arrays. *)
 type rval = S of Scalar_ops.value | V of Scalar_ops.value array
 
@@ -97,8 +131,12 @@ let as_addr v =
 
     @param fuel maximum dynamic blocks executed in this call (default 10M):
     uniform loops run entirely inside the function, so a diverging kernel
-    with a runaway uniform loop must be bounded here. *)
-let exec ?timing ?(counters = fresh_counters ()) ?(fuel = 10_000_000) (f : Ir.func)
+    with a runaway uniform loop must be bounded here.
+    @param profile when given, per-block execution counts are recorded
+    into its hotness table (the divergence profiler's input); [None]
+    costs one match per block. *)
+let exec ?timing ?(counters = fresh_counters ()) ?(fuel = 10_000_000)
+    ?(profile : Vekt_obs.Divergence.t option) (f : Ir.func)
     ~(launch : launch_info) (warp : warp) (mem : memories) : unit =
   if Array.length warp.lanes <> f.Ir.warp_size then
     raise
@@ -247,6 +285,9 @@ let exec ?timing ?(counters = fresh_counters ()) ?(fuel = 10_000_000) (f : Ir.fu
   in
   let account (b : Ir.block) =
     counters.blocks_executed <- counters.blocks_executed + 1;
+    (match profile with
+    | None -> ()
+    | Some p -> Vekt_obs.Divergence.touch_block p b.Ir.label);
     match timing with
     | None -> ()
     | Some t ->

@@ -1,0 +1,389 @@
+(* Tests for the observability library (Vekt_obs) and its runtime
+   wiring: trace ring buffer, Chrome trace-event export (validated with
+   a standalone JSON parser), metrics registry exporters, divergence
+   profiles reconciling with Stats aggregates on real workloads, and
+   the zero-overhead guarantee of the no-op sink. *)
+
+module Api = Vekt_runtime.Api
+module TC = Vekt_runtime.Translation_cache
+module EM = Vekt_runtime.Exec_manager
+module Stats = Vekt_runtime.Stats
+module Interp = Vekt_vm.Interp
+module Event = Vekt_obs.Event
+module Sink = Vekt_obs.Sink
+module Trace = Vekt_obs.Trace
+module Metrics = Vekt_obs.Metrics
+module Divergence = Vekt_obs.Divergence
+open Vekt_workloads
+
+(* --- a strict little JSON syntax checker (no JSON library in the
+   dependency set, and the point is to validate the hand-rolled
+   exporters against an independent reader) --- *)
+
+exception Bad_json of string
+
+let check_json (s : string) : unit =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail msg = raise (Bad_json (Fmt.str "%s at offset %d" msg !pos)) in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance () else fail (Fmt.str "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad \\u escape"
+              done
+          | _ -> fail "bad escape");
+          go ()
+      | Some c when Char.code c < 0x20 -> fail "control char in string"
+      | Some _ ->
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let digits () =
+      let any = ref false in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+            any := true;
+            advance ();
+            go ()
+        | _ -> ()
+      in
+      go ();
+      if not !any then fail "expected digit"
+    in
+    if peek () = Some '-' then advance ();
+    digits ();
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ())
+  in
+  let literal l =
+    String.iter (fun c -> if peek () = Some c then advance () else fail ("expected " ^ l)) l
+  in
+  let rec parse_value () =
+    skip_ws ();
+    (match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else
+          let rec members () =
+            skip_ws ();
+            parse_string ();
+            skip_ws ();
+            expect ':';
+            parse_value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected , or }"
+          in
+          members ()
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else
+          let rec elements () =
+            parse_value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected , or ]"
+          in
+          elements ()
+    | Some '"' -> parse_string ()
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | _ -> fail "expected value");
+    skip_ws ()
+  in
+  parse_value ();
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage"
+
+let json_valid what s =
+  match check_json s with
+  | () -> ()
+  | exception Bad_json msg -> Alcotest.failf "%s: invalid JSON: %s" what msg
+
+(* --- trace ring buffer --- *)
+
+let mk_event i =
+  Event.Warp_formed { ts = float_of_int i; worker = 0; entry_id = 0; size = 4; scanned = i }
+
+let test_ring_wraps () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Trace.record t (mk_event i)
+  done;
+  Alcotest.(check int) "recorded" 10 (Trace.recorded t);
+  Alcotest.(check int) "dropped" 6 (Trace.dropped t);
+  let kept = Trace.events t in
+  Alcotest.(check int) "retains capacity" 4 (List.length kept);
+  Alcotest.(check (list (float 1e-9)))
+    "oldest dropped, order kept" [ 7.; 8.; 9.; 10. ]
+    (List.map Event.ts kept)
+
+let test_ring_partial () =
+  let t = Trace.create ~capacity:8 () in
+  Trace.record t (mk_event 1);
+  Trace.record t (mk_event 2);
+  Alcotest.(check int) "dropped" 0 (Trace.dropped t);
+  Alcotest.(check (list (float 1e-9)))
+    "in order" [ 1.; 2. ]
+    (List.map Event.ts (Trace.events t))
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_trace_exports_valid () =
+  let t = Trace.create ~capacity:16 () in
+  Trace.record t (mk_event 1);
+  Trace.record t
+    (Event.Compile_end
+       {
+         ts = 2.0;
+         worker = 0;
+         kernel = "k\"with\\quotes\n";
+         ws = 4;
+         wall_us = 12.5;
+         static_instrs = 7;
+       });
+  Trace.record t
+    (Event.Yield { ts = 3.0; worker = 1; entry_id = 2; kind = Event.Yield_barrier; lanes = 4 });
+  json_valid "chrome trace" (Trace.to_chrome_json t);
+  let text = Trace.to_text t in
+  Alcotest.(check bool) "text mentions yield" true (contains ~sub:"yield" text)
+
+(* --- metrics registry --- *)
+
+let test_metrics_basics () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "calls" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  Metrics.set (Metrics.gauge m "temp") 1.5;
+  let h = Metrics.histogram m "ws" in
+  Metrics.observe h 4;
+  Metrics.observe h 4;
+  Metrics.observe h 1;
+  Alcotest.(check int) "counter" 5 !(Metrics.counter m "calls");
+  Alcotest.(check (float 1e-9)) "hist mean" 3.0 (Metrics.hist_mean h);
+  Alcotest.(check (list (pair int int))) "bins" [ (1, 1); (4, 2) ] (Metrics.hist_bins h);
+  Alcotest.(check (list string)) "registration order" [ "calls"; "temp"; "ws" ]
+    (Metrics.names m);
+  Alcotest.(check bool) "kind clash rejected" true
+    (try
+       ignore (Metrics.gauge m "calls");
+       false
+     with Invalid_argument _ -> true)
+
+let test_metrics_exports () =
+  let m = Metrics.create () in
+  Metrics.incr ~by:42 (Metrics.counter m "a.count");
+  Metrics.set (Metrics.gauge m "b.gauge") 2.25;
+  Metrics.observe (Metrics.histogram m "c.hist") 3;
+  json_valid "metrics json" (Metrics.to_json m);
+  let csv = Metrics.to_csv m in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check string) "header" "name,kind,key,value" (List.hd lines);
+  Alcotest.(check bool) "counter row" true (List.mem "a.count,counter,,42" lines);
+  Alcotest.(check bool) "gauge row" true (List.mem "b.gauge,gauge,,2.25" lines);
+  Alcotest.(check bool) "hist bin row" true (List.mem "c.hist,histogram,bin:3,1" lines)
+
+(* --- wiring: real launches --- *)
+
+let run_workload ?sink ?profile (w : Workload.t) =
+  let dev = Api.create_device () in
+  let m = Api.load_module dev w.Workload.src in
+  let inst = w.Workload.setup ~scale:1 dev in
+  let r =
+    Api.launch ?sink ?profile m ~kernel:w.Workload.kernel ~grid:inst.Workload.grid
+      ~block:inst.Workload.block ~args:inst.Workload.args
+  in
+  (match inst.Workload.check dev with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: wrong results: %s" w.Workload.name e);
+  (m, r)
+
+let test_trace_of_launch_has_expected_events () =
+  let tracer = Trace.create () in
+  let _, _ = run_workload ~sink:(Trace.sink tracer) W_mersenne.workload in
+  let json = Trace.to_chrome_json tracer in
+  json_valid "launch trace" json;
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (sub ^ " present") true (contains ~sub json))
+    [
+      "\"compile\"";
+      "\"warp_formed\"";
+      "\"yield\"";
+      "\"subkernel\"";
+      "\"cache_hit\"";
+      "\"traceEvents\"";
+    ]
+
+(* Per-entry divergence totals must reconcile with the launch-wide Stats
+   aggregates (acceptance: at least two workloads). *)
+let check_profile_reconciles (w : Workload.t) =
+  let profile = Divergence.create () in
+  let _, r = run_workload ~profile w in
+  let stats = r.Api.stats in
+  Alcotest.(check int)
+    (w.Workload.name ^ ": restores")
+    stats.Stats.counters.Interp.restores
+    (Divergence.total_restores profile);
+  Alcotest.(check int)
+    (w.Workload.name ^ ": spills")
+    stats.Stats.counters.Interp.spills
+    (Divergence.total_spills profile);
+  Alcotest.(check int)
+    (w.Workload.name ^ ": warps")
+    (Hashtbl.fold (fun _ c a -> a + c) stats.Stats.warp_hist 0)
+    (Divergence.total_entries profile);
+  let stats_hist =
+    Hashtbl.fold (fun ws c l -> (ws, c) :: l) stats.Stats.warp_hist []
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair int int)))
+    (w.Workload.name ^ ": warp histogram")
+    stats_hist (Divergence.warp_hist profile);
+  (* hotness recorded and the profile renders *)
+  Alcotest.(check bool)
+    (w.Workload.name ^ ": hotness populated")
+    true
+    (Hashtbl.length profile.Divergence.hotness > 0);
+  let rendered = Fmt.str "%a" (Divergence.report ?top:None) profile in
+  Alcotest.(check bool)
+    (w.Workload.name ^ ": report renders")
+    true
+    (contains ~sub:"divergence profile" rendered)
+
+let test_profile_reconciles_mersenne () = check_profile_reconciles W_mersenne.workload
+let test_profile_reconciles_reduction () = check_profile_reconciles W_reduction.workload
+
+(* With no sink attached the instrumented paths must not change the
+   modelled execution at all; with a sink attached the *modelled* cycle
+   totals must still be identical (observation does not perturb). *)
+let test_noop_sink_zero_overhead () =
+  let w = W_reduction.workload in
+  let _, bare = run_workload w in
+  let _, noop = run_workload ~sink:Sink.noop w in
+  let tracer = Trace.create () in
+  let profile = Divergence.create () in
+  let _, traced = run_workload ~sink:(Trace.sink tracer) ~profile w in
+  Alcotest.(check (float 0.0)) "noop sink: identical wall cycles"
+    bare.Api.cycles noop.Api.cycles;
+  Alcotest.(check (float 0.0)) "traced: identical wall cycles"
+    bare.Api.cycles traced.Api.cycles;
+  Alcotest.(check int) "identical dyn instrs"
+    bare.Api.stats.Stats.counters.Interp.dyn_instrs
+    traced.Api.stats.Stats.counters.Interp.dyn_instrs;
+  Alcotest.(check (float 0.0)) "identical em cycles"
+    bare.Api.stats.Stats.em_cycles traced.Api.stats.Stats.em_cycles;
+  Alcotest.(check bool) "trace non-empty" true (Trace.recorded tracer > 0)
+
+let test_divergence_merge () =
+  let a = Divergence.create () and b = Divergence.create () in
+  Divergence.record_entry a ~entry_id:0 ~ws:4 ~restores:0 ~spills:2;
+  Divergence.record_entry a ~entry_id:1 ~ws:2 ~restores:4 ~spills:0;
+  Divergence.record_entry b ~entry_id:1 ~ws:2 ~restores:6 ~spills:0;
+  Divergence.touch_block a "B1";
+  Divergence.touch_block b "B1";
+  let into = Divergence.create () in
+  Divergence.merge ~into a;
+  Divergence.merge ~into b;
+  Alcotest.(check int) "warps" 3 (Divergence.total_entries into);
+  Alcotest.(check int) "restores" 10 (Divergence.total_restores into);
+  Alcotest.(check (list (pair int int))) "hist" [ (2, 2); (4, 1) ]
+    (Divergence.warp_hist into);
+  Alcotest.(check (option int)) "hotness" (Some 2)
+    (Hashtbl.find_opt into.Divergence.hotness "B1")
+
+let test_metrics_of_launch () =
+  let w = W_vecadd.workload in
+  let m, r = run_workload w in
+  let reg = Api.metrics m ~kernel:w.Workload.kernel r in
+  json_valid "launch metrics json" (Metrics.to_json reg);
+  Alcotest.(check int) "vm.kernel_calls matches stats"
+    r.Api.stats.Stats.counters.Interp.kernel_calls
+    !(Metrics.counter reg "vm.kernel_calls");
+  Alcotest.(check bool) "jit hit/miss exported" true
+    (!(Metrics.counter reg "jit.cache_misses") > 0);
+  Alcotest.(check bool) "compile cost exported" true
+    (Metrics.find reg "jit.w4.compile_us" <> None)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "ring wraps" `Quick test_ring_wraps;
+          Alcotest.test_case "ring partial" `Quick test_ring_partial;
+          Alcotest.test_case "exports valid" `Quick test_trace_exports_valid;
+          Alcotest.test_case "launch events" `Quick
+            test_trace_of_launch_has_expected_events;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "basics" `Quick test_metrics_basics;
+          Alcotest.test_case "exports" `Quick test_metrics_exports;
+          Alcotest.test_case "launch metrics" `Quick test_metrics_of_launch;
+        ] );
+      ( "divergence",
+        [
+          Alcotest.test_case "reconciles (mersenne)" `Quick
+            test_profile_reconciles_mersenne;
+          Alcotest.test_case "reconciles (reduction)" `Quick
+            test_profile_reconciles_reduction;
+          Alcotest.test_case "merge" `Quick test_divergence_merge;
+        ] );
+      ( "overhead",
+        [ Alcotest.test_case "noop sink" `Quick test_noop_sink_zero_overhead ] );
+    ]

@@ -117,14 +117,15 @@ let test_cache_entry_ids_shared () =
 
 (* --- Execution manager --- *)
 
-let launch ?(mode = Vectorize.Dynamic) ?(block = 32) ?(grid = 1) ?workers src ~kernel =
+let launch ?(mode = Vectorize.Dynamic) ?(block = 32) ?(grid = 1) ?workers ?fuel
+    src ~kernel =
   let cache = TC.prepare ~mode (Parser.parse_module src) ~kernel in
   let global = Mem.create 1024 in
   let k = Option.get (Ast.find_kernel (Parser.parse_module src) kernel) in
   let params = Launch.param_block k [ Launch.Ptr 0 ] in
   let stats =
-    EM.launch_kernel ?workers cache ~grid:(Launch.dim3 grid) ~block:(Launch.dim3 block)
-      ~global ~params ~consts:(Mem.create 0)
+    EM.launch_kernel ?workers ?fuel cache ~grid:(Launch.dim3 grid)
+      ~block:(Launch.dim3 block) ~global ~params ~consts:(Mem.create 0)
   in
   (stats, global)
 
@@ -199,6 +200,86 @@ let test_em_wall_cycles_max_not_sum () =
     stats1.Stats.counters.Interp.dyn_instrs stats4.Stats.counters.Interp.dyn_instrs
 
 (* --- Stats --- *)
+
+let test_stats_empty_edge_cases () =
+  let s = Stats.create () in
+  Alcotest.(check (float 0.0)) "avg warp size of empty" 0.0 (Stats.average_warp_size s);
+  Alcotest.(check (float 0.0)) "warp fraction of empty" 0.0 (Stats.warp_fraction s 4);
+  Alcotest.(check (float 0.0)) "restores/thread of empty" 0.0
+    (Stats.average_restores_per_thread s);
+  (* restores with no kernel entries must not divide by zero *)
+  s.Stats.counters.Interp.restores <- 17;
+  Alcotest.(check (float 0.0)) "restores with empty histogram" 0.0
+    (Stats.average_restores_per_thread s);
+  (* a size never recorded has fraction 0 even with a populated histogram *)
+  Stats.record_warp s 4;
+  Alcotest.(check (float 0.0)) "absent size fraction" 0.0 (Stats.warp_fraction s 2);
+  Alcotest.(check (float 1e-9)) "present size fraction" 1.0 (Stats.warp_fraction s 4)
+
+let test_stats_merge_wall_max_counters_sum () =
+  (* wall cycles model parallel workers (max); everything else is total
+     work (sum). *)
+  let mk em body restores ws =
+    let s = Stats.create () in
+    s.Stats.em_cycles <- em;
+    s.Stats.counters.Interp.cycles_body <- body;
+    s.Stats.counters.Interp.restores <- restores;
+    Stats.record_warp s ws;
+    Stats.record_warp s ws;
+    s
+  in
+  let a = mk 100.0 50.0 3 4 in
+  let b = mk 10.0 20.0 4 2 in
+  let into = Stats.create () in
+  Stats.merge_into ~into a;
+  Stats.merge_into ~into b;
+  Alcotest.(check (float 1e-9)) "em cycles sum" 110.0 into.Stats.em_cycles;
+  Alcotest.(check (float 1e-9)) "body cycles sum" 70.0
+    into.Stats.counters.Interp.cycles_body;
+  Alcotest.(check int) "restores sum" 7 into.Stats.counters.Interp.restores;
+  Alcotest.(check (float 1e-9)) "wall is max worker, not serial sum" 150.0
+    into.Stats.wall_cycles;
+  Alcotest.(check (float 1e-9)) "serial total is the sum" 180.0
+    (Stats.total_cycles into);
+  Alcotest.(check (option int)) "hist 4 merged" (Some 2)
+    (Hashtbl.find_opt into.Stats.warp_hist 4);
+  Alcotest.(check (option int)) "hist 2 merged" (Some 2)
+    (Hashtbl.find_opt into.Stats.warp_hist 2);
+  (* merging a third worker below the current wall leaves the max *)
+  Stats.merge_into ~into (mk 5.0 1.0 0 1);
+  Alcotest.(check (float 1e-9)) "wall keeps max" 150.0 into.Stats.wall_cycles
+
+let test_fuel_exhaustion_has_context () =
+  (* a loop that diverges every iteration yields forever, burning the
+     subkernel-call budget; the error must name the kernel and CTA
+     rather than being a bare Out_of_fuel *)
+  match
+    launch ~block:2 ~fuel:64
+      {|
+.entry spin (.param .u64 out)
+{
+  .reg .u32 %tid;
+  .reg .pred %p;
+LOOP:
+  mov.u32 %tid, %tid.x;
+  setp.eq.u32 %p, %tid, 0;
+  @%p bra LOOP;
+  bra LOOP;
+}
+|}
+      ~kernel:"spin"
+  with
+  | _ -> Alcotest.fail "expected Launch_error"
+  | exception EM.Launch_error msg ->
+      List.iter
+        (fun sub ->
+          Alcotest.(check bool)
+            (Fmt.str "message %S mentions %S" msg sub)
+            true
+            (let n = String.length msg and m = String.length sub in
+             let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+             go 0))
+        [ "spin"; "out of fuel"; "CTA (0,0,0)"; "subkernel calls made" ]
 
 let test_stats_merge () =
   let a = Stats.create () and b = Stats.create () in
@@ -284,8 +365,16 @@ let () =
           Alcotest.test_case "static rows" `Quick test_em_static_warps_row_aligned;
           Alcotest.test_case "partitioning" `Quick test_em_multicta_partitioning;
           Alcotest.test_case "wall cycles" `Quick test_em_wall_cycles_max_not_sum;
+          Alcotest.test_case "fuel error context" `Quick
+            test_fuel_exhaustion_has_context;
         ] );
-      ("stats", [ Alcotest.test_case "merge" `Quick test_stats_merge ]);
+      ( "stats",
+        [
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+          Alcotest.test_case "merge wall max" `Quick
+            test_stats_merge_wall_max_counters_sum;
+          Alcotest.test_case "empty edge cases" `Quick test_stats_empty_edge_cases;
+        ] );
       ( "api",
         [
           Alcotest.test_case "malloc" `Quick test_api_malloc_alignment_and_oom;
