@@ -81,6 +81,25 @@ let static_arg =
 let affine_arg =
   Arg.(value & flag & info [ "affine" ] ~doc:"Coalesce affine/uniform memory accesses")
 
+let pipeline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "pipeline" ] ~docv:"SPEC"
+        ~doc:
+          "Optimization pass pipeline, e.g. constfold,cse,dce,fusion:fix \
+           (comma-separated pass names; :fix or :fix=N runs the sequence to \
+           fixpoint with bound N). Default: every pass to fixpoint.")
+
+let parse_pipeline_opt = function
+  | None -> Vekt_transform.Passes.default_pipeline
+  | Some spec -> (
+      match Vekt_transform.Passes.parse_pipeline spec with
+      | Ok p -> p
+      | Error e ->
+          Fmt.epr "bad --pipeline: %s@." e;
+          exit 1)
+
 (* ---- check ---- *)
 
 let check_cmd =
@@ -101,7 +120,7 @@ let check_cmd =
 (* ---- compile ---- *)
 
 let compile_cmd =
-  let run file kernel ws static stage =
+  let run file kernel ws static stage pipeline =
     let _, m = load file in
     let kernel = pick_kernel m kernel in
     let tr = Ptx_to_ir.frontend m ~kernel in
@@ -114,12 +133,17 @@ let compile_cmd =
       let v = Vectorize.run ~mode ~plan tr.Ptx_to_ir.func ~ws in
       if stage = "vectorized" then Fmt.pr "%a@." Pp.func v.Vectorize.func
       else begin
-        let st = Passes.optimize v.Vectorize.func in
+        let pipeline = parse_pipeline_opt pipeline in
+        let st = Passes.run ~pipeline v.Vectorize.func in
         Fmt.pr "%a@." Pp.func v.Vectorize.func;
-        Fmt.epr
-          "; optimized: folded %d, CSE %d, DCE %d, fused %d — %d instructions@."
-          st.Passes.folded st.Passes.cse_replaced st.Passes.dce_removed
-          st.Passes.blocks_fused (Ir.size v.Vectorize.func)
+        Fmt.epr "; optimized (%a, %d round%s): %s — %d instructions@."
+          Passes.pp_pipeline pipeline st.Passes.rounds
+          (if st.Passes.rounds = 1 then "" else "s")
+          (String.concat ", "
+             (List.map
+                (fun (name, c) -> Fmt.str "%s %d" name c)
+                st.Passes.per_pass))
+          (Ir.size v.Vectorize.func)
       end
     end
   in
@@ -131,7 +155,9 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a kernel and dump the IR")
-    Term.(const run $ file_arg $ kernel_arg $ ws_arg $ static_arg $ stage_arg)
+    Term.(
+      const run $ file_arg $ kernel_arg $ ws_arg $ static_arg $ stage_arg
+      $ pipeline_arg)
 
 (* ---- argument specs for run/emulate ---- *)
 
@@ -202,17 +228,34 @@ let has_suffix ~suffix s =
   n >= m && String.sub s (n - m) m = suffix
 
 let run_cmd =
-  let run file kernel grid block arg_specs dumps static affine ws trace profile
-      metrics =
+  let run file kernel grid block arg_specs dumps static affine ws sched
+      pipeline tiered hot_threshold cache_cap trace profile metrics =
     let src, m = load file in
     let kernel = pick_kernel m kernel in
     let dev = Api.create_device () in
+    let sched =
+      Option.map
+        (fun s ->
+          match Vekt_runtime.Scheduler.kind_of_string s with
+          | Some k -> k
+          | None ->
+              Fmt.epr "unknown scheduler policy %S (dynamic, static, barrier)@." s;
+              exit 1)
+        sched
+    in
     let config =
       {
         Api.default_config with
         mode = (if static then Vectorize.Static_tie else Vectorize.Dynamic);
         affine;
         widths = List.sort_uniq (fun a b -> compare b a) (ws :: [ 1 ]);
+        sched;
+        pipeline = parse_pipeline_opt pipeline;
+        tiering =
+          (if tiered then
+             Vekt_runtime.Translation_cache.Tiered { hot_threshold }
+           else Vekt_runtime.Translation_cache.Eager);
+        cache_capacity = cache_cap;
       }
     in
     let api_m = Api.load_module ~config dev src in
@@ -294,11 +337,47 @@ let run_cmd =
             "Export the metrics registry to $(docv): CSV by default, JSON if \
              $(docv) ends in .json, human-readable on stdout if $(docv) is -")
   in
+  let sched_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sched" ] ~docv:"POLICY"
+          ~doc:
+            "Warp-formation policy: dynamic, static, or barrier \
+             (barrier-aware). Default: dynamic formation, or static when \
+             $(b,--static) vectorization is on (TIE code requires it).")
+  in
+  let tiered_arg =
+    Arg.(
+      value & flag
+      & info [ "tiered" ]
+          ~doc:
+            "Tiered JIT: serve an unoptimized specialization immediately and \
+             promote it through the full pass pipeline once hot (see \
+             $(b,--hot-threshold)).")
+  in
+  let hot_threshold_arg =
+    Arg.(
+      value
+      & opt int Vekt_runtime.Translation_cache.default_hot_threshold
+      & info [ "hot-threshold" ] ~docv:"N"
+          ~doc:"Cache queries of one specialization before tier promotion")
+  in
+  let cache_cap_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-cap" ] ~docv:"N"
+          ~doc:
+            "Bound the specialization table to $(docv) entries with LRU \
+             eviction (default: unbounded)")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Launch a kernel on the simulated vector machine")
     Term.(
       const run $ file_arg $ kernel_arg $ grid_arg $ block_arg $ args_arg $ dump_arg
-      $ static_arg $ affine_arg $ ws_arg $ trace_arg $ profile_arg $ metrics_arg)
+      $ static_arg $ affine_arg $ ws_arg $ sched_arg $ pipeline_arg $ tiered_arg
+      $ hot_threshold_arg $ cache_cap_arg $ trace_arg $ profile_arg $ metrics_arg)
 
 (* ---- emulate ---- *)
 

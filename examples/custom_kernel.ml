@@ -85,8 +85,11 @@ let () =
   Fmt.pr
     "== vectorized for warp size 4: %d instructions after optimization ==@."
     (Ir.size v.Vectorize.func);
-  Fmt.pr "   (DCE removed %d, CSE replaced %d, %d blocks fused)@."
-    stats.Passes.dce_removed stats.Passes.cse_replaced stats.Passes.blocks_fused;
+  Fmt.pr "   (DCE removed %d, CSE replaced %d, %d blocks fused; %d rounds)@."
+    (Passes.changes_of stats "dce")
+    (Passes.changes_of stats "cse")
+    (Passes.changes_of stats "fusion")
+    stats.Passes.rounds;
   Fmt.pr "%a@." Pp.func v.Vectorize.func;
 
   (* Run through the full runtime and cross-check against the oracle. *)

@@ -41,12 +41,19 @@ type t =
       lanes : int;
     }
   | Barrier_release of { ts : float; worker : int; released : int }
-  | Compile_begin of { ts : float; worker : int; kernel : string; ws : int }
+  | Compile_begin of {
+      ts : float;
+      worker : int;
+      kernel : string;
+      ws : int;
+      tier : int;  (** 0 = immediate unoptimized build, 1 = full pipeline *)
+    }
   | Compile_end of {
       ts : float;
       worker : int;
       kernel : string;
       ws : int;
+      tier : int;  (** 0 = immediate unoptimized build, 1 = full pipeline *)
       wall_us : float;  (** measured compilation wall time, microseconds *)
       static_instrs : int;
     }
@@ -99,10 +106,11 @@ let pp ppf e =
   | Barrier_release e ->
       p "%12.1f w%d barrier_release released=%d" e.ts e.worker e.released
   | Compile_begin e ->
-      p "%12.1f w%d compile_begin kernel=%s ws=%d" e.ts e.worker e.kernel e.ws
+      p "%12.1f w%d compile_begin kernel=%s ws=%d tier=%d" e.ts e.worker
+        e.kernel e.ws e.tier
   | Compile_end e ->
-      p "%12.1f w%d compile_end kernel=%s ws=%d wall_us=%.1f instrs=%d" e.ts
-        e.worker e.kernel e.ws e.wall_us e.static_instrs
+      p "%12.1f w%d compile_end kernel=%s ws=%d tier=%d wall_us=%.1f instrs=%d"
+        e.ts e.worker e.kernel e.ws e.tier e.wall_us e.static_instrs
   | Cache_hit e -> p "%12.1f w%d cache_hit kernel=%s ws=%d" e.ts e.worker e.kernel e.ws
   | Cache_miss e ->
       p "%12.1f w%d cache_miss kernel=%s ws=%d" e.ts e.worker e.kernel e.ws

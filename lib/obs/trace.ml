@@ -128,13 +128,14 @@ let add_chrome_event b (e : Event.t) =
   | Event.Compile_begin v ->
       add_record b ~name:"compile" ~cat:"jit" ~ph:"B" ~ts:v.ts ~pid:jit_pid
         ~tid:v.worker
-        [ ("kernel", S v.kernel); ("ws", I v.ws) ]
+        [ ("kernel", S v.kernel); ("ws", I v.ws); ("tier", I v.tier) ]
   | Event.Compile_end v ->
       add_record b ~name:"compile" ~cat:"jit" ~ph:"E" ~ts:v.ts ~pid:jit_pid
         ~tid:v.worker
         [
           ("kernel", S v.kernel);
           ("ws", I v.ws);
+          ("tier", I v.tier);
           ("wall_us", F v.wall_us);
           ("static_instrs", I v.static_instrs);
         ]

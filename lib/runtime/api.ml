@@ -39,11 +39,27 @@ type config = {
       (** bake concrete kernel-argument values into the code (the paper's
           §5.1 future-work specialization parameter) *)
   verify : bool;
+  sched : Scheduler.kind option;
+      (** warp-formation policy; [None] follows the vectorization mode
+          (dynamic mode → dynamic formation, TIE → static formation) *)
+  pipeline : Vekt_transform.Passes.pipeline;
+      (** optimization pass pipeline for (tier-1) specializations *)
+  tiering : Translation_cache.tiering;
+      (** eager full compilation, or tier-0-then-promote-on-hotness *)
+  cache_capacity : int option;
+      (** bound on live specializations per kernel (LRU eviction) *)
 }
 
 let default_config =
   { mode = Vectorize.Dynamic; widths = Translation_cache.default_widths;
-    optimize = true; affine = false; specialize_args = false; verify = false }
+    optimize = true; affine = false; specialize_args = false; verify = false;
+    sched = None; pipeline = Vekt_transform.Passes.default_pipeline;
+    tiering = Translation_cache.Eager; cache_capacity = None }
+
+(** The scheduling policy a config resolves to. *)
+let sched_policy (c : config) : Scheduler.t =
+  Scheduler.of_kind
+    (Option.value c.sched ~default:(Scheduler.default_kind_for c.mode))
 
 type modul = {
   ast : Ast.modul;
@@ -88,6 +104,9 @@ let load_module ?(config = default_config) (d : device) (src : string) : modul =
   (match Typecheck.check_module ast with
   | [] -> ()
   | e :: _ -> raise (Api_error (Fmt.str "type error: %a" Typecheck.pp_error e)));
+  (* reject incompatible policy × vectorization combinations up front *)
+  (try Scheduler.validate ~mode:config.mode (sched_policy config)
+   with Invalid_argument e -> raise (Api_error e));
   let consts, _ = Emulator.build_consts ast in
   { ast; config; device = d; consts; caches = Hashtbl.create 4 }
 
@@ -99,7 +118,9 @@ let kernel_cache (m : modul) ~kernel : Translation_cache.t =
         Translation_cache.prepare ~mode:m.config.mode ~affine:m.config.affine
           ~specialize_args:m.config.specialize_args ~machine:m.device.machine
           ~widths:m.config.widths ~optimize:m.config.optimize
-          ~verify:m.config.verify m.ast ~kernel
+          ~pipeline:m.config.pipeline ~tiering:m.config.tiering
+          ?capacity:m.config.cache_capacity ~verify:m.config.verify m.ast
+          ~kernel
       in
       Hashtbl.replace m.caches kernel c;
       c
@@ -125,8 +146,8 @@ let launch ?fuel ?(sink = Vekt_obs.Sink.noop)
   let params = Launch.param_block k args in
   let stats =
     Exec_manager.launch_kernel ~costs:m.device.em_costs ?fuel ~workers:m.device.workers
-      ~sink ?profile cache ~grid ~block ~global:m.device.global ~params
-      ~consts:m.consts
+      ~sink ?profile ~sched:(sched_policy m.config) cache ~grid ~block
+      ~global:m.device.global ~params ~consts:m.consts
   in
   let cycles = Float.max stats.Stats.wall_cycles 1.0 in
   let time_s = cycles /. (m.device.machine.Machine.clock_ghz *. 1e9) in

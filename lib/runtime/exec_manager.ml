@@ -4,16 +4,17 @@
     partition of the kernel grid's CTAs and, for each CTA: the thread
     context pool, the CTA's shared-memory segment, a contiguous local-memory
     arena partitioned per thread, barrier bookkeeping, and the warp
-    former/scheduler.  The scheduling loop picks a ready thread round-robin,
-    greedily packs the largest possible warp of ready threads waiting at the
-    same entry point, queries the translation cache for that width's
-    specialization, and calls it.  On return it disposes each lane according
-    to the warp's resume status (ready / barrier queue / terminated).
+    former/scheduler.
 
-    Warps are formed within a single CTA (lanes share the CTA's shared
-    segment and barrier).  Under the static policy warps may only contain
-    consecutive [tid.x] threads of one row, matching the assumptions of
-    thread-invariant elimination (§6.2). *)
+    The scheduling loop itself is a thin driver over three pluggable
+    layers: a {!Scheduler.t} policy picks the next thread and packs the
+    warp, the {!Translation_cache} supplies the width specialization
+    (possibly tiered), and the disposition step routes each lane by the
+    warp's resume status (ready / barrier queue / terminated).  Warps
+    are formed within a single CTA (lanes share the CTA's shared segment
+    and barrier); the policy must satisfy the contract documented in
+    {!Scheduler}, in particular [Static_tie] code requires the static
+    (consecutive-tid) policy. *)
 
 module Ir = Vekt_ir.Ir
 module Interp = Vekt_vm.Interp
@@ -41,18 +42,17 @@ let default_costs =
     per_barrier_release = 3.0;
   }
 
-type tstate = Ready | Blocked | Done
+(* First [k] members of a formed warp, when the available specialization
+   width is narrower than the pack the policy found. *)
+let rec take k = function
+  | x :: rest when k > 0 -> x :: take (k - 1) rest
+  | _ -> []
 
-type thr = {
-  info : Interp.thread_info;
-  linear : int;  (** linear thread index within the CTA *)
-  row : int;  (** tid.y/tid.z row identifier (static warps never cross rows) *)
-  mutable state : tstate;
-}
-
-(** Execute one CTA to completion.  [fuel] bounds the number of subkernel
-    calls (divergent runaway loops yield forever otherwise); exhausting
-    it raises {!Launch_error} naming the kernel and CTA.
+(** Execute one CTA to completion under scheduling policy [sched]
+    (default: the policy matching the cache's vectorization mode).
+    [fuel] bounds the number of subkernel calls (divergent runaway loops
+    yield forever otherwise); exhausting it raises {!Launch_error}
+    naming the kernel and CTA.
 
     [sink] receives warp-formation / dispatch / yield / barrier events
     timestamped on this worker's modelled-cycle clock; [profile]
@@ -61,9 +61,18 @@ type thr = {
     allocate nothing. *)
 let run_cta ?(costs = default_costs) ?(fuel = 5_000_000)
     ?(sink = Obs.Sink.noop) ?(profile : Obs.Divergence.t option) ?(worker = 0)
-    (cache : Translation_cache.t)
+    ?sched (cache : Translation_cache.t)
     ~(launch : Interp.launch_info) ~(ctaid : Launch.dim3) ~(global : Mem.t)
     ~(params : Mem.t) ~(consts : Mem.t) ~(stats : Stats.t) () : unit =
+  let sched =
+    match sched with
+    | Some s ->
+        Scheduler.validate ~mode:cache.Translation_cache.mode s;
+        s
+    | None ->
+        Scheduler.of_kind
+          (Scheduler.default_kind_for cache.Translation_cache.mode)
+  in
   let block = launch.Interp.block in
   let n = Launch.count block in
   let shared = Mem.create ~name:"shared" cache.Translation_cache.shared_bytes in
@@ -77,7 +86,7 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000)
     Array.init n (fun i ->
         let tid = Launch.unlinear ~dims:block i in
         {
-          info =
+          Scheduler.info =
             {
               Interp.tid;
               ctaid;
@@ -86,73 +95,13 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000)
             };
           linear = i;
           row = tid.Launch.y + (block.Launch.y * tid.Launch.z);
-          state = Ready;
+          state = Scheduler.Ready;
         })
   in
+  let pool = { Scheduler.threads; n; cursor = 0 } in
   stats.Stats.threads_launched <- stats.Stats.threads_launched + n;
   let remaining = ref n in
-  let cursor = ref 0 in
   let calls_left = ref fuel in
-  let static = cache.Translation_cache.mode = Vectorize.Static_tie in
-  (* Find the next ready thread round-robin from the cursor. *)
-  let next_ready () =
-    let rec go tried i =
-      if tried >= n then None
-      else if threads.(i).state = Ready then Some i
-      else go (tried + 1) ((i + 1) mod n)
-    in
-    go 0 !cursor
-  in
-  (* Dynamic warp formation: scan from [start], collecting ready threads
-     waiting at the same entry point, up to the maximum specialization
-     width. *)
-  let form_dynamic start =
-    let t0 = threads.(start) in
-    let entry = t0.info.Interp.resume_point in
-    let want = Translation_cache.max_width cache in
-    let members = ref [ start ] in
-    let nmembers = ref 1 in
-    let scanned = ref 0 in
-    let i = ref ((start + 1) mod n) in
-    while !nmembers < want && !i <> start do
-      incr scanned;
-      let t = threads.(!i) in
-      if t.state = Ready && t.info.Interp.resume_point = entry then begin
-        members := !i :: !members;
-        incr nmembers
-      end;
-      i := (!i + 1) mod n
-    done;
-    stats.Stats.em_cycles <-
-      stats.Stats.em_cycles +. (float_of_int !scanned *. costs.per_candidate_scan);
-    (List.rev !members, !scanned)
-  in
-  (* Static warp formation: only consecutive linear indices in the same
-     row, starting at the scheduled thread. *)
-  let form_static start =
-    let t0 = threads.(start) in
-    let entry = t0.info.Interp.resume_point in
-    let want = Translation_cache.max_width cache in
-    let members = ref [ start ] in
-    let nmembers = ref 1 in
-    let scanned = ref 0 in
-    let i = ref (start + 1) in
-    while
-      !nmembers < want
-      && !i < n
-      && threads.(!i).state = Ready
-      && threads.(!i).info.Interp.resume_point = entry
-      && threads.(!i).row = t0.row
-    do
-      incr scanned;
-      members := !i :: !members;
-      incr nmembers;
-      incr i
-    done;
-    stats.Stats.em_cycles <-
-      stats.Stats.em_cycles +. (float_of_int !scanned *. costs.per_candidate_scan);
-    (List.rev !members, !scanned)
-  in
   (* Modelled-cycle clock for this worker: execution-manager overheads
      plus everything the interpreter has accounted so far.  Monotone
      across the CTAs this worker runs, so trace timestamps nest. *)
@@ -165,16 +114,16 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000)
             (fuel - !calls_left)))
   in
   while !remaining > 0 do
-    match next_ready () with
+    match sched.Scheduler.select pool with
     | None ->
         (* No runnable thread: every live thread is parked at the barrier.
            Release them all (barriers synchronize live threads; threads
            that already exited don't count, same as the oracle). *)
         let released = ref 0 in
         Array.iter
-          (fun t ->
-            if t.state = Blocked then begin
-              t.state <- Ready;
+          (fun (t : Scheduler.thr) ->
+            if t.state = Scheduler.Blocked then begin
+              t.state <- Scheduler.Ready;
               incr released
             end)
           threads;
@@ -186,33 +135,47 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000)
           Obs.Sink.emit sink
             (Obs.Event.Barrier_release { ts = now (); worker; released = !released })
     | Some start ->
+        if !calls_left = 0 then fuel_error ();
         decr calls_left;
-        if !calls_left <= 0 then fuel_error ();
-        let members, scanned =
-          if static then form_static start else form_dynamic start
+        let want = Translation_cache.max_width cache in
+        let w = sched.Scheduler.form pool ~start ~want in
+        stats.Stats.em_cycles <-
+          stats.Stats.em_cycles
+          +. (float_of_int w.Scheduler.scanned *. costs.per_candidate_scan);
+        let entry_id = threads.(start).Scheduler.info.Interp.resume_point in
+        (* the policy already tracked the member count: no List.length here *)
+        let ws = Translation_cache.best_width cache w.Scheduler.count in
+        let members =
+          if ws = w.Scheduler.count then w.Scheduler.members
+          else take ws w.Scheduler.members
         in
-        let entry_id = threads.(start).info.Interp.resume_point in
-        let ws = Translation_cache.best_width cache (List.length members) in
-        let members = List.filteri (fun i _ -> i < ws) members in
         if Obs.Sink.enabled sink then
           Obs.Sink.emit sink
             (Obs.Event.Warp_formed
-               { ts = now (); worker; entry_id; size = ws; scanned });
+               { ts = now (); worker; entry_id; size = ws;
+                 scanned = w.Scheduler.scanned });
         let entry =
           Translation_cache.get cache ~params ~sink ~now:(now ()) ~worker ~ws ()
         in
-        let lanes = Array.of_list (List.map (fun i -> threads.(i).info) members) in
+        let lanes =
+          Array.of_list
+            (List.map (fun i -> threads.(i).Scheduler.info) members)
+        in
         let warp = { Interp.lanes; entry_id; status = Ir.Status_exit } in
         Stats.record_warp stats ws;
         stats.Stats.em_cycles <- stats.Stats.em_cycles +. costs.per_kernel_call;
         let restores0 = stats.Stats.counters.Interp.restores in
         let spills0 = stats.Stats.counters.Interp.spills in
         let call_ts = if Obs.Sink.enabled sink then now () else 0.0 in
-        (try
-           Interp.exec ~timing:entry.Translation_cache.timing
-             ~counters:stats.Stats.counters ?profile entry.Translation_cache.vfunc
-             ~launch warp mem
-         with Interp.Out_of_fuel -> fuel_error ());
+        Translation_cache.pin entry;
+        Fun.protect
+          ~finally:(fun () -> Translation_cache.unpin entry)
+          (fun () ->
+            try
+              Interp.exec ~timing:entry.Translation_cache.timing
+                ~counters:stats.Stats.counters ?profile
+                entry.Translation_cache.vfunc ~launch warp mem
+            with Interp.Out_of_fuel -> fuel_error ());
         (match profile with
         | None -> ()
         | Some p ->
@@ -247,12 +210,12 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000)
             let t = threads.(i) in
             match warp.Interp.status with
             | Ir.Status_exit ->
-                t.state <- Done;
+                t.Scheduler.state <- Scheduler.Done;
                 decr remaining
-            | Ir.Status_barrier -> t.state <- Blocked
-            | Ir.Status_branch -> t.state <- Ready)
+            | Ir.Status_barrier -> t.Scheduler.state <- Scheduler.Blocked
+            | Ir.Status_branch -> t.Scheduler.state <- Scheduler.Ready)
           members;
-        cursor := (start + 1) mod n
+        pool.Scheduler.cursor <- (start + 1) mod n
   done
 
 (** Run a whole kernel launch: CTAs are statically partitioned round-robin
@@ -260,13 +223,18 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000)
     into the returned aggregate, with wall cycles the maximum over
     workers. *)
 let launch_kernel ?(costs = default_costs) ?fuel ?(workers = 4)
-    ?(sink = Obs.Sink.noop) ?(profile : Obs.Divergence.t option)
+    ?(sink = Obs.Sink.noop) ?(profile : Obs.Divergence.t option) ?sched
     (cache : Translation_cache.t) ~(grid : Launch.dim3) ~(block : Launch.dim3)
     ~(global : Mem.t) ~(params : Mem.t) ~(consts : Mem.t) : Stats.t =
   let ncta = Launch.count grid in
   let launch = { Interp.grid; block } in
   let aggregate = Stats.create () in
   let workers = max 1 (min workers ncta) in
+  (* A policy incompatible with the vectorization mode would execute
+     miscompiled warps; fail the launch instead. *)
+  Option.iter
+    (Scheduler.validate ~mode:cache.Translation_cache.mode)
+    sched;
   (match profile with
   | Some p ->
       Obs.Divergence.set_entry_names p (Translation_cache.entry_ids cache)
@@ -276,8 +244,8 @@ let launch_kernel ?(costs = default_costs) ?fuel ?(workers = 4)
     let c = ref w in
     while !c < ncta do
       let ctaid = Launch.unlinear ~dims:grid !c in
-      run_cta ~costs ?fuel ~sink ?profile ~worker:w cache ~launch ~ctaid ~global
-        ~params ~consts ~stats:wstats ();
+      run_cta ~costs ?fuel ~sink ?profile ~worker:w ?sched cache ~launch ~ctaid
+        ~global ~params ~consts ~stats:wstats ();
       c := !c + workers
     done;
     Stats.merge_into ~into:aggregate wstats

@@ -1,11 +1,31 @@
-(** The dynamic translation cache (paper §5.1).
+(** The dynamic translation cache (paper §5.1), tiered.
 
     Holds, per kernel, the scalar IR produced by the PTX→IR frontend and
     lazily built specializations per warp size.  Execution managers query
-    it with a warp size; the first query for a size triggers vectorization,
-    optimization and timing analysis ("JIT compilation"), whose simulated
-    cost is charged to compilation statistics rather than kernel cycles
-    (the paper translates at kernel granularity, off the measured path). *)
+    it with a warp size; a miss triggers vectorization, optimization and
+    timing analysis ("JIT compilation"), whose simulated cost is charged
+    to compilation statistics rather than kernel cycles (the paper
+    translates at kernel granularity, off the measured path).
+
+    Compilation is policy-driven:
+
+    - {b Eager} (the paper's behaviour, the default): the first query
+      for a (warp size, argument digest) builds the fully optimized
+      specialization.
+    - {b Tiered}: the first query builds an {e unoptimized} tier-0
+      specialization immediately (vectorize + a single DCE sweep, no
+      pass pipeline — cheap, so the warp is never stalled behind the
+      optimizer); a per-key hotness counter then promotes the
+      specialization through the full pass pipeline once it has been
+      requested [hot_threshold] times.  Promotion replaces the table
+      entry; warps already executing the tier-0 code keep their
+      reference.
+
+    The specialization table can be bounded ([capacity]): before an
+    insert would exceed the bound, the least-recently-used entry that is
+    not currently pinned by an executing warp is evicted.  Hotness
+    counters survive eviction, so a re-queried hot key recompiles
+    straight to tier 1. *)
 
 module Ir = Vekt_ir.Ir
 module Verify = Vekt_ir.Verify
@@ -26,7 +46,18 @@ type entry = {
   vect : Vectorize.vectorized;
   static_instrs : int;  (** static instruction count after optimization *)
   compile_us : float;  (** measured wall time this specialization cost to build *)
+  tier : int;  (** 0 = unoptimized fast build, 1 = full pass pipeline *)
+  mutable last_use : int;  (** LRU stamp (cache query clock) *)
+  mutable in_use : int;  (** pin count held by currently-executing warps *)
 }
+
+(** When (and whether) a specialization is promoted through the full
+    pass pipeline. *)
+type tiering =
+  | Eager
+  | Tiered of { hot_threshold : int }
+      (** queries of one (ws, digest) key before full optimization;
+          values ≤ 1 behave like {!Eager} *)
 
 type t = {
   kernel_name : string;
@@ -40,10 +71,20 @@ type t = {
       (** specialize on concrete kernel-argument values (§5.1 future work) *)
   machine : Machine.t;
   optimize : bool;
+  pipeline : Passes.pipeline;  (** pass pipeline for tier-1 builds *)
+  tiering : tiering;
+  capacity : int option;  (** max live specializations; None = unbounded *)
   widths : int list;  (** available specializations, descending *)
   specializations : (int * string, entry) Hashtbl.t;
       (** keyed by (warp size, parameter-block digest; "" = generic) *)
+  hotness : (int * string, int) Hashtbl.t;
+      (** per-key query counts; drive tier promotion, survive eviction *)
+  pass_stats : (string, int) Hashtbl.t;
+      (** cumulative per-pass change counts over all tier-1 builds *)
+  mutable clock : int;  (** LRU stamp source, bumped per query *)
   mutable compile_count : int;
+  mutable promotions : int;  (** tier-0 → tier-1 recompilations *)
+  mutable evictions : int;
   mutable hits : int;  (** cache queries answered without compiling *)
   mutable misses : int;
   mutable compile_wall_us : float;  (** total wall time spent compiling *)
@@ -51,17 +92,22 @@ type t = {
 }
 
 let default_widths = [ 4; 2; 1 ]
+let default_hot_threshold = 3
 
 (** Parse-time preparation of one kernel: frontend to scalar IR plus the
     divergence plan shared by all specializations. *)
 let prepare ?(mode = Vectorize.Dynamic) ?(affine = false) ?(specialize_args = false)
     ?(machine = Machine.sse4) ?(widths = default_widths) ?(optimize = true)
+    ?(pipeline = Passes.default_pipeline) ?(tiering = Eager) ?capacity
     ?(verify = false) (m : Ast.modul) ~kernel : t =
   let widths = List.sort_uniq (fun a b -> compare b a) widths in
   if widths = [] || List.exists (fun w -> w < 1) widths then
     invalid_arg "Translation_cache.prepare: invalid widths";
   if not (List.mem 1 widths) then
     invalid_arg "Translation_cache.prepare: a scalar (width 1) specialization is required";
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Translation_cache.prepare: capacity must be >= 1"
+  | _ -> ());
   let tr = Ptx_to_ir.frontend m ~kernel in
   let plan = Plan.compute tr.Ptx_to_ir.func ~local_decl_bytes:tr.Ptx_to_ir.local_decl_bytes in
   {
@@ -75,19 +121,127 @@ let prepare ?(mode = Vectorize.Dynamic) ?(affine = false) ?(specialize_args = fa
     specialize_args;
     machine;
     optimize;
+    pipeline;
+    tiering;
+    capacity;
     widths;
     specializations = Hashtbl.create 4;
+    hotness = Hashtbl.create 4;
+    pass_stats = Hashtbl.create 8;
+    clock = 0;
     compile_count = 0;
+    promotions = 0;
+    evictions = 0;
     hits = 0;
     misses = 0;
     compile_wall_us = 0.0;
     verify;
   }
 
+(* ---- pinning (entries held by currently-executing warps) ---- *)
+
+let pin (e : entry) = e.in_use <- e.in_use + 1
+let unpin (e : entry) = e.in_use <- max 0 (e.in_use - 1)
+
+(* Evict least-recently-used unpinned entries until an insert fits the
+   capacity bound.  A pinned (currently-executing) entry is never a
+   victim; if everything is pinned the table temporarily exceeds the
+   bound rather than dropping running code. *)
+let evict_for_insert (t : t) =
+  match t.capacity with
+  | None -> ()
+  | Some cap ->
+      let continue_ = ref (Hashtbl.length t.specializations >= cap) in
+      while !continue_ do
+        let victim =
+          Hashtbl.fold
+            (fun key (e : entry) acc ->
+              if e.in_use > 0 then acc
+              else
+                match acc with
+                | Some (_, stamp) when stamp <= e.last_use -> acc
+                | _ -> Some (key, e.last_use))
+            t.specializations None
+        in
+        (match victim with
+        | Some (key, _) ->
+            Hashtbl.remove t.specializations key;
+            t.evictions <- t.evictions + 1
+        | None -> continue_ := false);
+        if Hashtbl.length t.specializations < cap then continue_ := false
+      done
+
+(* ---- compilation ---- *)
+
+(* Build one specialization.  Tier 0 skips the pass pipeline entirely
+   (one DCE sweep keeps the pack/unpack traffic bounded); tier 1 runs
+   the configured pipeline and accumulates its per-pass stats. *)
+let compile_entry (t : t) ~scalar ~ws ~tier : entry =
+  let wall0 = Unix.gettimeofday () in
+  let vect = Vectorize.run ~mode:t.mode ~affine:t.affine ~plan:t.plan scalar ~ws in
+  if t.optimize && tier > 0 then begin
+    let st = Passes.run ~pipeline:t.pipeline vect.Vectorize.func in
+    List.iter
+      (fun (name, c) ->
+        Hashtbl.replace t.pass_stats name
+          (Option.value (Hashtbl.find_opt t.pass_stats name) ~default:0 + c))
+      st.Passes.per_pass
+  end
+  else ignore (Dce.run vect.Vectorize.func);
+  if t.verify then Verify.check_exn vect.Vectorize.func;
+  let timing = Timing.analyze t.machine vect.Vectorize.func in
+  let compile_us = (Unix.gettimeofday () -. wall0) *. 1e6 in
+  t.compile_count <- t.compile_count + 1;
+  t.compile_wall_us <- t.compile_wall_us +. compile_us;
+  {
+    vfunc = vect.Vectorize.func;
+    timing;
+    vect;
+    static_instrs = Ir.size vect.Vectorize.func;
+    compile_us;
+    tier;
+    last_use = t.clock;
+    in_use = 0;
+  }
+
+let emit_compile (t : t) sink ~now ~worker ~ws (e : entry) =
+  if Obs.Sink.enabled sink then begin
+    Obs.Sink.emit sink
+      (Obs.Event.Compile_begin
+         { ts = now; worker; kernel = t.kernel_name; ws; tier = e.tier });
+    Obs.Sink.emit sink
+      (Obs.Event.Compile_end
+         {
+           ts = now +. e.compile_us;
+           worker;
+           kernel = t.kernel_name;
+           ws;
+           tier = e.tier;
+           wall_us = e.compile_us;
+           static_instrs = e.static_instrs;
+         })
+  end
+
+(* The scalar function a specialization starts from: the shared frontend
+   result, or a copy with concrete argument values baked in. *)
+let scalar_for (t : t) params =
+  match params with
+  | None -> t.scalar
+  | Some p ->
+      let copy = Ir.copy_func t.scalar in
+      ignore (Vekt_transform.Specialize.params copy ~params:p);
+      copy
+
 (** Get (or build) the specialization for exactly [ws] lanes.  With
     [params] (and the cache built with [specialize_args]), the scalar
     kernel is first specialized on the concrete argument values and the
     result is cached under the parameter block's digest.
+
+    Under {!Tiered} compilation a miss builds an unoptimized tier-0
+    entry, and the query that takes a key's hotness to the threshold
+    promotes it through the full pipeline (the query itself is still a
+    hit: it is answered from cache, the recompile is the cache's own
+    policy).
 
     [sink] receives cache hit/miss and compile begin/end events; [now]
     is the caller's modelled-cycle clock at query time (events from
@@ -101,62 +255,43 @@ let get (t : t) ?params ?(sink = Obs.Sink.noop) ?(now = 0.0) ?(worker = 0) ~ws
       | None -> ""
       | Some p -> Digest.to_hex (Digest.bytes (Mem.bytes p)) )
   in
+  t.clock <- t.clock + 1;
+  let queries = Option.value (Hashtbl.find_opt t.hotness key) ~default:0 + 1 in
+  Hashtbl.replace t.hotness key queries;
+  let hot_threshold =
+    match t.tiering with Eager -> 1 | Tiered { hot_threshold } -> hot_threshold
+  in
   match Hashtbl.find_opt t.specializations key with
   | Some e ->
       t.hits <- t.hits + 1;
+      e.last_use <- t.clock;
       if Obs.Sink.enabled sink then
         Obs.Sink.emit sink
           (Obs.Event.Cache_hit { ts = now; worker; kernel = t.kernel_name; ws });
-      e
+      if e.tier = 0 && t.optimize && queries >= hot_threshold then begin
+        (* hot: promote through the full pipeline *)
+        let e' = compile_entry t ~scalar:(scalar_for t params) ~ws ~tier:1 in
+        t.promotions <- t.promotions + 1;
+        Hashtbl.replace t.specializations key e';
+        emit_compile t sink ~now ~worker ~ws e';
+        e'
+      end
+      else e
   | None ->
       if not (List.mem ws t.widths) then
         invalid_arg (Fmt.str "no %d-wide specialization of %s" ws t.kernel_name);
       t.misses <- t.misses + 1;
-      t.compile_count <- t.compile_count + 1;
-      if Obs.Sink.enabled sink then begin
-        Obs.Sink.emit sink
-          (Obs.Event.Cache_miss { ts = now; worker; kernel = t.kernel_name; ws });
-        Obs.Sink.emit sink
-          (Obs.Event.Compile_begin
-             { ts = now; worker; kernel = t.kernel_name; ws })
-      end;
-      let wall0 = Sys.time () in
-      let scalar =
-        match params with
-        | None -> t.scalar
-        | Some p ->
-            let copy = Ir.copy_func t.scalar in
-            ignore (Vekt_transform.Specialize.params copy ~params:p);
-            copy
-      in
-      let vect = Vectorize.run ~mode:t.mode ~affine:t.affine ~plan:t.plan scalar ~ws in
-      if t.optimize then ignore (Passes.optimize vect.Vectorize.func)
-      else ignore (Dce.run vect.Vectorize.func);
-      if t.verify then Verify.check_exn vect.Vectorize.func;
-      let timing = Timing.analyze t.machine vect.Vectorize.func in
-      let compile_us = (Sys.time () -. wall0) *. 1e6 in
-      t.compile_wall_us <- t.compile_wall_us +. compile_us;
-      let e =
-        {
-          vfunc = vect.Vectorize.func;
-          timing;
-          vect;
-          static_instrs = Ir.size vect.Vectorize.func;
-          compile_us;
-        }
-      in
-      Hashtbl.replace t.specializations key e;
       if Obs.Sink.enabled sink then
         Obs.Sink.emit sink
-          (Obs.Event.Compile_end
-             {
-               ts = now +. compile_us;
-               worker;
-               kernel = t.kernel_name;
-               ws;
-               wall_us = compile_us;
-               static_instrs = e.static_instrs;
-             });
+          (Obs.Event.Cache_miss { ts = now; worker; kernel = t.kernel_name; ws });
+      let tier =
+        if t.optimize && queries < hot_threshold then 0 else 1
+      in
+      let tier = if not t.optimize then 1 else tier in
+      let e = compile_entry t ~scalar:(scalar_for t params) ~ws ~tier in
+      evict_for_insert t;
+      Hashtbl.replace t.specializations key e;
+      emit_compile t sink ~now ~worker ~ws e;
       e
 
 (** Largest available width not exceeding [n]. *)
@@ -172,15 +307,23 @@ let hit_rate (t : t) =
   let total = t.hits + t.misses in
   if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
 
-(** Snapshot JIT-side state (hit/miss rate, per-specialization compile
-    cost and size) into a metrics registry. *)
+(** Snapshot JIT-side state (hit/miss rate, tier traffic, per-pass
+    optimization stats, per-specialization compile cost and size) into a
+    metrics registry. *)
 let metrics_into (t : t) (m : Obs.Metrics.t) =
   let module M = Obs.Metrics in
   M.counter m "jit.compiles" := t.compile_count;
   M.counter m "jit.cache_hits" := t.hits;
   M.counter m "jit.cache_misses" := t.misses;
+  M.counter m "jit.promotions" := t.promotions;
+  M.counter m "jit.evictions" := t.evictions;
   M.set (M.gauge m "jit.hit_rate") (hit_rate t);
   M.set (M.gauge m "jit.compile_wall_us") t.compile_wall_us;
+  List.iter
+    (fun name ->
+      M.counter m (Fmt.str "opt.%s.changes" name)
+      := Option.value (Hashtbl.find_opt t.pass_stats name) ~default:0)
+    (Passes.pass_names ());
   Hashtbl.iter
     (fun (ws, digest) (e : entry) ->
       let key =
@@ -188,5 +331,6 @@ let metrics_into (t : t) (m : Obs.Metrics.t) =
         else Fmt.str "jit.w%d.%s" ws (String.sub digest 0 8)
       in
       M.set (M.gauge m (key ^ ".compile_us")) e.compile_us;
-      M.counter m (key ^ ".static_instrs") := e.static_instrs)
+      M.counter m (key ^ ".static_instrs") := e.static_instrs;
+      M.counter m (key ^ ".tier") := e.tier)
     t.specializations

@@ -192,6 +192,7 @@ let test_trace_exports_valid () =
          worker = 0;
          kernel = "k\"with\\quotes\n";
          ws = 4;
+         tier = 1;
          wall_us = 12.5;
          static_instrs = 7;
        });
