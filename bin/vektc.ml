@@ -229,7 +229,8 @@ let has_suffix ~suffix s =
 
 let run_cmd =
   let run file kernel grid block arg_specs dumps static affine ws sched
-      pipeline tiered hot_threshold cache_cap trace profile metrics =
+      pipeline tiered hot_threshold cache_cap inject inject_seed watchdog
+      quarantine_ttl recover trace profile metrics =
     let src, m = load file in
     let kernel = pick_kernel m kernel in
     let dev = Api.create_device () in
@@ -242,6 +243,22 @@ let run_cmd =
               Fmt.epr "unknown scheduler policy %S (dynamic, static, barrier)@." s;
               exit 1)
         sched
+    in
+    let inject_cfg =
+      match inject with
+      | [] -> None
+      | specs ->
+          let specs =
+            List.map
+              (fun s ->
+                match Vekt_runtime.Fault.parse_spec s with
+                | Ok spec -> spec
+                | Error e ->
+                    Fmt.epr "bad --inject: %s@." e;
+                    exit 1)
+              specs
+          in
+          Some { Vekt_runtime.Fault.seed = inject_seed; specs }
     in
     let config =
       {
@@ -256,6 +273,12 @@ let run_cmd =
              Vekt_runtime.Translation_cache.Tiered { hot_threshold }
            else Vekt_runtime.Translation_cache.Eager);
         cache_capacity = cache_cap;
+        inject = inject_cfg;
+        watchdog;
+        quarantine_ttl;
+        (* injection without recovery would just crash the launch; arm
+           the emulator fallback whenever faults are being injected *)
+        recover = recover || inject_cfg <> None;
       }
     in
     let api_m = Api.load_module ~config dev src in
@@ -270,6 +293,11 @@ let run_cmd =
         ~block:(Launch.dim3 block)
         ~args:(List.map (fun a -> a.launch_arg) args)
     in
+    (match r.Api.recovered with
+    | Some err ->
+        Fmt.epr "recovered from fault via reference emulator: %a@."
+          Vekt_error.pp err
+    | None -> ());
     List.iter (dump_result dev args) dumps;
     let em, yld, body = Stats.cycle_breakdown r.Api.stats in
     Fmt.pr
@@ -363,6 +391,42 @@ let run_cmd =
       & info [ "hot-threshold" ] ~docv:"N"
           ~doc:"Cache queries of one specialization before tier promotion")
   in
+  let inject_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "inject" ] ~docv:"SPEC"
+          ~doc:
+            "Inject a deterministic fault (repeatable):              $(b,compile-fail:ws=4,tier=1,kernel=K,p=0.5),              $(b,mem-trap:nth=100,kernel=K), or $(b,yield:every=8).              Implies $(b,--recover).")
+  in
+  let inject_seed_arg =
+    Arg.(
+      value & opt int Vekt_runtime.Fault.default_seed
+      & info [ "inject-seed" ] ~docv:"N"
+          ~doc:"Seed for probabilistic fault injection (deterministic)")
+  in
+  let watchdog_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "watchdog" ] ~docv:"N"
+          ~doc:
+            "Arm the livelock watchdog: fail the launch when a thread is              re-dispatched at the same entry point with no progress $(docv)              times in a row")
+  in
+  let quarantine_ttl_arg =
+    Arg.(
+      value
+      & opt int Vekt_runtime.Translation_cache.default_quarantine_ttl
+      & info [ "quarantine-ttl" ] ~docv:"N"
+          ~doc:
+            "Successful launches a failed specialization width sits in              quarantine before being retried")
+  in
+  let recover_arg =
+    Arg.(
+      value & flag
+      & info [ "recover" ]
+          ~doc:
+            "On a recoverable fault (compile failure, trap, deadlock), roll              device memory back and re-run the launch on the reference              emulator")
+  in
   let cache_cap_arg =
     Arg.(
       value
@@ -377,7 +441,9 @@ let run_cmd =
     Term.(
       const run $ file_arg $ kernel_arg $ grid_arg $ block_arg $ args_arg $ dump_arg
       $ static_arg $ affine_arg $ ws_arg $ sched_arg $ pipeline_arg $ tiered_arg
-      $ hot_threshold_arg $ cache_cap_arg $ trace_arg $ profile_arg $ metrics_arg)
+      $ hot_threshold_arg $ cache_cap_arg $ inject_arg $ inject_seed_arg
+      $ watchdog_arg $ quarantine_ttl_arg $ recover_arg $ trace_arg
+      $ profile_arg $ metrics_arg)
 
 (* ---- emulate ---- *)
 
@@ -451,12 +517,15 @@ let () =
          (Cmd.group (Cmd.info "vektc" ~version:"1.0.0" ~doc)
             [ check_cmd; compile_cmd; run_cmd; emulate_cmd; info_cmd ]))
   with
-  | Api.Api_error e | Failure e | Invalid_argument e ->
+  | Failure e | Invalid_argument e ->
       Fmt.epr "error: %s@." e;
       exit 1
   | Vekt_ptx.Emulator.Trap e | Vekt_vm.Interp.Trap e ->
       Fmt.epr "runtime trap: %s@." e;
       exit 1
-  | Vekt_ptx.Mem.Fault e ->
-      Fmt.epr "memory fault: %s@." e;
+  | Vekt_ptx.Mem.Fault a ->
+      Fmt.epr "memory fault: %a@." Vekt_error.pp_access a;
+      exit 1
+  | Vekt_error.Error e ->
+      Fmt.epr "error: %a@." Vekt_error.pp e;
       exit 1

@@ -17,6 +17,13 @@ let yield_kind_name = function
   | Yield_barrier -> "barrier"
   | Yield_branch -> "branch"
 
+type quarantine_action = Q_added | Q_skipped | Q_expired
+
+let quarantine_action_name = function
+  | Q_added -> "added"
+  | Q_skipped -> "skipped"
+  | Q_expired -> "expired"
+
 type t =
   | Warp_formed of {
       ts : float;
@@ -59,6 +66,21 @@ type t =
     }
   | Cache_hit of { ts : float; worker : int; kernel : string; ws : int }
   | Cache_miss of { ts : float; worker : int; kernel : string; ws : int }
+  | Compile_fallback of {
+      ts : float;
+      worker : int;
+      kernel : string;
+      from_ws : int;  (** width whose build failed *)
+      to_ws : int;  (** narrower width tried next; 0 = emulator oracle *)
+      reason : string;
+    }
+  | Quarantine of {
+      ts : float;
+      worker : int;
+      kernel : string;
+      ws : int;
+      action : quarantine_action;
+    }
 
 let ts = function
   | Warp_formed e -> e.ts
@@ -69,6 +91,8 @@ let ts = function
   | Compile_end e -> e.ts
   | Cache_hit e -> e.ts
   | Cache_miss e -> e.ts
+  | Compile_fallback e -> e.ts
+  | Quarantine e -> e.ts
 
 let worker = function
   | Warp_formed e -> e.worker
@@ -79,6 +103,8 @@ let worker = function
   | Compile_end e -> e.worker
   | Cache_hit e -> e.worker
   | Cache_miss e -> e.worker
+  | Compile_fallback e -> e.worker
+  | Quarantine e -> e.worker
 
 let name = function
   | Warp_formed _ -> "warp_formed"
@@ -89,6 +115,8 @@ let name = function
   | Compile_end _ -> "compile_end"
   | Cache_hit _ -> "cache_hit"
   | Cache_miss _ -> "cache_miss"
+  | Compile_fallback _ -> "compile_fallback"
+  | Quarantine _ -> "quarantine"
 
 (** One-line plain-text rendering (the [--trace out.txt] format). *)
 let pp ppf e =
@@ -114,3 +142,10 @@ let pp ppf e =
   | Cache_hit e -> p "%12.1f w%d cache_hit kernel=%s ws=%d" e.ts e.worker e.kernel e.ws
   | Cache_miss e ->
       p "%12.1f w%d cache_miss kernel=%s ws=%d" e.ts e.worker e.kernel e.ws
+  | Compile_fallback e ->
+      p "%12.1f w%d compile_fallback kernel=%s from_ws=%d to_ws=%d reason=%s"
+        e.ts e.worker e.kernel e.from_ws e.to_ws e.reason
+  | Quarantine e ->
+      p "%12.1f w%d quarantine kernel=%s ws=%d action=%s" e.ts e.worker
+        e.kernel e.ws
+        (quarantine_action_name e.action)

@@ -147,6 +147,23 @@ let add_chrome_event b (e : Event.t) =
       add_record b ~name:"cache_miss" ~cat:"jit" ~ph:"i" ~ts:v.ts ~pid:jit_pid
         ~tid:v.worker
         [ ("kernel", S v.kernel); ("ws", I v.ws) ]
+  | Event.Compile_fallback v ->
+      add_record b ~name:"compile_fallback" ~cat:"jit" ~ph:"i" ~ts:v.ts
+        ~pid:jit_pid ~tid:v.worker
+        [
+          ("kernel", S v.kernel);
+          ("from_ws", I v.from_ws);
+          ("to_ws", I v.to_ws);
+          ("reason", S v.reason);
+        ]
+  | Event.Quarantine v ->
+      add_record b ~name:"quarantine" ~cat:"jit" ~ph:"i" ~ts:v.ts ~pid:jit_pid
+        ~tid:v.worker
+        [
+          ("kernel", S v.kernel);
+          ("ws", I v.ws);
+          ("action", S (Event.quarantine_action_name v.action));
+        ]
 
 let to_chrome_json t =
   let b = Buffer.create 4096 in

@@ -6,9 +6,24 @@
 
 type t = { bytes : Bytes.t; name : string }
 
-exception Fault of string
+(** A faulting access, with the segment, address and width it targeted.
+    The payload is structured ({!Vekt_error.access}) so upper layers can
+    attach thread/CTA context instead of concatenating strings; the
+    [space] field starts as the segment name and is refined where the
+    PTX address space is known. *)
+exception Fault of Vekt_error.access
 
-let fault fmt = Fmt.kstr (fun s -> raise (Fault s)) fmt
+let fault ~op t addr width =
+  raise
+    (Fault
+       {
+         Vekt_error.segment = t.name;
+         space = t.name;
+         addr;
+         width;
+         size = Bytes.length t.bytes;
+         op;
+       })
 
 let create ?(name = "mem") size =
   if size < 0 then invalid_arg "Mem.create: negative size";
@@ -18,35 +33,33 @@ let of_bytes ?(name = "mem") bytes = { bytes; name }
 let size t = Bytes.length t.bytes
 let bytes t = t.bytes
 
-let check t addr width =
-  if addr < 0 || addr + width > Bytes.length t.bytes then
-    fault "%s: access of %d bytes at %d outside [0,%d)" t.name width addr
-      (Bytes.length t.bytes)
+let check ~op t addr width =
+  if addr < 0 || addr + width > Bytes.length t.bytes then fault ~op t addr width
 
 (** Load [size_of ty] bytes at [addr] as a value of type [ty]. *)
 let load t (ty : Ast.dtype) addr : Scalar_ops.value =
   let width = Ast.size_of ty in
-  check t addr width;
+  check ~op:"load" t addr width;
   let bits =
     match width with
     | 1 -> Int64.of_int (Char.code (Bytes.get t.bytes addr))
     | 2 -> Int64.of_int (Bytes.get_uint16_le t.bytes addr)
     | 4 -> Int64.of_int32 (Bytes.get_int32_le t.bytes addr)
     | 8 -> Bytes.get_int64_le t.bytes addr
-    | _ -> assert false
+    | _ -> fault ~op:"load of unsupported width" t addr width
   in
   Scalar_ops.of_bits ty bits
 
 let store t (ty : Ast.dtype) addr (v : Scalar_ops.value) =
   let width = Ast.size_of ty in
-  check t addr width;
+  check ~op:"store" t addr width;
   let bits = Scalar_ops.to_bits ty v in
   match width with
   | 1 -> Bytes.set_uint8 t.bytes addr (Int64.to_int (Int64.logand bits 0xffL))
   | 2 -> Bytes.set_uint16_le t.bytes addr (Int64.to_int (Int64.logand bits 0xffffL))
   | 4 -> Bytes.set_int32_le t.bytes addr (Int64.to_int32 bits)
   | 8 -> Bytes.set_int64_le t.bytes addr bits
-  | _ -> assert false
+  | _ -> fault ~op:"store of unsupported width" t addr width
 
 (** Typed array helpers used by host drivers and tests. *)
 
@@ -56,23 +69,36 @@ let write_f32s t ~at xs =
 let write_i32s t ~at xs =
   List.iteri (fun i x -> store t Ast.S32 (at + (4 * i)) (Scalar_ops.I (Int64.of_int x))) xs
 
+(* A typed read observing the wrong value class is a type-confused
+   access (e.g. an integer bit pattern where a float was expected): a
+   reportable trap, not an [assert false] crash. *)
+let type_confusion ~what t at width =
+  fault ~op:(Fmt.str "typed read of %s found type-confused value" what) t at
+    width
+
 let read_f32 t at =
-  match load t Ast.F32 at with Scalar_ops.F f -> f | _ -> assert false
+  match load t Ast.F32 at with
+  | Scalar_ops.F f -> f
+  | _ -> type_confusion ~what:"f32" t at 4
 
 let read_f32s t ~at n = List.init n (fun i -> read_f32 t (at + (4 * i)))
 
 let read_i32 t at =
   match load t Ast.S32 at with
   | Scalar_ops.I v -> Int64.to_int v
-  | _ -> assert false
+  | _ -> type_confusion ~what:"i32" t at 4
 
 let read_i32s t ~at n = List.init n (fun i -> read_i32 t (at + (4 * i)))
 
 let read_i64 t at =
-  match load t Ast.S64 at with Scalar_ops.I v -> v | _ -> assert false
+  match load t Ast.S64 at with
+  | Scalar_ops.I v -> v
+  | _ -> type_confusion ~what:"i64" t at 8
 
 let read_f64 t at =
-  match load t Ast.F64 at with Scalar_ops.F f -> f | _ -> assert false
+  match load t Ast.F64 at with
+  | Scalar_ops.F f -> f
+  | _ -> type_confusion ~what:"f64" t at 8
 
 let copy t = { t with bytes = Bytes.copy t.bytes }
 

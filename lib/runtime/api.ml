@@ -17,7 +17,9 @@ module Interp = Vekt_vm.Interp
 module Vectorize = Vekt_transform.Vectorize
 open Vekt_ptx
 
-exception Api_error of string
+let compile_error ?(kernel = "") ?ws ?tier ?line ~stage reason =
+  Vekt_error.Error
+    (Vekt_error.Compile { kernel; ws; tier; stage; line; reason })
 
 type device = {
   machine : Machine.t;
@@ -48,13 +50,24 @@ type config = {
       (** eager full compilation, or tier-0-then-promote-on-hotness *)
   cache_capacity : int option;
       (** bound on live specializations per kernel (LRU eviction) *)
+  (* ---- fault tolerance (DESIGN.md §3.3) ---- *)
+  inject : Fault.config option;  (** deterministic fault injection plan *)
+  watchdog : int option;  (** per-warp livelock watchdog threshold *)
+  quarantine_ttl : int;
+      (** successful launches a failed width sits out before retry *)
+  recover : bool;
+      (** on a recoverable fault, roll global memory back and re-run the
+          launch under the reference emulator (the oracle) *)
 }
 
 let default_config =
   { mode = Vectorize.Dynamic; widths = Translation_cache.default_widths;
     optimize = true; affine = false; specialize_args = false; verify = false;
     sched = None; pipeline = Vekt_transform.Passes.default_pipeline;
-    tiering = Translation_cache.Eager; cache_capacity = None }
+    tiering = Translation_cache.Eager; cache_capacity = None;
+    inject = None; watchdog = None;
+    quarantine_ttl = Translation_cache.default_quarantine_ttl;
+    recover = false }
 
 (** The scheduling policy a config resolves to. *)
 let sched_policy (c : config) : Scheduler.t =
@@ -67,6 +80,8 @@ type modul = {
   device : device;
   consts : Mem.t;
   caches : (string, Translation_cache.t) Hashtbl.t;
+  fault : Fault.t option;  (** armed injector, shared by cache and managers *)
+  mutable emulator_runs : int;  (** launches that recovered onto the oracle *)
 }
 
 let create_device ?(machine = Machine.sse4) ?workers ?(global_bytes = 64 * 1024 * 1024)
@@ -81,9 +96,17 @@ let create_device ?(machine = Machine.sse4) ?workers ?(global_bytes = 64 * 1024 
 
 (** Allocate [bytes] of device global memory (16-byte aligned). *)
 let malloc (d : device) bytes : int =
-  if bytes < 0 then raise (Api_error "malloc: negative size");
+  if bytes < 0 then invalid_arg "malloc: negative size";
   let base = (d.brk + 15) / 16 * 16 in
-  if base + bytes > Mem.size d.global then raise (Api_error "malloc: out of device memory");
+  if base + bytes > Mem.size d.global then
+    raise
+      (Vekt_error.Error
+         (Vekt_error.Resource
+            {
+              what = "device global memory";
+              requested = bytes;
+              available = max 0 (Mem.size d.global - base);
+            }));
   d.brk <- base + bytes;
   base
 
@@ -98,29 +121,47 @@ let read_i32s d addr n = Mem.read_i32s d.global ~at:addr n
 let load_module ?(config = default_config) (d : device) (src : string) : modul =
   let ast =
     try Parser.parse_module src with
-    | Parser.Error (msg, line) -> raise (Api_error (Fmt.str "parse error:%d: %s" line msg))
-    | Lexer.Error (msg, line) -> raise (Api_error (Fmt.str "lex error:%d: %s" line msg))
+    | Parser.Error (msg, line) ->
+        raise (compile_error ~stage:Vekt_error.Parse ~line msg)
+    | Lexer.Error (msg, line) ->
+        raise (compile_error ~stage:Vekt_error.Lex ~line msg)
   in
   (match Typecheck.check_module ast with
   | [] -> ()
-  | e :: _ -> raise (Api_error (Fmt.str "type error: %a" Typecheck.pp_error e)));
-  (* reject incompatible policy × vectorization combinations up front *)
-  (try Scheduler.validate ~mode:config.mode (sched_policy config)
-   with Invalid_argument e -> raise (Api_error e));
+  | e :: _ ->
+      raise
+        (compile_error ~stage:Vekt_error.Typecheck
+           (Fmt.str "%a" Typecheck.pp_error e)));
+  (* reject incompatible policy × vectorization combinations up front;
+     a bad policy is a host programming error, not a guest fault *)
+  Scheduler.validate ~mode:config.mode (sched_policy config);
   let consts, _ = Emulator.build_consts ast in
-  { ast; config; device = d; consts; caches = Hashtbl.create 4 }
+  {
+    ast;
+    config;
+    device = d;
+    consts;
+    caches = Hashtbl.create 4;
+    fault = Option.map Fault.create config.inject;
+    emulator_runs = 0;
+  }
 
 let kernel_cache (m : modul) ~kernel : Translation_cache.t =
   match Hashtbl.find_opt m.caches kernel with
   | Some c -> c
   | None ->
       let c =
-        Translation_cache.prepare ~mode:m.config.mode ~affine:m.config.affine
-          ~specialize_args:m.config.specialize_args ~machine:m.device.machine
-          ~widths:m.config.widths ~optimize:m.config.optimize
-          ~pipeline:m.config.pipeline ~tiering:m.config.tiering
-          ?capacity:m.config.cache_capacity ~verify:m.config.verify m.ast
-          ~kernel
+        try
+          Translation_cache.prepare ~mode:m.config.mode ~affine:m.config.affine
+            ~specialize_args:m.config.specialize_args ~machine:m.device.machine
+            ~widths:m.config.widths ~optimize:m.config.optimize
+            ~pipeline:m.config.pipeline ~tiering:m.config.tiering
+            ?capacity:m.config.cache_capacity ~verify:m.config.verify
+            ?fault:m.fault ~quarantine_ttl:m.config.quarantine_ttl m.ast
+            ~kernel
+        with Vekt_transform.Ptx_to_ir.Unsupported u ->
+          raise
+            (compile_error ~kernel ~stage:Vekt_error.Frontend u.construct)
       in
       Hashtbl.replace m.caches kernel c;
       c
@@ -131,6 +172,9 @@ type report = {
   time_ms : float;
   gflops : float;
   avg_warp_size : float;
+  recovered : Vekt_error.t option;
+      (** the fault this launch transparently recovered from by rolling
+          memory back and re-running under the reference emulator *)
 }
 
 let launch ?fuel ?(sink = Vekt_obs.Sink.noop)
@@ -140,14 +184,45 @@ let launch ?fuel ?(sink = Vekt_obs.Sink.noop)
   let k =
     match Ast.find_kernel m.ast kernel with
     | Some k -> k
-    | None -> raise (Api_error (Fmt.str "no kernel named %s" kernel))
+    | None ->
+        raise
+          (compile_error ~kernel ~stage:Vekt_error.Frontend
+             (Fmt.str "no kernel named %s" kernel))
   in
-  let cache = kernel_cache m ~kernel in
   let params = Launch.param_block k args in
-  let stats =
-    Exec_manager.launch_kernel ~costs:m.device.em_costs ?fuel ~workers:m.device.workers
-      ~sink ?profile ~sched:(sched_policy m.config) cache ~grid ~block
-      ~global:m.device.global ~params ~consts:m.consts
+  (* When recovery is armed, snapshot global memory before the launch so
+     a partially-executed faulty launch can be rolled back before the
+     oracle re-runs it; the copy is skipped entirely otherwise. *)
+  let snapshot =
+    if m.config.recover then Some (Bytes.copy (Mem.bytes m.device.global))
+    else None
+  in
+  let run_vectorized () =
+    let cache = kernel_cache m ~kernel in
+    let stats =
+      Exec_manager.launch_kernel ~costs:m.device.em_costs ?fuel
+        ?watchdog:m.config.watchdog ?inject:m.fault ~workers:m.device.workers
+        ~sink ?profile ~sched:(sched_policy m.config) cache ~grid ~block
+        ~global:m.device.global ~params ~consts:m.consts
+    in
+    (* one healthy launch elapsed: age the quarantine so failed widths
+       eventually get another chance *)
+    Translation_cache.tick_quarantine cache ~sink ();
+    stats
+  in
+  let stats, recovered =
+    match run_vectorized () with
+    | stats -> (stats, None)
+    | exception Vekt_error.Error err
+      when m.config.recover && Vekt_error.recoverable err ->
+        (match snapshot with
+        | Some bytes ->
+            Bytes.blit bytes 0 (Mem.bytes m.device.global) 0 (Bytes.length bytes)
+        | None -> ());
+        m.emulator_runs <- m.emulator_runs + 1;
+        ignore
+          (Emulator.run m.ast ~kernel ~args ~global:m.device.global ~grid ~block);
+        (Stats.create (), Some err)
   in
   let cycles = Float.max stats.Stats.wall_cycles 1.0 in
   let time_s = cycles /. (m.device.machine.Machine.clock_ghz *. 1e9) in
@@ -158,6 +233,7 @@ let launch ?fuel ?(sink = Vekt_obs.Sink.noop)
     time_ms = time_s *. 1e3;
     gflops = (flops /. time_s) /. 1e9;
     avg_warp_size = Stats.average_warp_size stats;
+    recovered;
   }
 
 (** Export a launch report plus the kernel's JIT-cache state (hit/miss
@@ -171,6 +247,8 @@ let metrics (m : modul) ~kernel (r : report) : Vekt_obs.Metrics.t =
   (match Hashtbl.find_opt m.caches kernel with
   | Some c -> Translation_cache.metrics_into c reg
   | None -> ());
+  M.counter reg "fallback.emulator_runs" := m.emulator_runs;
+  Option.iter (fun f -> Fault.metrics_into f reg) m.fault;
   reg
 
 (** Run the same launch through the reference PTX emulator (the oracle) on

@@ -23,8 +23,6 @@ module Vectorize = Vekt_transform.Vectorize
 module Obs = Vekt_obs
 open Vekt_ptx
 
-exception Launch_error of string
-
 (** Modelled execution-manager overheads, in CPU cycles.  These feed the
     Figure 9 attribution; see DESIGN.md §2 for calibration notes. *)
 type costs = {
@@ -51,15 +49,22 @@ let rec take k = function
 (** Execute one CTA to completion under scheduling policy [sched]
     (default: the policy matching the cache's vectorization mode).
     [fuel] bounds the number of subkernel calls (divergent runaway loops
-    yield forever otherwise); exhausting it raises {!Launch_error}
-    naming the kernel and CTA.
+    yield forever otherwise); exhausting it raises a structured
+    {!Vekt_error.Fuel} naming the kernel and CTA.
+
+    [watchdog] arms the per-warp livelock watchdog: a thread
+    re-dispatched at the same entry point with no resume-point progress
+    for that many consecutive calls raises {!Vekt_error.Deadlock}
+    ([Livelock]).  Off by default — fuel alone bounds honest long
+    loops.  [inject] arms deterministic fault injection ({!Fault}).
 
     [sink] receives warp-formation / dispatch / yield / barrier events
     timestamped on this worker's modelled-cycle clock; [profile]
     accumulates per-entry-point divergence statistics.  Both default to
     off, in which case the instrumented paths reduce to one branch and
     allocate nothing. *)
-let run_cta ?(costs = default_costs) ?(fuel = 5_000_000)
+let run_cta ?(costs = default_costs) ?(fuel = 5_000_000) ?watchdog
+    ?(inject : Fault.t option)
     ?(sink = Obs.Sink.noop) ?(profile : Obs.Divergence.t option) ?(worker = 0)
     ?sched (cache : Translation_cache.t)
     ~(launch : Interp.launch_info) ~(ctaid : Launch.dim3) ~(global : Mem.t)
@@ -102,16 +107,56 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000)
   stats.Stats.threads_launched <- stats.Stats.threads_launched + n;
   let remaining = ref n in
   let calls_left = ref fuel in
+  let cta = (ctaid.Launch.x, ctaid.Launch.y, ctaid.Launch.z) in
+  (* consecutive same-entry redispatches without resume-point progress,
+     per thread; only maintained when the livelock watchdog is armed *)
+  let stalls = match watchdog with Some _ -> Array.make n 0 | None -> [||] in
+  let on_access =
+    match inject with
+    | Some inj -> Fault.mem_hook inj ~kernel:cache.Translation_cache.kernel_name
+    | None -> None
+  in
   (* Modelled-cycle clock for this worker: execution-manager overheads
      plus everything the interpreter has accounted so far.  Monotone
      across the CTAs this worker runs, so trace timestamps nest. *)
   let now () = stats.Stats.em_cycles +. Interp.total_cycles stats.Stats.counters in
   let fuel_error () =
     raise
-      (Launch_error
-         (Fmt.str "out of fuel in kernel %s, CTA %a: %d subkernel calls made"
-            cache.Translation_cache.kernel_name Launch.pp_dim3 ctaid
-            (fuel - !calls_left)))
+      (Vekt_error.Error
+         (Vekt_error.Fuel
+            {
+              kernel = cache.Translation_cache.kernel_name;
+              cta;
+              calls = fuel - !calls_left;
+              fuel;
+              cycle = now ();
+            }))
+  in
+  (* Snapshot every non-exited thread for a deadlock diagnostic. *)
+  let stuck_threads () =
+    Array.to_list threads
+    |> List.filter_map (fun (t : Scheduler.thr) ->
+           if t.Scheduler.state = Scheduler.Done then None
+           else
+             Some
+               {
+                 Vekt_error.t_linear = t.Scheduler.linear;
+                 t_state = Scheduler.tstate_name t.Scheduler.state;
+                 t_entry = t.Scheduler.info.Interp.resume_point;
+               })
+  in
+  let deadlock kind detail =
+    raise
+      (Vekt_error.Error
+         (Vekt_error.Deadlock
+            {
+              kernel = cache.Translation_cache.kernel_name;
+              cta;
+              cycle = now ();
+              kind;
+              detail;
+              threads = stuck_threads ();
+            }))
   in
   while !remaining > 0 do
     match sched.Scheduler.select pool with
@@ -127,7 +172,14 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000)
               incr released
             end)
           threads;
-        if !released = 0 then raise (Launch_error "no ready threads and empty barrier queue");
+        if !released = 0 then
+          (* live threads remain but none is runnable and none is parked
+             at the barrier: the policy starved them (distinct from the
+             normal all-exited loop exit, where [remaining] hits 0) *)
+          deadlock Vekt_error.Barrier_starvation
+            (Fmt.str
+               "scheduler %s found no runnable thread and the barrier queue                 is empty with %d threads live"
+               sched.Scheduler.name !remaining);
         stats.Stats.barrier_releases <- stats.Stats.barrier_releases + !released;
         stats.Stats.em_cycles <-
           stats.Stats.em_cycles +. (float_of_int !released *. costs.per_barrier_release);
@@ -137,14 +189,28 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000)
     | Some start ->
         if !calls_left = 0 then fuel_error ();
         decr calls_left;
+        if (match inject with Some inj -> Fault.spurious_yield inj | None -> false)
+        then
+          (* injected spurious yield: skip the dispatch entirely; the
+             selected thread stays Ready and is revisited later.  The
+             fuel decrement above makes even [every=1] terminate. *)
+          pool.Scheduler.cursor <- (start + 1) mod n
+        else begin
         let want = Translation_cache.max_width cache in
         let w = sched.Scheduler.form pool ~start ~want in
         stats.Stats.em_cycles <-
           stats.Stats.em_cycles
           +. (float_of_int w.Scheduler.scanned *. costs.per_candidate_scan);
         let entry_id = threads.(start).Scheduler.info.Interp.resume_point in
-        (* the policy already tracked the member count: no List.length here *)
-        let ws = Translation_cache.best_width cache w.Scheduler.count in
+        (* the policy already tracked the member count: no List.length
+           here.  The cache query degrades through the fallback chain, so
+           the width actually served can be narrower than the best fit. *)
+        let entry, ws =
+          Translation_cache.get_fallback cache ~params ~sink ~now:(now ())
+            ~worker
+            ~ws:(Translation_cache.best_width cache w.Scheduler.count)
+            ()
+        in
         let members =
           if ws = w.Scheduler.count then w.Scheduler.members
           else take ws w.Scheduler.members
@@ -154,9 +220,6 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000)
             (Obs.Event.Warp_formed
                { ts = now (); worker; entry_id; size = ws;
                  scanned = w.Scheduler.scanned });
-        let entry =
-          Translation_cache.get cache ~params ~sink ~now:(now ()) ~worker ~ws ()
-        in
         let lanes =
           Array.of_list
             (List.map (fun i -> threads.(i).Scheduler.info) members)
@@ -172,10 +235,23 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000)
           ~finally:(fun () -> Translation_cache.unpin entry)
           (fun () ->
             try
-              Interp.exec ~timing:entry.Translation_cache.timing
+              Interp.exec ?on_access ~timing:entry.Translation_cache.timing
                 ~counters:stats.Stats.counters ?profile
                 entry.Translation_cache.vfunc ~launch warp mem
-            with Interp.Out_of_fuel -> fuel_error ());
+            with
+            | Interp.Out_of_fuel -> fuel_error ()
+            | Vekt_error.Error (Vekt_error.Trap tr) ->
+                (* the interpreter attached thread context but only knows
+                   the specialization's name (e.g. "k.w4"); report the
+                   source kernel, and the modelled cycle known only here *)
+                raise
+                  (Vekt_error.Error
+                     (Vekt_error.Trap
+                        {
+                          tr with
+                          kernel = cache.Translation_cache.kernel_name;
+                          cycle = Some (now ());
+                        })));
         (match profile with
         | None -> ()
         | Some p ->
@@ -215,14 +291,38 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000)
             | Ir.Status_barrier -> t.Scheduler.state <- Scheduler.Blocked
             | Ir.Status_branch -> t.Scheduler.state <- Scheduler.Ready)
           members;
+        (match watchdog with
+        | None -> ()
+        | Some limit ->
+            (* progress proxy: a thread yielded back Ready at the very
+               entry point it was dispatched from made no resume-point
+               progress; [limit] such dispatches in a row is a livelock *)
+            List.iter
+              (fun i ->
+                let t = threads.(i) in
+                if
+                  t.Scheduler.state = Scheduler.Ready
+                  && t.Scheduler.info.Interp.resume_point = entry_id
+                then begin
+                  stalls.(i) <- stalls.(i) + 1;
+                  if stalls.(i) >= limit then
+                    deadlock Vekt_error.Livelock
+                      (Fmt.str
+                         "thread %d re-dispatched at entry %d with no                           progress for %d consecutive calls"
+                         i entry_id stalls.(i))
+                end
+                else stalls.(i) <- 0)
+              members);
         pool.Scheduler.cursor <- (start + 1) mod n
+        end
   done
 
 (** Run a whole kernel launch: CTAs are statically partitioned round-robin
     over [workers] execution managers; each worker's statistics are merged
     into the returned aggregate, with wall cycles the maximum over
     workers. *)
-let launch_kernel ?(costs = default_costs) ?fuel ?(workers = 4)
+let launch_kernel ?(costs = default_costs) ?fuel ?watchdog
+    ?(inject : Fault.t option) ?(workers = 4)
     ?(sink = Obs.Sink.noop) ?(profile : Obs.Divergence.t option) ?sched
     (cache : Translation_cache.t) ~(grid : Launch.dim3) ~(block : Launch.dim3)
     ~(global : Mem.t) ~(params : Mem.t) ~(consts : Mem.t) : Stats.t =
@@ -244,8 +344,8 @@ let launch_kernel ?(costs = default_costs) ?fuel ?(workers = 4)
     let c = ref w in
     while !c < ncta do
       let ctaid = Launch.unlinear ~dims:grid !c in
-      run_cta ~costs ?fuel ~sink ?profile ~worker:w ?sched cache ~launch ~ctaid
-        ~global ~params ~consts ~stats:wstats ();
+      run_cta ~costs ?fuel ?watchdog ?inject ~sink ?profile ~worker:w ?sched
+        cache ~launch ~ctaid ~global ~params ~consts ~stats:wstats ();
       c := !c + workers
     done;
     Stats.merge_into ~into:aggregate wstats

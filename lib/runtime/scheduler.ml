@@ -32,6 +32,8 @@ module Vectorize = Vekt_transform.Vectorize
 
 type tstate = Ready | Blocked | Done
 
+let tstate_name = function Ready -> "ready" | Blocked -> "blocked" | Done -> "done"
+
 type thr = {
   info : Interp.thread_info;
   linear : int;  (** linear thread index within the CTA *)

@@ -89,17 +89,29 @@ type t = {
   mutable misses : int;
   mutable compile_wall_us : float;  (** total wall time spent compiling *)
   mutable verify : bool;
+  (* ---- fault tolerance (see DESIGN.md §3.3) ---- *)
+  fault : Fault.t option;  (** armed injector, shared with the manager *)
+  quarantine_ttl : int;
+      (** successful launches a quarantined width sits out before retry *)
+  quarantine : (int * string, int) Hashtbl.t;
+      (** known-bad specialization keys -> remaining TTL *)
+  mutable fallbacks : int;  (** builds that failed and fell to a narrower width *)
+  mutable quarantine_adds : int;
+  mutable quarantine_skips : int;
+  mutable quarantine_expiries : int;
 }
 
 let default_widths = [ 4; 2; 1 ]
 let default_hot_threshold = 3
+let default_quarantine_ttl = 3
 
 (** Parse-time preparation of one kernel: frontend to scalar IR plus the
     divergence plan shared by all specializations. *)
 let prepare ?(mode = Vectorize.Dynamic) ?(affine = false) ?(specialize_args = false)
     ?(machine = Machine.sse4) ?(widths = default_widths) ?(optimize = true)
     ?(pipeline = Passes.default_pipeline) ?(tiering = Eager) ?capacity
-    ?(verify = false) (m : Ast.modul) ~kernel : t =
+    ?(verify = false) ?fault ?(quarantine_ttl = default_quarantine_ttl)
+    (m : Ast.modul) ~kernel : t =
   let widths = List.sort_uniq (fun a b -> compare b a) widths in
   if widths = [] || List.exists (fun w -> w < 1) widths then
     invalid_arg "Translation_cache.prepare: invalid widths";
@@ -136,6 +148,13 @@ let prepare ?(mode = Vectorize.Dynamic) ?(affine = false) ?(specialize_args = fa
     misses = 0;
     compile_wall_us = 0.0;
     verify;
+    fault;
+    quarantine_ttl = max 1 quarantine_ttl;
+    quarantine = Hashtbl.create 4;
+    fallbacks = 0;
+    quarantine_adds = 0;
+    quarantine_skips = 0;
+    quarantine_expiries = 0;
   }
 
 (* ---- pinning (entries held by currently-executing warps) ---- *)
@@ -173,10 +192,22 @@ let evict_for_insert (t : t) =
 
 (* ---- compilation ---- *)
 
-(* Build one specialization.  Tier 0 skips the pass pipeline entirely
-   (one DCE sweep keeps the pack/unpack traffic bounded); tier 1 runs
-   the configured pipeline and accumulates its per-pass stats. *)
-let compile_entry (t : t) ~scalar ~ws ~tier : entry =
+let compile_error (t : t) ~ws ~tier ~stage reason =
+  Vekt_error.Error
+    (Vekt_error.Compile
+       {
+         kernel = t.kernel_name;
+         ws = Some ws;
+         tier = Some tier;
+         stage;
+         line = None;
+         reason;
+       })
+
+(* Tier 0 skips the pass pipeline entirely (one DCE sweep keeps the
+   pack/unpack traffic bounded); tier 1 runs the configured pipeline and
+   accumulates its per-pass stats. *)
+let compile_build (t : t) ~scalar ~ws ~tier : entry =
   let wall0 = Unix.gettimeofday () in
   let vect = Vectorize.run ~mode:t.mode ~affine:t.affine ~plan:t.plan scalar ~ws in
   if t.optimize && tier > 0 then begin
@@ -203,6 +234,24 @@ let compile_entry (t : t) ~scalar ~ws ~tier : entry =
     last_use = t.clock;
     in_use = 0;
   }
+
+(* Build one specialization, folding build-time failures — injected or
+   genuine — into the structured {!Vekt_error.Compile} taxonomy so the
+   fallback chain can react uniformly. *)
+let compile_entry (t : t) ~scalar ~ws ~tier : entry =
+  (match t.fault with
+  | Some inj -> (
+      match Fault.check_compile inj ~kernel:t.kernel_name ~ws ~tier with
+      | Some reason ->
+          raise (compile_error t ~ws ~tier ~stage:Vekt_error.Inject reason)
+      | None -> ())
+  | None -> ());
+  try compile_build t ~scalar ~ws ~tier with
+  | Vekt_error.Error _ as e -> raise e
+  | Ptx_to_ir.Unsupported u ->
+      raise (compile_error t ~ws ~tier ~stage:Vekt_error.Frontend u.construct)
+  | Failure msg | Invalid_argument msg ->
+      raise (compile_error t ~ws ~tier ~stage:Vekt_error.Vectorize msg)
 
 let emit_compile (t : t) sink ~now ~worker ~ws (e : entry) =
   if Obs.Sink.enabled sink then begin
@@ -269,12 +318,16 @@ let get (t : t) ?params ?(sink = Obs.Sink.noop) ?(now = 0.0) ?(worker = 0) ~ws
         Obs.Sink.emit sink
           (Obs.Event.Cache_hit { ts = now; worker; kernel = t.kernel_name; ws });
       if e.tier = 0 && t.optimize && queries >= hot_threshold then begin
-        (* hot: promote through the full pipeline *)
-        let e' = compile_entry t ~scalar:(scalar_for t params) ~ws ~tier:1 in
-        t.promotions <- t.promotions + 1;
-        Hashtbl.replace t.specializations key e';
-        emit_compile t sink ~now ~worker ~ws e';
-        e'
+        (* hot: promote through the full pipeline.  A failed promotion
+           (injected or genuine) keeps serving the working tier-0 code
+           rather than surfacing an error for a cache-internal policy. *)
+        match compile_entry t ~scalar:(scalar_for t params) ~ws ~tier:1 with
+        | e' ->
+            t.promotions <- t.promotions + 1;
+            Hashtbl.replace t.specializations key e';
+            emit_compile t sink ~now ~worker ~ws e';
+            e'
+        | exception Vekt_error.Error (Vekt_error.Compile _) -> e
       end
       else e
   | None ->
@@ -293,6 +346,91 @@ let get (t : t) ?params ?(sink = Obs.Sink.noop) ?(now = 0.0) ?(worker = 0) ~ws
       Hashtbl.replace t.specializations key e;
       emit_compile t sink ~now ~worker ~ws e;
       e
+
+(* ---- fallback chain + quarantine (DESIGN.md §3.3) ---- *)
+
+let digest_of (t : t) params =
+  match if t.specialize_args then params else None with
+  | None -> ""
+  | Some p -> Digest.to_hex (Digest.bytes (Mem.bytes p))
+
+let quarantined (t : t) key =
+  match Hashtbl.find_opt t.quarantine key with
+  | Some ttl when ttl > 0 -> true
+  | _ -> false
+
+let emit_quarantine (t : t) sink ~now ~worker ~ws action =
+  if Obs.Sink.enabled sink then
+    Obs.Sink.emit sink
+      (Obs.Event.Quarantine
+         { ts = now; worker; kernel = t.kernel_name; ws; action })
+
+(** Get a specialization for at most [ws] lanes, degrading gracefully:
+    a width whose build fails (injected or genuine) is quarantined and
+    the next narrower available width is tried, down to the scalar
+    build.  Quarantined widths are skipped outright on later queries
+    until {!tick_quarantine} expires them.  Returns the entry and the
+    width actually served; raises the scalar build's
+    {!Vekt_error.Compile} when every candidate width is failed or
+    quarantined — the caller's last resort is the reference emulator. *)
+let get_fallback (t : t) ?params ?(sink = Obs.Sink.noop) ?(now = 0.0)
+    ?(worker = 0) ~ws () : entry * int =
+  let digest = digest_of t params in
+  let candidates = List.filter (fun w -> w <= ws) t.widths in
+  if candidates = [] then
+    invalid_arg (Fmt.str "no specialization of %s fits width %d" t.kernel_name ws);
+  let emit_fallback ~from_ws ~to_ws reason =
+    if Obs.Sink.enabled sink then
+      Obs.Sink.emit sink
+        (Obs.Event.Compile_fallback
+           { ts = now; worker; kernel = t.kernel_name; from_ws; to_ws; reason })
+  in
+  let rec try_widths last_err = function
+    | [] -> (
+        match last_err with
+        | Some e -> raise (Vekt_error.Error e)
+        | None ->
+            (* every candidate was quarantined before this launch *)
+            raise
+              (compile_error t ~ws ~tier:(-1) ~stage:Vekt_error.Vectorize
+                 "all specialization widths quarantined"))
+    | w :: rest ->
+        let next_ws = match rest with w' :: _ -> w' | [] -> 0 in
+        if quarantined t (w, digest) then begin
+          t.quarantine_skips <- t.quarantine_skips + 1;
+          emit_quarantine t sink ~now ~worker ~ws:w Obs.Event.Q_skipped;
+          try_widths last_err rest
+        end
+        else
+          match get t ?params ~sink ~now ~worker ~ws:w () with
+          | e -> (e, w)
+          | exception Vekt_error.Error (Vekt_error.Compile _ as err) ->
+              Hashtbl.replace t.quarantine (w, digest) t.quarantine_ttl;
+              t.quarantine_adds <- t.quarantine_adds + 1;
+              t.fallbacks <- t.fallbacks + 1;
+              emit_fallback ~from_ws:w ~to_ws:next_ws (Vekt_error.to_string err);
+              emit_quarantine t sink ~now ~worker ~ws:w Obs.Event.Q_added;
+              try_widths (Some err) rest
+  in
+  try_widths None candidates
+
+(** One successful launch elapsed: age every quarantine entry, retiring
+    those whose TTL reaches zero so the failed width gets re-tried. *)
+let tick_quarantine (t : t) ?(sink = Obs.Sink.noop) ?(now = 0.0) ?(worker = 0)
+    () =
+  let expired =
+    Hashtbl.fold
+      (fun key ttl acc -> if ttl <= 1 then key :: acc else acc)
+      t.quarantine []
+  in
+  Hashtbl.filter_map_inplace
+    (fun _ ttl -> if ttl <= 1 then None else Some (ttl - 1))
+    t.quarantine;
+  List.iter
+    (fun (w, _) ->
+      t.quarantine_expiries <- t.quarantine_expiries + 1;
+      emit_quarantine t sink ~now ~worker ~ws:w Obs.Event.Q_expired)
+    expired
 
 (** Largest available width not exceeding [n]. *)
 let best_width (t : t) n = List.find (fun w -> w <= n) t.widths
@@ -319,6 +457,11 @@ let metrics_into (t : t) (m : Obs.Metrics.t) =
   M.counter m "jit.evictions" := t.evictions;
   M.set (M.gauge m "jit.hit_rate") (hit_rate t);
   M.set (M.gauge m "jit.compile_wall_us") t.compile_wall_us;
+  M.counter m "fallback.compile_failures" := t.fallbacks;
+  M.counter m "fallback.quarantine_adds" := t.quarantine_adds;
+  M.counter m "fallback.quarantine_skips" := t.quarantine_skips;
+  M.counter m "fallback.quarantine_expiries" := t.quarantine_expiries;
+  M.counter m "fallback.quarantine_active" := Hashtbl.length t.quarantine;
   List.iter
     (fun name ->
       M.counter m (Fmt.str "opt.%s.changes" name)

@@ -24,7 +24,15 @@ module Invariance = Vekt_analysis.Invariance
 open Vekt_ptx
 open Ast
 
-exception Unsupported of string
+(** A PTX construct the frontend cannot translate.  The payload is
+    structured so callers (the translation cache, the host API) can fold
+    it into the {!Vekt_error.Compile} taxonomy without string parsing:
+    [kernel] is filled in by {!frontend} ([""] while translating),
+    [construct] names what was rejected. *)
+exception Unsupported of { kernel : string; construct : string }
+
+let unsupported fmt =
+  Fmt.kstr (fun construct -> raise (Unsupported { kernel = ""; construct })) fmt
 
 type t = {
   func : Ir.func;
@@ -50,7 +58,7 @@ let translate (m : modul) (k : kernel) : t =
   let vreg r =
     match Hashtbl.find_opt reg_map r with
     | Some v -> v
-    | None -> raise (Unsupported (Fmt.str "undeclared register %s" r))
+    | None -> unsupported "undeclared register %s" r
   in
   let shared_layout, shared_bytes = Mem.layout k.k_shared in
   let local_layout, local_decl_bytes = Mem.layout k.k_local in
@@ -68,7 +76,7 @@ let translate (m : modul) (k : kernel) : t =
             | None -> (
                 match List.assoc_opt v param_layout with
                 | Some (off, _) -> off
-                | None -> raise (Unsupported (Fmt.str "unknown variable %s" v)))))
+                | None -> unsupported "unknown variable %s" v)))
   in
   (* Operands in a context expecting type [ty]. *)
   let operand ty (o : Ast.operand) : Ir.operand =
@@ -153,9 +161,9 @@ let translate (m : modul) (k : kernel) : t =
         let base, off = address sp addr in
         Builder.emit b
           (Ir.Atomic (sp, op, ty, vreg d, base, off, operand ty v, Option.map (operand ty) c))
-    | Call _ -> raise (Unsupported "call survived inlining")
+    | Call _ -> unsupported "call survived inlining"
     | Bra _ | Bar | Ret | Exit ->
-        raise (Unsupported "control flow must come from CFG terminators")
+        unsupported "control flow must come from CFG terminators"
   in
   let cfg = Cfg.of_kernel k in
   (* Create all blocks first so terminators can reference them. *)
@@ -169,7 +177,7 @@ let translate (m : modul) (k : kernel) : t =
           match g with
           | Always -> translate_instr i
           | If _ | Ifnot _ ->
-              raise (Unsupported "guarded instruction survived if-conversion"))
+              unsupported "guarded instruction survived if-conversion")
         blk.insts;
       let term =
         match blk.term with
@@ -190,16 +198,25 @@ let frontend (m : modul) ~kernel : t =
   let k =
     match find_kernel m kernel with
     | Some k -> k
-    | None -> raise (Unsupported (Fmt.str "no kernel named %s" kernel))
+    | None -> raise (Unsupported { kernel; construct = Fmt.str "no kernel named %s" kernel })
   in
   (* device functions are exhaustively inlined first (paper §4.1 treats
      true calls as future work; see Inline) *)
-  let k = try Inline.expand m k with Inline.Error e -> raise (Unsupported e) in
+  let k =
+    try Inline.expand m k
+    with Inline.Error e -> raise (Unsupported { kernel; construct = e })
+  in
   let consts = List.map (fun c -> c.c_decl.a_name) m.m_consts in
   (match Typecheck.check_kernel ~consts k with
   | [] -> ()
-  | e :: _ -> raise (Unsupported (Fmt.str "type error: %a" Typecheck.pp_error e)));
+  | e :: _ ->
+      raise
+        (Unsupported
+           { kernel; construct = Fmt.str "type error: %a" Typecheck.pp_error e }));
   let k = Ifconv.run k in
-  let t = translate m k in
+  let t =
+    try translate m k
+    with Unsupported { kernel = ""; construct } -> raise (Unsupported { kernel; construct })
+  in
   Verify.check_exn t.func;
   t

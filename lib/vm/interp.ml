@@ -134,13 +134,42 @@ let as_addr v =
     with a runaway uniform loop must be bounded here.
     @param profile when given, per-block execution counts are recorded
     into its hotness table (the divergence profiler's input); [None]
-    costs one match per block. *)
+    costs one match per block.
+    @param on_access called before every memory instruction with the PTX
+    address space, guest address and width — the fault-injection
+    tripwire ({!Vekt_runtime.Fault}); [None] costs one match per memory
+    instruction.
+
+    A guest memory fault ({!Vekt_ptx.Mem.Fault}) or an internal trap is
+    re-raised as {!Vekt_error.Error} with the warp's thread/CTA context
+    attached at this boundary, so the raw segment exception never
+    escapes to the user. *)
 let exec ?timing ?(counters = fresh_counters ()) ?(fuel = 10_000_000)
-    ?(profile : Vekt_obs.Divergence.t option) (f : Ir.func)
-    ~(launch : launch_info) (warp : warp) (mem : memories) : unit =
+    ?(profile : Vekt_obs.Divergence.t option)
+    ?(on_access : (Ast.space -> addr:int -> width:int -> unit) option)
+    (f : Ir.func) ~(launch : launch_info) (warp : warp) (mem : memories) :
+    unit =
+  (* Structured trap with this warp's context: CTA and linear tid of the
+     first lane (the faulting lane when the access is per-warp), plus
+     the entry point the warp was dispatched at.  The modelled cycle is
+     attached one level up, by the execution manager. *)
+  let ctx_error ?access reason =
+    let t0 = warp.lanes.(0) in
+    Vekt_error.Error
+      (Vekt_error.Trap
+         {
+           kernel = f.Ir.fname;
+           cta = Some (t0.ctaid.Launch.x, t0.ctaid.Launch.y, t0.ctaid.Launch.z);
+           tid = Some (Launch.linear ~dims:launch.block t0.tid);
+           entry = Some warp.entry_id;
+           cycle = None;
+           access;
+           reason;
+         })
+  in
   if Array.length warp.lanes <> f.Ir.warp_size then
     raise
-      (Trap
+      (ctx_error
          (Fmt.str "warp has %d lanes but %s is a %d-wide specialization"
             (Array.length warp.lanes) f.Ir.fname f.Ir.warp_size));
   counters.kernel_calls <- counters.kernel_calls + 1;
@@ -178,6 +207,12 @@ let exec ?timing ?(counters = fresh_counters ()) ?(fuel = 10_000_000)
   let elementwise ty fn ops =
     if ty.Ty.width = 1 then S (fn (List.map (fun o -> lane_val o 0) ops))
     else V (Array.init ty.Ty.width (fun i -> fn (List.map (fun o -> lane_val o i) ops)))
+  in
+  (* One tripwire call per memory instruction executed; a no-op branch
+     when no hook is installed, so the uninstrumented path costs nothing
+     beyond the match. *)
+  let touch sp ~addr ~width =
+    match on_access with None -> () | Some h -> h sp ~addr ~width
   in
   let exec_instr (i : Ir.instr) =
     counters.dyn_instrs <- counters.dyn_instrs + 1;
@@ -222,19 +257,25 @@ let exec ?timing ?(counters = fresh_counters ()) ?(fuel = 10_000_000)
               | _ -> assert false)
             [ operand a ]
     | Ir.Load (sp, ty, d, base, off) ->
-        regs.(d) <- S (Mem.load (seg sp) ty (as_addr (operand base) + off))
+        let a = as_addr (operand base) + off in
+        touch sp ~addr:a ~width:(Ast.size_of ty);
+        regs.(d) <- S (Mem.load (seg sp) ty a)
     | Ir.Store (sp, ty, base, off, v) ->
-        Mem.store (seg sp) ty (as_addr (operand base) + off) (scalar_val (operand v))
+        let a = as_addr (operand base) + off in
+        touch sp ~addr:a ~width:(Ast.size_of ty);
+        Mem.store (seg sp) ty a (scalar_val (operand v))
     | Ir.Vload (sp, ty, d, base, off) ->
         let seg = seg sp in
         let a = as_addr (operand base) + off in
         let sz = Ast.size_of ty in
+        touch sp ~addr:a ~width:(sz * f.Ir.warp_size);
         regs.(d) <-
           V (Array.init f.Ir.warp_size (fun i -> Mem.load seg ty (a + (i * sz))))
     | Ir.Vstore (sp, ty, base, off, v) ->
         let seg = seg sp in
         let a = as_addr (operand base) + off in
         let sz = Ast.size_of ty in
+        touch sp ~addr:a ~width:(sz * f.Ir.warp_size);
         let v = operand v in
         for i = 0 to f.Ir.warp_size - 1 do
           Mem.store seg ty (a + (i * sz)) (lane_val v i)
@@ -242,6 +283,7 @@ let exec ?timing ?(counters = fresh_counters ()) ?(fuel = 10_000_000)
     | Ir.Atomic (sp, op, ty, d, base, off, v, c) ->
         let s = seg sp in
         let addr = as_addr (operand base) + off in
+        touch sp ~addr ~width:(Ast.size_of ty);
         let old = Mem.load s ty addr in
         let nv =
           Scalar_ops.atom op ty old (scalar_val (operand v))
@@ -317,4 +359,6 @@ let exec ?timing ?(counters = fresh_counters ()) ?(fuel = 10_000_000)
     | Ir.Barrier _ -> raise (Trap "barrier terminator in compiled function")
     | Ir.Return -> ()
   in
-  run_block f.Ir.entry
+  try run_block f.Ir.entry with
+  | Mem.Fault a -> raise (ctx_error ~access:a "memory fault")
+  | Trap reason -> raise (ctx_error reason)

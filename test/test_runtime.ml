@@ -269,8 +269,9 @@ LOOP:
 |}
       ~kernel:"spin"
   with
-  | _ -> Alcotest.fail "expected Launch_error"
-  | exception EM.Launch_error msg ->
+  | _ -> Alcotest.fail "expected a structured fuel error"
+  | exception Vekt_error.Error (Vekt_error.Fuel _ as e) ->
+      let msg = Vekt_error.to_string e in
       List.iter
         (fun sub ->
           Alcotest.(check bool)
@@ -307,7 +308,8 @@ let test_api_malloc_alignment_and_oom () =
     (try
        ignore (Api.malloc dev 100_000);
        false
-     with Api.Api_error _ -> true)
+     with Vekt_error.Error (Vekt_error.Resource r) ->
+       r.what = "device global memory" && r.requested = 100_000)
 
 let test_api_bad_module () =
   let dev = Api.create_device () in
@@ -315,12 +317,14 @@ let test_api_bad_module () =
     (try
        ignore (Api.load_module dev ".entry k ( { }");
        false
-     with Api.Api_error _ -> true);
+     with Vekt_error.Error (Vekt_error.Compile c) ->
+       c.stage = Vekt_error.Parse && c.line <> None);
   Alcotest.(check bool) "type error surfaced" true
     (try
        ignore (Api.load_module dev {|.entry k () { add.u32 %a, %a, 1; exit; }|});
        false
-     with Api.Api_error _ -> true)
+     with Vekt_error.Error (Vekt_error.Compile c) ->
+       c.stage = Vekt_error.Typecheck)
 
 let test_api_unknown_kernel () =
   let dev = Api.create_device () in
@@ -329,7 +333,8 @@ let test_api_unknown_kernel () =
     (try
        ignore (Api.launch m ~kernel:"nope" ~grid:(Launch.dim3 1) ~block:(Launch.dim3 1) ~args:[]);
        false
-     with Api.Api_error _ -> true)
+     with Vekt_error.Error (Vekt_error.Compile c) ->
+       c.kernel = "nope" && c.stage = Vekt_error.Frontend)
 
 let test_api_arg_mismatch () =
   let dev = Api.create_device () in

@@ -91,7 +91,7 @@ let test_static_tie_requires_consecutive_policy () =
     (try
        ignore (Api.load_module ~config:bad dev W_vecadd.src);
        false
-     with Api.Api_error _ -> true);
+     with Invalid_argument _ -> true);
   (* the explicit static policy on TIE code is fine *)
   let ok =
     { Api.default_config with mode = Vectorize.Static_tie; sched = Some Sched.Static }
@@ -130,7 +130,7 @@ let test_fuel_exact_budget_suffices () =
     (try
        ignore (single_cta ~fuel:(calls - 1) ());
        false
-     with EM.Launch_error _ -> true)
+     with Vekt_error.Error (Vekt_error.Fuel _) -> true)
 
 let test_fuel_error_reports_exact_calls () =
   (* the barrier makes every loop iteration yield back to the execution
@@ -152,8 +152,9 @@ LOOP:
     EM.launch_kernel ~fuel:64 cache ~grid:(Launch.dim3 1) ~block:(Launch.dim3 2)
       ~global:(Mem.create 64) ~params ~consts:(Mem.create 0)
   with
-  | _ -> Alcotest.fail "expected Launch_error"
-  | exception EM.Launch_error msg ->
+  | _ -> Alcotest.fail "expected a structured fuel error"
+  | exception Vekt_error.Error (Vekt_error.Fuel _ as e) ->
+      let msg = Vekt_error.to_string e in
       let contains sub s =
         let n = String.length s and m = String.length sub in
         let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in

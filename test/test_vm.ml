@@ -269,11 +269,11 @@ let test_interp_wrong_warp_width () =
   ignore (Builder.start_block b "entry");
   Builder.set_term b Ir.Return;
   let f = Builder.func b in
-  Alcotest.(check bool) "trapped" true
+  Alcotest.(check bool) "trapped with warp context" true
     (try
        Interp.exec f ~launch:launch1 (warp4 ()) (mems ());
        false
-     with Interp.Trap _ -> true)
+     with Vekt_error.Error (Vekt_error.Trap { kernel = "t"; _ }) -> true)
 
 let test_interp_fuel () =
   let b = Builder.create ~warp_size:4 "t" in
