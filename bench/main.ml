@@ -406,6 +406,113 @@ let ablate_tier () =
     TC.default_hot_threshold
 
 (* ------------------------------------------------------------------ *)
+(* Worker-pool scaling: real wall-clock over domain counts *)
+
+(* Unlike every section above (which reports *modelled* cycles), this
+   one measures host wall-clock time of the launch itself, because the
+   worker pool is real parallelism: one OCaml domain per execution
+   manager.  Each (workload, workers) cell gets a fresh module, one
+   untimed warmup launch (pays JIT compilation once), then the best of
+   [reps] timed launches.  Results land in BENCH_parallel.json;
+   speedups only materialize on hosts with spare cores, so the host's
+   core count is recorded alongside. *)
+let scaling_out = ref "BENCH_parallel.json"
+
+let scaling () =
+  header "Scaling: domain-parallel worker pool (host wall-clock)";
+  let worker_counts = [ 1; 2; 4; 8 ] in
+  let reps = 2 in
+  let cores = Domain.recommended_domain_count () in
+  Fmt.pr "host reports %d usable cores; timing best-of-%d per cell@." cores reps;
+  Fmt.pr "%-14s %6s" "application" "ncta";
+  List.iter (fun w -> Fmt.pr " %10s" (Fmt.str "w%d us" w)) worker_counts;
+  Fmt.pr " %9s@." "x at w4";
+  let module Clock = Vekt_runtime.Clock in
+  let results =
+    List.map
+      (fun (w : Workload.t) ->
+        let cell workers =
+          let dev = Api.create_device () in
+          let config = { Api.default_config with workers = Some workers } in
+          let m = Api.load_module ~config dev w.Workload.src in
+          let inst = w.Workload.setup ~scale:!scale dev in
+          let launch () =
+            ignore
+              (Api.launch m ~kernel:w.Workload.kernel ~grid:inst.Workload.grid
+                 ~block:inst.Workload.block ~args:inst.Workload.args)
+          in
+          launch () (* warmup: JIT compiles land here *);
+          let best = ref infinity in
+          for _ = 1 to reps do
+            let t0 = Clock.now_us () in
+            launch ();
+            best := Float.min !best (Clock.elapsed_us t0)
+          done;
+          (Launch.count inst.Workload.grid, !best)
+        in
+        let cells = List.map (fun n -> (n, cell n)) worker_counts in
+        let ncta = fst (snd (List.hd cells)) in
+        let base = snd (snd (List.hd cells)) in
+        Fmt.pr "%-14s %6d" w.Workload.name ncta;
+        List.iter (fun (_, (_, us)) -> Fmt.pr " %10.0f" us) cells;
+        let sp4 =
+          match List.assoc_opt 4 cells with
+          | Some (_, us) when us > 0.0 -> base /. us
+          | _ -> 0.0
+        in
+        Fmt.pr " %8.2fx@." sp4;
+        (w.Workload.name, ncta, List.map (fun (n, (_, us)) -> (n, us)) cells))
+      Registry.all
+  in
+  let fast4 =
+    List.filter
+      (fun (_, ncta, cells) ->
+        ncta >= 2
+        &&
+        match (List.assoc_opt 1 cells, List.assoc_opt 4 cells) with
+        | Some b, Some u when u > 0.0 -> b /. u >= 1.5
+        | _ -> false)
+      results
+  in
+  Fmt.pr "%d/%d multi-CTA workloads reach >=1.5x at 4 workers on this host@."
+    (List.length fast4)
+    (List.length (List.filter (fun (_, ncta, _) -> ncta >= 2) results));
+  (* hand-rolled JSON: no JSON library in the dependency set *)
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Fmt.str
+       "{\n  \"host_cores\": %d,\n  \"scale\": %d,\n  \"reps\": %d,\n  \
+        \"workers\": [%s],\n  \"workloads\": [\n"
+       cores !scale reps
+       (String.concat ", " (List.map string_of_int worker_counts)));
+  List.iteri
+    (fun i (name, ncta, cells) ->
+      let base = List.assoc 1 cells in
+      let wall =
+        String.concat ", "
+          (List.map (fun (n, us) -> Fmt.str "\"%d\": %.1f" n us) cells)
+      in
+      let speedup =
+        String.concat ", "
+          (List.map
+             (fun (n, us) ->
+               Fmt.str "\"%d\": %.3f" n (if us > 0.0 then base /. us else 0.0))
+             cells)
+      in
+      Buffer.add_string buf
+        (Fmt.str
+           "    {\"name\": %S, \"ncta\": %d, \"wall_us\": {%s}, \"speedup\": \
+            {%s}}%s\n"
+           name ncta wall speedup
+           (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out_bin !scaling_out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "wrote %s@." !scaling_out
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock microbenchmarks of the dynamic compiler itself *)
 
 let bechamel () =
@@ -476,6 +583,7 @@ let all_sections =
     ("ablate-spec", ablate_spec);
     ("ablate-sched", ablate_sched);
     ("ablate-tier", ablate_tier);
+    ("scaling", scaling);
     ("bechamel", bechamel);
   ]
 
@@ -490,6 +598,9 @@ let () =
         parse_args rest
     | "--trace-dir" :: dir :: rest ->
         trace_dir := Some dir;
+        parse_args rest
+    | "--scaling-out" :: path :: rest ->
+        scaling_out := path;
         parse_args rest
     | x :: rest -> x :: parse_args rest
     | [] -> []

@@ -228,7 +228,7 @@ let has_suffix ~suffix s =
   n >= m && String.sub s (n - m) m = suffix
 
 let run_cmd =
-  let run file kernel grid block arg_specs dumps static affine ws sched
+  let run file kernel grid block arg_specs dumps static affine ws workers sched
       pipeline tiered hot_threshold cache_cap inject inject_seed watchdog
       quarantine_ttl recover trace profile metrics =
     let src, m = load file in
@@ -279,8 +279,14 @@ let run_cmd =
         (* injection without recovery would just crash the launch; arm
            the emulator fallback whenever faults are being injected *)
         recover = recover || inject_cfg <> None;
+        workers;
       }
     in
+    (match workers with
+    | Some n when n < 1 ->
+        Fmt.epr "--workers wants a positive count, got %d@." n;
+        exit 1
+    | _ -> ());
     let api_m = Api.load_module ~config dev src in
     let args = List.map (parse_arg_spec dev) arg_specs in
     let tracer = Option.map (fun _ -> Obs.Trace.create ()) trace in
@@ -436,11 +442,24 @@ let run_cmd =
             "Bound the specialization table to $(docv) entries with LRU \
              eviction (default: unbounded)")
   in
+  let workers_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Execution-manager worker domains: the grid's CTAs are \
+             statically partitioned over $(docv) parallel workers \
+             (clamped to the CTA count; 1 = serial). Default: the \
+             simulated device's core count. Results are bit-identical \
+             to $(b,--workers 1).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Launch a kernel on the simulated vector machine")
     Term.(
       const run $ file_arg $ kernel_arg $ grid_arg $ block_arg $ args_arg $ dump_arg
-      $ static_arg $ affine_arg $ ws_arg $ sched_arg $ pipeline_arg $ tiered_arg
+      $ static_arg $ affine_arg $ ws_arg $ workers_arg $ sched_arg $ pipeline_arg
+      $ tiered_arg
       $ hot_threshold_arg $ cache_cap_arg $ inject_arg $ inject_seed_arg
       $ watchdog_arg $ quarantine_ttl_arg $ recover_arg $ trace_arg
       $ profile_arg $ metrics_arg)

@@ -2,11 +2,24 @@
 
     Blocks accumulate instructions in order; [set_term] seals a block.  The
     builder hands out fresh typed virtual registers and guarantees label
-    uniqueness. *)
+    uniqueness.
+
+    Instructions for the block under construction are accumulated in
+    {e reverse} and flushed into the block on every block switch (and when
+    {!func} is called), so emitting [n] instructions costs O(n) rather
+    than the O(n²) of appending to the tail of [Ir.block.insts] per
+    instruction.  The same discipline applies to the function's block
+    layout [order].  Consequence: [Ir.block.insts] and [Ir.func.order]
+    are only guaranteed current for blocks the builder is {e not} still
+    filling — always obtain the finished function through {!func}. *)
 
 type t = {
   func : Ir.func;
   mutable current : Ir.block option;
+  mutable rev_insts : Ir.instr list;
+      (** pending instructions of [current], newest first *)
+  mutable rev_order : string list;
+      (** block layout, newest first; [func.order] is derived on {!func} *)
   mutable label_counter : int;
 }
 
@@ -23,10 +36,28 @@ let create ?(warp_size = 1) fname =
         rty = Hashtbl.create 64;
       };
     current = None;
+    rev_insts = [];
+    rev_order = [];
     label_counter = 0;
   }
 
-let func b = b.func
+(* Move the pending reversed instructions into the current block.  The
+   block is almost always empty here; re-entering a block via
+   [switch_to] appends after its existing instructions, once per visit. *)
+let flush b =
+  match b.current with
+  | Some blk when b.rev_insts <> [] ->
+      blk.Ir.insts <-
+        (match blk.Ir.insts with
+        | [] -> List.rev b.rev_insts
+        | old -> old @ List.rev b.rev_insts);
+      b.rev_insts <- []
+  | _ -> ()
+
+let func b =
+  flush b;
+  b.func.Ir.order <- List.rev b.rev_order;
+  b.func
 
 let fresh_reg b ty : Ir.vreg =
   let r = b.func.Ir.nregs in
@@ -47,24 +78,29 @@ let fresh_label b stem =
 let start_block ?(kind = Ir.Body) b label =
   if Hashtbl.mem b.func.Ir.btab label then
     invalid_arg (Fmt.str "Builder.start_block: duplicate label %s" label);
+  flush b;
   let blk = { Ir.label; kind; insts = []; term = Ir.Return } in
   Hashtbl.replace b.func.Ir.btab label blk;
-  b.func.Ir.order <- b.func.Ir.order @ [ label ];
+  b.rev_order <- label :: b.rev_order;
   if b.func.Ir.entry = "" then b.func.Ir.entry <- label;
   b.current <- Some blk;
   blk
 
 let switch_to b label =
+  flush b;
   b.current <- Some (Ir.block b.func label)
 
 let current b =
   match b.current with
-  | Some blk -> blk
+  | Some blk ->
+      flush b;
+      blk
   | None -> invalid_arg "Builder: no current block"
 
 let emit b i =
-  let blk = current b in
-  blk.Ir.insts <- blk.Ir.insts @ [ i ]
+  match b.current with
+  | Some _ -> b.rev_insts <- i :: b.rev_insts
+  | None -> invalid_arg "Builder: no current block"
 
 (** Emit an instruction computing into a fresh register of type [ty]. *)
 let emit_val b ty mk =

@@ -34,10 +34,14 @@ let param_block (kernel : Ast.kernel) (args : arg list) : Mem.t =
       (Fmt.str "kernel %s expects %d arguments, got %d" kernel.k_name
          (List.length kernel.k_params) (List.length args));
   let mem = Mem.create ~name:"param" (Ast.param_block_size kernel.k_params) in
+  (* walk parameters and arguments in lockstep (indexing the parameter
+     list with [List.nth] per argument is quadratic in the arity), with
+     an O(1) layout lookup *)
+  let layout_tbl = Hashtbl.create (List.length layout) in
+  List.iter (fun (name, slot) -> Hashtbl.replace layout_tbl name slot) layout;
   List.iteri
-    (fun i arg ->
-      let p = List.nth kernel.k_params i in
-      let off, ty = List.assoc p.Ast.p_name layout in
+    (fun i (p, arg) ->
+      let off, ty = Hashtbl.find layout_tbl p.Ast.p_name in
       let v =
         match (arg, ty) with
         | I32 v, (Ast.U32 | Ast.S32 | Ast.B32 | Ast.U16 | Ast.S16 | Ast.B16 | Ast.U8 | Ast.S8 | Ast.B8) ->
@@ -52,5 +56,5 @@ let param_block (kernel : Ast.kernel) (args : arg list) : Mem.t =
                  kernel.k_name (Printer.dtype_str ty))
       in
       Mem.store mem ty off v)
-    args;
+    (List.combine kernel.k_params args);
   mem

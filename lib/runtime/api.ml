@@ -58,6 +58,10 @@ type config = {
   recover : bool;
       (** on a recoverable fault, roll global memory back and re-run the
           launch under the reference emulator (the oracle) *)
+  workers : int option;
+      (** execution-manager worker domains per launch; [None] follows
+          the device ([machine cores]).  Clamped to the CTA count; 1 =
+          serial. *)
 }
 
 let default_config =
@@ -67,7 +71,7 @@ let default_config =
     tiering = Translation_cache.Eager; cache_capacity = None;
     inject = None; watchdog = None;
     quarantine_ttl = Translation_cache.default_quarantine_ttl;
-    recover = false }
+    recover = false; workers = None }
 
 (** The scheduling policy a config resolves to. *)
 let sched_policy (c : config) : Scheduler.t =
@@ -199,9 +203,10 @@ let launch ?fuel ?(sink = Vekt_obs.Sink.noop)
   in
   let run_vectorized () =
     let cache = kernel_cache m ~kernel in
+    let workers = Option.value m.config.workers ~default:m.device.workers in
     let stats =
-      Exec_manager.launch_kernel ~costs:m.device.em_costs ?fuel
-        ?watchdog:m.config.watchdog ?inject:m.fault ~workers:m.device.workers
+      Worker_pool.launch ~costs:m.device.em_costs ?fuel
+        ?watchdog:m.config.watchdog ?inject:m.fault ~workers
         ~sink ?profile ~sched:(sched_policy m.config) cache ~grid ~block
         ~global:m.device.global ~params ~consts:m.consts
     in

@@ -1,0 +1,20 @@
+(** Monotonic wall-clock time for the runtime's self-measurement.
+
+    [Unix.gettimeofday] is subject to NTP slews and steps, so deltas
+    taken across a clock adjustment can go negative or double-count —
+    visible as nonsense [compile_wall_us] once several workers compile
+    concurrently.  This module reads [clock_gettime(CLOCK_MONOTONIC)]
+    through a tiny C stub: readings never go backwards, and are safe to
+    take from any domain. *)
+
+external now_ns : unit -> (int64[@unboxed])
+  = "vekt_clock_monotonic_ns_byte" "vekt_clock_monotonic_ns"
+[@@noalloc]
+
+(** Monotonic timestamp in microseconds.  Only differences are
+    meaningful; the epoch is unspecified (boot time on Linux). *)
+let now_us () = Int64.to_float (now_ns ()) /. 1e3
+
+(** Elapsed microseconds since [t0] (a {!now_us} reading), clamped
+    non-negative as a last line of defence. *)
+let elapsed_us t0 = Float.max 0.0 (now_us () -. t0)

@@ -62,9 +62,13 @@ let rec take k = function
     timestamped on this worker's modelled-cycle clock; [profile]
     accumulates per-entry-point divergence statistics.  Both default to
     off, in which case the instrumented paths reduce to one branch and
-    allocate nothing. *)
+    allocate nothing.
+
+    [parallel] marks this CTA as running concurrently with sibling
+    workers in other domains: cache queries then prefer the lock-free
+    published-hit path (see {!Translation_cache.get_fallback}). *)
 let run_cta ?(costs = default_costs) ?(fuel = 5_000_000) ?watchdog
-    ?(inject : Fault.t option)
+    ?(inject : Fault.t option) ?(parallel = false)
     ?(sink = Obs.Sink.noop) ?(profile : Obs.Divergence.t option) ?(worker = 0)
     ?sched (cache : Translation_cache.t)
     ~(launch : Interp.launch_info) ~(ctaid : Launch.dim3) ~(global : Mem.t)
@@ -207,7 +211,7 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000) ?watchdog
            the width actually served can be narrower than the best fit. *)
         let entry, ws =
           Translation_cache.get_fallback cache ~params ~sink ~now:(now ())
-            ~worker
+            ~worker ~parallel
             ~ws:(Translation_cache.best_width cache w.Scheduler.count)
             ()
         in

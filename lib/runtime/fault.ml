@@ -117,14 +117,19 @@ let parse_spec s : (spec, string) result =
 
 (* ---- armed injector ---- *)
 
+(* The counters are atomic because one injector is shared by every
+   worker domain of a launch ({!Worker_pool}); plain mutable ints would
+   lose updates under concurrent bumping.  [rng] stays plain mutable: it
+   is only consulted from {!check_compile}, which the translation cache
+   always calls under its own mutex. *)
 type t = {
   config : config;
   mutable rng : int;  (** xorshift state; never 0 *)
-  mutable mem_seen : int;  (** memory instructions observed so far *)
-  mutable dispatches : int;  (** warp dispatches observed so far *)
-  mutable compile_fails : int;  (** injected specialization-build failures *)
-  mutable mem_traps : int;  (** injected memory traps *)
-  mutable yields : int;  (** injected spurious yields *)
+  mem_seen : int Atomic.t;  (** memory instructions observed so far *)
+  dispatches : int Atomic.t;  (** warp dispatches observed so far *)
+  compile_fails : int Atomic.t;  (** injected specialization-build failures *)
+  mem_traps : int Atomic.t;  (** injected memory traps *)
+  yields : int Atomic.t;  (** injected spurious yields *)
 }
 
 let create (config : config) =
@@ -132,11 +137,11 @@ let create (config : config) =
   {
     config;
     rng = s;
-    mem_seen = 0;
-    dispatches = 0;
-    compile_fails = 0;
-    mem_traps = 0;
-    yields = 0;
+    mem_seen = Atomic.make 0;
+    dispatches = Atomic.make 0;
+    compile_fails = Atomic.make 0;
+    mem_traps = Atomic.make 0;
+    yields = Atomic.make 0;
   }
 
 (* 62-bit xorshift, uniform draw in [0;1). *)
@@ -162,7 +167,7 @@ let check_compile t ~kernel ~ws ~tier : string option =
         when kernel_matches c.kernel kernel && opt_matches c.ws ws
              && opt_matches c.tier tier ->
           if c.p >= 1.0 || draw t < c.p then begin
-            t.compile_fails <- t.compile_fails + 1;
+            Atomic.incr t.compile_fails;
             Some (Fmt.str "injected compile failure (ws=%d, tier=%d)" ws tier)
           end
           else None
@@ -180,9 +185,9 @@ let mem_hook t ~kernel : (Ast.space -> addr:int -> width:int -> unit) option =
       | _ -> None)
     t.config.specs
   |> Option.map (fun nth sp ~addr ~width ->
-         t.mem_seen <- t.mem_seen + 1;
-         if t.mem_seen = nth then begin
-           t.mem_traps <- t.mem_traps + 1;
+         let seen = Atomic.fetch_and_add t.mem_seen 1 + 1 in
+         if seen = nth then begin
+           Atomic.incr t.mem_traps;
            raise
              (Mem.Fault
                 {
@@ -205,15 +210,15 @@ let spurious_yield t : bool =
   with
   | None -> false
   | Some every ->
-      t.dispatches <- t.dispatches + 1;
-      if t.dispatches mod every = 0 then begin
-        t.yields <- t.yields + 1;
+      let d = Atomic.fetch_and_add t.dispatches 1 + 1 in
+      if d mod every = 0 then begin
+        Atomic.incr t.yields;
         true
       end
       else false
 
 let metrics_into (t : t) (m : Vekt_obs.Metrics.t) =
   let module M = Vekt_obs.Metrics in
-  M.counter m "fault.injected_compile_fails" := t.compile_fails;
-  M.counter m "fault.injected_mem_traps" := t.mem_traps;
-  M.counter m "fault.injected_yields" := t.yields
+  M.counter m "fault.injected_compile_fails" := Atomic.get t.compile_fails;
+  M.counter m "fault.injected_mem_traps" := Atomic.get t.mem_traps;
+  M.counter m "fault.injected_yields" := Atomic.get t.yields

@@ -25,7 +25,25 @@
     insert would exceed the bound, the least-recently-used entry that is
     not currently pinned by an executing warp is evicted.  Hotness
     counters survive eviction, so a re-queried hot key recompiles
-    straight to tier 1. *)
+    straight to tier 1.
+
+    {b Domain safety} (DESIGN.md §3.4).  One cache is shared by every
+    execution-manager worker of a launch, which under
+    {!Vekt_runtime.Worker_pool} means several OCaml domains.  All
+    mutation — compiling, inserting, promoting, evicting, quarantining —
+    happens under a single per-cache mutex, and after every mutation the
+    table is {e published}: an immutable snapshot of the entry and
+    quarantine tables is stored into [Atomic.t] cells.  Parallel hit
+    queries ({!get_fallback} with [~parallel:true]) read only the
+    published snapshot, so cache hits — the per-dispatch steady state —
+    never take the lock and never serialize the workers.  Snapshot reads
+    can race a concurrent publish only by being slightly stale, which
+    costs at most a redundant trip through the locked slow path (where
+    the table is double-checked).  Published parallel hits are counted
+    in a lock-free atomic and folded into the hit statistics; they do
+    not bump LRU stamps or tier-promotion hotness (tier-0 entries are
+    deliberately never served from the snapshot, so promotion decisions
+    still see every query that matters). *)
 
 module Ir = Vekt_ir.Ir
 module Verify = Vekt_ir.Verify
@@ -48,7 +66,9 @@ type entry = {
   compile_us : float;  (** measured wall time this specialization cost to build *)
   tier : int;  (** 0 = unoptimized fast build, 1 = full pass pipeline *)
   mutable last_use : int;  (** LRU stamp (cache query clock) *)
-  mutable in_use : int;  (** pin count held by currently-executing warps *)
+  in_use : int Atomic.t;
+      (** pin count held by currently-executing warps (pinned/unpinned
+          from any domain, hence atomic) *)
 }
 
 (** When (and whether) a specialization is promoted through the full
@@ -81,6 +101,18 @@ type t = {
       (** per-key query counts; drive tier promotion, survive eviction *)
   pass_stats : (string, int) Hashtbl.t;
       (** cumulative per-pass change counts over all tier-1 builds *)
+  (* ---- domain safety (DESIGN.md §3.4) ---- *)
+  lock : Mutex.t;
+      (** guards every mutation of the tables and counters below; hit
+          queries from parallel workers bypass it via [published] *)
+  published : ((int * string) * entry) list Atomic.t;
+      (** immutable snapshot of [specializations], republished under
+          [lock] after every mutation; read lock-free by parallel hits *)
+  pub_quarantine : (int * string) list Atomic.t;
+      (** immutable snapshot of the active quarantine keys *)
+  par_hits : int Atomic.t;
+      (** hits served lock-free from [published] (folded into
+          {!hit_rate} and the metrics next to [hits]) *)
   mutable clock : int;  (** LRU stamp source, bumped per query *)
   mutable compile_count : int;
   mutable promotions : int;  (** tier-0 → tier-1 recompilations *)
@@ -140,6 +172,10 @@ let prepare ?(mode = Vectorize.Dynamic) ?(affine = false) ?(specialize_args = fa
     specializations = Hashtbl.create 4;
     hotness = Hashtbl.create 4;
     pass_stats = Hashtbl.create 8;
+    lock = Mutex.create ();
+    published = Atomic.make [];
+    pub_quarantine = Atomic.make [];
+    par_hits = Atomic.make 0;
     clock = 0;
     compile_count = 0;
     promotions = 0;
@@ -159,8 +195,22 @@ let prepare ?(mode = Vectorize.Dynamic) ?(affine = false) ?(specialize_args = fa
 
 (* ---- pinning (entries held by currently-executing warps) ---- *)
 
-let pin (e : entry) = e.in_use <- e.in_use + 1
-let unpin (e : entry) = e.in_use <- max 0 (e.in_use - 1)
+let pin (e : entry) = Atomic.incr e.in_use
+let unpin (e : entry) = ignore (Atomic.fetch_and_add e.in_use (-1))
+
+(* ---- publication (lock must be held) ---- *)
+
+(* Republish immutable snapshots of the specialization and quarantine
+   tables for the lock-free parallel hit path.  Called after every
+   mutation; the fold allocates a fresh list, so readers of the old
+   snapshot are never disturbed. *)
+let republish (t : t) =
+  Atomic.set t.published
+    (Hashtbl.fold (fun key e acc -> (key, e) :: acc) t.specializations []);
+  Atomic.set t.pub_quarantine
+    (Hashtbl.fold
+       (fun key ttl acc -> if ttl > 0 then key :: acc else acc)
+       t.quarantine [])
 
 (* Evict least-recently-used unpinned entries until an insert fits the
    capacity bound.  A pinned (currently-executing) entry is never a
@@ -175,7 +225,7 @@ let evict_for_insert (t : t) =
         let victim =
           Hashtbl.fold
             (fun key (e : entry) acc ->
-              if e.in_use > 0 then acc
+              if Atomic.get e.in_use > 0 then acc
               else
                 match acc with
                 | Some (_, stamp) when stamp <= e.last_use -> acc
@@ -208,7 +258,7 @@ let compile_error (t : t) ~ws ~tier ~stage reason =
    pack/unpack traffic bounded); tier 1 runs the configured pipeline and
    accumulates its per-pass stats. *)
 let compile_build (t : t) ~scalar ~ws ~tier : entry =
-  let wall0 = Unix.gettimeofday () in
+  let wall0 = Clock.now_us () in
   let vect = Vectorize.run ~mode:t.mode ~affine:t.affine ~plan:t.plan scalar ~ws in
   if t.optimize && tier > 0 then begin
     let st = Passes.run ~pipeline:t.pipeline vect.Vectorize.func in
@@ -221,7 +271,7 @@ let compile_build (t : t) ~scalar ~ws ~tier : entry =
   else ignore (Dce.run vect.Vectorize.func);
   if t.verify then Verify.check_exn vect.Vectorize.func;
   let timing = Timing.analyze t.machine vect.Vectorize.func in
-  let compile_us = (Unix.gettimeofday () -. wall0) *. 1e6 in
+  let compile_us = Clock.elapsed_us wall0 in
   t.compile_count <- t.compile_count + 1;
   t.compile_wall_us <- t.compile_wall_us +. compile_us;
   {
@@ -232,7 +282,7 @@ let compile_build (t : t) ~scalar ~ws ~tier : entry =
     compile_us;
     tier;
     last_use = t.clock;
-    in_use = 0;
+    in_use = Atomic.make 0;
   }
 
 (* Build one specialization, folding build-time failures — injected or
@@ -295,8 +345,8 @@ let scalar_for (t : t) params =
     [sink] receives cache hit/miss and compile begin/end events; [now]
     is the caller's modelled-cycle clock at query time (events from
     different subsystems share one timeline per worker). *)
-let get (t : t) ?params ?(sink = Obs.Sink.noop) ?(now = 0.0) ?(worker = 0) ~ws
-    () : entry =
+let get_locked (t : t) ?params ?(sink = Obs.Sink.noop) ?(now = 0.0)
+    ?(worker = 0) ~ws () : entry =
   let params = if t.specialize_args then params else None in
   let key =
     ( ws,
@@ -347,6 +397,16 @@ let get (t : t) ?params ?(sink = Obs.Sink.noop) ?(now = 0.0) ?(worker = 0) ~ws
       emit_compile t sink ~now ~worker ~ws e;
       e
 
+(** Locked wrapper around {!get_locked}: every mutation happens under
+    the cache mutex and the snapshot is republished on the way out (even
+    when the build raises — hotness/miss counters moved). *)
+let get (t : t) ?params ?(sink = Obs.Sink.noop) ?(now = 0.0) ?(worker = 0) ~ws
+    () : entry =
+  Mutex.protect t.lock (fun () ->
+      Fun.protect
+        ~finally:(fun () -> republish t)
+        (fun () -> get_locked t ?params ~sink ~now ~worker ~ws ()))
+
 (* ---- fallback chain + quarantine (DESIGN.md §3.3) ---- *)
 
 let digest_of (t : t) params =
@@ -365,6 +425,33 @@ let emit_quarantine (t : t) sink ~now ~worker ~ws action =
       (Obs.Event.Quarantine
          { ts = now; worker; kernel = t.kernel_name; ws; action })
 
+(* Lock-free hit path for parallel workers: serve the first
+   non-quarantined candidate width straight from the published snapshot,
+   but only if that width is already resident at tier 1 — anything else
+   (absent, or tier 0 whose hotness must keep accruing toward promotion)
+   falls through to the locked slow path.  Snapshots may be stale; a
+   stale miss just costs the slow-path trip, and a stale quarantine view
+   merely delays a retry by one dispatch. *)
+let published_hit (t : t) ~digest ~sink ~now ~worker candidates =
+  let quar = Atomic.get t.pub_quarantine in
+  let pub = Atomic.get t.published in
+  let rec scan = function
+    | [] -> None
+    | w :: rest ->
+        if List.mem (w, digest) quar then scan rest
+        else (
+          match List.assoc_opt (w, digest) pub with
+          | Some (e : entry) when e.tier >= 1 ->
+              Atomic.incr t.par_hits;
+              if Obs.Sink.enabled sink then
+                Obs.Sink.emit sink
+                  (Obs.Event.Cache_hit
+                     { ts = now; worker; kernel = t.kernel_name; ws = w });
+              Some (e, w)
+          | _ -> None)
+  in
+  scan candidates
+
 (** Get a specialization for at most [ws] lanes, degrading gracefully:
     a width whose build fails (injected or genuine) is quarantined and
     the next narrower available width is tried, down to the scalar
@@ -372,65 +459,81 @@ let emit_quarantine (t : t) sink ~now ~worker ~ws action =
     until {!tick_quarantine} expires them.  Returns the entry and the
     width actually served; raises the scalar build's
     {!Vekt_error.Compile} when every candidate width is failed or
-    quarantined — the caller's last resort is the reference emulator. *)
+    quarantined — the caller's last resort is the reference emulator.
+
+    With [~parallel:true] (workers running in separate domains) a hit on
+    an already-published tier-1 specialization is served lock-free from
+    the snapshot; every other outcome takes the cache mutex. *)
 let get_fallback (t : t) ?params ?(sink = Obs.Sink.noop) ?(now = 0.0)
-    ?(worker = 0) ~ws () : entry * int =
+    ?(worker = 0) ?(parallel = false) ~ws () : entry * int =
   let digest = digest_of t params in
   let candidates = List.filter (fun w -> w <= ws) t.widths in
   if candidates = [] then
     invalid_arg (Fmt.str "no specialization of %s fits width %d" t.kernel_name ws);
-  let emit_fallback ~from_ws ~to_ws reason =
-    if Obs.Sink.enabled sink then
-      Obs.Sink.emit sink
-        (Obs.Event.Compile_fallback
-           { ts = now; worker; kernel = t.kernel_name; from_ws; to_ws; reason })
+  let fast =
+    if parallel then published_hit t ~digest ~sink ~now ~worker candidates
+    else None
   in
-  let rec try_widths last_err = function
-    | [] -> (
-        match last_err with
-        | Some e -> raise (Vekt_error.Error e)
-        | None ->
-            (* every candidate was quarantined before this launch *)
-            raise
-              (compile_error t ~ws ~tier:(-1) ~stage:Vekt_error.Vectorize
-                 "all specialization widths quarantined"))
-    | w :: rest ->
-        let next_ws = match rest with w' :: _ -> w' | [] -> 0 in
-        if quarantined t (w, digest) then begin
-          t.quarantine_skips <- t.quarantine_skips + 1;
-          emit_quarantine t sink ~now ~worker ~ws:w Obs.Event.Q_skipped;
-          try_widths last_err rest
-        end
-        else
-          match get t ?params ~sink ~now ~worker ~ws:w () with
-          | e -> (e, w)
-          | exception Vekt_error.Error (Vekt_error.Compile _ as err) ->
-              Hashtbl.replace t.quarantine (w, digest) t.quarantine_ttl;
-              t.quarantine_adds <- t.quarantine_adds + 1;
-              t.fallbacks <- t.fallbacks + 1;
-              emit_fallback ~from_ws:w ~to_ws:next_ws (Vekt_error.to_string err);
-              emit_quarantine t sink ~now ~worker ~ws:w Obs.Event.Q_added;
-              try_widths (Some err) rest
-  in
-  try_widths None candidates
+  match fast with
+  | Some hit -> hit
+  | None ->
+      let emit_fallback ~from_ws ~to_ws reason =
+        if Obs.Sink.enabled sink then
+          Obs.Sink.emit sink
+            (Obs.Event.Compile_fallback
+               { ts = now; worker; kernel = t.kernel_name; from_ws; to_ws; reason })
+      in
+      let rec try_widths last_err = function
+        | [] -> (
+            match last_err with
+            | Some e -> raise (Vekt_error.Error e)
+            | None ->
+                (* every candidate was quarantined before this launch *)
+                raise
+                  (compile_error t ~ws ~tier:(-1) ~stage:Vekt_error.Vectorize
+                     "all specialization widths quarantined"))
+        | w :: rest -> (
+            let next_ws = match rest with w' :: _ -> w' | [] -> 0 in
+            if quarantined t (w, digest) then begin
+              t.quarantine_skips <- t.quarantine_skips + 1;
+              emit_quarantine t sink ~now ~worker ~ws:w Obs.Event.Q_skipped;
+              try_widths last_err rest
+            end
+            else
+              match get_locked t ?params ~sink ~now ~worker ~ws:w () with
+              | e -> (e, w)
+              | exception Vekt_error.Error (Vekt_error.Compile _ as err) ->
+                  Hashtbl.replace t.quarantine (w, digest) t.quarantine_ttl;
+                  t.quarantine_adds <- t.quarantine_adds + 1;
+                  t.fallbacks <- t.fallbacks + 1;
+                  emit_fallback ~from_ws:w ~to_ws:next_ws (Vekt_error.to_string err);
+                  emit_quarantine t sink ~now ~worker ~ws:w Obs.Event.Q_added;
+                  try_widths (Some err) rest)
+      in
+      Mutex.protect t.lock (fun () ->
+          Fun.protect
+            ~finally:(fun () -> republish t)
+            (fun () -> try_widths None candidates))
 
 (** One successful launch elapsed: age every quarantine entry, retiring
     those whose TTL reaches zero so the failed width gets re-tried. *)
 let tick_quarantine (t : t) ?(sink = Obs.Sink.noop) ?(now = 0.0) ?(worker = 0)
     () =
-  let expired =
-    Hashtbl.fold
-      (fun key ttl acc -> if ttl <= 1 then key :: acc else acc)
-      t.quarantine []
-  in
-  Hashtbl.filter_map_inplace
-    (fun _ ttl -> if ttl <= 1 then None else Some (ttl - 1))
-    t.quarantine;
-  List.iter
-    (fun (w, _) ->
-      t.quarantine_expiries <- t.quarantine_expiries + 1;
-      emit_quarantine t sink ~now ~worker ~ws:w Obs.Event.Q_expired)
-    expired
+  Mutex.protect t.lock (fun () ->
+      let expired =
+        Hashtbl.fold
+          (fun key ttl acc -> if ttl <= 1 then key :: acc else acc)
+          t.quarantine []
+      in
+      Hashtbl.filter_map_inplace
+        (fun _ ttl -> if ttl <= 1 then None else Some (ttl - 1))
+        t.quarantine;
+      List.iter
+        (fun (w, _) ->
+          t.quarantine_expiries <- t.quarantine_expiries + 1;
+          emit_quarantine t sink ~now ~worker ~ws:w Obs.Event.Q_expired)
+        expired;
+      republish t)
 
 (** Largest available width not exceeding [n]. *)
 let best_width (t : t) n = List.find (fun w -> w <= n) t.widths
@@ -440,10 +543,12 @@ let max_width (t : t) = List.hd t.widths
 (** Entry IDs shared by all specializations of this kernel. *)
 let entry_ids (t : t) = t.plan.Plan.entry_ids
 
-(** Hit rate of the cache so far, in [0;1] ([0.0] before any query). *)
+(** Hit rate of the cache so far, in [0;1] ([0.0] before any query).
+    Counts both locked hits and lock-free published hits. *)
 let hit_rate (t : t) =
-  let total = t.hits + t.misses in
-  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+  let hits = t.hits + Atomic.get t.par_hits in
+  let total = hits + t.misses in
+  if total = 0 then 0.0 else float_of_int hits /. float_of_int total
 
 (** Snapshot JIT-side state (hit/miss rate, tier traffic, per-pass
     optimization stats, per-specialization compile cost and size) into a
@@ -451,7 +556,8 @@ let hit_rate (t : t) =
 let metrics_into (t : t) (m : Obs.Metrics.t) =
   let module M = Obs.Metrics in
   M.counter m "jit.compiles" := t.compile_count;
-  M.counter m "jit.cache_hits" := t.hits;
+  M.counter m "jit.cache_hits" := t.hits + Atomic.get t.par_hits;
+  M.counter m "jit.cache_hits_lockfree" := Atomic.get t.par_hits;
   M.counter m "jit.cache_misses" := t.misses;
   M.counter m "jit.promotions" := t.promotions;
   M.counter m "jit.evictions" := t.evictions;

@@ -1,0 +1,152 @@
+(** Domain-parallel launch driver (paper §5.2).
+
+    The paper's execution managers are worker threads that each own a
+    static partition of the grid's CTAs.  {!Exec_manager.launch_kernel}
+    {e simulates} that partition on one OS thread (the modelled-cycle
+    clocks are per worker, wall cycles take the max); this module runs
+    it for real: the same per-worker CTA slices, executed on OCaml 5
+    domains through the ordinary {!Exec_manager.run_cta} against the
+    shared global segment and the shared {!Translation_cache}.
+
+    Two knobs, deliberately separate:
+
+    - [workers] is the {e modelled} partition width — worker [w] owns
+      CTAs [w, w+workers, ...], exactly as in the serial simulation, so
+      per-worker statistics (and the max-over-workers wall cycles) are
+      identical whether the slices run on domains or in a loop.
+    - [domains] is the {e physical} parallelism: how many OCaml domains
+      execute those worker slices.  Domain [d] runs workers
+      [d, d+domains, ...] sequentially.  It defaults to
+      [min workers (Domain.recommended_domain_count ())] — OCaml's
+      stop-the-world minor GC makes oversubscribing cores strictly
+      counterproductive — and with [domains = 1] no domain is spawned
+      at all: the launch degenerates to the exact serial loop.
+
+    CTAs are mutually independent (shared memory and barriers are
+    CTA-scope), writes to distinct global addresses land in a shared
+    [Bytes.t], and global atomics serialize on a process-wide mutex in
+    the interpreter — so the final global-memory image is bit-identical
+    to a serial run.
+
+    {b Determinism of the merged artifacts.}  Everything a worker
+    produces is private to its slice while it runs and merged only
+    after every domain has been joined, in worker-index order:
+
+    - {!Stats.t}: integer totals are partition-independent; float
+      cycle totals are merged in worker order, so they are reproducible
+      run-to-run (across {e different} worker counts they agree up to
+      float summation order, and [wall_cycles] — max over workers —
+      genuinely models the parallelism).
+    - Events: each worker emits into a private buffer; buffers are
+      replayed into the caller's sink worker-by-worker, which
+      reproduces exactly the order the serial simulation emits.
+    - {!Obs.Divergence} profiles: one private profile per worker,
+      {!Obs.Divergence.merge}d in worker order.
+
+    A worker that raises aborts its domain's remaining slices; every
+    domain is still joined before anything propagates, and the
+    lowest-indexed worker's error is re-raised, so the error surfaced
+    for a given failing launch does not depend on domain scheduling.
+
+    Caveats, documented in DESIGN.md §3.4: {!Translation_cache.Tiered}
+    promotion points and injected spurious yields depend on cross-domain
+    query interleaving, so cycle-level statistics (never memory results)
+    can vary run-to-run under those features with [domains > 1]. *)
+
+module Interp = Vekt_vm.Interp
+module Obs = Vekt_obs
+open Vekt_ptx
+
+(** Run a whole kernel launch: the grid's CTAs are statically
+    partitioned over [workers] execution managers, executed on
+    [domains] OCaml domains (see the module doc for the distinction).
+    [workers] is clamped to [1 .. ncta] and [domains] to
+    [1 .. workers].  Parameters otherwise mirror
+    {!Exec_manager.launch_kernel}, which remains the single-threaded
+    reference for this function. *)
+let launch ?(costs = Exec_manager.default_costs) ?fuel ?watchdog
+    ?(inject : Fault.t option) ?(workers = 1) ?domains
+    ?(sink = Obs.Sink.noop) ?(profile : Obs.Divergence.t option) ?sched
+    (cache : Translation_cache.t) ~(grid : Launch.dim3) ~(block : Launch.dim3)
+    ~(global : Mem.t) ~(params : Mem.t) ~(consts : Mem.t) : Stats.t =
+  let ncta = Launch.count grid in
+  let launch_info = { Interp.grid; block } in
+  let workers = max 1 (min workers ncta) in
+  let domains =
+    let d =
+      match domains with
+      | Some d -> d
+      | None -> Domain.recommended_domain_count ()
+    in
+    max 1 (min d workers)
+  in
+  (* fail a bad policy × mode combination before spawning anything *)
+  Option.iter (Scheduler.validate ~mode:cache.Translation_cache.mode) sched;
+  (match profile with
+  | Some p ->
+      Obs.Divergence.set_entry_names p (Translation_cache.entry_ids cache)
+  | None -> ());
+  let run_worker ~parallel ~wsink ~wprofile w (wstats : Stats.t) =
+    let c = ref w in
+    while !c < ncta do
+      let ctaid = Launch.unlinear ~dims:grid !c in
+      Exec_manager.run_cta ~costs ?fuel ?watchdog ?inject ~parallel
+        ~sink:wsink ?profile:wprofile ~worker:w ?sched cache
+        ~launch:launch_info ~ctaid ~global ~params ~consts ~stats:wstats ();
+      c := !c + workers
+    done
+  in
+  let aggregate = Stats.create () in
+  if domains = 1 then
+    for w = 0 to workers - 1 do
+      let wstats = Stats.create () in
+      run_worker ~parallel:false ~wsink:sink ~wprofile:profile w wstats;
+      Stats.merge_into ~into:aggregate wstats
+    done
+  else begin
+    let wstats = Array.init workers (fun _ -> Stats.create ()) in
+    let wprofiles =
+      Array.init workers (fun _ ->
+          Option.map (fun _ -> Obs.Divergence.create ()) profile)
+    in
+    (* private reversed event buffer per worker; replayed post-join *)
+    let buffers = Array.init workers (fun _ -> ref []) in
+    let wsink w =
+      if Obs.Sink.enabled sink then
+        Obs.Sink.fn (fun e -> buffers.(w) := e :: !(buffers.(w)))
+      else Obs.Sink.noop
+    in
+    (* domain d executes worker slices d, d+domains, ... in order; its
+       result is the lowest worker index that failed, with the error *)
+    let body d () =
+      let rec slices w =
+        if w >= workers then None
+        else
+          match
+            run_worker ~parallel:true ~wsink:(wsink w)
+              ~wprofile:wprofiles.(w) w wstats.(w)
+          with
+          | () -> slices (w + domains)
+          | exception e -> Some (w, e, Printexc.get_raw_backtrace ())
+      in
+      slices d
+    in
+    let spawned = Array.init domains (fun d -> Domain.spawn (body d)) in
+    (* join every domain before propagating anything, so a failure never
+       leaks running workers; then surface the lowest worker's error *)
+    let outcomes = Array.to_list (Array.map Domain.join spawned) in
+    (match
+       List.filter_map (fun o -> o) outcomes
+       |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+     with
+    | (_, e, bt) :: _ -> Printexc.raise_with_backtrace e bt
+    | [] -> ());
+    for w = 0 to workers - 1 do
+      List.iter (Obs.Sink.emit sink) (List.rev !(buffers.(w)));
+      (match (profile, wprofiles.(w)) with
+      | Some into, Some p -> Obs.Divergence.merge ~into p
+      | _ -> ());
+      Stats.merge_into ~into:aggregate wstats.(w)
+    done
+  end;
+  aggregate

@@ -38,9 +38,18 @@ let entry_live t l = Liveness.live_in t.live l
 let compute (f : Ir.func) ~(local_decl_bytes : int) : t =
   let live = Liveness.compute f in
   (* Collect entry points in a deterministic order: entry first, then in
-     block layout order. *)
-  let entry_labels = ref [ f.Ir.entry ] in
-  let add l = if not (List.mem l !entry_labels) then entry_labels := !entry_labels @ [ l ] in
+     block layout order.  Reverse-accumulated with a membership set so a
+     function with many entry points stays linear (appending with [@]
+     per label is quadratic). *)
+  let seen = Hashtbl.create 16 in
+  let rev_entry_labels = ref [ f.Ir.entry ] in
+  Hashtbl.replace seen f.Ir.entry ();
+  let add l =
+    if not (Hashtbl.mem seen l) then begin
+      Hashtbl.replace seen l ();
+      rev_entry_labels := l :: !rev_entry_labels
+    end
+  in
   List.iter
     (fun b ->
       match b.Ir.term with
@@ -50,7 +59,7 @@ let compute (f : Ir.func) ~(local_decl_bytes : int) : t =
       | Ir.Barrier l -> add l
       | Ir.Jump _ | Ir.Switch _ | Ir.Return -> ())
     (Ir.blocks f);
-  let entry_ids = List.mapi (fun i l -> (l, i)) !entry_labels in
+  let entry_ids = List.mapi (fun i l -> (l, i)) (List.rev !rev_entry_labels) in
   (* Slot every register live into any entry point. *)
   let slotted =
     List.fold_left

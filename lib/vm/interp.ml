@@ -20,6 +20,16 @@ open Vekt_ptx
 exception Trap of string
 exception Out_of_fuel
 
+(* Global-space [Ir.Atomic] is interpreted as load / compute / store;
+   within one domain that sequence is already indivisible, but when
+   {!Vekt_runtime.Worker_pool} runs CTAs on several domains against one
+   shared global segment the read-modify-write must be serialized
+   process-wide.  Shared and local segments are CTA-private (every CTA
+   runs wholly on one worker), so they never need it.  The supported
+   atomic ops are commutative integer updates, so serialization order
+   does not affect the final memory image. *)
+let global_atomic_lock = Mutex.create ()
+
 type thread_info = {
   tid : Launch.dim3;
   ctaid : Launch.dim3;
@@ -284,12 +294,20 @@ let exec ?timing ?(counters = fresh_counters ()) ?(fuel = 10_000_000)
         let s = seg sp in
         let addr = as_addr (operand base) + off in
         touch sp ~addr ~width:(Ast.size_of ty);
-        let old = Mem.load s ty addr in
-        let nv =
-          Scalar_ops.atom op ty old (scalar_val (operand v))
-            (Option.map (fun c -> scalar_val (operand c)) c)
+        let arg = scalar_val (operand v)
+        and cmp = Option.map (fun c -> scalar_val (operand c)) c in
+        let old =
+          match sp with
+          | Ast.Global ->
+              Mutex.protect global_atomic_lock (fun () ->
+                  let old = Mem.load s ty addr in
+                  Mem.store s ty addr (Scalar_ops.atom op ty old arg cmp);
+                  old)
+          | _ ->
+              let old = Mem.load s ty addr in
+              Mem.store s ty addr (Scalar_ops.atom op ty old arg cmp);
+              old
         in
-        Mem.store s ty addr nv;
         regs.(d) <- S old
     | Ir.Broadcast (ty, d, a) ->
         let x = scalar_val (operand a) in

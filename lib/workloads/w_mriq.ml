@@ -98,22 +98,21 @@ let reference ~samples ~voxels =
 
 let setup ?(scale = 1) (dev : Api.device) : Workload.instance =
   let nk = 64 * scale and nx = 128 * scale in
-  let kx = Workload.rand_f32s ~seed:151 nk in
-  let ky = Workload.rand_f32s ~seed:152 nk in
-  let kz = Workload.rand_f32s ~seed:153 nk in
-  let phi = Workload.rand_f32s ~seed:154 nk in
-  let samples =
-    List.init nk (fun i ->
-        (List.nth kx i, List.nth ky i, List.nth kz i, List.nth phi i))
-  in
+  (* indexing with List.nth per element is quadratic in the problem
+     size; zip through arrays instead *)
+  let kx = Array.of_list (Workload.rand_f32s ~seed:151 nk) in
+  let ky = Array.of_list (Workload.rand_f32s ~seed:152 nk) in
+  let kz = Array.of_list (Workload.rand_f32s ~seed:153 nk) in
+  let phi = Array.of_list (Workload.rand_f32s ~seed:154 nk) in
+  let samples = List.init nk (fun i -> (kx.(i), ky.(i), kz.(i), phi.(i))) in
   let pk = Api.malloc dev (16 * nk) in
   List.iteri
     (fun i (a, b, c, d) -> Api.write_f32s dev (pk + (16 * i)) [ a; b; c; d ])
     samples;
-  let vx = Workload.rand_f32s ~seed:155 nx in
-  let vy = Workload.rand_f32s ~seed:156 nx in
-  let vz = Workload.rand_f32s ~seed:157 nx in
-  let voxels = List.init nx (fun i -> (List.nth vx i, List.nth vy i, List.nth vz i)) in
+  let vx = Array.of_list (Workload.rand_f32s ~seed:155 nx) in
+  let vy = Array.of_list (Workload.rand_f32s ~seed:156 nx) in
+  let vz = Array.of_list (Workload.rand_f32s ~seed:157 nx) in
+  let voxels = List.init nx (fun i -> (vx.(i), vy.(i), vz.(i))) in
   let px = Api.malloc dev (12 * nx) in
   List.iteri (fun i (a, b, c) -> Api.write_f32s dev (px + (12 * i)) [ a; b; c ]) voxels;
   let qrp = Api.malloc dev (4 * nx) and qip = Api.malloc dev (4 * nx) in

@@ -89,6 +89,38 @@ let test_map_operands_with_def () =
   let k = Ir.with_def 9 j in
   Alcotest.(check (option int)) "new def" (Some 9) (Ir.def k)
 
+(* Large build: 2000 blocks x 100 instructions, plus block revisits via
+   switch_to.  The builder accumulates instructions and block order in
+   reverse and flushes on block switches, so this completes in
+   milliseconds; the old append-per-emit representation was quadratic
+   and took minutes at this size.  Structure is verified exactly. *)
+let test_builder_large_linear () =
+  let nblocks = 2000 and ninsts = 100 in
+  let b = Builder.create "big" in
+  let r = Builder.fresh_reg b s32 in
+  for blk = 0 to nblocks - 1 do
+    ignore (Builder.start_block b (Fmt.str "b%d" blk));
+    for _ = 1 to ninsts do
+      Builder.emit b (Ir.Bin (Ast.Add, s32, r, Ir.R r, imm 1))
+    done;
+    Builder.set_term b
+      (if blk = nblocks - 1 then Ir.Return else Ir.Jump (Fmt.str "b%d" (blk + 1)))
+  done;
+  (* revisit earlier blocks: flushed instructions must be preserved and
+     appended to, not clobbered *)
+  Builder.switch_to b "b0";
+  Builder.emit b (Ir.Bin (Ast.Add, s32, r, Ir.R r, imm 2));
+  let f = Builder.func b in
+  Alcotest.(check int) "block count" nblocks (List.length (Ir.blocks f));
+  Alcotest.(check (list string)) "order preserved"
+    (List.init nblocks (Fmt.str "b%d"))
+    f.Ir.order;
+  Alcotest.(check int) "b0 insts (revisit appended)" (ninsts + 1)
+    (List.length (Ir.block f "b0").Ir.insts);
+  Alcotest.(check int) "b1 insts" ninsts
+    (List.length (Ir.block f "b1").Ir.insts);
+  Alcotest.(check int) "total size" ((nblocks * ninsts) + 1) (Ir.size f)
+
 (* --- Verifier --- *)
 
 let test_verify_clean () =
@@ -303,6 +335,8 @@ let () =
           Alcotest.test_case "rpo" `Quick test_rpo;
           Alcotest.test_case "def/uses" `Quick test_def_uses;
           Alcotest.test_case "map/with_def" `Quick test_map_operands_with_def;
+          Alcotest.test_case "large build is linear" `Quick
+            test_builder_large_linear;
         ] );
       ( "verify",
         [
