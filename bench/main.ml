@@ -513,6 +513,113 @@ let scaling () =
   Fmt.pr "wrote %s@." !scaling_out
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoint overhead: wall-clock cost of snapshotting in-flight
+   launches (DESIGN.md §3.5) *)
+
+(* Wall-clock again, like [scaling]: snapshot serialization and the
+   write to disk are host-side costs invisible to the modelled-cycle
+   clocks.  Each (workload, interval) cell gets a fresh module, one
+   untimed warmup launch, then the best of [reps] timed launches; the
+   snapshot count and bytes written come from the launch's checkpoint
+   bookkeeping.  Interval 0 is the no-checkpoint baseline (run serial,
+   as checkpointing is, so the ratio isolates the snapshot cost). *)
+let ckpt_out = ref "BENCH_checkpoint.json"
+
+let ckpt () =
+  header "Checkpoint overhead: snapshot interval vs wall-clock";
+  let intervals = [ 0; 64; 512 ] in
+  let reps = 2 in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "vekt-bench-ckpt" in
+  let module Clock = Vekt_runtime.Clock in
+  Fmt.pr "snapshots land in %s; timing best-of-%d per cell@." dir reps;
+  Fmt.pr "%-14s %6s" "application" "ncta";
+  List.iter
+    (fun n -> Fmt.pr " %10s" (if n = 0 then "off us" else Fmt.str "e%d us" n))
+    intervals;
+  Fmt.pr " %9s %9s@." "ovh e64" "snaps e64";
+  let results =
+    List.map
+      (fun (w : Workload.t) ->
+        let cell every =
+          let dev = Api.create_device () in
+          let config =
+            {
+              Api.default_config with
+              workers = Some 1;
+              checkpoint_every = every;
+              checkpoint_dir = dir;
+            }
+          in
+          let m = Api.load_module ~config dev w.Workload.src in
+          let inst = w.Workload.setup ~scale:!scale dev in
+          let launch () =
+            ignore
+              (Api.launch m ~kernel:w.Workload.kernel ~grid:inst.Workload.grid
+                 ~block:inst.Workload.block ~args:inst.Workload.args)
+          in
+          launch () (* warmup: JIT compiles land here *);
+          let best = ref infinity in
+          for _ = 1 to reps do
+            let t0 = Clock.now_us () in
+            launch ();
+            best := Float.min !best (Clock.elapsed_us t0)
+          done;
+          let snaps, bytes =
+            match m.Api.last_ckpt with
+            | Some c ->
+                ( c.Vekt_runtime.Checkpoint.writes,
+                  c.Vekt_runtime.Checkpoint.bytes_written )
+            | None -> (0, 0)
+          in
+          (Launch.count inst.Workload.grid, !best, snaps, bytes)
+        in
+        let cells = List.map (fun n -> (n, cell n)) intervals in
+        let ncta, base, _, _ = snd (List.hd cells) in
+        Fmt.pr "%-14s %6d" w.Workload.name ncta;
+        List.iter (fun (_, (_, us, _, _)) -> Fmt.pr " %10.0f" us) cells;
+        (match List.assoc_opt 64 cells with
+        | Some (_, us, snaps, _) when base > 0.0 ->
+            Fmt.pr " %8.2fx %9d@." (us /. base) snaps
+        | _ -> Fmt.pr "@.");
+        (w.Workload.name, ncta, cells))
+      Registry.all
+  in
+  (* hand-rolled JSON: no JSON library in the dependency set *)
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Fmt.str
+       "{\n  \"scale\": %d,\n  \"reps\": %d,\n  \"intervals\": [%s],\n  \
+        \"workloads\": [\n"
+       !scale reps
+       (String.concat ", " (List.map string_of_int intervals)));
+  List.iteri
+    (fun i (name, ncta, cells) ->
+      let _, base, _, _ = List.assoc 0 cells in
+      let field f =
+        String.concat ", "
+          (List.map (fun (n, c) -> Fmt.str "\"%d\": %s" n (f c)) cells)
+      in
+      let wall = field (fun (_, us, _, _) -> Fmt.str "%.1f" us) in
+      let snaps = field (fun (_, _, s, _) -> string_of_int s) in
+      let bytes = field (fun (_, _, _, b) -> string_of_int b) in
+      let overhead =
+        field (fun (_, us, _, _) ->
+            Fmt.str "%.3f" (if base > 0.0 then us /. base else 0.0))
+      in
+      Buffer.add_string buf
+        (Fmt.str
+           "    {\"name\": %S, \"ncta\": %d, \"wall_us\": {%s}, \
+            \"snapshots\": {%s}, \"bytes\": {%s}, \"overhead\": {%s}}%s\n"
+           name ncta wall snaps bytes overhead
+           (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out_bin !ckpt_out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "wrote %s@." !ckpt_out
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock microbenchmarks of the dynamic compiler itself *)
 
 let bechamel () =
@@ -584,6 +691,7 @@ let all_sections =
     ("ablate-sched", ablate_sched);
     ("ablate-tier", ablate_tier);
     ("scaling", scaling);
+    ("ckpt", ckpt);
     ("bechamel", bechamel);
   ]
 
@@ -601,6 +709,9 @@ let () =
         parse_args rest
     | "--scaling-out" :: path :: rest ->
         scaling_out := path;
+        parse_args rest
+    | "--ckpt-out" :: path :: rest ->
+        ckpt_out := path;
         parse_args rest
     | x :: rest -> x :: parse_args rest
     | [] -> []

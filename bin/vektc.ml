@@ -230,7 +230,8 @@ let has_suffix ~suffix s =
 let run_cmd =
   let run file kernel grid block arg_specs dumps static affine ws workers sched
       pipeline tiered hot_threshold cache_cap inject inject_seed watchdog
-      quarantine_ttl recover trace profile metrics =
+      quarantine_ttl recover checkpoint_every checkpoint_dir checkpoint_stop
+      resume record replay trace profile metrics =
     let src, m = load file in
     let kernel = pick_kernel m kernel in
     let dev = Api.create_device () in
@@ -280,13 +281,12 @@ let run_cmd =
            the emulator fallback whenever faults are being injected *)
         recover = recover || inject_cfg <> None;
         workers;
+        checkpoint_every;
+        checkpoint_dir;
+        record;
+        replay;
       }
     in
-    (match workers with
-    | Some n when n < 1 ->
-        Fmt.epr "--workers wants a positive count, got %d@." n;
-        exit 1
-    | _ -> ());
     let api_m = Api.load_module ~config dev src in
     let args = List.map (parse_arg_spec dev) arg_specs in
     let tracer = Option.map (fun _ -> Obs.Trace.create ()) trace in
@@ -295,9 +295,13 @@ let run_cmd =
     in
     let prof = if profile then Some (Obs.Divergence.create ()) else None in
     let r =
-      Api.launch ~sink ?profile:prof api_m ~kernel ~grid:(Launch.dim3 grid)
-        ~block:(Launch.dim3 block)
-        ~args:(List.map (fun a -> a.launch_arg) args)
+      try
+        Api.launch ~sink ?profile:prof ?resume ?checkpoint_stop api_m ~kernel
+          ~grid:(Launch.dim3 grid) ~block:(Launch.dim3 block)
+          ~args:(List.map (fun a -> a.launch_arg) args)
+      with Vekt_runtime.Checkpoint.Stop path ->
+        Fmt.pr "checkpointed and stopped; resume with --resume %s@." path;
+        exit 0
     in
     (match r.Api.recovered with
     | Some err ->
@@ -454,6 +458,61 @@ let run_cmd =
              simulated device's core count. Results are bit-identical \
              to $(b,--workers 1).")
   in
+  let checkpoint_every_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Snapshot the in-flight launch every $(docv) scheduler \
+             iterations (0 = off). Snapshots land in \
+             $(b,--checkpoint-dir); the newest one is the resume \
+             candidate for $(b,--resume) and for in-launch fault \
+             recovery under $(b,--recover).")
+  in
+  let checkpoint_dir_arg =
+    Arg.(
+      value & opt string "vekt-ckpt"
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:"Directory snapshots are written to")
+  in
+  let checkpoint_stop_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-stop" ] ~docv:"K"
+          ~doc:
+            "Stop the launch (exit 0) right after its $(docv)th snapshot \
+             is written — a forced preemption, to be continued later with \
+             $(b,--resume)")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"SNAP"
+          ~doc:
+            "Resume an interrupted launch from snapshot file $(docv) \
+             instead of starting from scratch (same kernel, grid, block \
+             and $(b,--workers) as the snapshotted run)")
+  in
+  let record_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"LOG"
+          ~doc:
+            "Record every warp-formation decision of the launch to \
+             $(docv) for later $(b,--replay)")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"LOG"
+          ~doc:
+            "Re-execute the exact schedule recorded in $(docv), failing \
+             with a structured error if execution diverges from it")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Launch a kernel on the simulated vector machine")
     Term.(
@@ -461,8 +520,9 @@ let run_cmd =
       $ static_arg $ affine_arg $ ws_arg $ workers_arg $ sched_arg $ pipeline_arg
       $ tiered_arg
       $ hot_threshold_arg $ cache_cap_arg $ inject_arg $ inject_seed_arg
-      $ watchdog_arg $ quarantine_ttl_arg $ recover_arg $ trace_arg
-      $ profile_arg $ metrics_arg)
+      $ watchdog_arg $ quarantine_ttl_arg $ recover_arg $ checkpoint_every_arg
+      $ checkpoint_dir_arg $ checkpoint_stop_arg $ resume_arg $ record_arg
+      $ replay_arg $ trace_arg $ profile_arg $ metrics_arg)
 
 (* ---- emulate ---- *)
 

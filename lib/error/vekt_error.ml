@@ -110,6 +110,14 @@ type t =
       cycle : float;
     }
   | Resource of { what : string; requested : int; available : int }
+  | Checkpoint of {
+      path : string;  (** snapshot or schedule-log file involved *)
+      what : string;  (** artifact class: "checkpoint" or "replay log" *)
+      reason : string;
+    }
+      (** a checkpoint snapshot or replay schedule log was rejected:
+          truncated, failed its integrity checksum, mismatched the
+          launch, or (for replay) diverged from the live execution *)
 
 exception Error of t
 
@@ -150,13 +158,16 @@ let pp ppf = function
   | Resource r ->
       Fmt.pf ppf "out of %s: requested %d, available %d" r.what r.requested
         r.available
+  | Checkpoint c -> Fmt.pf ppf "bad %s %s: %s" c.what c.path c.reason
 
 let to_string e = Fmt.str "%a" pp e
 
 (** Faults a launch can transparently recover from by degrading to the
     reference emulator: anything wrong with the *compiled* path.  Fuel
     exhaustion is excluded — a runaway kernel would also run away (more
-    slowly) under the oracle — as are host resource limits. *)
+    slowly) under the oracle — as are host resource limits.  A rejected
+    checkpoint or replay log is recoverable: the artifact is damaged,
+    but the oracle can still produce the launch's result from scratch. *)
 let recoverable = function
-  | Compile _ | Trap _ | Deadlock _ -> true
+  | Compile _ | Trap _ | Deadlock _ | Checkpoint _ -> true
   | Fuel _ | Resource _ -> false

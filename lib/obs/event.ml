@@ -81,6 +81,24 @@ type t =
       ws : int;
       action : quarantine_action;
     }
+  | Ckpt_write of {
+      ts : float;
+      worker : int;  (** worker whose in-flight CTA the snapshot captured *)
+      seq : int;  (** monotone snapshot sequence number within the launch *)
+      bytes : int;  (** serialized snapshot size on disk *)
+    }
+  | Ckpt_resume of {
+      ts : float;
+      worker : int;
+      seq : int;  (** sequence number of the snapshot resumed from *)
+      path : string;
+    }
+  | Replay_begin of {
+      ts : float;
+      worker : int;
+      path : string;  (** schedule log driving this launch *)
+      decisions : int;  (** recorded warp-formation decisions to re-execute *)
+    }
 
 let ts = function
   | Warp_formed e -> e.ts
@@ -93,6 +111,9 @@ let ts = function
   | Cache_miss e -> e.ts
   | Compile_fallback e -> e.ts
   | Quarantine e -> e.ts
+  | Ckpt_write e -> e.ts
+  | Ckpt_resume e -> e.ts
+  | Replay_begin e -> e.ts
 
 let worker = function
   | Warp_formed e -> e.worker
@@ -105,6 +126,9 @@ let worker = function
   | Cache_miss e -> e.worker
   | Compile_fallback e -> e.worker
   | Quarantine e -> e.worker
+  | Ckpt_write e -> e.worker
+  | Ckpt_resume e -> e.worker
+  | Replay_begin e -> e.worker
 
 let name = function
   | Warp_formed _ -> "warp_formed"
@@ -117,6 +141,9 @@ let name = function
   | Cache_miss _ -> "cache_miss"
   | Compile_fallback _ -> "compile_fallback"
   | Quarantine _ -> "quarantine"
+  | Ckpt_write _ -> "ckpt_write"
+  | Ckpt_resume _ -> "ckpt_resume"
+  | Replay_begin _ -> "replay_begin"
 
 (** One-line plain-text rendering (the [--trace out.txt] format). *)
 let pp ppf e =
@@ -149,3 +176,10 @@ let pp ppf e =
       p "%12.1f w%d quarantine kernel=%s ws=%d action=%s" e.ts e.worker
         e.kernel e.ws
         (quarantine_action_name e.action)
+  | Ckpt_write e ->
+      p "%12.1f w%d ckpt_write seq=%d bytes=%d" e.ts e.worker e.seq e.bytes
+  | Ckpt_resume e ->
+      p "%12.1f w%d ckpt_resume seq=%d path=%s" e.ts e.worker e.seq e.path
+  | Replay_begin e ->
+      p "%12.1f w%d replay_begin decisions=%d path=%s" e.ts e.worker
+        e.decisions e.path

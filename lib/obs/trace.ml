@@ -164,6 +164,18 @@ let add_chrome_event b (e : Event.t) =
           ("ws", I v.ws);
           ("action", S (Event.quarantine_action_name v.action));
         ]
+  | Event.Ckpt_write v ->
+      add_record b ~name:"ckpt_write" ~cat:"em" ~ph:"i" ~ts:v.ts ~pid:em_pid
+        ~tid:v.worker
+        [ ("seq", I v.seq); ("bytes", I v.bytes) ]
+  | Event.Ckpt_resume v ->
+      add_record b ~name:"ckpt_resume" ~cat:"em" ~ph:"i" ~ts:v.ts ~pid:em_pid
+        ~tid:v.worker
+        [ ("seq", I v.seq); ("path", S v.path) ]
+  | Event.Replay_begin v ->
+      add_record b ~name:"replay_begin" ~cat:"em" ~ph:"i" ~ts:v.ts ~pid:em_pid
+        ~tid:v.worker
+        [ ("decisions", I v.decisions); ("path", S v.path) ]
 
 let to_chrome_json t =
   let b = Buffer.create 4096 in

@@ -33,6 +33,30 @@ let of_bytes ?(name = "mem") bytes = { bytes; name }
 let size t = Bytes.length t.bytes
 let bytes t = t.bytes
 
+(** Serializable snapshot of the segment's contents.  [live] bounds the
+    image to the segment's used prefix (e.g. a bump allocator's
+    watermark) so a sparsely-used large segment doesn't serialize as
+    gigabytes of zeros; defaults to the whole segment. *)
+let image ?live t : Bytes.t =
+  let n =
+    match live with
+    | None -> Bytes.length t.bytes
+    | Some l -> max 0 (min l (Bytes.length t.bytes))
+  in
+  Bytes.sub t.bytes 0 n
+
+(** Restore the segment from an {!image}: the image prefix is copied in
+    and the remainder zeroed (everything past a [~live] watermark was
+    zero when the image was taken). *)
+let load_image t (img : Bytes.t) =
+  let n = Bytes.length img in
+  if n > Bytes.length t.bytes then
+    invalid_arg
+      (Fmt.str "Mem.load_image: %d-byte image exceeds %d-byte segment %s" n
+         (Bytes.length t.bytes) t.name);
+  Bytes.blit img 0 t.bytes 0 n;
+  Bytes.fill t.bytes n (Bytes.length t.bytes - n) '\000'
+
 let check ~op t addr width =
   if addr < 0 || addr + width > Bytes.length t.bytes then fault ~op t addr width
 

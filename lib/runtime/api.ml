@@ -62,6 +62,21 @@ type config = {
       (** execution-manager worker domains per launch; [None] follows
           the device ([machine cores]).  Clamped to the CTA count; 1 =
           serial. *)
+  quarantine_max_age_us : float option;
+      (** additionally expire quarantined widths after this much
+          monotonic wall time, independent of launch count *)
+  (* ---- checkpoint / record-replay (DESIGN.md §3.5) ---- *)
+  checkpoint_every : int;
+      (** snapshot the launch every N scheduler iterations; 0 = off.
+          Forces the worker pool serial (the modelled [workers]
+          partition is preserved in the snapshot). *)
+  checkpoint_dir : string;  (** where snapshots land *)
+  record : string option;
+      (** write the warp-formation schedule of each clean launch to
+          this log *)
+  replay : string option;
+      (** drive launches from a recorded schedule log instead of the
+          live scheduler, asserting equivalence at every decision *)
 }
 
 let default_config =
@@ -71,7 +86,41 @@ let default_config =
     tiering = Translation_cache.Eager; cache_capacity = None;
     inject = None; watchdog = None;
     quarantine_ttl = Translation_cache.default_quarantine_ttl;
-    recover = false; workers = None }
+    recover = false; workers = None; quarantine_max_age_us = None;
+    checkpoint_every = 0; checkpoint_dir = "vekt-ckpt"; record = None;
+    replay = None }
+
+(** Reject malformed configurations at module-load time with a
+    structured error, instead of letting a nonsense knob surface as an
+    arbitrary crash mid-launch. *)
+let validate_config (c : config) =
+  let bad what requested available =
+    raise
+      (Vekt_error.Error (Vekt_error.Resource { what; requested; available }))
+  in
+  (match c.workers with
+  | Some w when w <= 0 -> bad "config.workers (want >= 1)" w 1
+  | _ -> ());
+  if c.checkpoint_every < 0 then
+    bad "config.checkpoint_every (want >= 0)" c.checkpoint_every 0;
+  if c.quarantine_ttl < 0 then
+    bad "config.quarantine_ttl (want >= 0)" c.quarantine_ttl 0;
+  if c.pipeline.Vekt_transform.Passes.passes = [] then
+    bad "config.pipeline (want at least one pass)" 0 1;
+  (match c.cache_capacity with
+  | Some cap when cap < 1 -> bad "config.cache_capacity (want >= 1)" cap 1
+  | _ -> ());
+  match (c.record, c.replay) with
+  | Some r, Some _ ->
+      raise
+        (Vekt_error.Error
+           (Vekt_error.Checkpoint
+              {
+                path = r;
+                what = "replay log";
+                reason = "record and replay are mutually exclusive";
+              }))
+  | _ -> ()
 
 (** The scheduling policy a config resolves to. *)
 let sched_policy (c : config) : Scheduler.t =
@@ -86,6 +135,8 @@ type modul = {
   caches : (string, Translation_cache.t) Hashtbl.t;
   fault : Fault.t option;  (** armed injector, shared by cache and managers *)
   mutable emulator_runs : int;  (** launches that recovered onto the oracle *)
+  mutable last_ckpt : Checkpoint.ctx option;
+      (** checkpoint bookkeeping of the most recent launch, for metrics *)
 }
 
 let create_device ?(machine = Machine.sse4) ?workers ?(global_bytes = 64 * 1024 * 1024)
@@ -139,6 +190,7 @@ let load_module ?(config = default_config) (d : device) (src : string) : modul =
   (* reject incompatible policy × vectorization combinations up front;
      a bad policy is a host programming error, not a guest fault *)
   Scheduler.validate ~mode:config.mode (sched_policy config);
+  validate_config config;
   let consts, _ = Emulator.build_consts ast in
   {
     ast;
@@ -148,6 +200,7 @@ let load_module ?(config = default_config) (d : device) (src : string) : modul =
     caches = Hashtbl.create 4;
     fault = Option.map Fault.create config.inject;
     emulator_runs = 0;
+    last_ckpt = None;
   }
 
 let kernel_cache (m : modul) ~kernel : Translation_cache.t =
@@ -161,7 +214,8 @@ let kernel_cache (m : modul) ~kernel : Translation_cache.t =
             ~widths:m.config.widths ~optimize:m.config.optimize
             ~pipeline:m.config.pipeline ~tiering:m.config.tiering
             ?capacity:m.config.cache_capacity ~verify:m.config.verify
-            ?fault:m.fault ~quarantine_ttl:m.config.quarantine_ttl m.ast
+            ?fault:m.fault ~quarantine_ttl:m.config.quarantine_ttl
+            ?quarantine_max_age_us:m.config.quarantine_max_age_us m.ast
             ~kernel
         with Vekt_transform.Ptx_to_ir.Unsupported u ->
           raise
@@ -181,8 +235,18 @@ type report = {
           memory back and re-running under the reference emulator *)
 }
 
+(** Run a kernel.  [resume] starts the launch from a snapshot file
+    written by a previous (interrupted) run of the same launch;
+    [checkpoint_stop] stops the launch by raising {!Checkpoint.Stop}
+    after that many snapshots — the forced-preemption hook the
+    cross-process resume tests use.  With [config.recover] set, a
+    recoverable fault first tries to resume from the newest snapshot
+    this launch wrote (each snapshot is tried at most once, so a
+    deterministic fault cannot loop), and only then falls back to
+    rolling memory back and re-running under the reference emulator. *)
 let launch ?fuel ?(sink = Vekt_obs.Sink.noop)
-    ?(profile : Vekt_obs.Divergence.t option) (m : modul) ~kernel
+    ?(profile : Vekt_obs.Divergence.t option) ?(resume : string option)
+    ?(checkpoint_stop : int option) (m : modul) ~kernel
     ~(grid : Launch.dim3) ~(block : Launch.dim3) ~(args : Launch.arg list) :
     report =
   let k =
@@ -194,6 +258,113 @@ let launch ?fuel ?(sink = Vekt_obs.Sink.noop)
              (Fmt.str "no kernel named %s" kernel))
   in
   let params = Launch.param_block k args in
+  let ncta = Launch.count grid in
+  (* replay drives the launch under the partition it was recorded with,
+     so worker-keyed decisions land on the workers that made them *)
+  let replay_log = Option.map Replay.load m.config.replay in
+  (match replay_log with
+  | None -> ()
+  | Some log ->
+      let fail reason = Replay.bad ~path:log.Replay.path reason in
+      if log.Replay.kernel <> kernel then
+        fail
+          (Fmt.str "log records kernel %s, launch runs %s" log.Replay.kernel
+             kernel);
+      if log.Replay.grid <> grid || log.Replay.block <> block then
+        fail "grid/block shape differs from the recorded launch");
+  let workers =
+    let w =
+      match replay_log with
+      | Some log -> log.Replay.workers
+      | None -> Option.value m.config.workers ~default:m.device.workers
+    in
+    max 1 (min w ncta)
+  in
+  (* cross-process resume: validate the snapshot against this launch
+     before trusting any of its images.  A damaged or mismatched
+     snapshot is a structured error; with [recover] armed it is instead
+     noted and the launch falls back to the emulator oracle. *)
+  let resume_rejected = ref None in
+  let try_resume () =
+    Option.map
+      (fun path ->
+        let s = Checkpoint.read path in
+        let fail reason =
+          raise
+            (Vekt_error.Error
+               (Vekt_error.Checkpoint { path; what = "checkpoint"; reason }))
+        in
+        if s.Checkpoint.kernel <> kernel then
+          fail
+            (Fmt.str "snapshot is of kernel %s, launch runs %s"
+               s.Checkpoint.kernel kernel);
+        if s.Checkpoint.grid <> grid || s.Checkpoint.block <> block then
+          fail "grid/block shape differs from the snapshotted launch";
+        if s.Checkpoint.workers <> workers then
+          fail
+            (Fmt.str "snapshot partitions over %d workers, launch over %d"
+               s.Checkpoint.workers workers);
+        if s.Checkpoint.global_size > Mem.size m.device.global then
+          fail "snapshot's global segment exceeds this device";
+        if Bytes.length s.Checkpoint.params_image <> Mem.size params then
+          fail "parameter block size differs from the snapshotted launch";
+        (* continue the snapshot's deterministic fault schedule instead
+           of re-injecting from scratch *)
+        (match (m.fault, s.Checkpoint.fault_state) with
+        | Some inj, Some st -> Fault.import_state inj st
+        | _ -> ());
+        (path, s))
+      resume
+  in
+  let resumed =
+    try try_resume ()
+    with Vekt_error.Error (Vekt_error.Checkpoint _ as err) when m.config.recover ->
+      resume_rejected := Some err;
+      None
+  in
+  let ctx =
+    if
+      m.config.checkpoint_every > 0
+      || Option.is_some checkpoint_stop
+      || Option.is_some resume
+    then begin
+      let c =
+        Checkpoint.create_ctx ~dir:m.config.checkpoint_dir
+          ?stop_after:checkpoint_stop ~live_bytes:m.device.brk
+          ~every:m.config.checkpoint_every ()
+      in
+      (* number snapshots after the one we resumed from *)
+      (match resumed with
+      | Some (_, s) -> c.Checkpoint.seq <- s.Checkpoint.seq
+      | None -> ());
+      Some c
+    end
+    else None
+  in
+  m.last_ckpt <- ctx;
+  (match (!resume_rejected, ctx) with
+  | Some _, Some c -> c.Checkpoint.rejected <- c.Checkpoint.rejected + 1
+  | _ -> ());
+  (match (resumed, ctx) with
+  | Some (path, s), Some c ->
+      c.Checkpoint.resumes <- c.Checkpoint.resumes + 1;
+      if Vekt_obs.Sink.enabled sink then
+        Vekt_obs.Sink.emit sink
+          (Vekt_obs.Event.Ckpt_resume
+             { ts = 0.0; worker = 0; seq = s.Checkpoint.seq; path })
+  | _ -> ());
+  (match replay_log with
+  | Some log when Vekt_obs.Sink.enabled sink ->
+      Vekt_obs.Sink.emit sink
+        (Vekt_obs.Event.Replay_begin
+           {
+             ts = 0.0;
+             worker = 0;
+             path = log.Replay.path;
+             decisions = Replay.total log;
+           })
+  | _ -> ());
+  let recorder = Option.map (fun _ -> Replay.recorder ~ncta) m.config.record in
   (* When recovery is armed, snapshot global memory before the launch so
      a partially-executed faulty launch can be rolled back before the
      oracle re-runs it; the copy is skipped entirely otherwise. *)
@@ -201,13 +372,13 @@ let launch ?fuel ?(sink = Vekt_obs.Sink.noop)
     if m.config.recover then Some (Bytes.copy (Mem.bytes m.device.global))
     else None
   in
-  let run_vectorized () =
+  let run_vectorized ?(rs : Checkpoint.t option) () =
     let cache = kernel_cache m ~kernel in
-    let workers = Option.value m.config.workers ~default:m.device.workers in
     let stats =
       Worker_pool.launch ~costs:m.device.em_costs ?fuel
         ?watchdog:m.config.watchdog ?inject:m.fault ~workers
-        ~sink ?profile ~sched:(sched_policy m.config) cache ~grid ~block
+        ~sink ?profile ~sched:(sched_policy m.config) ?ckpt:ctx ?resume:rs
+        ?record:recorder ?replay:replay_log cache ~grid ~block
         ~global:m.device.global ~params ~consts:m.consts
     in
     (* one healthy launch elapsed: age the quarantine so failed widths
@@ -215,20 +386,72 @@ let launch ?fuel ?(sink = Vekt_obs.Sink.noop)
     Translation_cache.tick_quarantine cache ~sink ();
     stats
   in
-  let stats, recovered =
-    match run_vectorized () with
+  (* Recovery ladder: resume from the newest in-launch snapshot (only if
+     strictly newer than the last one tried — a deterministic fault must
+     not loop), and past that the emulator oracle on rolled-back memory. *)
+  let rec attempt ~(rs : Checkpoint.t option) ~last_seq =
+    match run_vectorized ?rs () with
     | stats -> (stats, None)
     | exception Vekt_error.Error err
-      when m.config.recover && Vekt_error.recoverable err ->
-        (match snapshot with
-        | Some bytes ->
-            Bytes.blit bytes 0 (Mem.bytes m.device.global) 0 (Bytes.length bytes)
-        | None -> ());
+      when m.config.recover && Vekt_error.recoverable err -> (
+        let next =
+          match ctx with
+          | None -> None
+          | Some c -> (
+              match c.Checkpoint.latest with
+              | Some (seq, path) when seq > last_seq -> (
+                  try Some (seq, path, Checkpoint.read path)
+                  with Vekt_error.Error (Vekt_error.Checkpoint _) ->
+                    (* damaged snapshot: count the rejection, take the
+                       next rung of the ladder *)
+                    c.Checkpoint.rejected <- c.Checkpoint.rejected + 1;
+                    None)
+              | _ -> None)
+        in
+        match next with
+        | Some (seq, path, s) ->
+            (match ctx with
+            | Some c ->
+                c.Checkpoint.resumes <- c.Checkpoint.resumes + 1;
+                if Vekt_obs.Sink.enabled sink then
+                  Vekt_obs.Sink.emit sink
+                    (Vekt_obs.Event.Ckpt_resume { ts = 0.0; worker = 0; seq; path })
+            | None -> ());
+            attempt ~rs:(Some s) ~last_seq:seq
+        | None ->
+            (match snapshot with
+            | Some bytes ->
+                Bytes.blit bytes 0 (Mem.bytes m.device.global) 0
+                  (Bytes.length bytes)
+            | None -> ());
+            m.emulator_runs <- m.emulator_runs + 1;
+            ignore
+              (Emulator.run m.ast ~kernel ~args ~global:m.device.global ~grid
+                 ~block);
+            (Stats.create (), Some err))
+  in
+  let stats, recovered =
+    match !resume_rejected with
+    | Some err ->
+        (* the snapshot we were asked to resume from is unusable and
+           nothing has run yet: go straight to the oracle *)
         m.emulator_runs <- m.emulator_runs + 1;
         ignore
-          (Emulator.run m.ast ~kernel ~args ~global:m.device.global ~grid ~block);
+          (Emulator.run m.ast ~kernel ~args ~global:m.device.global ~grid
+             ~block);
         (Stats.create (), Some err)
+    | None ->
+        attempt
+          ~rs:(Option.map snd resumed)
+          ~last_seq:
+            (match resumed with Some (_, s) -> s.Checkpoint.seq | None -> 0)
   in
+  (* a schedule log is only meaningful for a clean, uninterrupted run *)
+  (match (m.config.record, recorder, recovered) with
+  | Some path, Some r, None
+    when match ctx with Some c -> c.Checkpoint.resumes = 0 | None -> true ->
+      Replay.save r ~path ~kernel ~grid ~block ~workers
+  | _ -> ());
   let cycles = Float.max stats.Stats.wall_cycles 1.0 in
   let time_s = cycles /. (m.device.machine.Machine.clock_ghz *. 1e9) in
   let flops = float_of_int stats.Stats.counters.Interp.flops in
@@ -254,6 +477,7 @@ let metrics (m : modul) ~kernel (r : report) : Vekt_obs.Metrics.t =
   | None -> ());
   M.counter reg "fallback.emulator_runs" := m.emulator_runs;
   Option.iter (fun f -> Fault.metrics_into f reg) m.fault;
+  Option.iter (fun c -> Checkpoint.metrics_into c reg) m.last_ckpt;
   reg
 
 (** Run the same launch through the reference PTX emulator (the oracle) on

@@ -1,0 +1,459 @@
+(** Checkpoint/restore of in-flight kernel launches (DESIGN.md §3.5).
+
+    The paper's yield-on-diverge machinery makes a launch serializable
+    for free: whenever control returns to the execution manager, every
+    live register value has been spilled to the thread's local-memory
+    slot by the subkernel's exit handler, and each thread context holds
+    the entry-point id it resumes at.  At the top of the scheduling loop
+    — the {e safe point} — no warp is executing, so the manager's entire
+    state is a handful of arrays and memory images.  This module defines
+    that snapshot, its versioned binary serialization with an integrity
+    checksum, and the checkpoint policy ({!ctx}) the worker pool drives.
+
+    A snapshot captures, per launch: the global-memory image (trimmed to
+    the allocator watermark) and parameter block; per worker, its next
+    CTA, accumulated {!Stats.t} and — for the worker interrupted
+    mid-CTA — the CTA's thread contexts (resume entry ids + scheduler
+    states), shared/local memory images, round-robin cursor, fuel
+    consumed and watchdog stall counters; the fault injector's RNG word
+    and counters; and the translation cache's hotness/quarantine
+    metadata so a resumed launch recompiles each key at the tier it had
+    reached (no repeated tier-0 warmup, identical promotion decisions).
+
+    Serialization is little-endian with an MD5 digest over the payload;
+    {!read}/{!of_bytes} reject truncation, corruption, or version skew
+    with a structured {!Vekt_error.Checkpoint} — never a crash. *)
+
+module Interp = Vekt_vm.Interp
+open Vekt_ptx
+
+(* ---- snapshot data model ---- *)
+
+type thread_snap = {
+  t_resume : int;  (** entry-point id the thread resumes at *)
+  t_state : Scheduler.tstate;
+}
+
+(** One CTA interrupted at a safe point: everything {!Exec_manager.run_cta}
+    owns between two scheduler iterations. *)
+type cta_snap = {
+  c_ctaid : Launch.dim3;
+  c_shared : Bytes.t;  (** CTA shared-memory image *)
+  c_local : Bytes.t;  (** local arena image (spilled registers live here) *)
+  c_threads : thread_snap array;
+  c_cursor : int;  (** round-robin scheduler cursor *)
+  c_remaining : int;  (** threads not yet exited *)
+  c_calls_used : int;  (** subkernel calls consumed from the fuel budget *)
+  c_stalls : int array;  (** livelock-watchdog counters; [[||]] if unarmed *)
+}
+
+type worker_snap = {
+  w_next_cta : int;
+      (** the in-flight CTA's linear index when [w_inflight] is [Some],
+          otherwise the next linear CTA this worker would start *)
+  w_stats : Stats.t;  (** statistics accumulated up to the safe point *)
+  w_inflight : cta_snap option;
+}
+
+type t = {
+  kernel : string;
+  grid : Launch.dim3;
+  block : Launch.dim3;
+  workers : int;  (** modelled partition width the snapshot assumes *)
+  seq : int;  (** monotone sequence number within the launch *)
+  global_size : int;  (** full global segment size, for validation *)
+  global_image : Bytes.t;  (** live prefix (allocator watermark) *)
+  params_image : Bytes.t;
+  worker_snaps : worker_snap array;
+  fault_state : int array option;  (** {!Fault.export_state}, when armed *)
+  hotness : (int * string * int) list;  (** cache hotness: ws, digest, queries *)
+  quarantine : (int * string * int) list;  (** active quarantine TTLs *)
+}
+
+(* ---- structured rejection ---- *)
+
+let corrupt ~path reason =
+  raise (Vekt_error.Error (Vekt_error.Checkpoint { path; what = "checkpoint"; reason }))
+
+(* ---- binary serialization (version 1, little-endian) ---- *)
+
+let magic = "VEKTCKPT"
+let version = 1
+
+(* Header: magic (8) + version (4) + MD5 of payload (16) + payload
+   length (8) = 36 bytes, then the payload. *)
+let header_bytes = 36
+
+let put_i64 b n = Buffer.add_int64_le b (Int64.of_int n)
+let put_f64 b x = Buffer.add_int64_le b (Int64.bits_of_float x)
+
+let put_bytes b (s : Bytes.t) =
+  put_i64 b (Bytes.length s);
+  Buffer.add_bytes b s
+
+let put_str b s =
+  put_i64 b (String.length s);
+  Buffer.add_string b s
+
+let put_dim3 b (d : Launch.dim3) =
+  put_i64 b d.Launch.x;
+  put_i64 b d.Launch.y;
+  put_i64 b d.Launch.z
+
+let put_opt put b = function
+  | None -> put_i64 b 0
+  | Some v ->
+      put_i64 b 1;
+      put b v
+
+let tstate_code = function
+  | Scheduler.Ready -> 0
+  | Scheduler.Blocked -> 1
+  | Scheduler.Done -> 2
+
+(* Stats serialize through the {!Interp} counter field tables, so a new
+   counter added there is picked up here without touching this file.
+   The warp histogram is sorted for a canonical byte stream. *)
+let put_stats b (s : Stats.t) =
+  List.iter
+    (fun (_, get, _) -> put_i64 b (get s.Stats.counters))
+    Interp.int_counter_fields;
+  List.iter
+    (fun (_, get, _) -> put_f64 b (get s.Stats.counters))
+    Interp.cycle_counter_fields;
+  put_f64 b s.Stats.em_cycles;
+  put_i64 b s.Stats.barrier_releases;
+  put_i64 b s.Stats.threads_launched;
+  put_f64 b s.Stats.wall_cycles;
+  let hist =
+    Hashtbl.fold (fun ws c acc -> (ws, c) :: acc) s.Stats.warp_hist []
+    |> List.sort compare
+  in
+  put_i64 b (List.length hist);
+  List.iter
+    (fun (ws, c) ->
+      put_i64 b ws;
+      put_i64 b c)
+    hist
+
+let put_cta b (c : cta_snap) =
+  put_dim3 b c.c_ctaid;
+  put_bytes b c.c_shared;
+  put_bytes b c.c_local;
+  put_i64 b (Array.length c.c_threads);
+  Array.iter
+    (fun th ->
+      put_i64 b th.t_resume;
+      put_i64 b (tstate_code th.t_state))
+    c.c_threads;
+  put_i64 b c.c_cursor;
+  put_i64 b c.c_remaining;
+  put_i64 b c.c_calls_used;
+  put_i64 b (Array.length c.c_stalls);
+  Array.iter (put_i64 b) c.c_stalls
+
+let put_meta b (entries : (int * string * int) list) =
+  put_i64 b (List.length entries);
+  List.iter
+    (fun (ws, digest, v) ->
+      put_i64 b ws;
+      put_str b digest;
+      put_i64 b v)
+    entries
+
+let encode (t : t) : Bytes.t =
+  let b = Buffer.create 4096 in
+  put_str b t.kernel;
+  put_dim3 b t.grid;
+  put_dim3 b t.block;
+  put_i64 b t.workers;
+  put_i64 b t.seq;
+  put_i64 b t.global_size;
+  put_bytes b t.global_image;
+  put_bytes b t.params_image;
+  put_i64 b (Array.length t.worker_snaps);
+  Array.iter
+    (fun w ->
+      put_i64 b w.w_next_cta;
+      put_stats b w.w_stats;
+      put_opt put_cta b w.w_inflight)
+    t.worker_snaps;
+  put_opt
+    (fun b a ->
+      put_i64 b (Array.length a);
+      Array.iter (put_i64 b) a)
+    b t.fault_state;
+  put_meta b t.hotness;
+  put_meta b t.quarantine;
+  Buffer.to_bytes b
+
+let to_bytes (t : t) : Bytes.t =
+  let payload = encode t in
+  let b = Buffer.create (header_bytes + Bytes.length payload) in
+  Buffer.add_string b magic;
+  Buffer.add_int32_le b (Int32.of_int version);
+  Buffer.add_string b (Digest.bytes payload);
+  Buffer.add_int64_le b (Int64.of_int (Bytes.length payload));
+  Buffer.add_bytes b payload;
+  Buffer.to_bytes b
+
+(* ---- deserialization ---- *)
+
+type reader = { data : Bytes.t; mutable pos : int; path : string }
+
+let need r n =
+  if n < 0 || r.pos + n > Bytes.length r.data then
+    corrupt ~path:r.path "truncated payload"
+
+let get_i64 r =
+  need r 8;
+  let v = Bytes.get_int64_le r.data r.pos in
+  r.pos <- r.pos + 8;
+  Int64.to_int v
+
+let get_f64 r =
+  need r 8;
+  let v = Bytes.get_int64_le r.data r.pos in
+  r.pos <- r.pos + 8;
+  Int64.float_of_bits v
+
+let get_len r what =
+  let n = get_i64 r in
+  if n < 0 then corrupt ~path:r.path (Fmt.str "negative %s length" what);
+  n
+
+let get_bytes r =
+  let n = get_len r "bytes" in
+  need r n;
+  let s = Bytes.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_str r = Bytes.to_string (get_bytes r)
+
+let get_dim3 r =
+  let x = get_i64 r in
+  let y = get_i64 r in
+  let z = get_i64 r in
+  { Launch.x; y; z }
+
+let get_opt get r =
+  match get_i64 r with
+  | 0 -> None
+  | 1 -> Some (get r)
+  | n -> corrupt ~path:r.path (Fmt.str "bad option tag %d" n)
+
+let get_tstate r =
+  match get_i64 r with
+  | 0 -> Scheduler.Ready
+  | 1 -> Scheduler.Blocked
+  | 2 -> Scheduler.Done
+  | n -> corrupt ~path:r.path (Fmt.str "bad thread-state code %d" n)
+
+let get_stats r : Stats.t =
+  let s = Stats.create () in
+  List.iter
+    (fun (_, _, set) -> set s.Stats.counters (get_i64 r))
+    Interp.int_counter_fields;
+  List.iter
+    (fun (_, _, set) -> set s.Stats.counters (get_f64 r))
+    Interp.cycle_counter_fields;
+  s.Stats.em_cycles <- get_f64 r;
+  s.Stats.barrier_releases <- get_i64 r;
+  s.Stats.threads_launched <- get_i64 r;
+  s.Stats.wall_cycles <- get_f64 r;
+  let nhist = get_len r "warp-histogram" in
+  for _ = 1 to nhist do
+    let ws = get_i64 r in
+    let c = get_i64 r in
+    Hashtbl.replace s.Stats.warp_hist ws c
+  done;
+  s
+
+let get_cta r : cta_snap =
+  let c_ctaid = get_dim3 r in
+  let c_shared = get_bytes r in
+  let c_local = get_bytes r in
+  let nthreads = get_len r "thread array" in
+  let c_threads =
+    Array.init nthreads (fun _ ->
+        let t_resume = get_i64 r in
+        let t_state = get_tstate r in
+        { t_resume; t_state })
+  in
+  let c_cursor = get_i64 r in
+  let c_remaining = get_i64 r in
+  let c_calls_used = get_i64 r in
+  let nstalls = get_len r "stall array" in
+  let c_stalls = Array.init nstalls (fun _ -> get_i64 r) in
+  { c_ctaid; c_shared; c_local; c_threads; c_cursor; c_remaining; c_calls_used;
+    c_stalls }
+
+let get_meta r =
+  let n = get_len r "metadata list" in
+  List.init n (fun _ ->
+      let ws = get_i64 r in
+      let digest = get_str r in
+      let v = get_i64 r in
+      (ws, digest, v))
+
+let decode r : t =
+  let kernel = get_str r in
+  let grid = get_dim3 r in
+  let block = get_dim3 r in
+  let workers = get_i64 r in
+  let seq = get_i64 r in
+  let global_size = get_i64 r in
+  let global_image = get_bytes r in
+  let params_image = get_bytes r in
+  let nworkers = get_len r "worker array" in
+  let worker_snaps =
+    Array.init nworkers (fun _ ->
+        let w_next_cta = get_i64 r in
+        let w_stats = get_stats r in
+        let w_inflight = get_opt get_cta r in
+        { w_next_cta; w_stats; w_inflight })
+  in
+  let fault_state =
+    get_opt
+      (fun r ->
+        let n = get_len r "fault-state array" in
+        Array.init n (fun _ -> get_i64 r))
+      r
+  in
+  let hotness = get_meta r in
+  let quarantine = get_meta r in
+  { kernel; grid; block; workers; seq; global_size; global_image; params_image;
+    worker_snaps; fault_state; hotness; quarantine }
+
+(** Decode a serialized snapshot, validating the magic, version,
+    length and MD5 integrity digest; every defect raises a structured
+    {!Vekt_error.Checkpoint} naming [path]. *)
+let of_bytes ~path (data : Bytes.t) : t =
+  if Bytes.length data < header_bytes then corrupt ~path "truncated header";
+  if Bytes.sub_string data 0 8 <> magic then corrupt ~path "bad magic";
+  let v = Int32.to_int (Bytes.get_int32_le data 8) in
+  if v <> version then
+    corrupt ~path (Fmt.str "unsupported snapshot version %d (want %d)" v version);
+  let stored_digest = Bytes.sub_string data 12 16 in
+  let plen = Int64.to_int (Bytes.get_int64_le data 28) in
+  if plen < 0 || header_bytes + plen > Bytes.length data then
+    corrupt ~path "truncated payload";
+  if header_bytes + plen < Bytes.length data then
+    corrupt ~path "trailing bytes after payload";
+  if Digest.subbytes data header_bytes plen <> stored_digest then
+    corrupt ~path "integrity checksum mismatch";
+  let r = { data = Bytes.sub data header_bytes plen; pos = 0; path } in
+  let t = decode r in
+  if r.pos <> plen then corrupt ~path "trailing bytes in payload";
+  t
+
+(** Read and validate a snapshot file. *)
+let read (path : string) : t =
+  let data =
+    try In_channel.with_open_bin path In_channel.input_all
+    with Sys_error msg -> corrupt ~path msg
+  in
+  of_bytes ~path (Bytes.unsafe_of_string data)
+
+(* ---- checkpoint policy ---- *)
+
+(** Raised when a launch was asked to stop after its Nth snapshot
+    ([stop_after], [vektc run --checkpoint-stop]); carries the path of
+    the snapshot to resume from.  This is the forced-preemption hook the
+    cross-process resume tests and CI legs use. *)
+exception Stop of string
+
+(** Per-launch checkpoint policy and bookkeeping, shared by every
+    worker (checkpointing forces the worker pool serial, so no lock). *)
+type ctx = {
+  dir : string;
+  every : int;  (** snapshot every N scheduler iterations; 0 = never *)
+  stop_after : int option;  (** raise {!Stop} after this many snapshots *)
+  live_bytes : int option;  (** allocator watermark bounding the global image *)
+  mutable iter : int;  (** scheduler iterations observed this launch *)
+  mutable seq : int;  (** last sequence number written *)
+  mutable latest : (int * string) option;  (** newest valid snapshot *)
+  mutable writes : int;
+  mutable bytes_written : int;
+  mutable write_us : float;  (** wall time spent serializing + writing *)
+  mutable resumes : int;  (** times this launch resumed from a snapshot *)
+  mutable rejected : int;  (** snapshots refused by integrity validation *)
+}
+
+let create_ctx ?(dir = "vekt-ckpt") ?stop_after ?live_bytes ~every () : ctx =
+  {
+    dir;
+    every = max 0 every;
+    stop_after;
+    live_bytes;
+    iter = 0;
+    seq = 0;
+    latest = None;
+    writes = 0;
+    bytes_written = 0;
+    write_us = 0.0;
+    resumes = 0;
+    rejected = 0;
+  }
+
+(** Count one scheduler iteration; [true] when the policy says a
+    snapshot is due now. *)
+let note_iter (ctx : ctx) : bool =
+  ctx.iter <- ctx.iter + 1;
+  ctx.every > 0 && ctx.iter mod ctx.every = 0
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+
+(** Serialize [t] to [ctx.dir] (atomically: temp file + rename).
+    Returns the path and on-disk size.  [fault] marks a diagnostic
+    snapshot written on watchdog fire: it gets a distinct suffix and is
+    {e not} recorded as the latest resume candidate, since resuming a
+    deterministic deadlock would re-raise it forever. *)
+let write ?(fault = false) (ctx : ctx) (t : t) : string * int =
+  ensure_dir ctx.dir;
+  let t0 = Clock.now_us () in
+  let data = to_bytes t in
+  let path =
+    Filename.concat ctx.dir
+      (if fault then Fmt.str "%s-fault.ckpt" t.kernel
+       else Fmt.str "%s-%06d.ckpt" t.kernel t.seq)
+  in
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_bytes oc data);
+  Sys.rename tmp path;
+  ctx.writes <- ctx.writes + 1;
+  ctx.bytes_written <- ctx.bytes_written + Bytes.length data;
+  ctx.write_us <- ctx.write_us +. Clock.elapsed_us t0;
+  if not fault then begin
+    ctx.seq <- t.seq;
+    ctx.latest <- Some (t.seq, path)
+  end;
+  (path, Bytes.length data)
+
+(** Raise {!Stop} when the stop-after-N-snapshots policy has been met. *)
+let maybe_stop (ctx : ctx) path =
+  match ctx.stop_after with
+  | Some k when ctx.seq >= k -> raise (Stop path)
+  | _ -> ()
+
+(** Checkpoint callbacks threaded into {!Exec_manager.run_cta}.  [save]
+    builds the in-flight CTA's snapshot only when the policy actually
+    fires, so an un-due iteration costs one counter bump. *)
+type hooks = {
+  tick : now:float -> save:(unit -> cta_snap) -> unit;
+      (** called at the top of every scheduler iteration (the safe point) *)
+  on_fault : now:float -> save:(unit -> cta_snap) -> unit;
+      (** called when a watchdog is about to raise {!Vekt_error.Deadlock} *)
+}
+
+let metrics_into (ctx : ctx) (m : Vekt_obs.Metrics.t) =
+  let module M = Vekt_obs.Metrics in
+  M.counter m "ckpt.writes" := ctx.writes;
+  M.counter m "ckpt.bytes_written" := ctx.bytes_written;
+  M.counter m "ckpt.snapshots" := ctx.seq;
+  M.counter m "ckpt.resumes" := ctx.resumes;
+  M.counter m "ckpt.rejected" := ctx.rejected;
+  M.set (M.gauge m "ckpt.write_us") ctx.write_us

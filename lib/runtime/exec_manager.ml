@@ -66,11 +66,23 @@ let rec take k = function
 
     [parallel] marks this CTA as running concurrently with sibling
     workers in other domains: cache queries then prefer the lock-free
-    published-hit path (see {!Translation_cache.get_fallback}). *)
+    published-hit path (see {!Translation_cache.get_fallback}).
+
+    [ckpt] arms the checkpoint policy: its [tick] hook runs at the top
+    of every scheduler iteration — the safe point where no warp is in
+    flight and every live value sits spilled in the local arena — and
+    its [on_fault] hook runs just before a watchdog raises.  [restore]
+    starts the CTA from a {!Checkpoint.cta_snap} instead of fresh
+    thread contexts.  [record] logs every scheduling decision;
+    [replay] substitutes a recorded schedule for the live policy and
+    raises a structured {!Vekt_error.Checkpoint} if execution diverges
+    from it. *)
 let run_cta ?(costs = default_costs) ?(fuel = 5_000_000) ?watchdog
     ?(inject : Fault.t option) ?(parallel = false)
     ?(sink = Obs.Sink.noop) ?(profile : Obs.Divergence.t option) ?(worker = 0)
-    ?sched (cache : Translation_cache.t)
+    ?sched ?(ckpt : Checkpoint.hooks option)
+    ?(restore : Checkpoint.cta_snap option) ?(record : Replay.recorder option)
+    ?(replay : Replay.t option) (cache : Translation_cache.t)
     ~(launch : Interp.launch_info) ~(ctaid : Launch.dim3) ~(global : Mem.t)
     ~(params : Mem.t) ~(consts : Mem.t) ~(stats : Stats.t) () : unit =
   let sched =
@@ -84,9 +96,36 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000) ?watchdog
   in
   let block = launch.Interp.block in
   let n = Launch.count block in
-  let shared = Mem.create ~name:"shared" cache.Translation_cache.shared_bytes in
-  let local =
-    Mem.create ~name:"local-arena" (n * cache.Translation_cache.local_bytes)
+  let bad_snapshot reason =
+    raise
+      (Vekt_error.Error
+         (Vekt_error.Checkpoint { path = "(resume)"; what = "checkpoint"; reason }))
+  in
+  (* A restored CTA must have been snapshotted under this very shape:
+     thread count and memory geometry are part of the safe-point
+     invariant, so a mismatch is a damaged/foreign snapshot. *)
+  (match restore with
+  | None -> ()
+  | Some s ->
+      if Array.length s.Checkpoint.c_threads <> n then
+        bad_snapshot
+          (Fmt.str "snapshot has %d thread contexts, CTA has %d"
+             (Array.length s.Checkpoint.c_threads) n);
+      if Bytes.length s.Checkpoint.c_shared <> cache.Translation_cache.shared_bytes
+      then bad_snapshot "shared-memory image size mismatch";
+      if
+        Bytes.length s.Checkpoint.c_local
+        <> n * cache.Translation_cache.local_bytes
+      then bad_snapshot "local-arena image size mismatch");
+  let shared, local =
+    match restore with
+    | None ->
+        ( Mem.create ~name:"shared" cache.Translation_cache.shared_bytes,
+          Mem.create ~name:"local-arena" (n * cache.Translation_cache.local_bytes)
+        )
+    | Some s ->
+        ( Mem.of_bytes ~name:"shared" (Bytes.copy s.Checkpoint.c_shared),
+          Mem.of_bytes ~name:"local-arena" (Bytes.copy s.Checkpoint.c_local) )
   in
   let mem =
     { Interp.global; shared; local; params; consts }
@@ -94,27 +133,82 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000) ?watchdog
   let threads =
     Array.init n (fun i ->
         let tid = Launch.unlinear ~dims:block i in
+        let resume_point, state =
+          match restore with
+          | None -> (0, Scheduler.Ready)
+          | Some s ->
+              ( s.Checkpoint.c_threads.(i).Checkpoint.t_resume,
+                s.Checkpoint.c_threads.(i).Checkpoint.t_state )
+        in
         {
           Scheduler.info =
             {
               Interp.tid;
               ctaid;
               local_base = i * cache.Translation_cache.local_bytes;
-              resume_point = 0;
+              resume_point;
             };
           linear = i;
           row = tid.Launch.y + (block.Launch.y * tid.Launch.z);
-          state = Scheduler.Ready;
+          state;
         })
   in
-  let pool = { Scheduler.threads; n; cursor = 0 } in
-  stats.Stats.threads_launched <- stats.Stats.threads_launched + n;
-  let remaining = ref n in
-  let calls_left = ref fuel in
+  let pool =
+    {
+      Scheduler.threads;
+      n;
+      cursor = (match restore with Some s -> s.Checkpoint.c_cursor | None -> 0);
+    }
+  in
+  (* a restored CTA's threads were already counted when the snapshot's
+     stats accumulated them; only a fresh CTA launches threads *)
+  (match restore with
+  | None -> stats.Stats.threads_launched <- stats.Stats.threads_launched + n
+  | Some _ -> ());
+  let remaining =
+    ref (match restore with Some s -> s.Checkpoint.c_remaining | None -> n)
+  in
+  let calls_left =
+    ref
+      (match restore with
+      | Some s -> max 0 (fuel - s.Checkpoint.c_calls_used)
+      | None -> fuel)
+  in
   let cta = (ctaid.Launch.x, ctaid.Launch.y, ctaid.Launch.z) in
+  let cta_linear = Launch.linear ~dims:launch.Interp.grid ctaid in
   (* consecutive same-entry redispatches without resume-point progress,
      per thread; only maintained when the livelock watchdog is armed *)
-  let stalls = match watchdog with Some _ -> Array.make n 0 | None -> [||] in
+  let stalls =
+    match watchdog with
+    | Some _ -> (
+        match restore with
+        | Some s when Array.length s.Checkpoint.c_stalls = n ->
+            Array.copy s.Checkpoint.c_stalls
+        | _ -> Array.make n 0)
+    | None -> [||]
+  in
+  (* The safe-point serializer: called by the checkpoint hooks only at
+     the top of a scheduler iteration, when no warp is executing and
+     the exit handlers have spilled every live value to [local]. *)
+  let save () : Checkpoint.cta_snap =
+    {
+      Checkpoint.c_ctaid = ctaid;
+      c_shared = Bytes.copy (Mem.bytes shared);
+      c_local = Bytes.copy (Mem.bytes local);
+      c_threads =
+        Array.map
+          (fun (t : Scheduler.thr) ->
+            {
+              Checkpoint.t_resume = t.Scheduler.info.Interp.resume_point;
+              t_state = t.Scheduler.state;
+            })
+          threads;
+      c_cursor = pool.Scheduler.cursor;
+      c_remaining = !remaining;
+      c_calls_used = fuel - !calls_left;
+      c_stalls = Array.copy stalls;
+    }
+  in
   let on_access =
     match inject with
     | Some inj -> Fault.mem_hook inj ~kernel:cache.Translation_cache.kernel_name
@@ -150,6 +244,12 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000) ?watchdog
                })
   in
   let deadlock kind detail =
+    (* watchdog fire: drop a diagnostic snapshot first, so the stuck
+       state can be inspected (it is not a resume candidate — resuming
+       a deterministic deadlock would only re-raise it) *)
+    (match ckpt with
+    | Some h -> h.Checkpoint.on_fault ~now:(now ()) ~save
+    | None -> ());
     raise
       (Vekt_error.Error
          (Vekt_error.Deadlock
@@ -162,164 +262,258 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000) ?watchdog
               threads = stuck_threads ();
             }))
   in
-  while !remaining > 0 do
-    match sched.Scheduler.select pool with
-    | None ->
-        (* No runnable thread: every live thread is parked at the barrier.
-           Release them all (barriers synchronize live threads; threads
-           that already exited don't count, same as the oracle). *)
-        let released = ref 0 in
-        Array.iter
-          (fun (t : Scheduler.thr) ->
-            if t.state = Scheduler.Blocked then begin
-              t.state <- Scheduler.Ready;
-              incr released
-            end)
-          threads;
-        if !released = 0 then
-          (* live threads remain but none is runnable and none is parked
-             at the barrier: the policy starved them (distinct from the
-             normal all-exited loop exit, where [remaining] hits 0) *)
-          deadlock Vekt_error.Barrier_starvation
-            (Fmt.str
-               "scheduler %s found no runnable thread and the barrier queue                 is empty with %d threads live"
-               sched.Scheduler.name !remaining);
-        stats.Stats.barrier_releases <- stats.Stats.barrier_releases + !released;
-        stats.Stats.em_cycles <-
-          stats.Stats.em_cycles +. (float_of_int !released *. costs.per_barrier_release);
-        if Obs.Sink.enabled sink then
-          Obs.Sink.emit sink
-            (Obs.Event.Barrier_release { ts = now (); worker; released = !released })
-    | Some start ->
-        if !calls_left = 0 then fuel_error ();
-        decr calls_left;
-        if (match inject with Some inj -> Fault.spurious_yield inj | None -> false)
-        then
-          (* injected spurious yield: skip the dispatch entirely; the
-             selected thread stays Ready and is revisited later.  The
-             fuel decrement above makes even [every=1] terminate. *)
-          pool.Scheduler.cursor <- (start + 1) mod n
-        else begin
-        let want = Translation_cache.max_width cache in
-        let w = sched.Scheduler.form pool ~start ~want in
-        stats.Stats.em_cycles <-
-          stats.Stats.em_cycles
-          +. (float_of_int w.Scheduler.scanned *. costs.per_candidate_scan);
-        let entry_id = threads.(start).Scheduler.info.Interp.resume_point in
-        (* the policy already tracked the member count: no List.length
-           here.  The cache query degrades through the fallback chain, so
-           the width actually served can be narrower than the best fit. *)
-        let entry, ws =
-          Translation_cache.get_fallback cache ~params ~sink ~now:(now ())
-            ~worker ~parallel
-            ~ws:(Translation_cache.best_width cache w.Scheduler.count)
-            ()
-        in
-        let members =
-          if ws = w.Scheduler.count then w.Scheduler.members
-          else take ws w.Scheduler.members
-        in
-        if Obs.Sink.enabled sink then
-          Obs.Sink.emit sink
-            (Obs.Event.Warp_formed
-               { ts = now (); worker; entry_id; size = ws;
-                 scanned = w.Scheduler.scanned });
-        let lanes =
-          Array.of_list
-            (List.map (fun i -> threads.(i).Scheduler.info) members)
-        in
-        let warp = { Interp.lanes; entry_id; status = Ir.Status_exit } in
-        Stats.record_warp stats ws;
-        stats.Stats.em_cycles <- stats.Stats.em_cycles +. costs.per_kernel_call;
-        let restores0 = stats.Stats.counters.Interp.restores in
-        let spills0 = stats.Stats.counters.Interp.spills in
-        let call_ts = if Obs.Sink.enabled sink then now () else 0.0 in
-        Translation_cache.pin entry;
-        Fun.protect
-          ~finally:(fun () -> Translation_cache.unpin entry)
-          (fun () ->
-            try
-              Interp.exec ?on_access ~timing:entry.Translation_cache.timing
-                ~counters:stats.Stats.counters ?profile
-                entry.Translation_cache.vfunc ~launch warp mem
-            with
-            | Interp.Out_of_fuel -> fuel_error ()
-            | Vekt_error.Error (Vekt_error.Trap tr) ->
-                (* the interpreter attached thread context but only knows
-                   the specialization's name (e.g. "k.w4"); report the
-                   source kernel, and the modelled cycle known only here *)
-                raise
-                  (Vekt_error.Error
-                     (Vekt_error.Trap
-                        {
-                          tr with
-                          kernel = cache.Translation_cache.kernel_name;
-                          cycle = Some (now ());
-                        })));
-        (match profile with
-        | None -> ()
-        | Some p ->
-            Obs.Divergence.record_entry p ~entry_id ~ws
-              ~restores:(stats.Stats.counters.Interp.restores - restores0)
-              ~spills:(stats.Stats.counters.Interp.spills - spills0));
-        if Obs.Sink.enabled sink then begin
-          let ts = now () in
-          Obs.Sink.emit sink
-            (Obs.Event.Subkernel_call
-               {
-                 ts = call_ts;
-                 dur = ts -. call_ts;
-                 worker;
-                 kernel = cache.Translation_cache.kernel_name;
-                 entry_id;
-                 ws;
-               });
-          let kind =
-            match warp.Interp.status with
-            | Ir.Status_exit -> Obs.Event.Yield_exit
-            | Ir.Status_barrier -> Obs.Event.Yield_barrier
-            | Ir.Status_branch -> Obs.Event.Yield_branch
-          in
-          Obs.Sink.emit sink
-            (Obs.Event.Yield { ts; worker; entry_id; kind; lanes = ws })
-        end;
-        stats.Stats.em_cycles <-
-          stats.Stats.em_cycles +. (float_of_int ws *. costs.per_lane_update);
+  (* --- the three scheduler-step outcomes, shared by the live and
+     replay paths.  In replay mode [expected]/[expect_ws] carry the
+     recorded values to assert against; in record mode each outcome is
+     appended to the schedule log. *)
+  let do_release ~expected =
+    (* No runnable thread: every live thread is parked at the barrier.
+       Release them all (barriers synchronize live threads; threads
+       that already exited don't count, same as the oracle). *)
+    let released = ref 0 in
+    Array.iter
+      (fun (t : Scheduler.thr) ->
+        if t.state = Scheduler.Blocked then begin
+          t.state <- Scheduler.Ready;
+          incr released
+        end)
+      threads;
+    if !released = 0 then
+      (* live threads remain but none is runnable and none is parked
+         at the barrier: the policy starved them (distinct from the
+         normal all-exited loop exit, where [remaining] hits 0) *)
+      deadlock Vekt_error.Barrier_starvation
+        (Fmt.str
+           "scheduler %s found no runnable thread and the barrier queue is \
+            empty with %d threads live"
+           sched.Scheduler.name !remaining);
+    (match (expected, replay) with
+    | Some e, Some log when e <> !released ->
+        Replay.diverged log ~cta:cta_linear
+          (Fmt.str "barrier released %d threads, log recorded %d" !released e)
+    | _ -> ());
+    (match record with
+    | Some r ->
+        Replay.record r ~cta:cta_linear (Replay.Barrier { released = !released })
+    | None -> ());
+    stats.Stats.barrier_releases <- stats.Stats.barrier_releases + !released;
+    stats.Stats.em_cycles <-
+      stats.Stats.em_cycles +. (float_of_int !released *. costs.per_barrier_release);
+    if Obs.Sink.enabled sink then
+      Obs.Sink.emit sink
+        (Obs.Event.Barrier_release { ts = now (); worker; released = !released })
+  in
+  let do_spurious_yield ~start =
+    (* spurious yield: skip the dispatch entirely; the selected thread
+       stays Ready and is revisited later.  The fuel decrement makes
+       even [every=1] terminate. *)
+    (match record with
+    | Some r -> Replay.record r ~cta:cta_linear (Replay.Yield { start })
+    | None -> ());
+    pool.Scheduler.cursor <- (start + 1) mod n
+  in
+  let do_dispatch ~start ~members ~count ~scanned ~ws_req ~expect_ws =
+    stats.Stats.em_cycles <-
+      stats.Stats.em_cycles
+      +. (float_of_int scanned *. costs.per_candidate_scan);
+    let entry_id = threads.(start).Scheduler.info.Interp.resume_point in
+    (* the policy already tracked the member count: no List.length
+       here.  The cache query degrades through the fallback chain, so
+       the width actually served can be narrower than the best fit. *)
+    let entry, ws =
+      Translation_cache.get_fallback cache ~params ~sink ~now:(now ())
+        ~worker ~parallel ~ws:ws_req ()
+    in
+    (match (expect_ws, replay) with
+    | Some e, Some log when e <> ws ->
+        Replay.diverged log ~cta:cta_linear
+          (Fmt.str "cache served width %d at entry %d, log recorded %d" ws
+             entry_id e)
+    | _ -> ());
+    let members = if ws = count then members else take ws members in
+    (match record with
+    | Some r ->
+        Replay.record r ~cta:cta_linear
+          (Replay.Dispatch { start; entry_id; ws; scanned; members })
+    | None -> ());
+    if Obs.Sink.enabled sink then
+      Obs.Sink.emit sink
+        (Obs.Event.Warp_formed
+           { ts = now (); worker; entry_id; size = ws; scanned });
+    let lanes =
+      Array.of_list (List.map (fun i -> threads.(i).Scheduler.info) members)
+    in
+    let warp = { Interp.lanes; entry_id; status = Ir.Status_exit } in
+    Stats.record_warp stats ws;
+    stats.Stats.em_cycles <- stats.Stats.em_cycles +. costs.per_kernel_call;
+    let restores0 = stats.Stats.counters.Interp.restores in
+    let spills0 = stats.Stats.counters.Interp.spills in
+    let call_ts = if Obs.Sink.enabled sink then now () else 0.0 in
+    Translation_cache.pin entry;
+    Fun.protect
+      ~finally:(fun () -> Translation_cache.unpin entry)
+      (fun () ->
+        try
+          Interp.exec ?on_access ~timing:entry.Translation_cache.timing
+            ~counters:stats.Stats.counters ?profile
+            entry.Translation_cache.vfunc ~launch warp mem
+        with
+        | Interp.Out_of_fuel -> fuel_error ()
+        | Vekt_error.Error (Vekt_error.Trap tr) ->
+            (* the interpreter attached thread context but only knows
+               the specialization's name (e.g. "k.w4"); report the
+               source kernel, and the modelled cycle known only here *)
+            raise
+              (Vekt_error.Error
+                 (Vekt_error.Trap
+                    {
+                      tr with
+                      kernel = cache.Translation_cache.kernel_name;
+                      cycle = Some (now ());
+                    })));
+    (match profile with
+    | None -> ()
+    | Some p ->
+        Obs.Divergence.record_entry p ~entry_id ~ws
+          ~restores:(stats.Stats.counters.Interp.restores - restores0)
+          ~spills:(stats.Stats.counters.Interp.spills - spills0));
+    if Obs.Sink.enabled sink then begin
+      let ts = now () in
+      Obs.Sink.emit sink
+        (Obs.Event.Subkernel_call
+           {
+             ts = call_ts;
+             dur = ts -. call_ts;
+             worker;
+             kernel = cache.Translation_cache.kernel_name;
+             entry_id;
+             ws;
+           });
+      let kind =
+        match warp.Interp.status with
+        | Ir.Status_exit -> Obs.Event.Yield_exit
+        | Ir.Status_barrier -> Obs.Event.Yield_barrier
+        | Ir.Status_branch -> Obs.Event.Yield_branch
+      in
+      Obs.Sink.emit sink
+        (Obs.Event.Yield { ts; worker; entry_id; kind; lanes = ws })
+    end;
+    stats.Stats.em_cycles <-
+      stats.Stats.em_cycles +. (float_of_int ws *. costs.per_lane_update);
+    List.iter
+      (fun i ->
+        let t = threads.(i) in
+        match warp.Interp.status with
+        | Ir.Status_exit ->
+            t.Scheduler.state <- Scheduler.Done;
+            decr remaining
+        | Ir.Status_barrier -> t.Scheduler.state <- Scheduler.Blocked
+        | Ir.Status_branch -> t.Scheduler.state <- Scheduler.Ready)
+      members;
+    (match watchdog with
+    | None -> ()
+    | Some limit ->
+        (* progress proxy: a thread yielded back Ready at the very
+           entry point it was dispatched from made no resume-point
+           progress; [limit] such dispatches in a row is a livelock *)
         List.iter
           (fun i ->
             let t = threads.(i) in
-            match warp.Interp.status with
-            | Ir.Status_exit ->
-                t.Scheduler.state <- Scheduler.Done;
-                decr remaining
-            | Ir.Status_barrier -> t.Scheduler.state <- Scheduler.Blocked
-            | Ir.Status_branch -> t.Scheduler.state <- Scheduler.Ready)
-          members;
-        (match watchdog with
-        | None -> ()
-        | Some limit ->
-            (* progress proxy: a thread yielded back Ready at the very
-               entry point it was dispatched from made no resume-point
-               progress; [limit] such dispatches in a row is a livelock *)
+            if
+              t.Scheduler.state = Scheduler.Ready
+              && t.Scheduler.info.Interp.resume_point = entry_id
+            then begin
+              stalls.(i) <- stalls.(i) + 1;
+              if stalls.(i) >= limit then
+                deadlock Vekt_error.Livelock
+                  (Fmt.str
+                     "thread %d re-dispatched at entry %d with no progress \
+                      for %d consecutive calls under scheduler %s"
+                     i entry_id stalls.(i) sched.Scheduler.name)
+            end
+            else stalls.(i) <- 0)
+          members);
+    pool.Scheduler.cursor <- (start + 1) mod n
+  in
+  (match replay with
+  | Some log ->
+      (* Replay mode: the recorded schedule drives the loop; the live
+         policy is bypassed entirely.  Each decision is validated
+         against live state before it is applied, so a log recorded
+         against different code or data diverges with a structured
+         error instead of silently corrupting memory. *)
+      while !remaining > 0 do
+        (match ckpt with
+        | Some h -> h.Checkpoint.tick ~now:(now ()) ~save
+        | None -> ());
+        match Replay.next log ~cta:cta_linear with
+        | Replay.Barrier { released } -> do_release ~expected:(Some released)
+        | Replay.Yield { start } ->
+            if start < 0 || start >= n then
+              Replay.diverged log ~cta:cta_linear
+                (Fmt.str "yield start %d outside CTA of %d threads" start n);
+            if !calls_left = 0 then fuel_error ();
+            decr calls_left;
+            ignore
+              (match inject with
+              | Some inj -> Fault.spurious_yield inj
+              | None -> false);
+            do_spurious_yield ~start
+        | Replay.Dispatch { start; entry_id; ws; scanned; members } ->
+            if start < 0 || start >= n then
+              Replay.diverged log ~cta:cta_linear
+                (Fmt.str "dispatch start %d outside CTA of %d threads" start n);
             List.iter
               (fun i ->
+                if i < 0 || i >= n then
+                  Replay.diverged log ~cta:cta_linear
+                    (Fmt.str "member %d outside CTA of %d threads" i n);
                 let t = threads.(i) in
-                if
-                  t.Scheduler.state = Scheduler.Ready
-                  && t.Scheduler.info.Interp.resume_point = entry_id
-                then begin
-                  stalls.(i) <- stalls.(i) + 1;
-                  if stalls.(i) >= limit then
-                    deadlock Vekt_error.Livelock
-                      (Fmt.str
-                         "thread %d re-dispatched at entry %d with no                           progress for %d consecutive calls"
-                         i entry_id stalls.(i))
-                end
-                else stalls.(i) <- 0)
-              members);
-        pool.Scheduler.cursor <- (start + 1) mod n
-        end
-  done
+                if t.Scheduler.state <> Scheduler.Ready then
+                  Replay.diverged log ~cta:cta_linear
+                    (Fmt.str "member %d not runnable at recorded dispatch" i);
+                if t.Scheduler.info.Interp.resume_point <> entry_id then
+                  Replay.diverged log ~cta:cta_linear
+                    (Fmt.str
+                       "member %d parked at entry %d, log recorded entry %d" i
+                       t.Scheduler.info.Interp.resume_point entry_id))
+              members;
+            if !calls_left = 0 then fuel_error ();
+            decr calls_left;
+            (* consume the injector's dispatch counter in lockstep so a
+               later transition out of replay stays deterministic *)
+            ignore
+              (match inject with
+              | Some inj -> Fault.spurious_yield inj
+              | None -> false);
+            do_dispatch ~start ~members ~count:(List.length members) ~scanned
+              ~ws_req:ws ~expect_ws:(Some ws)
+      done;
+      Replay.check_drained log ~cta:cta_linear
+  | None ->
+      while !remaining > 0 do
+        (match ckpt with
+        | Some h -> h.Checkpoint.tick ~now:(now ()) ~save
+        | None -> ());
+        match sched.Scheduler.select pool with
+        | None -> do_release ~expected:None
+        | Some start ->
+            if !calls_left = 0 then fuel_error ();
+            decr calls_left;
+            if
+              match inject with
+              | Some inj -> Fault.spurious_yield inj
+              | None -> false
+            then do_spurious_yield ~start
+            else begin
+              let want = Translation_cache.max_width cache in
+              let w = sched.Scheduler.form pool ~start ~want in
+              do_dispatch ~start ~members:w.Scheduler.members
+                ~count:w.Scheduler.count ~scanned:w.Scheduler.scanned
+                ~ws_req:(Translation_cache.best_width cache w.Scheduler.count)
+                ~expect_ws:None
+            end
+      done)
 
 (** Run a whole kernel launch: CTAs are statically partitioned round-robin
     over [workers] execution managers; each worker's statistics are merged

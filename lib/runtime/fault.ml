@@ -144,6 +144,30 @@ let create (config : config) =
     yields = Atomic.make 0;
   }
 
+(** Serializable injector state — the xorshift word plus every counter,
+    in a fixed order (rng, mem_seen, dispatches, compile_fails,
+    mem_traps, yields).  Checkpoints capture it so a cross-process
+    resume continues the same deterministic fault schedule instead of
+    replaying injections from scratch. *)
+let export_state t : int array =
+  [|
+    t.rng;
+    Atomic.get t.mem_seen;
+    Atomic.get t.dispatches;
+    Atomic.get t.compile_fails;
+    Atomic.get t.mem_traps;
+    Atomic.get t.yields;
+  |]
+
+let import_state t (s : int array) =
+  if Array.length s <> 6 then invalid_arg "Fault.import_state: want 6 fields";
+  t.rng <- (if s.(0) = 0 then default_seed else s.(0));
+  Atomic.set t.mem_seen s.(1);
+  Atomic.set t.dispatches s.(2);
+  Atomic.set t.compile_fails s.(3);
+  Atomic.set t.mem_traps s.(4);
+  Atomic.set t.yields s.(5)
+
 (* 62-bit xorshift, uniform draw in [0;1). *)
 let draw t =
   let x = t.rng in

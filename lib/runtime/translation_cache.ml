@@ -79,6 +79,16 @@ type tiering =
       (** queries of one (ws, digest) key before full optimization;
           values ≤ 1 behave like {!Eager} *)
 
+(** One quarantined specialization key.  The TTL counts successful
+    launches (decremented by {!tick_quarantine}); the stamp is a
+    {!Clock.now_us} monotonic reading taken at quarantine time, so an
+    optional age bound expires entries without ever consulting the
+    (jumpable) wall clock. *)
+type quarantine_entry = {
+  mutable q_ttl : int;  (** remaining successful launches to sit out *)
+  q_added_us : float;  (** monotonic stamp at quarantine time *)
+}
+
 type t = {
   kernel_name : string;
   scalar : Ir.func;
@@ -125,8 +135,14 @@ type t = {
   fault : Fault.t option;  (** armed injector, shared with the manager *)
   quarantine_ttl : int;
       (** successful launches a quarantined width sits out before retry *)
-  quarantine : (int * string, int) Hashtbl.t;
-      (** known-bad specialization keys -> remaining TTL *)
+  quarantine_max_age_us : float option;
+      (** optional age bound on quarantine entries, measured on the
+          monotonic clock ({!Clock}): an entry older than this is
+          expired regardless of its launch-count TTL.  Monotonic
+          readings never jump, so expiry is immune to wall-clock
+          steps/slews. *)
+  quarantine : (int * string, quarantine_entry) Hashtbl.t;
+      (** known-bad specialization keys -> remaining TTL + age stamp *)
   mutable fallbacks : int;  (** builds that failed and fell to a narrower width *)
   mutable quarantine_adds : int;
   mutable quarantine_skips : int;
@@ -143,7 +159,7 @@ let prepare ?(mode = Vectorize.Dynamic) ?(affine = false) ?(specialize_args = fa
     ?(machine = Machine.sse4) ?(widths = default_widths) ?(optimize = true)
     ?(pipeline = Passes.default_pipeline) ?(tiering = Eager) ?capacity
     ?(verify = false) ?fault ?(quarantine_ttl = default_quarantine_ttl)
-    (m : Ast.modul) ~kernel : t =
+    ?quarantine_max_age_us (m : Ast.modul) ~kernel : t =
   let widths = List.sort_uniq (fun a b -> compare b a) widths in
   if widths = [] || List.exists (fun w -> w < 1) widths then
     invalid_arg "Translation_cache.prepare: invalid widths";
@@ -186,6 +202,7 @@ let prepare ?(mode = Vectorize.Dynamic) ?(affine = false) ?(specialize_args = fa
     verify;
     fault;
     quarantine_ttl = max 1 quarantine_ttl;
+    quarantine_max_age_us;
     quarantine = Hashtbl.create 4;
     fallbacks = 0;
     quarantine_adds = 0;
@@ -204,12 +221,21 @@ let unpin (e : entry) = ignore (Atomic.fetch_and_add e.in_use (-1))
    tables for the lock-free parallel hit path.  Called after every
    mutation; the fold allocates a fresh list, so readers of the old
    snapshot are never disturbed. *)
+(* Is a quarantine entry past its monotonic age bound (when one is
+   configured)?  Aged-out entries are treated as expired everywhere and
+   physically retired by the next {!tick_quarantine}. *)
+let quarantine_aged (t : t) (q : quarantine_entry) =
+  match t.quarantine_max_age_us with
+  | None -> false
+  | Some max_age -> Clock.now_us () -. q.q_added_us > max_age
+
 let republish (t : t) =
   Atomic.set t.published
     (Hashtbl.fold (fun key e acc -> (key, e) :: acc) t.specializations []);
   Atomic.set t.pub_quarantine
     (Hashtbl.fold
-       (fun key ttl acc -> if ttl > 0 then key :: acc else acc)
+       (fun key q acc ->
+         if q.q_ttl > 0 && not (quarantine_aged t q) then key :: acc else acc)
        t.quarantine [])
 
 (* Evict least-recently-used unpinned entries until an insert fits the
@@ -416,7 +442,7 @@ let digest_of (t : t) params =
 
 let quarantined (t : t) key =
   match Hashtbl.find_opt t.quarantine key with
-  | Some ttl when ttl > 0 -> true
+  | Some q when q.q_ttl > 0 && not (quarantine_aged t q) -> true
   | _ -> false
 
 let emit_quarantine (t : t) sink ~now ~worker ~ws action =
@@ -503,7 +529,8 @@ let get_fallback (t : t) ?params ?(sink = Obs.Sink.noop) ?(now = 0.0)
               match get_locked t ?params ~sink ~now ~worker ~ws:w () with
               | e -> (e, w)
               | exception Vekt_error.Error (Vekt_error.Compile _ as err) ->
-                  Hashtbl.replace t.quarantine (w, digest) t.quarantine_ttl;
+                  Hashtbl.replace t.quarantine (w, digest)
+                    { q_ttl = t.quarantine_ttl; q_added_us = Clock.now_us () };
                   t.quarantine_adds <- t.quarantine_adds + 1;
                   t.fallbacks <- t.fallbacks + 1;
                   emit_fallback ~from_ws:w ~to_ws:next_ws (Vekt_error.to_string err);
@@ -516,23 +543,75 @@ let get_fallback (t : t) ?params ?(sink = Obs.Sink.noop) ?(now = 0.0)
             (fun () -> try_widths None candidates))
 
 (** One successful launch elapsed: age every quarantine entry, retiring
-    those whose TTL reaches zero so the failed width gets re-tried. *)
+    those whose TTL reaches zero — or whose monotonic age exceeds the
+    configured bound — so the failed width gets re-tried. *)
 let tick_quarantine (t : t) ?(sink = Obs.Sink.noop) ?(now = 0.0) ?(worker = 0)
     () =
   Mutex.protect t.lock (fun () ->
+      let dead q = q.q_ttl <= 1 || quarantine_aged t q in
       let expired =
         Hashtbl.fold
-          (fun key ttl acc -> if ttl <= 1 then key :: acc else acc)
+          (fun key q acc -> if dead q then key :: acc else acc)
           t.quarantine []
       in
       Hashtbl.filter_map_inplace
-        (fun _ ttl -> if ttl <= 1 then None else Some (ttl - 1))
+        (fun _ q ->
+          if dead q then None
+          else begin
+            q.q_ttl <- q.q_ttl - 1;
+            Some q
+          end)
         t.quarantine;
       List.iter
         (fun (w, _) ->
           t.quarantine_expiries <- t.quarantine_expiries + 1;
           emit_quarantine t sink ~now ~worker ~ws:w Obs.Event.Q_expired)
         expired;
+      republish t)
+
+(* ---- checkpoint metadata (DESIGN.md §3.5) ---- *)
+
+(** Snapshot the cache's policy metadata for a checkpoint: per-key
+    hotness counters and live quarantine TTLs, each as sorted
+    [(ws, digest, value)] triples so serialization is canonical.
+    Compiled entries themselves are not captured — code rebuilds on
+    demand, and the restored hotness makes each key rebuild at the tier
+    it had reached, so a resumed launch pays no extra tier-0 warmup and
+    makes the same promotion decisions as the uninterrupted run. *)
+let export_meta (t : t) : (int * string * int) list * (int * string * int) list
+    =
+  Mutex.protect t.lock (fun () ->
+      let hot =
+        Hashtbl.fold (fun (w, d) q acc -> (w, d, q) :: acc) t.hotness []
+      in
+      let quar =
+        Hashtbl.fold
+          (fun (w, d) q acc ->
+            if q.q_ttl > 0 && not (quarantine_aged t q) then
+              (w, d, q.q_ttl) :: acc
+            else acc)
+          t.quarantine []
+      in
+      (List.sort compare hot, List.sort compare quar))
+
+(** Restore {!export_meta} state.  The specialization table is cleared
+    (nothing is pinned at a checkpoint's safe point): leaving entries
+    compiled under post-snapshot hotness would let a resumed launch see
+    tiers the uninterrupted run hadn't reached yet.  Quarantine age
+    stamps restart at the current monotonic reading — monotonic epochs
+    don't survive a process boundary. *)
+let restore_meta (t : t) ~(hotness : (int * string * int) list)
+    ~(quarantine : (int * string * int) list) =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.reset t.specializations;
+      Hashtbl.reset t.hotness;
+      List.iter (fun (w, d, q) -> Hashtbl.replace t.hotness (w, d) q) hotness;
+      Hashtbl.reset t.quarantine;
+      let now = Clock.now_us () in
+      List.iter
+        (fun (w, d, ttl) ->
+          Hashtbl.replace t.quarantine (w, d) { q_ttl = ttl; q_added_us = now })
+        quarantine;
       republish t)
 
 (** Largest available width not exceeding [n]. *)

@@ -63,22 +63,37 @@ open Vekt_ptx
     [workers] is clamped to [1 .. ncta] and [domains] to
     [1 .. workers].  Parameters otherwise mirror
     {!Exec_manager.launch_kernel}, which remains the single-threaded
-    reference for this function. *)
+    reference for this function.
+
+    [ckpt] arms the checkpoint policy (DESIGN.md §3.5): the pool drives
+    {!Exec_manager.run_cta}'s safe-point hooks and assembles whole-launch
+    snapshots — every worker's stats and position plus the in-flight
+    CTA.  [resume] starts the launch from such a snapshot instead of
+    from scratch.  Either one forces [domains = 1]: a consistent cut
+    needs at most one CTA in flight, and the modelled [workers]
+    partition is what the snapshot preserves, so resuming a
+    [--workers 4] launch still replays four modelled workers.  [record]
+    and [replay] thread the schedule log through; recording is safe
+    under domains (each CTA cell has a single writer). *)
 let launch ?(costs = Exec_manager.default_costs) ?fuel ?watchdog
     ?(inject : Fault.t option) ?(workers = 1) ?domains
     ?(sink = Obs.Sink.noop) ?(profile : Obs.Divergence.t option) ?sched
+    ?(ckpt : Checkpoint.ctx option) ?(resume : Checkpoint.t option)
+    ?(record : Replay.recorder option) ?(replay : Replay.t option)
     (cache : Translation_cache.t) ~(grid : Launch.dim3) ~(block : Launch.dim3)
     ~(global : Mem.t) ~(params : Mem.t) ~(consts : Mem.t) : Stats.t =
   let ncta = Launch.count grid in
   let launch_info = { Interp.grid; block } in
   let workers = max 1 (min workers ncta) in
   let domains =
-    let d =
-      match domains with
-      | Some d -> d
-      | None -> Domain.recommended_domain_count ()
-    in
-    max 1 (min d workers)
+    if Option.is_some ckpt || Option.is_some resume then 1
+    else
+      let d =
+        match domains with
+        | Some d -> d
+        | None -> Domain.recommended_domain_count ()
+      in
+      max 1 (min d workers)
   in
   (* fail a bad policy × mode combination before spawning anything *)
   Option.iter (Scheduler.validate ~mode:cache.Translation_cache.mode) sched;
@@ -86,23 +101,127 @@ let launch ?(costs = Exec_manager.default_costs) ?fuel ?watchdog
   | Some p ->
       Obs.Divergence.set_entry_names p (Translation_cache.entry_ids cache)
   | None -> ());
+  (* Restore the launch-wide pieces of a snapshot before any CTA runs:
+     the global image (live prefix; the rest zero-fills back to the
+     untouched-allocator state), the parameter block, and the cache's
+     hotness/quarantine metadata so recompilation lands each key at the
+     tier it had reached — promotion decisions, and therefore dynamic
+     instruction counts, match the uninterrupted run exactly. *)
+  (match resume with
+  | None -> ()
+  | Some s ->
+      Mem.load_image global s.Checkpoint.global_image;
+      Mem.load_image params s.Checkpoint.params_image;
+      Translation_cache.restore_meta cache ~hotness:s.Checkpoint.hotness
+        ~quarantine:s.Checkpoint.quarantine);
   let run_worker ~parallel ~wsink ~wprofile w (wstats : Stats.t) =
     let c = ref w in
     while !c < ncta do
       let ctaid = Launch.unlinear ~dims:grid !c in
       Exec_manager.run_cta ~costs ?fuel ?watchdog ?inject ~parallel
-        ~sink:wsink ?profile:wprofile ~worker:w ?sched cache
+        ~sink:wsink ?profile:wprofile ~worker:w ?sched ?record ?replay cache
         ~launch:launch_info ~ctaid ~global ~params ~consts ~stats:wstats ();
       c := !c + workers
     done
   in
   let aggregate = Stats.create () in
-  if domains = 1 then
+  if domains = 1 then begin
+    (* Per-worker launch state lives in arrays so a checkpoint taken
+       while worker [w] is mid-CTA can record every sibling's stats and
+       next-CTA position.  [next.(v)] is the CTA worker [v] is inside
+       (while running) or would start next (between CTAs) — exactly the
+       [w_next_cta] contract of {!Checkpoint.worker_snap}. *)
+    let wstats =
+      Array.init workers (fun w ->
+          match resume with
+          | Some s -> s.Checkpoint.worker_snaps.(w).Checkpoint.w_stats
+          | None -> Stats.create ())
+    in
+    let next =
+      Array.init workers (fun w ->
+          match resume with
+          | Some s -> s.Checkpoint.worker_snaps.(w).Checkpoint.w_next_cta
+          | None -> w)
+    in
+    let inflight =
+      Array.init workers (fun w ->
+          match resume with
+          | Some s -> s.Checkpoint.worker_snaps.(w).Checkpoint.w_inflight
+          | None -> None)
+    in
+    let hooks_for (ctx : Checkpoint.ctx) w : Checkpoint.hooks =
+      let write_snap ~fault ~now save =
+        let worker_snaps =
+          Array.init workers (fun v ->
+              {
+                Checkpoint.w_next_cta = next.(v);
+                w_stats = wstats.(v);
+                w_inflight = (if v = w then Some (save ()) else None);
+              })
+        in
+        let hotness, quarantine = Translation_cache.export_meta cache in
+        let snap =
+          {
+            Checkpoint.kernel = cache.Translation_cache.kernel_name;
+            grid;
+            block;
+            workers;
+            seq = ctx.Checkpoint.seq + 1;
+            global_size = Bytes.length (Mem.bytes global);
+            global_image = Mem.image ?live:ctx.Checkpoint.live_bytes global;
+            params_image = Mem.image params;
+            worker_snaps;
+            fault_state = Option.map Fault.export_state inject;
+            hotness;
+            quarantine;
+          }
+        in
+        let path, bytes = Checkpoint.write ~fault ctx snap in
+        if not fault then begin
+          if Obs.Sink.enabled sink then
+            Obs.Sink.emit sink
+              (Obs.Event.Ckpt_write
+                 { ts = now; worker = w; seq = snap.Checkpoint.seq; bytes });
+          Checkpoint.maybe_stop ctx path
+        end
+      in
+      {
+        Checkpoint.tick =
+          (fun ~now ~save ->
+            if Checkpoint.note_iter ctx then write_snap ~fault:false ~now save);
+        on_fault = (fun ~now ~save -> write_snap ~fault:true ~now save);
+      }
+    in
     for w = 0 to workers - 1 do
-      let wstats = Stats.create () in
-      run_worker ~parallel:false ~wsink:sink ~wprofile:profile w wstats;
-      Stats.merge_into ~into:aggregate wstats
+      let hooks = Option.map (fun ctx -> hooks_for ctx w) ckpt in
+      (* finish the CTA this worker was interrupted inside, if any *)
+      (match inflight.(w) with
+      | Some cs ->
+          let c = next.(w) in
+          let ctaid = Launch.unlinear ~dims:grid c in
+          inflight.(w) <- None;
+          Exec_manager.run_cta ~costs ?fuel ?watchdog ?inject ~parallel:false
+            ~sink ?profile ~worker:w ?sched ?ckpt:hooks ~restore:cs ?record
+            ?replay cache ~launch:launch_info ~ctaid ~global ~params ~consts
+            ~stats:wstats.(w) ();
+          next.(w) <- c + workers
+      | None -> ());
+      let c = ref next.(w) in
+      while !c < ncta do
+        next.(w) <- !c;
+        let ctaid = Launch.unlinear ~dims:grid !c in
+        Exec_manager.run_cta ~costs ?fuel ?watchdog ?inject ~parallel:false
+          ~sink ?profile ~worker:w ?sched ?ckpt:hooks ?record ?replay cache
+          ~launch:launch_info ~ctaid ~global ~params ~consts
+          ~stats:wstats.(w) ();
+        c := !c + workers;
+        next.(w) <- !c
+      done
+    done;
+    for w = 0 to workers - 1 do
+      Stats.merge_into ~into:aggregate wstats.(w)
     done
+  end
   else begin
     let wstats = Array.init workers (fun _ -> Stats.create ()) in
     let wprofiles =

@@ -1,0 +1,682 @@
+(* Tests for checkpoint/restore and record-replay (DESIGN.md §3.5):
+   snapshot serialization round trips bit-identically and rejects any
+   corruption; an interrupted-then-resumed launch is indistinguishable
+   from an uninterrupted one (memory and integer statistics) across the
+   registry at workers 1 and 4; replay reproduces the exact recorded
+   warp-formation sequence; a corrupted snapshot is rejected with a
+   structured error and falls back to the emulator oracle.  Also covers
+   the config-validation and monotonic quarantine-age satellites. *)
+
+module Api = Vekt_runtime.Api
+module TC = Vekt_runtime.Translation_cache
+module Checkpoint = Vekt_runtime.Checkpoint
+module Replay = Vekt_runtime.Replay
+module Sched = Vekt_runtime.Scheduler
+module Fault = Vekt_runtime.Fault
+module Stats = Vekt_runtime.Stats
+module M = Vekt_obs.Metrics
+module Obs = Vekt_obs
+module Interp = Vekt_vm.Interp
+open Vekt_ptx
+open Vekt_workloads
+
+(* A dozen registry workloads covering every category; enough for the
+   differential acceptance criterion (>= 12). *)
+let some_workloads = List.filteri (fun i _ -> i < 12) Registry.all
+
+let tmpdir =
+  let d = Filename.concat (Filename.get_temp_dir_name ()) "vekt-test-ckpt" in
+  if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+  d
+
+let counter_value m ~kernel report name =
+  !(M.counter (Api.metrics m ~kernel report) name)
+
+let is_ckpt_error = function
+  | Vekt_error.Error (Vekt_error.Checkpoint _) -> true
+  | _ -> false
+
+(* ---- synthetic snapshots: a deterministic generator over one seed ---- *)
+
+let mk_rng seed =
+  let r = ref (if seed = 0 then 1 else seed land 0x3FFFFFFF) in
+  fun () ->
+    r := (!r * 48271 + 11) land 0x3FFFFFFF;
+    !r
+
+let mk_stats next =
+  let s = Stats.create () in
+  List.iter
+    (fun (_, _, set) -> set s.Stats.counters (next () land 0xFFFFF))
+    Interp.int_counter_fields;
+  List.iter
+    (fun (_, _, set) -> set s.Stats.counters (float_of_int (next ()) /. 7.0))
+    Interp.cycle_counter_fields;
+  s.Stats.em_cycles <- float_of_int (next ()) /. 3.0;
+  s.Stats.barrier_releases <- next () land 0xFF;
+  s.Stats.threads_launched <- next () land 0xFFFF;
+  s.Stats.wall_cycles <- float_of_int (next ());
+  Hashtbl.replace s.Stats.warp_hist 1 (next () land 0xFF);
+  Hashtbl.replace s.Stats.warp_hist 4 (next () land 0xFF);
+  s
+
+let mk_bytes next n = Bytes.init n (fun _ -> Char.chr (next () land 0xFF))
+
+let mk_cta next : Checkpoint.cta_snap =
+  let n = 1 + (next () land 7) in
+  {
+    Checkpoint.c_ctaid =
+      { Launch.x = next () land 3; y = next () land 1; z = 0 };
+    c_shared = mk_bytes next (next () land 63);
+    c_local = mk_bytes next (n * (next () land 15));
+    c_threads =
+      Array.init n (fun _ ->
+          {
+            Checkpoint.t_resume = next () land 7;
+            t_state =
+              (match next () mod 3 with
+              | 0 -> Sched.Ready
+              | 1 -> Sched.Blocked
+              | _ -> Sched.Done);
+          });
+    c_cursor = next () mod n;
+    c_remaining = next () land 7;
+    c_calls_used = next () land 0xFFF;
+    c_stalls = (if next () land 1 = 0 then [||] else Array.init n (fun _ -> next () land 3));
+  }
+
+let mk_snap seed : Checkpoint.t =
+  let next = mk_rng seed in
+  let nworkers = 1 + (next () land 3) in
+  {
+    Checkpoint.kernel = Fmt.str "k%d" (next () land 0xFF);
+    grid = { Launch.x = 1 + (next () land 7); y = 1; z = 1 };
+    block = { Launch.x = 1 + (next () land 31); y = 1; z = 1 };
+    workers = nworkers;
+    seq = 1 + (next () land 0xFF);
+    global_size = 1 lsl 20;
+    global_image = mk_bytes next (next () land 1023);
+    params_image = mk_bytes next (next () land 63);
+    worker_snaps =
+      Array.init nworkers (fun _ ->
+          {
+            Checkpoint.w_next_cta = next () land 15;
+            w_stats = mk_stats next;
+            w_inflight =
+              (if next () land 1 = 0 then None else Some (mk_cta next));
+          });
+    fault_state =
+      (if next () land 1 = 0 then None
+       else Some (Array.init 6 (fun _ -> next ())));
+    hotness = [ (4, "digest-a", next () land 0xFF); (2, "digest-b", 1) ];
+    quarantine = [ (4, "digest-a", 1 + (next () land 7)) ];
+  }
+
+(* ---- serialization round trip and corruption rejection ---- *)
+
+let test_roundtrip_bit_identical =
+  QCheck.Test.make ~count:100 ~name:"snapshot serialize/deserialize round trip"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let t = mk_snap seed in
+      let data = Checkpoint.to_bytes t in
+      let t' = Checkpoint.of_bytes ~path:"(test)" data in
+      Bytes.equal data (Checkpoint.to_bytes t'))
+
+let test_truncation_rejected =
+  QCheck.Test.make ~count:60 ~name:"truncated snapshot rejected"
+    QCheck.(pair (int_bound 1_000_000) (int_bound 10_000))
+    (fun (seed, cut) ->
+      let data = Checkpoint.to_bytes (mk_snap seed) in
+      let cut = cut mod Bytes.length data in
+      match
+        Checkpoint.of_bytes ~path:"(test)" (Bytes.sub data 0 cut)
+      with
+      | _ -> false
+      | exception e -> is_ckpt_error e)
+
+let test_bitflip_rejected =
+  QCheck.Test.make ~count:100 ~name:"corrupted snapshot byte rejected"
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (seed, pos) ->
+      let data = Checkpoint.to_bytes (mk_snap seed) in
+      let pos = pos mod Bytes.length data in
+      let bad = Bytes.copy data in
+      Bytes.set bad pos (Char.chr (Char.code (Bytes.get bad pos) lxor 0x5A));
+      match Checkpoint.of_bytes ~path:"(test)" bad with
+      | _ -> false
+      | exception e -> is_ckpt_error e)
+
+let test_trailing_bytes_rejected () =
+  let data = Checkpoint.to_bytes (mk_snap 42) in
+  let padded = Bytes.cat data (Bytes.make 3 'x') in
+  match Checkpoint.of_bytes ~path:"(test)" padded with
+  | _ -> Alcotest.fail "trailing bytes accepted"
+  | exception e ->
+      Alcotest.(check bool) "structured error" true (is_ckpt_error e)
+
+(* ---- interrupted + resumed = uninterrupted, across the registry ---- *)
+
+let fresh_run ?(config = Api.default_config) ?checkpoint_stop (w : Workload.t)
+    =
+  let dev = Api.create_device () in
+  let m = Api.load_module ~config dev w.Workload.src in
+  let inst = w.Workload.setup dev in
+  let report =
+    Api.launch ?checkpoint_stop m ~kernel:w.Workload.kernel
+      ~grid:inst.Workload.grid ~block:inst.Workload.block
+      ~args:inst.Workload.args
+  in
+  (dev, m, inst, report)
+
+let check_int_stats what ~(expect : Stats.t) ~(got : Stats.t) =
+  let ci name a b = Alcotest.(check int) (what ^ ": " ^ name) a b in
+  List.iter
+    (fun (name, get, _) ->
+      ci name (get expect.Stats.counters) (get got.Stats.counters))
+    Interp.int_counter_fields;
+  ci "barrier_releases" expect.Stats.barrier_releases got.Stats.barrier_releases;
+  ci "threads_launched" expect.Stats.threads_launched got.Stats.threads_launched
+
+(* Run the workload once uninterrupted; then again with the checkpoint
+   policy stopping the launch after its [stop]th snapshot, and resume
+   the interrupted launch from that snapshot in a third, fresh module.
+   Final global memory must be bit-identical and the merged integer
+   statistics equal. *)
+let test_resume_differential ~workers ~stop (w : Workload.t) () =
+  let dir = Filename.concat tmpdir (Fmt.str "%s-w%d" w.Workload.name workers) in
+  let config =
+    {
+      Api.default_config with
+      workers = Some workers;
+      checkpoint_every = 3;
+      checkpoint_dir = dir;
+    }
+  in
+  let dev0, _, inst0, r0 =
+    fresh_run ~config:{ config with checkpoint_every = 0 } w
+  in
+  (match inst0.Workload.check dev0 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s uninterrupted: %s" w.Workload.name e);
+  match fresh_run ~config ~checkpoint_stop:stop w with
+  | dev1, _, inst1, r1 ->
+      (* the launch completed before [stop] snapshots accumulated: it
+         still ran under the checkpoint policy, so the results must be
+         untouched by snapshotting *)
+      (match inst1.Workload.check dev1 with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s checkpointed: %s" w.Workload.name e);
+      Alcotest.(check bool)
+        (Fmt.str "%s w%d: checkpointing leaves memory identical"
+           w.Workload.name workers)
+        true
+        (Mem.equal dev0.Api.global dev1.Api.global);
+      check_int_stats
+        (Fmt.str "%s w%d ckpt-on" w.Workload.name workers)
+        ~expect:r0.Api.stats ~got:r1.Api.stats
+  | exception Checkpoint.Stop snap_path ->
+      let dev2 = Api.create_device () in
+      let m2 = Api.load_module ~config dev2 w.Workload.src in
+      let inst2 = w.Workload.setup dev2 in
+      let r2 =
+        Api.launch ~resume:snap_path m2 ~kernel:w.Workload.kernel
+          ~grid:inst2.Workload.grid ~block:inst2.Workload.block
+          ~args:inst2.Workload.args
+      in
+      (match inst2.Workload.check dev2 with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s resumed: %s" w.Workload.name e);
+      Alcotest.(check bool)
+        (Fmt.str "%s w%d: resumed memory bit-identical to uninterrupted"
+           w.Workload.name workers)
+        true
+        (Mem.equal dev0.Api.global dev2.Api.global);
+      check_int_stats
+        (Fmt.str "%s w%d resumed" w.Workload.name workers)
+        ~expect:r0.Api.stats ~got:r2.Api.stats;
+      Alcotest.(check bool)
+        (Fmt.str "%s w%d: resume accounted" w.Workload.name workers)
+        true
+        (counter_value m2 ~kernel:w.Workload.kernel r2 "ckpt.resumes" >= 1)
+
+(* ---- spill/restore round trip at a forced yield point ----
+
+   Two-phase barrier kernel: phase 1 doubles x into tmp, phase 2 reads
+   the wrapped right neighbour after bar.sync.  Stopping at the second
+   snapshot with checkpoint_every=1 lands inside the CTA with live
+   values spilled by the exit handlers and threads parked at the
+   barrier; the resumed run must restore them through the entry
+   handlers and still produce the exact ring sums. *)
+let ringsum_src =
+  {|
+.entry ringsum (.param .u64 x, .param .u64 tmp, .param .u64 out, .param .u32 n)
+{
+  .reg .u32 %t, %n, %j;
+  .reg .u64 %px, %pt, %po, %off, %offj;
+  .reg .f32 %v, %w;
+  .reg .pred %p;
+
+  mov.u32 %t, %tid.x;
+  ld.param.u32 %n, [n];
+  cvt.u64.u32 %off, %t;
+  shl.b64 %off, %off, 2;
+  ld.param.u64 %px, [x];
+  add.u64 %px, %px, %off;
+  ld.global.f32 %v, [%px];
+  add.f32 %v, %v, %v;
+  ld.param.u64 %pt, [tmp];
+  add.u64 %pt, %pt, %off;
+  st.global.f32 [%pt], %v;
+
+  bar.sync 0;
+
+  add.u32 %j, %t, 1;
+  setp.lt.u32 %p, %j, %n;
+  @%p bra NOWRAP;
+  mov.u32 %j, 0;
+NOWRAP:
+  cvt.u64.u32 %offj, %j;
+  shl.b64 %offj, %offj, 2;
+  ld.param.u64 %pt, [tmp];
+  add.u64 %pt, %pt, %offj;
+  ld.global.f32 %w, [%pt];
+  add.f32 %v, %v, %w;
+  ld.param.u64 %po, [out];
+  add.u64 %po, %po, %off;
+  st.global.f32 [%po], %v;
+  exit;
+}
+|}
+
+let ringsum_setup dev =
+  let n = 8 in
+  let x = Api.malloc dev (4 * n) in
+  Api.write_f32s dev x (List.init n (fun i -> float_of_int (i + 1)));
+  let tmp = Api.malloc dev (4 * n) in
+  let out = Api.malloc dev (4 * n) in
+  let args = [ Launch.Ptr x; Launch.Ptr tmp; Launch.Ptr out; Launch.I32 n ] in
+  (n, out, args)
+
+let ringsum_expected n =
+  List.init n (fun i ->
+      float_of_int (2 * (i + 1)) +. float_of_int (2 * (((i + 1) mod n) + 1)))
+
+let test_spill_restore_roundtrip () =
+  let dir = Filename.concat tmpdir "ringsum" in
+  let config =
+    {
+      Api.default_config with
+      checkpoint_every = 1;
+      checkpoint_dir = dir;
+      workers = Some 1;
+    }
+  in
+  let launch ?resume ?checkpoint_stop () =
+    let dev = Api.create_device () in
+    let m = Api.load_module ~config dev ringsum_src in
+    let n, out, args = ringsum_setup dev in
+    ignore
+      (Api.launch ?resume ?checkpoint_stop m ~kernel:"ringsum"
+         ~grid:(Launch.dim3 1) ~block:(Launch.dim3 n) ~args);
+    Api.read_f32s dev out n
+  in
+  (* stop at snapshot 2: past the first dispatches, threads blocked at
+     the barrier with their registers spilled to the local arena *)
+  match launch ~checkpoint_stop:2 () with
+  | _ -> Alcotest.fail "expected Checkpoint.Stop"
+  | exception Checkpoint.Stop snap ->
+      let s = Checkpoint.read snap in
+      let parked =
+        Array.fold_left
+          (fun acc (ws : Checkpoint.worker_snap) ->
+            match ws.Checkpoint.w_inflight with
+            | None -> acc
+            | Some c ->
+                acc
+                + Array.fold_left
+                    (fun a (t : Checkpoint.thread_snap) ->
+                      if t.Checkpoint.t_state <> Sched.Done then a + 1 else a)
+                    0 c.Checkpoint.c_threads)
+          0 s.Checkpoint.worker_snaps
+      in
+      Alcotest.(check bool) "snapshot holds live thread contexts" true
+        (parked > 0);
+      Alcotest.(check (list (float 1e-6)))
+        "resumed ring sums exact" (ringsum_expected 8)
+        (launch ~resume:snap ())
+
+(* ---- record / replay determinism ---- *)
+
+let warp_formed_list events =
+  List.filter_map
+    (function
+      | Obs.Event.Warp_formed { worker; entry_id; size; _ } ->
+          Some (worker, entry_id, size)
+      | _ -> None)
+    events
+
+let test_record_replay_determinism () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let log = Filename.concat tmpdir (w.Workload.name ^ ".sched") in
+      let run config =
+        let events = ref [] in
+        let sink = Obs.Sink.fn (fun e -> events := e :: !events) in
+        let dev = Api.create_device () in
+        let m = Api.load_module ~config dev w.Workload.src in
+        let inst = w.Workload.setup dev in
+        ignore
+          (Api.launch ~sink m ~kernel:w.Workload.kernel
+             ~grid:inst.Workload.grid ~block:inst.Workload.block
+             ~args:inst.Workload.args);
+        (match inst.Workload.check dev with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "%s: %s" w.Workload.name e);
+        List.rev !events
+      in
+      let base = { Api.default_config with workers = Some 4 } in
+      let recorded = run { base with record = Some log } in
+      let replayed = run { base with replay = Some log } in
+      Alcotest.(check bool)
+        (Fmt.str "%s: replay begins" w.Workload.name)
+        true
+        (List.exists
+           (function Obs.Event.Replay_begin _ -> true | _ -> false)
+           replayed);
+      Alcotest.(check (list (triple int int int)))
+        (Fmt.str "%s: identical warp-formation sequence" w.Workload.name)
+        (warp_formed_list recorded)
+        (warp_formed_list replayed))
+    (List.filteri (fun i _ -> i < 6) Registry.all)
+
+let test_replay_divergence_detected () =
+  let w = Registry.find_exn "vecadd" in
+  let log = Filename.concat tmpdir "diverge.sched" in
+  let run config ~grid =
+    let dev = Api.create_device () in
+    let m = Api.load_module ~config dev w.Workload.src in
+    let inst = w.Workload.setup dev in
+    ignore
+      (Api.launch m ~kernel:w.Workload.kernel ~grid
+         ~block:inst.Workload.block ~args:inst.Workload.args)
+  in
+  let dev = Api.create_device () in
+  let inst = (Registry.find_exn "vecadd").Workload.setup dev in
+  let grid = inst.Workload.grid in
+  run { Api.default_config with record = Some log } ~grid;
+  (* a different block shape cannot follow the recorded schedule *)
+  match
+    run { Api.default_config with replay = Some log }
+      ~grid:{ grid with Launch.x = grid.Launch.x + 1 }
+  with
+  | () -> Alcotest.fail "replay against a different grid accepted"
+  | exception e ->
+      Alcotest.(check bool) "structured divergence" true (is_ckpt_error e)
+
+let test_replay_log_truncation_rejected () =
+  let w = Registry.find_exn "vecadd" in
+  let log = Filename.concat tmpdir "trunc.sched" in
+  let dev = Api.create_device () in
+  let m =
+    Api.load_module ~config:{ Api.default_config with record = Some log } dev
+      w.Workload.src
+  in
+  let inst = w.Workload.setup dev in
+  ignore
+    (Api.launch m ~kernel:w.Workload.kernel ~grid:inst.Workload.grid
+       ~block:inst.Workload.block ~args:inst.Workload.args);
+  let lines = In_channel.with_open_bin log In_channel.input_lines in
+  let keep = List.filteri (fun i _ -> i < List.length lines - 1) lines in
+  Out_channel.with_open_bin log (fun oc ->
+      List.iter (fun l -> Printf.fprintf oc "%s\n" l) keep);
+  match Replay.load log with
+  | _ -> Alcotest.fail "truncated log accepted"
+  | exception e ->
+      Alcotest.(check bool) "structured truncation error" true
+        (is_ckpt_error e)
+
+(* ---- corrupted snapshot: structured rejection, oracle fallback ---- *)
+
+let corrupt_copy snap =
+  let data =
+    In_channel.with_open_bin snap In_channel.input_all |> Bytes.of_string
+  in
+  let pos = Bytes.length data - 8 in
+  Bytes.set data pos (Char.chr (Char.code (Bytes.get data pos) lxor 0xFF));
+  let bad = snap ^ ".bad" in
+  Out_channel.with_open_bin bad (fun oc -> Out_channel.output_bytes oc data);
+  bad
+
+let test_corrupt_resume () =
+  let w = Registry.find_exn "vecadd" in
+  let dir = Filename.concat tmpdir "corrupt" in
+  let config =
+    {
+      Api.default_config with
+      checkpoint_every = 1;
+      checkpoint_dir = dir;
+      workers = Some 1;
+    }
+  in
+  let snap =
+    match fresh_run ~config ~checkpoint_stop:1 w with
+    | _ -> Alcotest.fail "expected Checkpoint.Stop"
+    | exception Checkpoint.Stop snap -> snap
+  in
+  let bad = corrupt_copy snap in
+  (* without recovery: the structured error surfaces *)
+  let dev = Api.create_device () in
+  let m = Api.load_module ~config dev w.Workload.src in
+  let inst = w.Workload.setup dev in
+  (match
+     Api.launch ~resume:bad m ~kernel:w.Workload.kernel
+       ~grid:inst.Workload.grid ~block:inst.Workload.block
+       ~args:inst.Workload.args
+   with
+  | _ -> Alcotest.fail "corrupted snapshot accepted"
+  | exception e ->
+      Alcotest.(check bool) "structured rejection" true (is_ckpt_error e));
+  (* with recovery armed: rejected, then the emulator oracle completes
+     the launch with correct results *)
+  let dev2 = Api.create_device () in
+  let m2 =
+    Api.load_module ~config:{ config with recover = true } dev2 w.Workload.src
+  in
+  let inst2 = w.Workload.setup dev2 in
+  let r =
+    Api.launch ~resume:bad m2 ~kernel:w.Workload.kernel
+      ~grid:inst2.Workload.grid ~block:inst2.Workload.block
+      ~args:inst2.Workload.args
+  in
+  (match inst2.Workload.check dev2 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "oracle fallback results: %s" e);
+  (match r.Api.recovered with
+  | Some (Vekt_error.Checkpoint _) -> ()
+  | _ -> Alcotest.fail "expected Checkpoint recovery cause");
+  Alcotest.(check int) "one emulator run" 1
+    (counter_value m2 ~kernel:w.Workload.kernel r "fallback.emulator_runs");
+  Alcotest.(check bool) "rejection counted" true
+    (counter_value m2 ~kernel:w.Workload.kernel r "ckpt.rejected" >= 1)
+
+(* ---- in-launch fault recovery resumes from the newest snapshot ---- *)
+
+let test_fault_recovery_resumes_from_checkpoint () =
+  let w = Registry.find_exn "vecadd" in
+  let dir = Filename.concat tmpdir "fault-resume" in
+  let config =
+    {
+      Api.default_config with
+      checkpoint_every = 2;
+      checkpoint_dir = dir;
+      workers = Some 1;
+      recover = true;
+      inject =
+        Some
+          {
+            Fault.seed = 7;
+            specs = [ Fault.Mem_trap { nth = 40; kernel = None } ];
+          };
+    }
+  in
+  let dev0, _, inst0, _ = fresh_run w (* uninterrupted reference *) in
+  ignore inst0;
+  let dev, m, inst, r = fresh_run ~config w in
+  (match inst.Workload.check dev with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "recovered results: %s" e);
+  Alcotest.(check bool) "memory identical to clean run" true
+    (Mem.equal dev0.Api.global dev.Api.global);
+  Alcotest.(check bool) "no oracle run" true (r.Api.recovered = None);
+  Alcotest.(check int) "no emulator fallback" 0
+    (counter_value m ~kernel:w.Workload.kernel r "fallback.emulator_runs");
+  Alcotest.(check bool) "resumed from a snapshot" true
+    (counter_value m ~kernel:w.Workload.kernel r "ckpt.resumes" >= 1)
+
+(* ---- satellite: config validation at module load ---- *)
+
+let test_config_validation () =
+  let w = Registry.find_exn "vecadd" in
+  let dev = Api.create_device () in
+  let reject what config =
+    match Api.load_module ~config dev w.Workload.src with
+    | _ -> Alcotest.failf "%s accepted" what
+    | exception Vekt_error.Error (Vekt_error.Resource _) -> ()
+    | exception Vekt_error.Error (Vekt_error.Checkpoint _) -> ()
+  in
+  reject "workers=0" { Api.default_config with workers = Some 0 };
+  reject "workers=-2" { Api.default_config with workers = Some (-2) };
+  reject "checkpoint_every=-1"
+    { Api.default_config with checkpoint_every = -1 };
+  reject "cache_capacity=0" { Api.default_config with cache_capacity = Some 0 };
+  reject "empty pipeline"
+    {
+      Api.default_config with
+      pipeline =
+        {
+          Vekt_transform.Passes.default_pipeline with
+          Vekt_transform.Passes.passes = [];
+        };
+    };
+  reject "record+replay"
+    { Api.default_config with record = Some "a"; replay = Some "b" };
+  (* a healthy config still loads *)
+  ignore (Api.load_module dev w.Workload.src)
+
+(* ---- satellite: quarantine ages out on the monotonic clock ---- *)
+
+let test_quarantine_max_age () =
+  let w = Registry.find_exn "vecadd" in
+  let base max_age =
+    {
+      Api.default_config with
+      widths = [ 4; 2; 1 ];
+      inject =
+        Some
+          {
+            Fault.seed = 7;
+            specs =
+              [
+                Fault.Compile_fail
+                  { ws = Some 4; tier = None; kernel = None; p = 1.0 };
+              ];
+          };
+      recover = true;
+      quarantine_ttl = 1000 (* launch-count TTL effectively never *);
+      quarantine_max_age_us = max_age;
+    }
+  in
+  let failures_per_launch config =
+    let dev = Api.create_device () in
+    let m = Api.load_module ~config dev w.Workload.src in
+    let inst = w.Workload.setup dev in
+    let launch () =
+      Api.launch m ~kernel:w.Workload.kernel ~grid:inst.Workload.grid
+        ~block:inst.Workload.block ~args:inst.Workload.args
+    in
+    let f1 =
+      counter_value m ~kernel:w.Workload.kernel (launch ())
+        "fallback.compile_failures"
+    in
+    let f2 =
+      counter_value m ~kernel:w.Workload.kernel (launch ())
+        "fallback.compile_failures"
+    in
+    (f1, f2)
+  in
+  (* control: under the launch-count TTL alone the width stays
+     quarantined, so a second launch adds no compile failures *)
+  let c1, c2 = failures_per_launch (base None) in
+  Alcotest.(check bool) "count TTL: width attempted once" true (c1 >= 1);
+  Alcotest.(check int) "count TTL: second launch skips the width" c1 c2;
+  (* a zero age bound expires the entry on the monotonic clock the
+     moment it lands, so the width keeps being re-attempted (and keeps
+     failing) — the cumulative count grows across launches despite the
+     huge launch-count TTL *)
+  let a1, a2 = failures_per_launch (base (Some 0.0)) in
+  Alcotest.(check bool) "age bound: width attempted" true (a1 >= 1);
+  Alcotest.(check bool)
+    (Fmt.str "age bound: second launch re-attempts (%d -> %d)" a1 a2)
+    true (a2 > a1)
+
+(* ---- registration ---- *)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "checkpoint"
+    [
+      ( "serialization",
+        [
+          q test_roundtrip_bit_identical;
+          q test_truncation_rejected;
+          q test_bitflip_rejected;
+          Alcotest.test_case "trailing bytes rejected" `Quick
+            test_trailing_bytes_rejected;
+        ] );
+      ( "resume-differential-w1",
+        List.map
+          (fun (w : Workload.t) ->
+            Alcotest.test_case w.Workload.name `Quick
+              (test_resume_differential ~workers:1 ~stop:1 w))
+          some_workloads );
+      ( "resume-differential-w4",
+        List.map
+          (fun (w : Workload.t) ->
+            Alcotest.test_case w.Workload.name `Quick
+              (test_resume_differential ~workers:4 ~stop:2 w))
+          some_workloads );
+      ( "spill-restore",
+        [
+          Alcotest.test_case "barrier yield round trip" `Quick
+            test_spill_restore_roundtrip;
+        ] );
+      ( "record-replay",
+        [
+          Alcotest.test_case "determinism across registry" `Quick
+            test_record_replay_determinism;
+          Alcotest.test_case "divergence detected" `Quick
+            test_replay_divergence_detected;
+          Alcotest.test_case "truncated log rejected" `Quick
+            test_replay_log_truncation_rejected;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "corrupt resume rejects, oracle completes" `Quick
+            test_corrupt_resume;
+        ] );
+      ( "fault-recovery",
+        [
+          Alcotest.test_case "resumes from newest snapshot" `Quick
+            test_fault_recovery_resumes_from_checkpoint;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "validation at load" `Quick test_config_validation;
+        ] );
+      ( "quarantine-age",
+        [
+          Alcotest.test_case "monotonic age bound" `Quick
+            test_quarantine_max_age;
+        ] );
+    ]
