@@ -421,13 +421,17 @@ let scaling_out = ref "BENCH_parallel.json"
 let scaling () =
   header "Scaling: domain-parallel worker pool (host wall-clock)";
   let worker_counts = [ 1; 2; 4; 8 ] in
-  let reps = 2 in
+  let reps = 5 in
   let cores = Domain.recommended_domain_count () in
-  Fmt.pr "host reports %d usable cores; timing best-of-%d per cell@." cores reps;
+  Fmt.pr
+    "host reports %d usable cores; best-of-%d per cell, percentiles over reps@."
+    cores reps;
   Fmt.pr "%-14s %6s" "application" "ncta";
   List.iter (fun w -> Fmt.pr " %10s" (Fmt.str "w%d us" w)) worker_counts;
-  Fmt.pr " %9s@." "x at w4";
+  Fmt.pr " %9s %8s %8s %8s@." "x at w4" "p50 w4" "p95 w4" "p99 w4";
   let module Clock = Vekt_runtime.Clock in
+  let module Metrics = Vekt_obs.Metrics in
+  let reg = Metrics.create () in
   let results =
     List.map
       (fun (w : Workload.t) ->
@@ -442,34 +446,49 @@ let scaling () =
                  ~block:inst.Workload.block ~args:inst.Workload.args)
           in
           launch () (* warmup: JIT compiles land here *);
+          (* Every rep lands in a histogram so the artifact carries the
+             rep-to-rep launch-latency spread, not just the minimum. *)
+          let h =
+            Metrics.histogram reg
+              (Fmt.str "%s.w%d.launch_us" w.Workload.name workers)
+          in
           let best = ref infinity in
           for _ = 1 to reps do
             let t0 = Clock.now_us () in
             launch ();
-            best := Float.min !best (Clock.elapsed_us t0)
+            let us = Clock.elapsed_us t0 in
+            Metrics.observe h (int_of_float us);
+            best := Float.min !best us
           done;
-          (Launch.count inst.Workload.grid, !best)
+          (Launch.count inst.Workload.grid, !best, h)
         in
         let cells = List.map (fun n -> (n, cell n)) worker_counts in
-        let ncta = fst (snd (List.hd cells)) in
-        let base = snd (snd (List.hd cells)) in
+        let ncta, base, _ = snd (List.hd cells) in
         Fmt.pr "%-14s %6d" w.Workload.name ncta;
-        List.iter (fun (_, (_, us)) -> Fmt.pr " %10.0f" us) cells;
+        List.iter (fun (_, (_, us, _)) -> Fmt.pr " %10.0f" us) cells;
         let sp4 =
           match List.assoc_opt 4 cells with
-          | Some (_, us) when us > 0.0 -> base /. us
+          | Some (_, us, _) when us > 0.0 -> base /. us
           | _ -> 0.0
         in
-        Fmt.pr " %8.2fx@." sp4;
-        (w.Workload.name, ncta, List.map (fun (n, (_, us)) -> (n, us)) cells))
+        (match List.assoc_opt 4 cells with
+        | Some (_, _, h4) ->
+            let p50, p95, p99 = Metrics.percentiles h4 in
+            Fmt.pr " %8.2fx %8d %8d %8d@." sp4 p50 p95 p99
+        | None -> Fmt.pr " %8.2fx@." sp4);
+        (w.Workload.name, ncta, List.map (fun (n, (_, us, h)) -> (n, us, h)) cells))
       Registry.all
+  in
+  let wall_of n cells =
+    List.find_opt (fun (m, _, _) -> m = n) cells
+    |> Option.map (fun (_, us, _) -> us)
   in
   let fast4 =
     List.filter
       (fun (_, ncta, cells) ->
         ncta >= 2
         &&
-        match (List.assoc_opt 1 cells, List.assoc_opt 4 cells) with
+        match (wall_of 1 cells, wall_of 4 cells) with
         | Some b, Some u when u > 0.0 -> b /. u >= 1.5
         | _ -> false)
       results
@@ -487,23 +506,33 @@ let scaling () =
        (String.concat ", " (List.map string_of_int worker_counts)));
   List.iteri
     (fun i (name, ncta, cells) ->
-      let base = List.assoc 1 cells in
+      let base = Option.value (wall_of 1 cells) ~default:0.0 in
       let wall =
         String.concat ", "
-          (List.map (fun (n, us) -> Fmt.str "\"%d\": %.1f" n us) cells)
+          (List.map (fun (n, us, _) -> Fmt.str "\"%d\": %.1f" n us) cells)
       in
       let speedup =
         String.concat ", "
           (List.map
-             (fun (n, us) ->
-               Fmt.str "\"%d\": %.3f" n (if us > 0.0 then base /. us else 0.0))
+             (fun (n, us, _) ->
+               Fmt.str "\"%d\": %.3f" n
+                 (if us > 0.0 && base > 0.0 then base /. us else 0.0))
+             cells)
+      in
+      let pcts =
+        String.concat ", "
+          (List.map
+             (fun (n, _, h) ->
+               let p50, p95, p99 = Metrics.percentiles h in
+               Fmt.str "\"%d\": {\"p50\": %d, \"p95\": %d, \"p99\": %d}" n p50
+                 p95 p99)
              cells)
       in
       Buffer.add_string buf
         (Fmt.str
            "    {\"name\": %S, \"ncta\": %d, \"wall_us\": {%s}, \"speedup\": \
-            {%s}}%s\n"
-           name ncta wall speedup
+            {%s}, \"launch_us_pct\": {%s}}%s\n"
+           name ncta wall speedup pcts
            (if i = List.length results - 1 then "" else ",")))
     results;
   Buffer.add_string buf "  ]\n}\n";

@@ -231,7 +231,7 @@ let run_cmd =
   let run file kernel grid block arg_specs dumps static affine ws workers sched
       pipeline tiered hot_threshold cache_cap inject inject_seed watchdog
       quarantine_ttl recover checkpoint_every checkpoint_dir checkpoint_stop
-      resume record replay trace profile metrics =
+      resume record replay trace profile metrics report =
     let src, m = load file in
     let kernel = pick_kernel m kernel in
     let dev = Api.create_device () in
@@ -287,21 +287,53 @@ let run_cmd =
         replay;
       }
     in
-    let api_m = Api.load_module ~config dev src in
     let args = List.map (parse_arg_spec dev) arg_specs in
-    let tracer = Option.map (fun _ -> Obs.Trace.create ()) trace in
+    (* --report is the full observatory: it force-enables the tracer
+       (spans), line attribution and the divergence profile even when
+       their individual flags are off *)
+    let tracer =
+      if Option.is_some trace || Option.is_some report then
+        Some (Obs.Trace.create ())
+      else None
+    in
     let sink =
       match tracer with Some t -> Obs.Trace.sink t | None -> Obs.Sink.noop
     in
-    let prof = if profile then Some (Obs.Divergence.create ()) else None in
+    let attr = Option.map (fun _ -> Obs.Attribution.create ()) report in
+    let prof =
+      if profile || Option.is_some report then Some (Obs.Divergence.create ())
+      else None
+    in
+    let api_m = Api.load_module ~config ~sink dev src in
+    (* flight recorder: a launch that dies on a structured error dumps
+       the ring tail, the open span stack and the error itself before
+       the error propagates *)
+    let crash_dump (err : Vekt_error.t) =
+      match (report, tracer) with
+      | Some rpath, Some t ->
+          let bundle =
+            Vekt_runtime.Report.crash_bundle ~kernel ~error:err ~trace:t ()
+          in
+          if rpath = "-" then Fmt.pr "%s@." bundle
+          else begin
+            let path = rpath ^ ".crash.json" in
+            write_file path bundle;
+            Fmt.epr "crash bundle -> %s@." path
+          end
+      | _ -> ()
+    in
     let r =
       try
-        Api.launch ~sink ?profile:prof ?resume ?checkpoint_stop api_m ~kernel
-          ~grid:(Launch.dim3 grid) ~block:(Launch.dim3 block)
+        Api.launch ~sink ?profile:prof ?attr ?resume ?checkpoint_stop api_m
+          ~kernel ~grid:(Launch.dim3 grid) ~block:(Launch.dim3 block)
           ~args:(List.map (fun a -> a.launch_arg) args)
-      with Vekt_runtime.Checkpoint.Stop path ->
-        Fmt.pr "checkpointed and stopped; resume with --resume %s@." path;
-        exit 0
+      with
+      | Vekt_runtime.Checkpoint.Stop path ->
+          Fmt.pr "checkpointed and stopped; resume with --resume %s@." path;
+          exit 0
+      | Vekt_error.Error err ->
+          crash_dump err;
+          raise (Vekt_error.Error err)
     in
     (match r.Api.recovered with
     | Some err ->
@@ -325,7 +357,7 @@ let run_cmd =
           (Obs.Trace.dropped t) path
     | _ -> ());
     (match prof with
-    | Some p ->
+    | Some p when profile ->
         Obs.Divergence.report Fmt.stdout p;
         Fmt.pr
           "profile totals: %d warps, %d restores (stats: %d warps, %d restores)@."
@@ -333,7 +365,22 @@ let run_cmd =
           (Obs.Divergence.total_restores p)
           (Hashtbl.fold (fun _ c a -> a + c) r.Api.stats.Stats.warp_hist 0)
           r.Api.stats.Stats.counters.Vekt_vm.Interp.restores
-    | None -> ());
+    | _ -> ());
+    (match (report, tracer) with
+    | Some rpath, Some t ->
+        let rep =
+          Vekt_runtime.Report.build ~kernel ~src
+            ~workers:(Option.value workers ~default:dev.Api.workers)
+            ~trace:t
+            ~attr:(Option.value attr ~default:(Obs.Attribution.create ()))
+            ?profile:prof r
+        in
+        if rpath = "-" then Fmt.pr "%s" (Vekt_runtime.Report.render rep)
+        else begin
+          write_file rpath (Vekt_runtime.Report.to_json rep);
+          Fmt.pr "report -> %s@." rpath
+        end
+    | _ -> ());
     match metrics with
     | Some path ->
         let reg = Api.metrics api_m ~kernel r in
@@ -374,6 +421,18 @@ let run_cmd =
           ~doc:
             "Export the metrics registry to $(docv): CSV by default, JSON if \
              $(docv) ends in .json, human-readable on stdout if $(docv) is -")
+  in
+  let report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Write a post-launch report to $(docv) (JSON), or print the \
+             human-readable form on stdout if $(docv) is -. Implies span \
+             tracing, source-line cycle attribution and divergence \
+             profiling. If the launch dies on a structured error, a crash \
+             bundle is dumped to $(docv).crash.json instead.")
   in
   let sched_arg =
     Arg.(
@@ -522,7 +581,7 @@ let run_cmd =
       $ hot_threshold_arg $ cache_cap_arg $ inject_arg $ inject_seed_arg
       $ watchdog_arg $ quarantine_ttl_arg $ recover_arg $ checkpoint_every_arg
       $ checkpoint_dir_arg $ checkpoint_stop_arg $ resume_arg $ record_arg
-      $ replay_arg $ trace_arg $ profile_arg $ metrics_arg)
+      $ replay_arg $ trace_arg $ profile_arg $ metrics_arg $ report_arg)
 
 (* ---- emulate ---- *)
 
@@ -576,7 +635,7 @@ let info_cmd =
           List.iter
             (fun (b : Ir.block) ->
               List.iter
-                (fun i ->
+                (fun ({ Ir.i; _ } : Ir.li) ->
                   incr total;
                   if Invariance.instr_invariant ~static_warps:true variants i then incr inv)
                 b.Ir.insts)

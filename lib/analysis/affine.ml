@@ -142,7 +142,7 @@ let fixpoint ?(clamp = Hashtbl.create 0) ?(multi_def_unknown = false) (f : Ir.fu
   List.iter
     (fun (b : Ir.block) ->
       List.iter
-        (fun i ->
+        (fun { Ir.i; _ } ->
           match Ir.def i with
           | Some d ->
               Hashtbl.replace def_count d
@@ -158,7 +158,7 @@ let fixpoint ?(clamp = Hashtbl.create 0) ?(multi_def_unknown = false) (f : Ir.fu
   List.iter
     (fun (b : Ir.block) ->
       List.iter
-        (fun i ->
+        (fun { Ir.i; _ } ->
           match Ir.def i with
           | Some d when multi_def_unknown && fixed d && not (Hashtbl.mem clamp d) ->
               Hashtbl.replace cls d Unknown
@@ -182,7 +182,7 @@ let fixpoint ?(clamp = Hashtbl.create 0) ?(multi_def_unknown = false) (f : Ir.fu
     List.iter
       (fun (b : Ir.block) ->
         List.iter
-          (fun i ->
+          (fun { Ir.i; _ } ->
             match Ir.def i with
             | None -> ()
             | Some d ->

@@ -50,7 +50,7 @@ let variant_regs ?(static_warps = false) ?(seed = ISet.empty) (f : Ir.func) : IS
     List.iter
       (fun b ->
         List.iter
-          (fun i ->
+          (fun { Ir.i; _ } ->
             match Ir.def i with
             | None -> ()
             | Some d ->
@@ -84,7 +84,7 @@ let invariant_fraction (f : Ir.func) : float =
   List.iter
     (fun b ->
       List.iter
-        (fun i ->
+        (fun { Ir.i; _ } ->
           incr total;
           if instr_invariant variants i then incr inv)
         b.Ir.insts)

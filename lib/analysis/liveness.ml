@@ -20,7 +20,7 @@ type t = {
 let gen_kill (b : Ir.block) =
   let gen = ref ISet.empty and kill = ref ISet.empty in
   List.iter
-    (fun i ->
+    (fun { Ir.i; _ } ->
       List.iter (fun r -> if not (ISet.mem r !kill) then gen := ISet.add r !gen) (Ir.uses i);
       match Ir.def i with Some d -> kill := ISet.add d !kill | None -> ())
     b.insts;
@@ -80,7 +80,7 @@ let per_instruction (t : t) (b : Ir.block) : ISet.t array =
   let insts = Array.of_list b.insts in
   for idx = n - 1 downto 0 do
     after.(idx) <- !live;
-    let i = insts.(idx) in
+    let i = insts.(idx).Ir.i in
     (match Ir.def i with Some d -> live := ISet.remove d !live | None -> ());
     List.iter (fun r -> live := ISet.add r !live) (Ir.uses i)
   done;

@@ -162,6 +162,16 @@ let pp ppf = function
 
 let to_string e = Fmt.str "%a" pp e
 
+(** The variant's class name (stable machine-readable tag, used by the
+    crash bundle). *)
+let kind_name = function
+  | Compile _ -> "compile"
+  | Trap _ -> "trap"
+  | Deadlock _ -> "deadlock"
+  | Fuel _ -> "fuel"
+  | Resource _ -> "resource"
+  | Checkpoint _ -> "checkpoint"
+
 (** Faults a launch can transparently recover from by degrading to the
     reference emulator: anything wrong with the *compiled* path.  Fuel
     exhaustion is excluded — a runaway kernel would also run away (more

@@ -16,11 +16,13 @@
 type t = {
   func : Ir.func;
   mutable current : Ir.block option;
-  mutable rev_insts : Ir.instr list;
+  mutable rev_insts : Ir.li list;
       (** pending instructions of [current], newest first *)
   mutable rev_order : string list;
       (** block layout, newest first; [func.order] is derived on {!func} *)
   mutable label_counter : int;
+  mutable cur_line : int;
+      (** source line stamped on instructions by {!emit}; 0 = synthetic *)
 }
 
 let create ?(warp_size = 1) fname =
@@ -39,7 +41,14 @@ let create ?(warp_size = 1) fname =
     rev_insts = [];
     rev_order = [];
     label_counter = 0;
+    cur_line = 0;
   }
+
+(** Set the source line recorded on subsequently emitted instructions
+    (until the next [set_line]).  Emitters translating a source construct
+    call this once per construct; helper instructions they emit inherit
+    the construct's line. *)
+let set_line b line = b.cur_line <- line
 
 (* Move the pending reversed instructions into the current block.  The
    block is almost always empty here; re-entering a block via
@@ -99,7 +108,7 @@ let current b =
 
 let emit b i =
   match b.current with
-  | Some _ -> b.rev_insts <- i :: b.rev_insts
+  | Some _ -> b.rev_insts <- { Ir.i; line = b.cur_line } :: b.rev_insts
   | None -> invalid_arg "Builder: no current block"
 
 (** Emit an instruction computing into a fresh register of type [ty]. *)

@@ -93,10 +93,20 @@ type terminator =
     subkernel cycles from yield save/restore cycles). *)
 type bkind = Body | Scheduler | Entry_handler | Exit_handler
 
+(** Located instruction: the instruction plus the 1-based PTX source line
+    it descends from (0 = synthetic — scheduler/handler glue, packing,
+    address arithmetic with no single source line).  Transforms that
+    rewrite [i] must preserve [line] ([{ li with i = ... }]) so
+    source-line cycle attribution survives the pass pipeline. *)
+type li = { i : instr; line : int }
+
+let at_line line i = { i; line }
+let synthetic i = { i; line = 0 }
+
 type block = {
   label : string;
   kind : bkind;
-  mutable insts : instr list;
+  mutable insts : li list;
   mutable term : terminator;
 }
 

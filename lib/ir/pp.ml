@@ -92,7 +92,7 @@ let kind_str = function
 
 let block fmt (b : Ir.block) =
   Fmt.pf fmt "%s:%s@." b.label (kind_str b.kind);
-  List.iter (fun i -> Fmt.pf fmt "  %a@." instr i) b.insts;
+  List.iter (fun (li : Ir.li) -> Fmt.pf fmt "  %a@." instr li.Ir.i) b.insts;
   Fmt.pf fmt "  %a@." terminator b.term
 
 let func fmt (f : Ir.func) =

@@ -31,7 +31,8 @@ let check_func (f : Ir.func) : error list =
   let check_block (b : Ir.block) =
     let ctx label i = Fmt.str "%s/%s: %s" f.fname label (Fmt.to_to_string Pp.instr i) in
     List.iter
-      (fun i ->
+      (fun (li : Ir.li) ->
+        let i = li.Ir.i in
         let where = ctx b.label i in
         (* All used registers must have known types. *)
         List.iter

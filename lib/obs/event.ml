@@ -24,6 +24,30 @@ let quarantine_action_name = function
   | Q_skipped -> "skipped"
   | Q_expired -> "expired"
 
+(** Phases of a launch that carry hierarchical {!Span_begin}/{!Span_end}
+    pairs.  Spans nest per worker ({!Vekt_obs.Span} rebuilds the tree);
+    compile and subkernel intervals are not re-emitted as spans — the
+    span builder synthesizes them from the dedicated events above. *)
+type span_kind =
+  | Sk_launch  (** one whole kernel launch (root) *)
+  | Sk_parse  (** PTX parse at module load *)
+  | Sk_typecheck  (** module typecheck at load *)
+  | Sk_pass  (** one optimization pass execution within a compile *)
+  | Sk_cache_lookup  (** translation-cache query incl. fallback chain *)
+  | Sk_compile  (** one specialization build (synthesized from compile events) *)
+  | Sk_cta  (** one CTA executed by a worker *)
+  | Sk_subkernel  (** one specialization call (synthesized from Subkernel_call) *)
+
+let span_kind_name = function
+  | Sk_launch -> "launch"
+  | Sk_parse -> "parse"
+  | Sk_typecheck -> "typecheck"
+  | Sk_pass -> "pass"
+  | Sk_cache_lookup -> "cache_lookup"
+  | Sk_compile -> "compile"
+  | Sk_cta -> "cta"
+  | Sk_subkernel -> "subkernel"
+
 type t =
   | Warp_formed of {
       ts : float;
@@ -99,6 +123,20 @@ type t =
       path : string;  (** schedule log driving this launch *)
       decisions : int;  (** recorded warp-formation decisions to re-execute *)
     }
+  | Span_begin of {
+      ts : float;  (** modelled cycles on the worker's clock (0 off-path) *)
+      wall_us : float;  (** monotonic {!Vekt_runtime.Clock} reading *)
+      worker : int;
+      kind : span_kind;
+      name : string;
+    }
+  | Span_end of {
+      ts : float;
+      wall_us : float;
+      worker : int;
+      kind : span_kind;
+      name : string;  (** must match the open {!Span_begin} of this worker *)
+    }
 
 let ts = function
   | Warp_formed e -> e.ts
@@ -114,6 +152,8 @@ let ts = function
   | Ckpt_write e -> e.ts
   | Ckpt_resume e -> e.ts
   | Replay_begin e -> e.ts
+  | Span_begin e -> e.ts
+  | Span_end e -> e.ts
 
 let worker = function
   | Warp_formed e -> e.worker
@@ -129,6 +169,8 @@ let worker = function
   | Ckpt_write e -> e.worker
   | Ckpt_resume e -> e.worker
   | Replay_begin e -> e.worker
+  | Span_begin e -> e.worker
+  | Span_end e -> e.worker
 
 let name = function
   | Warp_formed _ -> "warp_formed"
@@ -144,6 +186,8 @@ let name = function
   | Ckpt_write _ -> "ckpt_write"
   | Ckpt_resume _ -> "ckpt_resume"
   | Replay_begin _ -> "replay_begin"
+  | Span_begin _ -> "span_begin"
+  | Span_end _ -> "span_end"
 
 (** One-line plain-text rendering (the [--trace out.txt] format). *)
 let pp ppf e =
@@ -183,3 +227,9 @@ let pp ppf e =
   | Replay_begin e ->
       p "%12.1f w%d replay_begin decisions=%d path=%s" e.ts e.worker
         e.decisions e.path
+  | Span_begin e ->
+      p "%12.1f w%d span_begin kind=%s name=%s wall_us=%.1f" e.ts e.worker
+        (span_kind_name e.kind) e.name e.wall_us
+  | Span_end e ->
+      p "%12.1f w%d span_end kind=%s name=%s wall_us=%.1f" e.ts e.worker
+        (span_kind_name e.kind) e.name e.wall_us

@@ -83,6 +83,29 @@ let hist_bins h =
   Hashtbl.fold (fun b c acc -> (b, c) :: acc) h.bins []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+(** Exact quantile over the integer-binned histogram: the smallest bin
+    value [v] such that at least [ceil (q * count)] observations are
+    [<= v].  Exact because bins hold every observation (no bucketing
+    error); [0] on an empty histogram.  [q] is clamped to [0;1]. *)
+let quantile (h : hist) q =
+  if h.count = 0 then 0
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let need =
+      max 1 (min h.count (int_of_float (Float.ceil (q *. float_of_int h.count))))
+    in
+    let rec go acc = function
+      | [] -> 0 (* unreachable: cumulative count reaches h.count *)
+      | (bin, c) :: rest ->
+          let acc = acc + c in
+          if acc >= need then bin else go acc rest
+    in
+    go 0 (hist_bins h)
+  end
+
+(** The standard latency percentiles (p50, p95, p99). *)
+let percentiles h = (quantile h 0.50, quantile h 0.95, quantile h 0.99)
+
 (** Registered names in registration order. *)
 let names t = List.rev t.rev_order
 
@@ -125,9 +148,12 @@ let to_json t =
           add_float b !g;
           Buffer.add_char b '}'
       | Hist h ->
+          let p50, p95, p99 = percentiles h in
           Buffer.add_string b
             (Printf.sprintf "{\"type\":\"histogram\",\"count\":%d,\"sum\":" h.count);
           add_float b h.sum;
+          Buffer.add_string b
+            (Printf.sprintf ",\"p50\":%d,\"p95\":%d,\"p99\":%d" p50 p95 p99);
           Buffer.add_string b ",\"bins\":{";
           List.iteri
             (fun j (bin, c) ->
@@ -159,10 +185,14 @@ let to_csv t =
           add_float b !g;
           Buffer.add_char b '\n'
       | Hist h ->
+          let p50, p95, p99 = percentiles h in
           Buffer.add_string b (Printf.sprintf "%s,histogram,count,%d\n" name h.count);
           Buffer.add_string b (Printf.sprintf "%s,histogram,sum," name);
           add_float b h.sum;
           Buffer.add_char b '\n';
+          Buffer.add_string b (Printf.sprintf "%s,histogram,p50,%d\n" name p50);
+          Buffer.add_string b (Printf.sprintf "%s,histogram,p95,%d\n" name p95);
+          Buffer.add_string b (Printf.sprintf "%s,histogram,p99,%d\n" name p99);
           List.iter
             (fun (bin, c) ->
               Buffer.add_string b (Printf.sprintf "%s,histogram,bin:%d,%d\n" name bin c))
@@ -178,7 +208,9 @@ let pp ppf t =
       | Counter c -> Fmt.pf ppf "%-32s %d@." name !c
       | Gauge g -> Fmt.pf ppf "%-32s %g@." name !g
       | Hist h ->
-          Fmt.pf ppf "%-32s count=%d mean=%.2f %a@." name h.count (hist_mean h)
+          let p50, p95, p99 = percentiles h in
+          Fmt.pf ppf "%-32s count=%d mean=%.2f p50=%d p95=%d p99=%d %a@." name
+            h.count (hist_mean h) p50 p95 p99
             Fmt.(list ~sep:sp (pair ~sep:(any ":") int int))
             (hist_bins h))
     (names t)

@@ -103,6 +103,29 @@ let add_record b ~name ~cat ~ph ~ts ?dur ~pid ~tid (args : (string * jarg) list)
 let em_pid = 0
 let jit_pid = 1
 
+(* JIT-side span kinds render on the translation track; everything else
+   (launch, parse, typecheck, CTA execution) on the execution manager's. *)
+let span_pid = function
+  | Event.Sk_pass | Event.Sk_cache_lookup | Event.Sk_compile -> jit_pid
+  | Event.Sk_launch | Event.Sk_parse | Event.Sk_typecheck | Event.Sk_cta
+  | Event.Sk_subkernel ->
+      em_pid
+
+(* The (pid, tid) track an event renders on — must mirror the pid/tid
+   choices of [add_chrome_event] so thread-name metadata covers exactly
+   the tracks that appear. *)
+let track_of_event (e : Event.t) =
+  match e with
+  | Event.Warp_formed _ | Event.Subkernel_call _ | Event.Yield _
+  | Event.Barrier_release _ | Event.Ckpt_write _ | Event.Ckpt_resume _
+  | Event.Replay_begin _ ->
+      (em_pid, Event.worker e)
+  | Event.Compile_begin _ | Event.Compile_end _ | Event.Cache_hit _
+  | Event.Cache_miss _ | Event.Compile_fallback _ | Event.Quarantine _ ->
+      (jit_pid, Event.worker e)
+  | Event.Span_begin v -> (span_pid v.kind, v.worker)
+  | Event.Span_end v -> (span_pid v.kind, v.worker)
+
 let add_chrome_event b (e : Event.t) =
   match e with
   | Event.Warp_formed v ->
@@ -176,9 +199,49 @@ let add_chrome_event b (e : Event.t) =
       add_record b ~name:"replay_begin" ~cat:"em" ~ph:"i" ~ts:v.ts ~pid:em_pid
         ~tid:v.worker
         [ ("decisions", I v.decisions); ("path", S v.path) ]
+  | Event.Span_begin v ->
+      add_record b ~name:v.name
+        ~cat:("span." ^ Event.span_kind_name v.kind)
+        ~ph:"B" ~ts:v.ts ~pid:(span_pid v.kind) ~tid:v.worker
+        [ ("wall_us", F v.wall_us) ]
+  | Event.Span_end v ->
+      add_record b ~name:v.name
+        ~cat:("span." ^ Event.span_kind_name v.kind)
+        ~ph:"E" ~ts:v.ts ~pid:(span_pid v.kind) ~tid:v.worker
+        [ ("wall_us", F v.wall_us) ]
 
+(* One thread_name + thread_sort_index metadata pair per (pid, tid)
+   track that actually carries events, so Perfetto labels every worker
+   lane and orders them by worker index instead of first-event time. *)
+let add_thread_metadata b (evts : Event.t list) =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let track = track_of_event e in
+      Hashtbl.replace seen track ())
+    evts;
+  let tracks = Hashtbl.fold (fun k () acc -> k :: acc) seen [] in
+  List.iter
+    (fun (pid, tid) ->
+      let label = if pid = jit_pid then "jit worker" else "worker" in
+      Buffer.add_char b ',';
+      add_record b ~name:"thread_name" ~cat:"__metadata" ~ph:"M" ~ts:0.0 ~pid
+        ~tid
+        [ ("name", S (Printf.sprintf "%s %d" label tid)) ];
+      Buffer.add_char b ',';
+      add_record b ~name:"thread_sort_index" ~cat:"__metadata" ~ph:"M" ~ts:0.0
+        ~pid ~tid
+        [ ("sort_index", I tid) ])
+    (List.sort compare tracks)
+
+(* Timestamps are microseconds (the trace-event format's native [ts]
+   unit) under the convention 1 modelled cycle = 1 µs of trace time;
+   [displayTimeUnit] selects the viewer's default zoom and only accepts
+   "ms" or "ns" — "ms" matches µs-scale data ("ns" here was a bug that
+   made viewers zoom 1000x too deep). *)
 let to_chrome_json t =
   let b = Buffer.create 4096 in
+  let evts = events t in
   Buffer.add_string b "{\"traceEvents\":[";
   add_record b ~name:"process_name" ~cat:"__metadata" ~ph:"M" ~ts:0.0 ~pid:em_pid
     ~tid:0
@@ -187,13 +250,17 @@ let to_chrome_json t =
   add_record b ~name:"process_name" ~cat:"__metadata" ~ph:"M" ~ts:0.0
     ~pid:jit_pid ~tid:0
     [ ("name", S "dynamic translation") ];
+  add_thread_metadata b evts;
   List.iter
     (fun e ->
       Buffer.add_char b ',';
       add_chrome_event b e)
-    (events t);
-  Buffer.add_string b "],\"displayTimeUnit\":\"ns\",\"otherData\":{";
-  Buffer.add_string b (Printf.sprintf "\"recorded\":%d,\"dropped\":%d" (recorded t) (dropped t));
+    evts;
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\",\"otherData\":{";
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"recorded\":%d,\"dropped\":%d,\"timeUnit\":\"us\",\"cycle_us\":1"
+       (recorded t) (dropped t));
   Buffer.add_string b "}}";
   Buffer.contents b
 

@@ -133,8 +133,18 @@ type instr =
   | Exit
 [@@deriving show { with_path = false }, eq]
 
-type stmt = Label of string | Inst of guard * instr
+(** Statement: a label or a (possibly guarded) instruction carrying the
+    1-based source line it was parsed from.  Line 0 marks synthetic
+    statements (built by tests, inlining glue, or if-conversion).  The
+    line is provenance metadata only: it is ignored by structural
+    equality so print/parse round-trips compare equal. *)
+type stmt =
+  | Label of string
+  | Inst of guard * instr * (int[@equal fun _ _ -> true])
 [@@deriving show { with_path = false }, eq]
+
+(** Source line of a statement (0 when synthetic or a label). *)
+let stmt_line = function Label _ -> 0 | Inst (_, _, line) -> line
 
 type param = { p_name : string; p_ty : dtype }
 [@@deriving show { with_path = false }, eq]

@@ -17,7 +17,9 @@ type terminator =
 
 type block = {
   label : string;
-  insts : (guard * instr) list;  (** non-control-flow instructions *)
+  insts : (guard * instr * int) list;
+      (** non-control-flow instructions with their source line (0 =
+          synthetic) *)
   term : terminator;
 }
 
@@ -99,38 +101,38 @@ let of_kernel (k : kernel) : t =
           emit label insts (Br l);
           go l [] rest
         end
-    | Inst (Always, Bra t) :: rest ->
+    | Inst (Always, Bra t, _) :: rest ->
         let next = next_label rest in
         emit label insts (Br t);
         cont ~referenced:false next rest
-    | Inst (If p, Bra t) :: rest ->
+    | Inst (If p, Bra t, _) :: rest ->
         let next = next_label rest in
         emit label insts (Cbr (p, true, t, next));
         cont ~referenced:true next rest
-    | Inst (Ifnot p, Bra t) :: rest ->
+    | Inst (Ifnot p, Bra t, _) :: rest ->
         let next = next_label rest in
         emit label insts (Cbr (p, false, t, next));
         cont ~referenced:true next rest
-    | Inst (Always, Bar) :: rest ->
+    | Inst (Always, Bar, _) :: rest ->
         let next = next_label rest in
         emit label insts (Bar_then next);
         cont ~referenced:true next rest
-    | Inst ((If _ | Ifnot _), Bar) :: _ -> raise (Malformed "guarded barrier")
-    | Inst (Always, (Ret | Exit)) :: rest ->
+    | Inst ((If _ | Ifnot _), Bar, _) :: _ -> raise (Malformed "guarded barrier")
+    | Inst (Always, (Ret | Exit), _) :: rest ->
         let next = next_label rest in
         emit label insts Exit_term;
         cont ~referenced:false next rest
-    | Inst (If p, (Ret | Exit)) :: rest ->
+    | Inst (If p, (Ret | Exit), _) :: rest ->
         needs_exit_stub := true;
         let next = next_label rest in
         emit label insts (Cbr (p, true, exit_stub_label, next));
         cont ~referenced:true next rest
-    | Inst (Ifnot p, (Ret | Exit)) :: rest ->
+    | Inst (Ifnot p, (Ret | Exit), _) :: rest ->
         needs_exit_stub := true;
         let next = next_label rest in
         emit label insts (Cbr (p, false, exit_stub_label, next));
         cont ~referenced:true next rest
-    | Inst (g, i) :: rest -> go label ((g, i) :: insts) rest
+    | Inst (g, i, line) :: rest -> go label ((g, i, line) :: insts) rest
   and cont ~referenced next rest =
     (* A synthesized label after a non-branching terminator with nothing
        following would be an unreachable empty block: skip it unless some
@@ -180,17 +182,17 @@ let to_body (cfg : t) : stmt list =
         let falls_to t = Some t = next in
         let tail =
           match b.term with
-          | Br t -> if falls_to t then [] else [ Inst (Always, Bra t) ]
+          | Br t -> if falls_to t then [] else [ Inst (Always, Bra t, 0) ]
           | Cbr (p, sense, taken, ft) ->
               let g = if sense then If p else Ifnot p in
-              Inst (g, Bra taken)
-              :: (if falls_to ft then [] else [ Inst (Always, Bra ft) ])
+              Inst (g, Bra taken, 0)
+              :: (if falls_to ft then [] else [ Inst (Always, Bra ft, 0) ])
           | Bar_then t ->
-              Inst (Always, Bar)
-              :: (if falls_to t then [] else [ Inst (Always, Bra t) ])
-          | Exit_term -> [ Inst (Always, Exit) ]
+              Inst (Always, Bar, 0)
+              :: (if falls_to t then [] else [ Inst (Always, Bra t, 0) ])
+          | Exit_term -> [ Inst (Always, Exit, 0) ]
         in
-        (Label b.label :: List.map (fun (g, i) -> Inst (g, i)) b.insts)
+        (Label b.label :: List.map (fun (g, i, line) -> Inst (g, i, line)) b.insts)
         @ tail @ go rest
   in
   go cfg.blocks
@@ -201,7 +203,8 @@ let pp fmt (cfg : t) =
     (fun b ->
       Fmt.pf fmt "%s:@." b.label;
       List.iter
-        (fun (g, i) -> Fmt.pf fmt "  %s%s@." (Printer.guard_str g) (Printer.instr_str i))
+        (fun (g, i, _) ->
+          Fmt.pf fmt "  %s%s@." (Printer.guard_str g) (Printer.instr_str i))
         b.insts;
       let t =
         match b.term with

@@ -151,7 +151,7 @@ let run_thread env (t : thread) ~fuel : int =
       t.pc <- t.pc + 1;
       match stmt with
       | Label _ -> ()
-      | Inst (g, i) ->
+      | Inst (g, i, _) ->
           incr executed;
           env.stats.dyn_instrs <- env.stats.dyn_instrs + 1;
           if guard_passes env t g then (

@@ -55,8 +55,8 @@ let rename_guard ren = function
 
 (** Expand one call site: returns the replacement statements and the
     register declarations to add to the caller. *)
-let expand_call (f : func_decl) ~(uid : int) (rets : reg list) (args : operand list) :
-    stmt list * (reg * dtype) list =
+let expand_call (f : func_decl) ~(uid : int) ~(call_line : int) (rets : reg list)
+    (args : operand list) : stmt list * (reg * dtype) list =
   if List.length args <> List.length f.f_params then
     err "call of %s: %d arguments for %d parameters" f.f_name (List.length args)
       (List.length f.f_params);
@@ -68,23 +68,27 @@ let expand_call (f : func_decl) ~(uid : int) (rets : reg list) (args : operand l
   let ren r = if List.mem_assoc r owned then suffix r else r in
   let lren l = Fmt.str "%s__inl%d" l uid in
   let end_label = Fmt.str "$__ret__inl%d" uid in
+  (* Argument/return glue carries the call site's line; the callee body
+     keeps its own source lines so hot inlined code attributes to the
+     function definition, as a sampling profiler would. *)
   let prologue =
     List.map2
-      (fun (p, ty) arg -> Inst (Always, Mov (ty, suffix p, arg)))
+      (fun (p, ty) arg -> Inst (Always, Mov (ty, suffix p, arg), call_line))
       f.f_params args
   in
   let body =
     List.concat_map
       (function
         | Label l -> [ Label (lren l) ]
-        | Inst (g, Ret) -> [ Inst (rename_guard ren g, Bra end_label) ]
-        | Inst (g, i) -> [ Inst (rename_guard ren g, rename_instr ren lren i) ])
+        | Inst (g, Ret, line) -> [ Inst (rename_guard ren g, Bra end_label, line) ]
+        | Inst (g, i, line) ->
+            [ Inst (rename_guard ren g, rename_instr ren lren i, line) ])
       f.f_body
   in
   let epilogue =
     Label end_label
     :: List.map2
-         (fun (fr, ty) dst -> Inst (Always, Mov (ty, dst, Reg (suffix fr))))
+         (fun (fr, ty) dst -> Inst (Always, Mov (ty, dst, Reg (suffix fr)), call_line))
          f.f_rets rets
   in
   let decls = List.map (fun (r, ty) -> (suffix r, ty)) owned in
@@ -97,7 +101,7 @@ let expand (m : modul) (k : kernel) : kernel =
   let uid = ref 0 in
   let rec rounds depth (k : kernel) =
     let has_call =
-      List.exists (function Inst (_, Call _) -> true | _ -> false) k.k_body
+      List.exists (function Inst (_, Call _, _) -> true | _ -> false) k.k_body
     in
     if not has_call then k
     else if depth > max_depth then
@@ -108,15 +112,17 @@ let expand (m : modul) (k : kernel) : kernel =
       let body =
         List.concat_map
           (function
-            | Inst (Always, Call (rets, fname, args)) -> (
+            | Inst (Always, Call (rets, fname, args), line) -> (
                 match find_func m fname with
                 | None -> err "call of undefined .func %s" fname
                 | Some f ->
                     incr uid;
-                    let stmts, decls = expand_call f ~uid:!uid rets args in
+                    let stmts, decls =
+                      expand_call f ~uid:!uid ~call_line:line rets args
+                    in
                     new_regs := !new_regs @ decls;
                     stmts)
-            | Inst ((If _ | Ifnot _), Call _) ->
+            | Inst ((If _ | Ifnot _), Call _, _) ->
                 (* Ifconv runs after inlining, so guarded calls must be
                    handled here; keep the subset simple and reject. *)
                 err "guarded call in kernel %s (wrap the call in a branch)" k.k_name

@@ -27,6 +27,10 @@ let fail st msg =
 
 let peek st = match st.toks with (t, _) :: _ -> t | [] -> Lexer.Eof
 
+(** Line of the next token — captured before parsing an instruction so the
+    resulting [Ast.Inst] records where its opcode appeared. *)
+let cur_line st = match st.toks with (_, l) :: _ -> l | [] -> 0
+
 let peek2 st =
   match st.toks with _ :: (t, _) :: _ -> t | _ -> Lexer.Eof
 
@@ -427,6 +431,7 @@ let parse_kernel_items st =
         body := Ast.Label name :: !body;
         loop ()
     | Lexer.At ->
+        let line = cur_line st in
         advance st;
         let guard =
           match peek st with
@@ -438,13 +443,14 @@ let parse_kernel_items st =
         let opcode = expect_ident st "opcode" in
         let i = parse_instr st opcode in
         expect st Lexer.Semi "';'";
-        body := Ast.Inst (guard, i) :: !body;
+        body := Ast.Inst (guard, i, line) :: !body;
         loop ()
     | Lexer.Ident opcode ->
+        let line = cur_line st in
         advance st;
         let i = parse_instr st opcode in
         expect st Lexer.Semi "';'";
-        body := Ast.Inst (Ast.Always, i) :: !body;
+        body := Ast.Inst (Ast.Always, i, line) :: !body;
         loop ()
     | t -> fail st (Fmt.str "unexpected token %a in kernel body" Lexer.pp_token t)
   in

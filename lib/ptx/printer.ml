@@ -146,7 +146,7 @@ let guard_str = function
 
 let stmt_str = function
   | Label l -> Fmt.str "%s:" l
-  | Inst (g, i) -> Fmt.str "\t%s%s;" (guard_str g) (instr_str i)
+  | Inst (g, i, _) -> Fmt.str "\t%s%s;" (guard_str g) (instr_str i)
 
 let kernel_to_string k =
   let buf = Buffer.create 1024 in

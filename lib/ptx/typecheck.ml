@@ -184,13 +184,13 @@ let check_kernel ?(consts = []) ?(funcs = []) (k : kernel) : error list =
             else List.iter2 (fun a (_, ty) -> check_operand a ty ctx) args f.f_params)
     | Bar | Ret | Exit -> ()
   in
-  List.iter (function Inst (g, i) -> check_instr g i | Label _ -> ()) k.k_body;
+  List.iter (function Inst (g, i, _) -> check_instr g i | Label _ -> ()) k.k_body;
   (* Guarded non-branch instructions are permitted in source PTX; the
      if-conversion pass removes them before translation. Guarded barriers
      are rejected outright (divergent barrier = UB in the execution model). *)
   List.iter
     (function
-      | Inst ((If _ | Ifnot _), Bar) -> add (err "guarded barrier" where)
+      | Inst ((If _ | Ifnot _), Bar, _) -> add (err "guarded barrier" where)
       | _ -> ())
     k.k_body;
   List.rev !errors
@@ -211,7 +211,7 @@ let check_func_decl ?(funcs = []) (f : func_decl) : error list =
   let bar_errors =
     List.filter_map
       (function
-        | Inst (_, Bar) ->
+        | Inst (_, Bar, _) ->
             Some (err "barrier inside .func" ("(func " ^ f.f_name ^ ")"))
         | _ -> None)
       f.f_body

@@ -172,21 +172,40 @@ let read_i32s d addr n = Mem.read_i32s d.global ~at:addr n
 
 (** Parse, type-check and register a PTX module.  Kernels are analyzed and
     translated lazily on first launch (the translation cache is shared by
-    all launches of this module). *)
-let load_module ?(config = default_config) (d : device) (src : string) : modul =
-  let ast =
-    try Parser.parse_module src with
-    | Parser.Error (msg, line) ->
-        raise (compile_error ~stage:Vekt_error.Parse ~line msg)
-    | Lexer.Error (msg, line) ->
-        raise (compile_error ~stage:Vekt_error.Lex ~line msg)
+    all launches of this module).  [sink] receives [parse] and
+    [typecheck] span events (worker 0, modelled time 0 — module loading
+    happens before any modelled cycle elapses; the spans' width is wall
+    time). *)
+let load_module ?(config = default_config) ?(sink = Vekt_obs.Sink.noop)
+    (d : device) (src : string) : modul =
+  let load_span kind name body =
+    if Vekt_obs.Sink.enabled sink then begin
+      Vekt_obs.Sink.emit sink
+        (Vekt_obs.Event.Span_begin
+           { ts = 0.0; wall_us = Clock.now_us (); worker = 0; kind; name });
+      let r = body () in
+      Vekt_obs.Sink.emit sink
+        (Vekt_obs.Event.Span_end
+           { ts = 0.0; wall_us = Clock.now_us (); worker = 0; kind; name });
+      r
+    end
+    else body ()
   in
-  (match Typecheck.check_module ast with
-  | [] -> ()
-  | e :: _ ->
-      raise
-        (compile_error ~stage:Vekt_error.Typecheck
-           (Fmt.str "%a" Typecheck.pp_error e)));
+  let ast =
+    load_span Vekt_obs.Event.Sk_parse "parse" (fun () ->
+        try Parser.parse_module src with
+        | Parser.Error (msg, line) ->
+            raise (compile_error ~stage:Vekt_error.Parse ~line msg)
+        | Lexer.Error (msg, line) ->
+            raise (compile_error ~stage:Vekt_error.Lex ~line msg))
+  in
+  load_span Vekt_obs.Event.Sk_typecheck "typecheck" (fun () ->
+      match Typecheck.check_module ast with
+      | [] -> ()
+      | e :: _ ->
+          raise
+            (compile_error ~stage:Vekt_error.Typecheck
+               (Fmt.str "%a" Typecheck.pp_error e)));
   (* reject incompatible policy × vectorization combinations up front;
      a bad policy is a host programming error, not a guest fault *)
   Scheduler.validate ~mode:config.mode (sched_policy config);
@@ -245,7 +264,8 @@ type report = {
     deterministic fault cannot loop), and only then falls back to
     rolling memory back and re-running under the reference emulator. *)
 let launch ?fuel ?(sink = Vekt_obs.Sink.noop)
-    ?(profile : Vekt_obs.Divergence.t option) ?(resume : string option)
+    ?(profile : Vekt_obs.Divergence.t option)
+    ?(attr : Vekt_obs.Attribution.t option) ?(resume : string option)
     ?(checkpoint_stop : int option) (m : modul) ~kernel
     ~(grid : Launch.dim3) ~(block : Launch.dim3) ~(args : Launch.arg list) :
     report =
@@ -377,8 +397,8 @@ let launch ?fuel ?(sink = Vekt_obs.Sink.noop)
     let stats =
       Worker_pool.launch ~costs:m.device.em_costs ?fuel
         ?watchdog:m.config.watchdog ?inject:m.fault ~workers
-        ~sink ?profile ~sched:(sched_policy m.config) ?ckpt:ctx ?resume:rs
-        ?record:recorder ?replay:replay_log cache ~grid ~block
+        ~sink ?profile ?attr ~sched:(sched_policy m.config) ?ckpt:ctx
+        ?resume:rs ?record:recorder ?replay:replay_log cache ~grid ~block
         ~global:m.device.global ~params ~consts:m.consts
     in
     (* one healthy launch elapsed: age the quarantine so failed widths
@@ -430,6 +450,17 @@ let launch ?fuel ?(sink = Vekt_obs.Sink.noop)
                  ~block);
             (Stats.create (), Some err))
   in
+  (* Root span of the launch's trace.  The begin sits at modelled cycle 0
+     on worker 0; the end is stamped with the launch's wall cycles (max
+     over workers) so the span covers the whole modelled timeline.  Not
+     exception-protected: a launch that dies leaves its root span open,
+     which the crash bundle reports. *)
+  let launch_span_name = Printf.sprintf "launch %s" kernel in
+  if Vekt_obs.Sink.enabled sink then
+    Vekt_obs.Sink.emit sink
+      (Vekt_obs.Event.Span_begin
+         { ts = 0.0; wall_us = Clock.now_us (); worker = 0;
+           kind = Vekt_obs.Event.Sk_launch; name = launch_span_name });
   let stats, recovered =
     match !resume_rejected with
     | Some err ->
@@ -452,6 +483,11 @@ let launch ?fuel ?(sink = Vekt_obs.Sink.noop)
     when match ctx with Some c -> c.Checkpoint.resumes = 0 | None -> true ->
       Replay.save r ~path ~kernel ~grid ~block ~workers
   | _ -> ());
+  if Vekt_obs.Sink.enabled sink then
+    Vekt_obs.Sink.emit sink
+      (Vekt_obs.Event.Span_end
+         { ts = stats.Stats.wall_cycles; wall_us = Clock.now_us (); worker = 0;
+           kind = Vekt_obs.Event.Sk_launch; name = launch_span_name });
   let cycles = Float.max stats.Stats.wall_cycles 1.0 in
   let time_s = cycles /. (m.device.machine.Machine.clock_ghz *. 1e9) in
   let flops = float_of_int stats.Stats.counters.Interp.flops in

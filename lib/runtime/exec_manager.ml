@@ -79,7 +79,8 @@ let rec take k = function
     from it. *)
 let run_cta ?(costs = default_costs) ?(fuel = 5_000_000) ?watchdog
     ?(inject : Fault.t option) ?(parallel = false)
-    ?(sink = Obs.Sink.noop) ?(profile : Obs.Divergence.t option) ?(worker = 0)
+    ?(sink = Obs.Sink.noop) ?(profile : Obs.Divergence.t option)
+    ?(attr : Obs.Attribution.t option) ?(worker = 0)
     ?sched ?(ckpt : Checkpoint.hooks option)
     ?(restore : Checkpoint.cta_snap option) ?(record : Replay.recorder option)
     ?(replay : Replay.t option) (cache : Translation_cache.t)
@@ -355,7 +356,7 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000) ?watchdog
       (fun () ->
         try
           Interp.exec ?on_access ~timing:entry.Translation_cache.timing
-            ~counters:stats.Stats.counters ?profile
+            ~counters:stats.Stats.counters ?profile ?attr
             entry.Translation_cache.vfunc ~launch warp mem
         with
         | Interp.Out_of_fuel -> fuel_error ()
@@ -435,6 +436,18 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000) ?watchdog
           members);
     pool.Scheduler.cursor <- (start + 1) mod n
   in
+  (* CTA span: brackets the whole scheduling loop.  Intentionally not
+     exception-protected — a CTA killed mid-flight (fuel, deadlock,
+     injected fault) leaves its span open, which is exactly what the
+     crash bundle reports as "where was everyone?". *)
+  let cta_span_name =
+    Printf.sprintf "cta %d,%d,%d" ctaid.Launch.x ctaid.Launch.y ctaid.Launch.z
+  in
+  if Obs.Sink.enabled sink then
+    Obs.Sink.emit sink
+      (Obs.Event.Span_begin
+         { ts = now (); wall_us = Clock.now_us (); worker;
+           kind = Obs.Event.Sk_cta; name = cta_span_name });
   (match replay with
   | Some log ->
       (* Replay mode: the recorded schedule drives the loop; the live
@@ -513,7 +526,12 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000) ?watchdog
                 ~ws_req:(Translation_cache.best_width cache w.Scheduler.count)
                 ~expect_ws:None
             end
-      done)
+      done);
+  if Obs.Sink.enabled sink then
+    Obs.Sink.emit sink
+      (Obs.Event.Span_end
+         { ts = now (); wall_us = Clock.now_us (); worker;
+           kind = Obs.Event.Sk_cta; name = cta_span_name })
 
 (** Run a whole kernel launch: CTAs are statically partitioned round-robin
     over [workers] execution managers; each worker's statistics are merged
@@ -521,7 +539,8 @@ let run_cta ?(costs = default_costs) ?(fuel = 5_000_000) ?watchdog
     workers. *)
 let launch_kernel ?(costs = default_costs) ?fuel ?watchdog
     ?(inject : Fault.t option) ?(workers = 4)
-    ?(sink = Obs.Sink.noop) ?(profile : Obs.Divergence.t option) ?sched
+    ?(sink = Obs.Sink.noop) ?(profile : Obs.Divergence.t option)
+    ?(attr : Obs.Attribution.t option) ?sched
     (cache : Translation_cache.t) ~(grid : Launch.dim3) ~(block : Launch.dim3)
     ~(global : Mem.t) ~(params : Mem.t) ~(consts : Mem.t) : Stats.t =
   let ncta = Launch.count grid in
@@ -542,8 +561,8 @@ let launch_kernel ?(costs = default_costs) ?fuel ?watchdog
     let c = ref w in
     while !c < ncta do
       let ctaid = Launch.unlinear ~dims:grid !c in
-      run_cta ~costs ?fuel ?watchdog ?inject ~sink ?profile ~worker:w ?sched
-        cache ~launch ~ctaid ~global ~params ~consts ~stats:wstats ();
+      run_cta ~costs ?fuel ?watchdog ?inject ~sink ?profile ?attr ~worker:w
+        ?sched cache ~launch ~ctaid ~global ~params ~consts ~stats:wstats ();
       c := !c + workers
     done;
     Stats.merge_into ~into:aggregate wstats

@@ -282,12 +282,33 @@ let compile_error (t : t) ~ws ~tier ~stage reason =
 
 (* Tier 0 skips the pass pipeline entirely (one DCE sweep keeps the
    pack/unpack traffic bounded); tier 1 runs the configured pipeline and
-   accumulates its per-pass stats. *)
-let compile_build (t : t) ~scalar ~ws ~tier : entry =
+   accumulates its per-pass stats.  With an enabled [sink], every
+   individual pass execution is bracketed by Sk_pass span events —
+   modelled time stands still ([ts = now]: compilation is off the
+   measured path) while the wall clock ticks, so the span tree shows
+   exactly where build wall time went. *)
+let compile_build (t : t) ~sink ~now ~worker ~scalar ~ws ~tier : entry =
   let wall0 = Clock.now_us () in
   let vect = Vectorize.run ~mode:t.mode ~affine:t.affine ~plan:t.plan scalar ~ws in
   if t.optimize && tier > 0 then begin
-    let st = Passes.run ~pipeline:t.pipeline vect.Vectorize.func in
+    let observe =
+      if Obs.Sink.enabled sink then
+        Some
+          (fun ~pass ~round run ->
+            let name = Printf.sprintf "%s.r%d" pass round in
+            Obs.Sink.emit sink
+              (Obs.Event.Span_begin
+                 { ts = now; wall_us = Clock.now_us (); worker;
+                   kind = Obs.Event.Sk_pass; name });
+            let changes = run () in
+            Obs.Sink.emit sink
+              (Obs.Event.Span_end
+                 { ts = now; wall_us = Clock.now_us (); worker;
+                   kind = Obs.Event.Sk_pass; name });
+            changes)
+      else None
+    in
+    let st = Passes.run ?observe ~pipeline:t.pipeline vect.Vectorize.func in
     List.iter
       (fun (name, c) ->
         Hashtbl.replace t.pass_stats name
@@ -314,7 +335,7 @@ let compile_build (t : t) ~scalar ~ws ~tier : entry =
 (* Build one specialization, folding build-time failures — injected or
    genuine — into the structured {!Vekt_error.Compile} taxonomy so the
    fallback chain can react uniformly. *)
-let compile_entry (t : t) ~scalar ~ws ~tier : entry =
+let compile_entry (t : t) ~sink ~now ~worker ~scalar ~ws ~tier : entry =
   (match t.fault with
   | Some inj -> (
       match Fault.check_compile inj ~kernel:t.kernel_name ~ws ~tier with
@@ -322,7 +343,7 @@ let compile_entry (t : t) ~scalar ~ws ~tier : entry =
           raise (compile_error t ~ws ~tier ~stage:Vekt_error.Inject reason)
       | None -> ())
   | None -> ());
-  try compile_build t ~scalar ~ws ~tier with
+  try compile_build t ~sink ~now ~worker ~scalar ~ws ~tier with
   | Vekt_error.Error _ as e -> raise e
   | Ptx_to_ir.Unsupported u ->
       raise (compile_error t ~ws ~tier ~stage:Vekt_error.Frontend u.construct)
@@ -397,7 +418,10 @@ let get_locked (t : t) ?params ?(sink = Obs.Sink.noop) ?(now = 0.0)
         (* hot: promote through the full pipeline.  A failed promotion
            (injected or genuine) keeps serving the working tier-0 code
            rather than surfacing an error for a cache-internal policy. *)
-        match compile_entry t ~scalar:(scalar_for t params) ~ws ~tier:1 with
+        match
+          compile_entry t ~sink ~now ~worker ~scalar:(scalar_for t params) ~ws
+            ~tier:1
+        with
         | e' ->
             t.promotions <- t.promotions + 1;
             Hashtbl.replace t.specializations key e';
@@ -417,7 +441,10 @@ let get_locked (t : t) ?params ?(sink = Obs.Sink.noop) ?(now = 0.0)
         if t.optimize && queries < hot_threshold then 0 else 1
       in
       let tier = if not t.optimize then 1 else tier in
-      let e = compile_entry t ~scalar:(scalar_for t params) ~ws ~tier in
+      let e =
+        compile_entry t ~sink ~now ~worker ~scalar:(scalar_for t params) ~ws
+          ~tier
+      in
       evict_for_insert t;
       Hashtbl.replace t.specializations key e;
       emit_compile t sink ~now ~worker ~ws e;
@@ -537,10 +564,29 @@ let get_fallback (t : t) ?params ?(sink = Obs.Sink.noop) ?(now = 0.0)
                   emit_quarantine t sink ~now ~worker ~ws:w Obs.Event.Q_added;
                   try_widths (Some err) rest)
       in
-      Mutex.protect t.lock (fun () ->
-          Fun.protect
-            ~finally:(fun () -> republish t)
-            (fun () -> try_widths None candidates))
+      (* the slow path (miss / fallback chain / tier promotion) gets a
+         cache_lookup span; the lock-free fast path above is too cheap
+         to be worth a begin/end pair per dispatch.  Closed via
+         Fun.protect so a raising chain (all widths failed) still leaves
+         the tree balanced — the raise itself is the signal there. *)
+      let span_name = Printf.sprintf "lookup %s.w%d" t.kernel_name ws in
+      if Obs.Sink.enabled sink then
+        Obs.Sink.emit sink
+          (Obs.Event.Span_begin
+             { ts = now; wall_us = Clock.now_us (); worker;
+               kind = Obs.Event.Sk_cache_lookup; name = span_name });
+      Fun.protect
+        ~finally:(fun () ->
+          if Obs.Sink.enabled sink then
+            Obs.Sink.emit sink
+              (Obs.Event.Span_end
+                 { ts = now; wall_us = Clock.now_us (); worker;
+                   kind = Obs.Event.Sk_cache_lookup; name = span_name }))
+        (fun () ->
+          Mutex.protect t.lock (fun () ->
+              Fun.protect
+                ~finally:(fun () -> republish t)
+                (fun () -> try_widths None candidates)))
 
 (** One successful launch elapsed: age every quarantine entry, retiring
     those whose TTL reaches zero — or whose monotonic age exceeds the

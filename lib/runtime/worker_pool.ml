@@ -77,7 +77,8 @@ open Vekt_ptx
     under domains (each CTA cell has a single writer). *)
 let launch ?(costs = Exec_manager.default_costs) ?fuel ?watchdog
     ?(inject : Fault.t option) ?(workers = 1) ?domains
-    ?(sink = Obs.Sink.noop) ?(profile : Obs.Divergence.t option) ?sched
+    ?(sink = Obs.Sink.noop) ?(profile : Obs.Divergence.t option)
+    ?(attr : Obs.Attribution.t option) ?sched
     ?(ckpt : Checkpoint.ctx option) ?(resume : Checkpoint.t option)
     ?(record : Replay.recorder option) ?(replay : Replay.t option)
     (cache : Translation_cache.t) ~(grid : Launch.dim3) ~(block : Launch.dim3)
@@ -114,13 +115,14 @@ let launch ?(costs = Exec_manager.default_costs) ?fuel ?watchdog
       Mem.load_image params s.Checkpoint.params_image;
       Translation_cache.restore_meta cache ~hotness:s.Checkpoint.hotness
         ~quarantine:s.Checkpoint.quarantine);
-  let run_worker ~parallel ~wsink ~wprofile w (wstats : Stats.t) =
+  let run_worker ~parallel ~wsink ~wprofile ~wattr w (wstats : Stats.t) =
     let c = ref w in
     while !c < ncta do
       let ctaid = Launch.unlinear ~dims:grid !c in
       Exec_manager.run_cta ~costs ?fuel ?watchdog ?inject ~parallel
-        ~sink:wsink ?profile:wprofile ~worker:w ?sched ?record ?replay cache
-        ~launch:launch_info ~ctaid ~global ~params ~consts ~stats:wstats ();
+        ~sink:wsink ?profile:wprofile ?attr:wattr ~worker:w ?sched ?record
+        ?replay cache ~launch:launch_info ~ctaid ~global ~params ~consts
+        ~stats:wstats ();
       c := !c + workers
     done
   in
@@ -201,9 +203,9 @@ let launch ?(costs = Exec_manager.default_costs) ?fuel ?watchdog
           let ctaid = Launch.unlinear ~dims:grid c in
           inflight.(w) <- None;
           Exec_manager.run_cta ~costs ?fuel ?watchdog ?inject ~parallel:false
-            ~sink ?profile ~worker:w ?sched ?ckpt:hooks ~restore:cs ?record
-            ?replay cache ~launch:launch_info ~ctaid ~global ~params ~consts
-            ~stats:wstats.(w) ();
+            ~sink ?profile ?attr ~worker:w ?sched ?ckpt:hooks ~restore:cs
+            ?record ?replay cache ~launch:launch_info ~ctaid ~global ~params
+            ~consts ~stats:wstats.(w) ();
           next.(w) <- c + workers
       | None -> ());
       let c = ref next.(w) in
@@ -211,8 +213,8 @@ let launch ?(costs = Exec_manager.default_costs) ?fuel ?watchdog
         next.(w) <- !c;
         let ctaid = Launch.unlinear ~dims:grid !c in
         Exec_manager.run_cta ~costs ?fuel ?watchdog ?inject ~parallel:false
-          ~sink ?profile ~worker:w ?sched ?ckpt:hooks ?record ?replay cache
-          ~launch:launch_info ~ctaid ~global ~params ~consts
+          ~sink ?profile ?attr ~worker:w ?sched ?ckpt:hooks ?record ?replay
+          cache ~launch:launch_info ~ctaid ~global ~params ~consts
           ~stats:wstats.(w) ();
         c := !c + workers;
         next.(w) <- !c
@@ -227,6 +229,14 @@ let launch ?(costs = Exec_manager.default_costs) ?fuel ?watchdog
     let wprofiles =
       Array.init workers (fun _ ->
           Option.map (fun _ -> Obs.Divergence.create ()) profile)
+    in
+    (* per-worker attribution buckets, same private-then-merge discipline
+       as profiles: Attribution.t wraps Hashtbls, which must not be
+       shared across domains.  Integer unit sums are order-independent,
+       so the worker-order merge conserves the total bit-exactly. *)
+    let wattrs =
+      Array.init workers (fun _ ->
+          Option.map (fun _ -> Obs.Attribution.create ()) attr)
     in
     (* private reversed event buffer per worker; replayed post-join *)
     let buffers = Array.init workers (fun _ -> ref []) in
@@ -243,7 +253,7 @@ let launch ?(costs = Exec_manager.default_costs) ?fuel ?watchdog
         else
           match
             run_worker ~parallel:true ~wsink:(wsink w)
-              ~wprofile:wprofiles.(w) w wstats.(w)
+              ~wprofile:wprofiles.(w) ~wattr:wattrs.(w) w wstats.(w)
           with
           | () -> slices (w + domains)
           | exception e -> Some (w, e, Printexc.get_raw_backtrace ())
@@ -264,6 +274,9 @@ let launch ?(costs = Exec_manager.default_costs) ?fuel ?watchdog
       List.iter (Obs.Sink.emit sink) (List.rev !(buffers.(w)));
       (match (profile, wprofiles.(w)) with
       | Some into, Some p -> Obs.Divergence.merge ~into p
+      | _ -> ());
+      (match (attr, wattrs.(w)) with
+      | Some into, Some a -> Obs.Attribution.merge ~into a
       | _ -> ());
       Stats.merge_into ~into:aggregate wstats.(w)
     done

@@ -70,10 +70,10 @@ let run (f : Ir.func) : stats =
       in
       b.Ir.insts <-
         List.map
-          (fun i ->
-            let i = Ir.map_operands subst i in
+          (fun (li : Ir.li) ->
+            let i = Ir.map_operands subst li.Ir.i in
             match Ir.def i with
-            | None -> i
+            | None -> { li with Ir.i }
             | Some d -> (
                 Hashtbl.remove consts d;
                 match eval_pure i with
@@ -82,11 +82,11 @@ let run (f : Ir.func) : stats =
                     if dty.Ty.width = 1 then Hashtbl.replace consts d (v, vty);
                     (* an immediate move is already in folded form *)
                     (match i with
-                    | Ir.Mov (_, _, Ir.Imm _) -> i
+                    | Ir.Mov (_, _, Ir.Imm _) -> { li with Ir.i }
                     | _ ->
                         incr folded;
-                        Ir.Mov (dty, d, Ir.Imm (v, vty)))
-                | _ -> i))
+                        { li with Ir.i = Ir.Mov (dty, d, Ir.Imm (v, vty)) })
+                | _ -> { li with Ir.i }))
           b.Ir.insts;
       (* Fold constant control flow. *)
       b.Ir.term <-

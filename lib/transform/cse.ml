@@ -56,10 +56,11 @@ let run (f : Ir.func) : int =
       in
       b.Ir.insts <-
         List.map
-          (fun i ->
+          (fun (li : Ir.li) ->
+            let i = li.Ir.i in
             if not (cseable i) then begin
               (match Ir.def i with Some d -> bump d | None -> ());
-              i
+              li
             end
             else
               let d = match Ir.def i with Some d -> d | None -> assert false in
@@ -68,11 +69,11 @@ let run (f : Ir.func) : int =
               | Some (prev, pver) when prev <> d && ver prev = pver ->
                   incr replaced;
                   bump d;
-                  Ir.Mov (Ir.reg_ty f d, d, Ir.R prev)
+                  { li with Ir.i = Ir.Mov (Ir.reg_ty f d, d, Ir.R prev) }
               | _ ->
                   bump d;
                   Hashtbl.replace avail k (d, ver d);
-                  i)
+                  li)
           b.Ir.insts)
     (Ir.blocks f);
   !replaced

@@ -22,7 +22,8 @@ let sweep (f : Ir.func) : int =
          have side effects. *)
       let kept =
         List.fold_left
-          (fun kept i ->
+          (fun kept (li : Ir.li) ->
+            let i = li.Ir.i in
             let keep =
               (not (Ir.is_pure i))
               ||
@@ -33,7 +34,7 @@ let sweep (f : Ir.func) : int =
             if keep then begin
               (match Ir.def i with Some d -> out := ISet.remove d !out | None -> ());
               List.iter (fun r -> out := ISet.add r !out) (Ir.uses i);
-              i :: kept
+              li :: kept
             end
             else begin
               incr removed;

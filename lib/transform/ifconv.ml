@@ -69,9 +69,11 @@ let run (k : kernel) : kernel =
     in
     pick ()
   in
-  let convert (g : guard) (i : instr) : stmt list =
+  (* Converted statements inherit the guarded instruction's source line so
+     attribution survives if-conversion. *)
+  let convert (g : guard) (i : instr) (line : int) : stmt list =
     match (g, i) with
-    | Always, _ | _, Bra _ -> [ Inst (g, i) ]
+    | Always, _ | _, Bra _ -> [ Inst (g, i, line) ]
     | (If p | Ifnot p), _ -> (
         let sense = match g with If _ -> true | _ -> false in
         match pure_dst i with
@@ -82,16 +84,16 @@ let run (k : kernel) : kernel =
               if sense then Selp (ty, d, Reg t, Reg d, p)
               else Selp (ty, d, Reg d, Reg t, p)
             in
-            [ Inst (Always, retarget i t); Inst (Always, sel) ]
+            [ Inst (Always, retarget i t, line); Inst (Always, sel, line) ]
         | None ->
             (* Diamond: branch around a single-instruction block. *)
             let skip = fresh_label () in
             let inv_guard = if sense then Ifnot p else If p in
-            [ Inst (inv_guard, Bra skip); Inst (Always, i); Label skip ])
+            [ Inst (inv_guard, Bra skip, line); Inst (Always, i, line); Label skip ])
   in
   let body =
     List.concat_map
-      (function Label l -> [ Label l ] | Inst (g, i) -> convert g i)
+      (function Label l -> [ Label l ] | Inst (g, i, line) -> convert g i line)
       k.k_body
   in
   { k with k_regs = k.k_regs @ List.rev st.fresh_regs; k_body = body }
@@ -101,6 +103,6 @@ let run (k : kernel) : kernel =
 let is_clean (k : kernel) =
   List.for_all
     (function
-      | Inst ((If _ | Ifnot _), Bra _) | Inst (Always, _) | Label _ -> true
-      | Inst ((If _ | Ifnot _), _) -> false)
+      | Inst ((If _ | Ifnot _), Bra _, _) | Inst (Always, _, _) | Label _ -> true
+      | Inst ((If _ | Ifnot _), _, _) -> false)
     k.k_body

@@ -116,8 +116,15 @@ let changes_of (s : stats) name =
 
 (** Run [pipeline] over [f] in place.  Non-fixpoint pipelines run
     [max_rounds] rounds unconditionally; fixpoint pipelines stop at the
-    first round in which no pass reports a change, or at the bound. *)
-let run ?(pipeline = default_pipeline) (f : Ir.func) : stats =
+    first round in which no pass reports a change, or at the bound.
+
+    [observe] is middleware around each individual pass execution: it
+    receives the pass name, the 1-based round number and a thunk that
+    runs the pass, and must return the thunk's result.  The pass manager
+    itself stays clock- and sink-free; callers that want per-pass spans
+    (the translation cache) wrap the thunk with their own timing. *)
+let run ?(observe : (pass:string -> round:int -> (unit -> int) -> int) option)
+    ?(pipeline = default_pipeline) (f : Ir.func) : stats =
   let totals : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let order = ref [] in
   let bump name c =
@@ -132,8 +139,13 @@ let run ?(pipeline = default_pipeline) (f : Ir.func) : stats =
   let continue_ = ref true in
   while !continue_ && !rounds < pipeline.max_rounds do
     incr rounds;
+    let run_pass p =
+      match observe with
+      | None -> p.run f
+      | Some obs -> obs ~pass:p.name ~round:!rounds (fun () -> p.run f)
+    in
     let changed =
-      List.fold_left (fun acc p -> acc + bump p.name (p.run f)) 0 pipeline.passes
+      List.fold_left (fun acc p -> acc + bump p.name (run_pass p)) 0 pipeline.passes
     in
     if pipeline.fixpoint && changed = 0 then continue_ := false
   done;

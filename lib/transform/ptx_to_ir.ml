@@ -173,12 +173,17 @@ let translate (m : modul) (k : kernel) : t =
     (fun (blk : Cfg.block) ->
       Builder.switch_to b blk.label;
       List.iter
-        (fun (g, i) ->
+        (fun (g, i, line) ->
+          (* Helper instructions emitted while translating this PTX
+             instruction (address arithmetic, special-register reads)
+             inherit its source line. *)
+          Builder.set_line b line;
           match g with
           | Always -> translate_instr i
           | If _ | Ifnot _ ->
               unsupported "guarded instruction survived if-conversion")
         blk.insts;
+      Builder.set_line b 0;
       let term =
         match blk.term with
         | Cfg.Br l -> Ir.Jump l

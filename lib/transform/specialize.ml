@@ -26,14 +26,14 @@ let params (f : Ir.func) ~(params : Mem.t) : int =
     (fun (b : Ir.block) ->
       b.Ir.insts <-
         List.map
-          (fun i ->
-            match i with
+          (fun (li : Ir.li) ->
+            match li.Ir.i with
             | Ir.Load (Ast.Param, ty, d, Ir.Imm (Scalar_ops.I base, _), off)
               when Int64.to_int base + off + Ast.size_of ty <= Mem.size params ->
                 incr replaced;
                 let v = Mem.load params ty (Int64.to_int base + off) in
-                Ir.Mov (Ty.scalar ty, d, Ir.Imm (v, ty))
-            | i -> i)
+                { li with Ir.i = Ir.Mov (Ty.scalar ty, d, Ir.Imm (v, ty)) }
+            | _ -> li)
           b.Ir.insts)
     (Ir.blocks f);
   !replaced

@@ -465,10 +465,16 @@ let run ?(mode = Dynamic) ?(affine = false) ~(plan : Plan.t) (scalar : Ir.func)
       Hashtbl.reset bcast_memo;
       Hashtbl.reset local_cls;
       List.iter
-        (fun i ->
+        (fun ({ Ir.i; line } : Ir.li) ->
+          (* Every replica/pack/unpack of a scalar instruction inherits its
+             source line. *)
+          Builder.set_line b line;
           vectorize_instr i;
           local_cls_update i)
         blk.Ir.insts;
+      (* Divergence checks, spills and resume bookkeeping are scheduler
+         overhead, not source code: attribute them to line 0. *)
+      Builder.set_line b 0;
       match blk.Ir.term with
       | Ir.Jump l -> Builder.set_term b (Ir.Jump l)
       | Ir.Switch _ -> invalid_arg "vectorize: switch in scalar input"

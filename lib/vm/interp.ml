@@ -156,6 +156,7 @@ let as_addr v =
     escapes to the user. *)
 let exec ?timing ?(counters = fresh_counters ()) ?(fuel = 10_000_000)
     ?(profile : Vekt_obs.Divergence.t option)
+    ?(attr : Vekt_obs.Attribution.t option)
     ?(on_access : (Ast.space -> addr:int -> width:int -> unit) option)
     (f : Ir.func) ~(launch : launch_info) (warp : warp) (mem : memories) :
     unit =
@@ -357,7 +358,16 @@ let exec ?timing ?(counters = fresh_counters ()) ?(fuel = 10_000_000)
         | Ir.Body -> counters.cycles_body <- counters.cycles_body +. c
         | Ir.Scheduler -> counters.cycles_scheduler <- counters.cycles_scheduler +. c
         | Ir.Entry_handler -> counters.cycles_entry <- counters.cycles_entry +. c
-        | Ir.Exit_handler -> counters.cycles_exit <- counters.cycles_exit +. c)
+        | Ir.Exit_handler -> counters.cycles_exit <- counters.cycles_exit +. c);
+        (* Source-line attribution: charge the block's precomputed integer
+           line shares under the entry point this warp was dispatched at.
+           [entry_id] is read at charge time, so scheduler-block work before
+           an entry handler runs lands under the entry being dispatched. *)
+        (match attr with
+        | None -> ()
+        | Some a ->
+            Vekt_obs.Attribution.charge a ~entry_id:warp.entry_id
+              (Timing.line_shares t b.Ir.label))
   in
   let fuel_left = ref fuel in
   let rec run_block label =
@@ -365,7 +375,7 @@ let exec ?timing ?(counters = fresh_counters ()) ?(fuel = 10_000_000)
     if !fuel_left <= 0 then raise Out_of_fuel;
     let b = Ir.block f label in
     account b;
-    List.iter exec_instr b.Ir.insts;
+    List.iter (fun ({ Ir.i; _ } : Ir.li) -> exec_instr i) b.Ir.insts;
     match b.Ir.term with
     | Ir.Jump l -> run_block l
     | Ir.Branch (c, t, e) ->

@@ -129,10 +129,24 @@ type block_cost = {
   max_gpr_pressure : int;
 }
 
+(** Integer sub-cycle units used for source-line attribution: one modelled
+    cycle = [attr_scale] units.  Attribution works in integers because the
+    conservation invariant — per-line buckets summing {e exactly} to the
+    total — must hold under any summation order, including merges of
+    per-worker buckets; float accumulation is not associative. *)
+let attr_scale = 1_000_000
+
+let units_of_cycles c = int_of_float (Float.round (c *. float_of_int attr_scale))
+
 type t = {
   machine : Machine.t;
   costs : (string, block_cost) Hashtbl.t;
   term_cost : float;  (** per-block terminator/branch overhead *)
+  shares : (string, (int * int) array * int) Hashtbl.t;
+      (** per block: source-line shares [(line, units); ...] of the block's
+          full cost (terminator included) and their exact sum.  Line 0 is
+          the "runtime overhead" bucket: terminators plus synthetic
+          instructions with no source provenance. *)
 }
 
 let flops_of_instr (f : Ir.func) (i : Ir.instr) =
@@ -173,7 +187,7 @@ let analyze_block (m : Machine.t) (f : Ir.func) (live : Liveness.t) (b : Ir.bloc
     (match Ir.def i with Some d -> Hashtbl.replace ready d !done_at | None -> ());
     finish := Float.max !finish !done_at
   in
-  List.iter exec_instr b.Ir.insts;
+  List.iter (fun ({ Ir.i; _ } : Ir.li) -> exec_instr i) b.Ir.insts;
   (* Register pressure within the block. *)
   let after = Liveness.per_instruction live b in
   let max_vec = ref 0 and max_gpr = ref 0 in
@@ -222,15 +236,65 @@ let analyze_block (m : Machine.t) (f : Ir.func) (live : Liveness.t) (b : Ir.bloc
     max_gpr_pressure = !max_gpr;
   }
 
+(* Apportion [total_units] across the block's source lines proportionally
+   to each line's µop count, with largest-remainder rounding so the shares
+   sum exactly to [total_units].  The terminator (and any instruction with
+   no provenance) weighs in on line 0. *)
+let compute_shares (m : Machine.t) (f : Ir.func) (b : Ir.block) ~(total_units : int) :
+    (int * int) array * int =
+  let weights : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let add_weight line w =
+    Hashtbl.replace weights line
+      (Option.value (Hashtbl.find_opt weights line) ~default:0 + w)
+  in
+  add_weight 0 1 (* terminator *);
+  List.iter
+    (fun ({ Ir.i; line } : Ir.li) -> add_weight line (List.length (uops_of_instr m f i)))
+    b.Ir.insts;
+  let lines =
+    Hashtbl.fold (fun l w acc -> (l, w) :: acc) weights []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let total_w = List.fold_left (fun acc (_, w) -> acc + w) 0 lines in
+  let with_rem =
+    Array.of_list
+      (List.map
+         (fun (l, w) -> (l, total_units * w / total_w, total_units * w mod total_w))
+         lines)
+  in
+  let base_sum = Array.fold_left (fun acc (_, u, _) -> acc + u) 0 with_rem in
+  let leftover = total_units - base_sum in
+  (* hand the rounding leftover to the largest remainders; ties broken by
+     position so the result is deterministic *)
+  let order = Array.init (Array.length with_rem) Fun.id in
+  Array.sort
+    (fun i j ->
+      let _, _, ri = with_rem.(i) and _, _, rj = with_rem.(j) in
+      if ri <> rj then compare rj ri else compare i j)
+    order;
+  let out = Array.map (fun (l, u, _) -> (l, u)) with_rem in
+  for k = 0 to leftover - 1 do
+    let idx = order.(k mod Array.length order) in
+    let l, u = out.(idx) in
+    out.(idx) <- (l, u + 1)
+  done;
+  (out, total_units)
+
 (** Analyze every block of a compiled function once; the interpreter then
     charges [cycles] per dynamic block execution. *)
 let analyze (m : Machine.t) (f : Ir.func) : t =
   let live = Liveness.compute f in
+  let term_cost = 1.0 in
   let costs = Hashtbl.create 16 in
+  let shares = Hashtbl.create 16 in
   List.iter
-    (fun b -> Hashtbl.replace costs b.Ir.label (analyze_block m f live b))
+    (fun b ->
+      let c = analyze_block m f live b in
+      Hashtbl.replace costs b.Ir.label c;
+      let total_units = units_of_cycles (c.cycles +. term_cost) in
+      Hashtbl.replace shares b.Ir.label (compute_shares m f b ~total_units))
     (Ir.blocks f);
-  { machine = m; costs; term_cost = 1.0 }
+  { machine = m; costs; term_cost; shares }
 
 let block_cost t label = Hashtbl.find_opt t.costs label
 
@@ -240,3 +304,14 @@ let cycles t label =
   | None -> t.term_cost
 
 let flops t label = match block_cost t label with Some c -> c.flops | None -> 0
+
+(** Source-line shares of one execution of [label] (terminator included)
+    together with their exact integer sum; [cycles t label] is the same
+    quantity in float cycles.  Unknown labels cost [term_cost] only,
+    charged to the line-0 overhead bucket. *)
+let line_shares t label : (int * int) array * int =
+  match Hashtbl.find_opt t.shares label with
+  | Some s -> s
+  | None ->
+      let u = units_of_cycles t.term_cost in
+      ([| (0, u) |], u)

@@ -360,6 +360,221 @@ let test_metrics_of_launch () =
   Alcotest.(check bool) "compile cost exported" true
     (Metrics.find reg "jit.w4.compile_us" <> None)
 
+(* --- span trees rebuilt from a traced launch --- *)
+
+module Span = Vekt_obs.Span
+module Attribution = Vekt_obs.Attribution
+module Report = Vekt_runtime.Report
+module Fault = Vekt_runtime.Fault
+
+let run_traced ?attr ?profile ~config (w : Workload.t) tracer =
+  let sink = Trace.sink tracer in
+  let dev = Api.create_device () in
+  let m = Api.load_module ~config ~sink dev w.Workload.src in
+  let inst = w.Workload.setup ~scale:1 dev in
+  let r =
+    Api.launch ~sink ?attr ?profile m ~kernel:w.Workload.kernel
+      ~grid:inst.Workload.grid ~block:inst.Workload.block
+      ~args:inst.Workload.args
+  in
+  (match inst.Workload.check dev with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: wrong results: %s" w.Workload.name e);
+  (dev, inst, r)
+
+let check_span_tree workers (w : Workload.t) =
+  let tracer = Trace.create ~capacity:(1 lsl 18) () in
+  let config = { Api.default_config with workers = Some workers } in
+  let _, inst, _ = run_traced ~config w tracer in
+  Alcotest.(check int)
+    (Fmt.str "%s w%d: no events dropped" w.Workload.name workers)
+    0 (Trace.dropped tracer);
+  let forest = Span.of_events (Trace.events tracer) in
+  Alcotest.(check bool)
+    (Fmt.str "%s w%d: balanced" w.Workload.name workers)
+    true (Span.balanced forest);
+  (match forest.Span.roots with
+  | [ root ] ->
+      Alcotest.(check bool)
+        (Fmt.str "%s w%d: single launch root" w.Workload.name workers)
+        true
+        (root.Span.kind = Event.Sk_launch)
+  | roots ->
+      Alcotest.failf "%s w%d: expected one root, got %d" w.Workload.name
+        workers (List.length roots));
+  let flat = Span.flatten forest in
+  let count k = List.length (List.filter (fun (s : Span.t) -> s.Span.kind = k) flat) in
+  Alcotest.(check int)
+    (Fmt.str "%s w%d: one cta span per CTA" w.Workload.name workers)
+    (Vekt_ptx.Launch.count inst.Workload.grid)
+    (count Event.Sk_cta);
+  List.iter
+    (fun (what, k) ->
+      Alcotest.(check bool)
+        (Fmt.str "%s w%d: has %s span" w.Workload.name workers what)
+        true (count k > 0))
+    [
+      ("parse", Event.Sk_parse);
+      ("typecheck", Event.Sk_typecheck);
+      ("cache lookup", Event.Sk_cache_lookup);
+      ("compile", Event.Sk_compile);
+      ("pass", Event.Sk_pass);
+    ];
+  json_valid "span json" (Span.to_json forest)
+
+let test_span_tree_serial () = check_span_tree 1 W_vecadd.workload
+let test_span_tree_parallel () = check_span_tree 4 W_vecadd.workload
+let test_span_tree_subkernels () = check_span_tree 4 W_mersenne.workload
+
+(* --- source-line attribution: bit-exact conservation across the whole
+   registry at 1 and 4 workers.  Everything is integer addition, so the
+   per-(entry, line) buckets must sum to the charged total under any
+   worker merge order, and the total itself must not depend on the
+   worker count. --- *)
+
+let test_attribution_conserved_registry () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let totals =
+        List.map
+          (fun workers ->
+            let attr = Attribution.create () in
+            let config = { Api.default_config with workers = Some workers } in
+            let dev = Api.create_device () in
+            let m = Api.load_module ~config dev w.Workload.src in
+            let inst = w.Workload.setup ~scale:1 dev in
+            ignore
+              (Api.launch ~attr m ~kernel:w.Workload.kernel
+                 ~grid:inst.Workload.grid ~block:inst.Workload.block
+                 ~args:inst.Workload.args);
+            Alcotest.(check bool)
+              (Fmt.str "%s w%d: charged" w.Workload.name workers)
+              true
+              (attr.Attribution.total_units > 0);
+            Alcotest.(check bool)
+              (Fmt.str "%s w%d: conserved" w.Workload.name workers)
+              true (Attribution.conserved attr);
+            Alcotest.(check int)
+              (Fmt.str "%s w%d: by_line sums to total" w.Workload.name workers)
+              attr.Attribution.total_units
+              (List.fold_left
+                 (fun acc (_, u) -> acc + u)
+                 0
+                 (Attribution.by_line attr));
+            attr.Attribution.total_units)
+          [ 1; 4 ]
+      in
+      match totals with
+      | [ t1; t4 ] ->
+          Alcotest.(check int)
+            (w.Workload.name ^ ": total independent of worker count")
+            t1 t4
+      | _ -> assert false)
+    Registry.all
+
+(* --- post-launch report --- *)
+
+let test_report_json_and_render () =
+  let w = W_mersenne.workload in
+  let tracer = Trace.create ~capacity:(1 lsl 18) () in
+  let attr = Attribution.create () in
+  let profile = Divergence.create () in
+  let dev, _, r =
+    run_traced ~attr ~profile ~config:Api.default_config w tracer
+  in
+  let rep =
+    Report.build ~kernel:w.Workload.kernel ~src:w.Workload.src
+      ~workers:dev.Api.workers ~trace:tracer ~attr ~profile r
+  in
+  let json = Report.to_json rep in
+  json_valid "report json" json;
+  List.iter
+    (fun key ->
+      Alcotest.(check bool)
+        (Fmt.str "json has %S" key)
+        true
+        (contains ~sub:(Fmt.str "\"%s\":" key) json))
+    [
+      "kernel"; "workers"; "launch"; "phases"; "hot_lines"; "divergence";
+      "cache_timeline"; "spans"; "attribution";
+    ]
+
+(* The human-readable rendering is what `vektc run --report -` prints;
+   pin its stable structure (headers, phase rows, conservation flag)
+   without golden-matching the timing-dependent numbers. *)
+let test_report_golden_structure () =
+  let w = W_vecadd.workload in
+  let tracer = Trace.create ~capacity:(1 lsl 18) () in
+  let attr = Attribution.create () in
+  let profile = Divergence.create () in
+  let dev, _, r =
+    run_traced ~attr ~profile ~config:Api.default_config w tracer
+  in
+  let rep =
+    Report.build ~kernel:w.Workload.kernel ~src:w.Workload.src
+      ~workers:dev.Api.workers ~trace:tracer ~attr ~profile r
+  in
+  let text = Report.render rep in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (Fmt.str "render has %S" sub) true
+        (contains ~sub text))
+    [
+      "launch report: vecadd";
+      "phase breakdown (wall µs / modelled cycles):";
+      "parse"; "typecheck"; "launch"; "cta"; "cache_lookup"; "compile"; "pass";
+      "conserved=true";
+      "hottest source lines";
+      "(runtime overhead)";
+      "divergence profile";
+      "cache timeline:";
+    ]
+
+(* --- flight recorder: a launch dying on an injected fault leaves its
+   launch and CTA spans open, and the crash bundle captures them --- *)
+
+let test_crash_bundle_on_injected_fault () =
+  let w = W_vecadd.workload in
+  let tracer = Trace.create () in
+  let sink = Trace.sink tracer in
+  let config =
+    {
+      Api.default_config with
+      inject =
+        Some
+          { Fault.seed = 7; specs = [ Fault.Mem_trap { nth = 5; kernel = None } ] };
+      recover = false;
+    }
+  in
+  let dev = Api.create_device () in
+  let m = Api.load_module ~config ~sink dev w.Workload.src in
+  let inst = w.Workload.setup ~scale:1 dev in
+  match
+    Api.launch ~sink m ~kernel:w.Workload.kernel ~grid:inst.Workload.grid
+      ~block:inst.Workload.block ~args:inst.Workload.args
+  with
+  | _ -> Alcotest.fail "expected the injected trap to escape"
+  | exception Vekt_error.Error err ->
+      let forest = Span.of_events (Trace.events tracer) in
+      Alcotest.(check bool) "launch span left open" true
+        (List.exists
+           (fun (s : Span.t) -> s.Span.kind = Event.Sk_launch)
+           forest.Span.open_spans);
+      let bundle =
+        Report.crash_bundle ~kernel:w.Workload.kernel ~error:err ~trace:tracer ()
+      in
+      json_valid "crash bundle" bundle;
+      List.iter
+        (fun sub ->
+          Alcotest.(check bool) (Fmt.str "bundle has %S" sub) true
+            (contains ~sub bundle))
+        [
+          "\"error_kind\":\"trap\"";
+          "\"open_spans\"";
+          "\"ring\"";
+          "launch vecadd";
+        ]
+
 let () =
   Alcotest.run "obs"
     [
@@ -387,4 +602,26 @@ let () =
         ] );
       ( "overhead",
         [ Alcotest.test_case "noop sink" `Quick test_noop_sink_zero_overhead ] );
+      ( "spans",
+        [
+          Alcotest.test_case "tree balanced w1" `Quick test_span_tree_serial;
+          Alcotest.test_case "tree balanced w4" `Quick test_span_tree_parallel;
+          Alcotest.test_case "subkernel launch" `Quick test_span_tree_subkernels;
+        ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "conserved across registry w1/w4" `Quick
+            test_attribution_conserved_registry;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "json keys" `Quick test_report_json_and_render;
+          Alcotest.test_case "rendered structure" `Quick
+            test_report_golden_structure;
+        ] );
+      ( "flight-recorder",
+        [
+          Alcotest.test_case "crash bundle on injected fault" `Quick
+            test_crash_bundle_on_injected_fault;
+        ] );
     ]

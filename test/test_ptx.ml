@@ -95,7 +95,7 @@ let test_parse_guard () =
       {|.entry g () { .reg .pred %p; .reg .u32 %r; @!%p add.u32 %r, %r, 1; exit; }|}
   in
   match k.Ast.k_body with
-  | [ Ast.Inst (Ast.Ifnot "%p", Ast.Binary (Ast.Add, Ast.U32, "%r", _, _)); _ ] -> ()
+  | [ Ast.Inst (Ast.Ifnot "%p", Ast.Binary (Ast.Add, Ast.U32, "%r", _, _), _); _ ] -> ()
   | _ -> Alcotest.fail "guard not parsed"
 
 let test_parse_shared_local () =
@@ -108,7 +108,7 @@ let test_parse_shared_local () =
   Alcotest.(check int) "shared" 1 (List.length k.Ast.k_shared);
   Alcotest.(check int) "local" 1 (List.length k.Ast.k_local);
   match k.Ast.k_body with
-  | [ Ast.Inst (_, Ast.Mov (_, _, Ast.Var "tile")); _ ] -> ()
+  | [ Ast.Inst (_, Ast.Mov (_, _, Ast.Var "tile"), _); _ ] -> ()
   | _ -> Alcotest.fail "address-of shared not parsed as Var"
 
 let test_parse_const () =
@@ -240,7 +240,7 @@ let test_parse_atom () =
           atom.global.add.u32 %old, [%addr], %v; exit; }|}
   in
   match k.Ast.k_body with
-  | [ _; Ast.Inst (_, Ast.Atom (Ast.Global, Ast.Atom_add, Ast.U32, "%old", _, _, None)); _ ]
+  | [ _; Ast.Inst (_, Ast.Atom (Ast.Global, Ast.Atom_add, Ast.U32, "%old", _, _, None), _); _ ]
     ->
       ()
   | _ -> Alcotest.fail "atom not parsed"
@@ -707,9 +707,9 @@ let prop_printer_roundtrip =
              k_body =
                List.mapi
                  (fun i (op, a, b) ->
-                   Ast.Inst (Ast.Always, Ast.Binary (op, Ast.U32, reg (i mod nregs), a, b)))
+                   Ast.Inst (Ast.Always, Ast.Binary (op, Ast.U32, reg (i mod nregs), a, b), 0))
                  insts
-               @ [ Ast.Inst (Ast.Always, Ast.Exit) ];
+               @ [ Ast.Inst (Ast.Always, Ast.Exit, 0) ];
            })
   in
   QCheck.Test.make ~name:"printer/parser roundtrip" ~count:200

@@ -28,8 +28,8 @@ let test_ifconv_arith_to_selp () =
   Alcotest.(check bool) "clean" true (Ifconv.is_clean k');
   (* add into temp + selp *)
   match k'.Ast.k_body with
-  | [ Ast.Inst (Ast.Always, Ast.Binary (Ast.Add, _, t, _, _));
-      Ast.Inst (Ast.Always, Ast.Selp (_, "%r", Ast.Reg t', Ast.Reg "%r", "%p")); _ ] ->
+  | [ Ast.Inst (Ast.Always, Ast.Binary (Ast.Add, _, t, _, _), _);
+      Ast.Inst (Ast.Always, Ast.Selp (_, "%r", Ast.Reg t', Ast.Reg "%r", "%p"), _); _ ] ->
       Alcotest.(check string) "selp takes temp when guard true" t t'
   | _ -> Alcotest.fail "unexpected if-conversion shape"
 
@@ -41,7 +41,7 @@ let test_ifconv_negated_guard () =
   in
   let k' = Ifconv.run k in
   match k'.Ast.k_body with
-  | [ _; Ast.Inst (Ast.Always, Ast.Selp (_, "%r", Ast.Reg "%r", Ast.Reg _, "%p")); _ ] ->
+  | [ _; Ast.Inst (Ast.Always, Ast.Selp (_, "%r", Ast.Reg "%r", Ast.Reg _, "%p"), _); _ ] ->
       ()
   | _ -> Alcotest.fail "negated guard should select old value when p is true"
 
@@ -57,7 +57,7 @@ let test_ifconv_store_diamond () =
   (* A branch around the store must have been introduced. *)
   let has_branch =
     List.exists
-      (function Ast.Inst ((Ast.If _ | Ast.Ifnot _), Ast.Bra _) -> true | _ -> false)
+      (function Ast.Inst ((Ast.If _ | Ast.Ifnot _), Ast.Bra _, _) -> true | _ -> false)
       k'.Ast.k_body
   in
   Alcotest.(check bool) "diamond" true has_branch;
@@ -143,7 +143,8 @@ let test_translate_specials_to_ctx () =
     List.exists
       (fun (b : Ir.block) ->
         List.exists
-          (function Ir.Ctx_read (_, Ir.Tid Ast.X, 0) -> true | _ -> false)
+          (function
+            | { Ir.i = Ir.Ctx_read (_, Ir.Tid Ast.X, 0); _ } -> true | _ -> false)
           b.Ir.insts)
       (Ir.blocks tr.Ptx_to_ir.func)
   in
@@ -172,7 +173,9 @@ let test_translate_local_rebased () =
         acc
         + List.length
             (List.filter
-               (function Ir.Ctx_read (_, Ir.Local_base, _) -> true | _ -> false)
+               (function
+                 | { Ir.i = Ir.Ctx_read (_, Ir.Local_base, _); _ } -> true
+                 | _ -> false)
                b.Ir.insts))
       0 (Ir.blocks tr.Ptx_to_ir.func)
   in
@@ -282,7 +285,7 @@ let test_vectorize_vector_ops_present () =
       (fun (b : Ir.block) ->
         List.exists
           (function
-            | Ir.Cmp (_, ty, _, _, _) -> ty.Ty.width = 4
+            | { Ir.i = Ir.Cmp (_, ty, _, _, _); _ } -> ty.Ty.width = 4
             | _ -> false)
           b.Ir.insts)
       (Ir.blocks v.Vectorize.func)
@@ -296,7 +299,8 @@ let test_vectorize_loads_stay_scalar () =
       List.iter
         (fun (b : Ir.block) ->
           List.iter
-            (function
+            (fun ({ Ir.i; _ } : Ir.li) ->
+              match i with
               | Ir.Load (_, _, _, base, _) | Ir.Store (_, _, base, _, _) -> (
                   match base with
                   | Ir.R r ->
@@ -323,7 +327,9 @@ let test_vectorize_exit_sets_status () =
         Alcotest.(check bool)
           (Fmt.str "%s sets status" b.Ir.label)
           true
-          (List.exists (function Ir.Set_status _ -> true | _ -> false) b.Ir.insts))
+          (List.exists
+             (function { Ir.i = Ir.Set_status _; _ } -> true | _ -> false)
+             b.Ir.insts))
     (Ir.blocks v.Vectorize.func)
 
 let test_vectorize_restores_match_plan () =
@@ -447,7 +453,9 @@ let test_constfold_arith () =
   (* y must now be a constant move of 42 *)
   let has42 =
     List.exists
-      (function Ir.Mov (_, d, Ir.Imm (Scalar_ops.I 42L, _)) -> d = y | _ -> false)
+      (function
+        | { Ir.i = Ir.Mov (_, d, Ir.Imm (Scalar_ops.I 42L, _)); _ } -> d = y
+        | _ -> false)
       (Ir.block f "entry").Ir.insts
   in
   Alcotest.(check bool) "42" true has42
@@ -495,7 +503,8 @@ let test_cse_basic () =
   Alcotest.(check int) "one replaced" 1 (Cse.run f);
   let is_copy =
     List.exists
-      (function Ir.Mov (_, d, Ir.R s) -> d = c && s = a | _ -> false)
+      (function
+        | { Ir.i = Ir.Mov (_, d, Ir.R s); _ } -> d = c && s = a | _ -> false)
       (Ir.block f "entry").Ir.insts
   in
   Alcotest.(check bool) "copy of first" true is_copy
@@ -669,7 +678,10 @@ DONE:
 
 let count_kind f pred =
   List.fold_left
-    (fun acc (b : Ir.block) -> acc + List.length (List.filter pred b.Ir.insts))
+    (fun acc (b : Ir.block) ->
+      acc
+      + List.length
+          (List.filter (fun ({ Ir.i; _ } : Ir.li) -> pred i) b.Ir.insts))
     0 (Ir.blocks f)
 
 let test_affine_vectorize_emits_vload () =
