@@ -161,40 +161,19 @@ let compile_cmd =
 
 (* ---- argument specs for run/emulate ---- *)
 
-type parsed_arg = { launch_arg : Launch.arg; addr : int option }
+(* Spec parsing lives in Api (shared with the daemon's submit-launch
+   request); the CLI just turns an Error into an exit. *)
+let parse_arg_spec (dev : Api.device) spec : Api.parsed_arg =
+  match Api.arg_of_spec dev spec with
+  | Ok a -> a
+  | Error e -> Fmt.failwith "%s" e
 
-let parse_arg_spec (dev : Api.device) spec : parsed_arg =
-  match String.index_opt spec ':' with
-  | None -> Fmt.failwith "bad arg spec %S" spec
-  | Some i -> (
-      let kind = String.sub spec 0 i in
-      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
-      match kind with
-      | "i32" -> { launch_arg = Launch.I32 (int_of_string rest); addr = None }
-      | "i64" -> { launch_arg = Launch.I64 (Int64.of_string rest); addr = None }
-      | "f32" -> { launch_arg = Launch.F32 (float_of_string rest); addr = None }
-      | "f64" -> { launch_arg = Launch.F64 (float_of_string rest); addr = None }
-      | "zeros" ->
-          let a = Api.malloc dev (int_of_string rest) in
-          { launch_arg = Launch.Ptr a; addr = Some a }
-      | "f32s" ->
-          let vals = String.split_on_char ',' rest |> List.map float_of_string in
-          let a = Api.malloc dev (4 * List.length vals) in
-          Api.write_f32s dev a vals;
-          { launch_arg = Launch.Ptr a; addr = Some a }
-      | "i32s" ->
-          let vals = String.split_on_char ',' rest |> List.map int_of_string in
-          let a = Api.malloc dev (4 * List.length vals) in
-          Api.write_i32s dev a vals;
-          { launch_arg = Launch.Ptr a; addr = Some a }
-      | k -> Fmt.failwith "unknown arg kind %S" k)
-
-let dump_result dev (args : parsed_arg list) spec =
+let dump_result dev (args : Api.parsed_arg list) spec =
   (* spec: ty:argindex:count *)
   match String.split_on_char ':' spec with
   | [ ty; idx; count ] -> (
       let idx = int_of_string idx and count = int_of_string count in
-      match (List.nth args idx).addr with
+      match (List.nth args idx).Api.addr with
       | None -> Fmt.failwith "argument %d is not a buffer" idx
       | Some a -> (
           match ty with
@@ -235,57 +214,41 @@ let run_cmd =
     let src, m = load file in
     let kernel = pick_kernel m kernel in
     let dev = Api.create_device () in
-    let sched =
-      Option.map
-        (fun s ->
-          match Vekt_runtime.Scheduler.kind_of_string s with
-          | Some k -> k
-          | None ->
-              Fmt.epr "unknown scheduler policy %S (dynamic, static, barrier)@." s;
-              exit 1)
-        sched
-    in
-    let inject_cfg =
-      match inject with
-      | [] -> None
-      | specs ->
-          let specs =
-            List.map
-              (fun s ->
-                match Vekt_runtime.Fault.parse_spec s with
-                | Ok spec -> spec
-                | Error e ->
-                    Fmt.epr "bad --inject: %s@." e;
-                    exit 1)
-              specs
-          in
-          Some { Vekt_runtime.Fault.seed = inject_seed; specs }
+    (* The flag set is flattened to the same string-keyed spec the
+       daemon's load-module request uses; Api.config_of_spec is the one
+       construction path, so CLI and server semantics cannot drift. *)
+    let opt key f v = Option.map (fun x -> (key, f x)) v in
+    let spec =
+      List.filter_map Fun.id
+        [
+          Some ("static", string_of_bool static);
+          Some ("affine", string_of_bool affine);
+          Some ("ws", string_of_int ws);
+          opt "workers" string_of_int workers;
+          opt "sched" Fun.id sched;
+          opt "pipeline" Fun.id pipeline;
+          Some ("tiered", string_of_bool tiered);
+          Some ("hot-threshold", string_of_int hot_threshold);
+          opt "cache-cap" string_of_int cache_cap;
+          (match inject with
+          | [] -> None
+          | specs -> Some ("inject", String.concat ";" specs));
+          Some ("inject-seed", string_of_int inject_seed);
+          opt "watchdog" string_of_int watchdog;
+          Some ("quarantine-ttl", string_of_int quarantine_ttl);
+          Some ("recover", string_of_bool recover);
+          Some ("checkpoint-every", string_of_int checkpoint_every);
+          Some ("checkpoint-dir", checkpoint_dir);
+          opt "record" Fun.id record;
+          opt "replay" Fun.id replay;
+        ]
     in
     let config =
-      {
-        Api.default_config with
-        mode = (if static then Vectorize.Static_tie else Vectorize.Dynamic);
-        affine;
-        widths = List.sort_uniq (fun a b -> compare b a) (ws :: [ 1 ]);
-        sched;
-        pipeline = parse_pipeline_opt pipeline;
-        tiering =
-          (if tiered then
-             Vekt_runtime.Translation_cache.Tiered { hot_threshold }
-           else Vekt_runtime.Translation_cache.Eager);
-        cache_capacity = cache_cap;
-        inject = inject_cfg;
-        watchdog;
-        quarantine_ttl;
-        (* injection without recovery would just crash the launch; arm
-           the emulator fallback whenever faults are being injected *)
-        recover = recover || inject_cfg <> None;
-        workers;
-        checkpoint_every;
-        checkpoint_dir;
-        record;
-        replay;
-      }
+      match Api.config_of_spec spec with
+      | Ok c -> c
+      | Error e ->
+          Fmt.epr "bad configuration: %s@." e;
+          exit 1
     in
     let args = List.map (parse_arg_spec dev) arg_specs in
     (* --report is the full observatory: it force-enables the tracer
@@ -326,7 +289,7 @@ let run_cmd =
       try
         Api.launch ~sink ?profile:prof ?attr ?resume ?checkpoint_stop api_m
           ~kernel ~grid:(Launch.dim3 grid) ~block:(Launch.dim3 block)
-          ~args:(List.map (fun a -> a.launch_arg) args)
+          ~args:(List.map (fun a -> a.Api.launch_arg) args)
       with
       | Vekt_runtime.Checkpoint.Stop path ->
           Fmt.pr "checkpointed and stopped; resume with --resume %s@." path;
@@ -596,7 +559,7 @@ let emulate_cmd =
     let g =
       Api.launch_reference api_m ~kernel:kernel' ~grid:(Launch.dim3 grid)
         ~block:(Launch.dim3 block)
-        ~args:(List.map (fun a -> a.launch_arg) args)
+        ~args:(List.map (fun a -> a.Api.launch_arg) args)
     in
     (* copy emulator results back so dumps read them *)
     Bytes.blit (Mem.bytes g) 0 (Mem.bytes dev.Api.global) 0 (Mem.size g);
@@ -647,13 +610,287 @@ let info_cmd =
     (Cmd.info "info" ~doc:"Static facts about a kernel")
     Term.(const run $ file_arg $ kernel_arg)
 
+(* ---- serve / submit / client: the persistent daemon ---- *)
+
+module Server = Vekt_server.Server
+module Jsonx = Vekt_server.Jsonx
+
+let socket_arg =
+  Arg.(
+    value & opt string "vekt.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path")
+
+let serve_cmd =
+  let run socket ckpt_dir quota weight global_mb =
+    let t =
+      Server.create ~quota ~weight ~ckpt_dir
+        ~global_bytes:(global_mb * 1024 * 1024) ()
+    in
+    Fmt.pr "vekt daemon listening on %s@." socket;
+    Server.serve t ~socket ();
+    Fmt.pr "vekt daemon: clean shutdown@."
+  in
+  let ckpt_dir_arg =
+    Arg.(
+      value & opt string "vekt-serve-ckpt"
+      & info [ "ckpt-dir" ] ~docv:"DIR"
+          ~doc:
+            "Checkpoint root: each preemptible job snapshots into its own \
+             subdirectory, swept on completion and at shutdown")
+  in
+  let quota_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "quota" ] ~docv:"N"
+          ~doc:"Default per-tenant limit on jobs in flight")
+  in
+  let weight_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "weight" ] ~docv:"N"
+          ~doc:"Default tenant fairness weight (stride scheduling)")
+  in
+  let global_mb_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "global-mb" ] ~docv:"MB" ~doc:"Per-session global memory size")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent multi-tenant vekt daemon: sessions over a \
+          Unix-domain socket share one engine, so hot kernels compiled for \
+          one tenant are cache hits for the next")
+    Term.(
+      const run $ socket_arg $ ckpt_dir_arg $ quota_arg $ weight_arg
+      $ global_mb_arg)
+
+(* A tiny synchronous client: one request line out, one response line
+   back. *)
+let connect socket =
+  try Unix.open_connection (Unix.ADDR_UNIX socket)
+  with Unix.Unix_error (e, _, _) ->
+    Fmt.epr "cannot connect to %s: %s (is `vektc serve` running?)@." socket
+      (Unix.error_message e);
+    exit 1
+
+let request (ic, oc) (j : Jsonx.t) : Jsonx.t =
+  output_string oc (Jsonx.to_string j);
+  output_char oc '\n';
+  flush oc;
+  let line = try input_line ic with End_of_file ->
+    Fmt.epr "daemon closed the connection@.";
+    exit 1
+  in
+  match Jsonx.of_string line with
+  | Ok r -> r
+  | Error e ->
+      Fmt.epr "malformed response: %s@." e;
+      exit 1
+
+(* Unwrap a response, exiting with the daemon's structured error. *)
+let expect_ok what (r : Jsonx.t) : Jsonx.t =
+  if Jsonx.bool_mem "ok" r = Some true then r
+  else begin
+    let kind =
+      Option.value ~default:"?"
+        (Option.bind (Jsonx.mem "error" r) (Jsonx.str_mem "kind"))
+    in
+    let message =
+      Option.value ~default:(Jsonx.to_string r)
+        (Option.bind (Jsonx.mem "error" r) (Jsonx.str_mem "message"))
+    in
+    Fmt.epr "%s: %s error: %s@." what kind message;
+    exit 1
+  end
+
+let submit_cmd =
+  let run file kernel grid block arg_specs dumps socket tenant priority label
+      config_pairs poll_ms =
+    let src, m = load file in
+    let kernel = pick_kernel m kernel in
+    let conn = connect socket in
+    let req cmd fields = request conn (Jsonx.Obj (("cmd", Jsonx.Str cmd) :: fields)) in
+    let r = expect_ok "open-session" (req "open-session" [ ("tenant", Jsonx.Str tenant) ]) in
+    let session = Option.get (Jsonx.int_mem "session" r) in
+    let sfield = ("session", Jsonx.Int session) in
+    let config =
+      Jsonx.Obj
+        (List.map
+           (fun kv ->
+             match String.index_opt kv '=' with
+             | Some i ->
+                 ( String.sub kv 0 i,
+                   Jsonx.Str (String.sub kv (i + 1) (String.length kv - i - 1))
+                 )
+             | None -> (kv, Jsonx.Str "true"))
+           config_pairs)
+    in
+    let r =
+      expect_ok "load-module"
+        (req "load-module" [ sfield; ("src", Jsonx.Str src); ("config", config) ])
+    in
+    let modul = Option.get (Jsonx.int_mem "module" r) in
+    let r =
+      expect_ok "submit-launch"
+        (req "submit-launch"
+           [
+             sfield;
+             ("module", Jsonx.Int modul);
+             ("kernel", Jsonx.Str kernel);
+             ("grid", Jsonx.Int grid);
+             ("block", Jsonx.Int block);
+             ("args", Jsonx.List (List.map (fun s -> Jsonx.Str s) arg_specs));
+             ("priority", Jsonx.Int priority);
+             ("label", Jsonx.Str (Option.value label ~default:kernel));
+           ])
+    in
+    let job = Option.get (Jsonx.int_mem "job" r) in
+    let arg_addrs = Option.value (Jsonx.list_mem "args" r) ~default:[] in
+    Fmt.pr "job %d submitted (tenant %s)@." job tenant;
+    let rec poll () =
+      let r = expect_ok "poll" (req "poll" [ ("job", Jsonx.Int job) ]) in
+      match Option.get (Jsonx.str_mem "state" r) with
+      | "done" -> r
+      | "failed" | "cancelled" ->
+          Fmt.epr "job %d: %s@." job (Jsonx.to_string r);
+          exit 1
+      | _ ->
+          Unix.sleepf (float_of_int poll_ms /. 1000.0);
+          poll ()
+    in
+    let r = poll () in
+    (match Jsonx.mem "result" r with
+    | Some res ->
+        let f k = Option.value ~default:0.0 (match Jsonx.mem k res with
+          | Some (Jsonx.Float x) -> Some x
+          | Some (Jsonx.Int n) -> Some (float_of_int n)
+          | _ -> None)
+        in
+        Fmt.pr "%.0f cycles (%.3f ms), %.2f GFLOP/s, avg warp %.2f@."
+          (f "cycles") (f "time_ms") (f "gflops") (f "avg_warp_size")
+    | None -> ());
+    (match (Jsonx.int_mem "preemptions" r, Jsonx.mem "wait_us" r) with
+    | Some p, Some (Jsonx.Float w) when p > 0 ->
+        Fmt.pr "preempted %d time(s); queue wait %.1f ms@." p (w /. 1000.)
+    | _ -> ());
+    (* dumps read buffers back through the protocol, by submit-time addr *)
+    List.iter
+      (fun spec ->
+        match String.split_on_char ':' spec with
+        | [ ty; idx; count ] -> (
+            let idx = int_of_string idx in
+            match List.nth_opt arg_addrs idx with
+            | Some (Jsonx.Int addr) ->
+                let r =
+                  expect_ok "read"
+                    (req "read"
+                       [
+                         sfield;
+                         ("addr", Jsonx.Int addr);
+                         ("ty", Jsonx.Str ty);
+                         ("count", Jsonx.Int (int_of_string count));
+                       ])
+                in
+                let vals = Option.value (Jsonx.list_mem "values" r) ~default:[] in
+                Fmt.pr "arg%d:%a@." idx
+                  (fun ppf ->
+                    List.iter (function
+                      | Jsonx.Int n -> Fmt.pf ppf " %d" n
+                      | Jsonx.Float x -> Fmt.pf ppf " %g" x
+                      | _ -> ()))
+                  vals
+            | _ -> Fmt.failwith "argument %d is not a buffer" idx)
+        | _ -> Fmt.failwith "bad dump spec %S (want ty:arg:count)" spec)
+      dumps;
+    ignore (expect_ok "close-session" (req "close-session" [ sfield ]))
+  in
+  let tenant_arg =
+    Arg.(
+      value & opt string "default"
+      & info [ "tenant" ] ~docv:"NAME" ~doc:"Tenant to submit as")
+  in
+  let priority_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "priority" ] ~docv:"N"
+          ~doc:
+            "Job priority: strictly higher priorities run first and preempt \
+             a running lower-priority launch at its next safe point")
+  in
+  let label_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "label" ] ~docv:"NAME" ~doc:"Job label (default: kernel name)")
+  in
+  let config_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "c"; "config" ] ~docv:"KEY=VALUE"
+          ~doc:
+            "Module configuration knob (repeatable), same keys as the \
+             load-module protocol request: tiered=true, hot-threshold=2, \
+             ws=4, sched=barrier, ...")
+  in
+  let poll_ms_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "poll-ms" ] ~docv:"MS" ~doc:"Completion polling interval")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a kernel launch to a running vekt daemon and wait for the \
+          result")
+    Term.(
+      const run $ file_arg $ kernel_arg $ grid_arg $ block_arg $ args_arg
+      $ dump_arg $ socket_arg $ tenant_arg $ priority_arg $ label_arg
+      $ config_arg $ poll_ms_arg)
+
+let client_cmd =
+  let run socket exprs =
+    let ((ic, oc) as conn) = connect socket in
+    let send line =
+      if String.trim line <> "" then
+        match Jsonx.of_string line with
+        | Error e -> Fmt.epr "request not sent, parse error: %s@." e
+        | Ok j -> Fmt.pr "%s@." (Jsonx.to_string (request conn j))
+    in
+    (match exprs with
+    | [] -> ( try
+        while true do
+          send (input_line stdin)
+        done
+      with End_of_file -> ())
+    | es -> List.iter send es);
+    close_out_noerr oc;
+    close_in_noerr ic
+  in
+  let expr_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "e"; "expr" ] ~docv:"JSON"
+          ~doc:
+            "Request to send (repeatable); without it, requests are read \
+             line by line from stdin")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Speak raw protocol JSON to a running vekt daemon (one request per \
+          line)")
+    Term.(const run $ socket_arg $ expr_arg)
+
 let () =
   let doc = "dynamic compilation of data-parallel kernels for vector processors" in
   try
     exit
       (Cmd.eval ~catch:false
          (Cmd.group (Cmd.info "vektc" ~version:"1.0.0" ~doc)
-            [ check_cmd; compile_cmd; run_cmd; emulate_cmd; info_cmd ]))
+            [
+              check_cmd; compile_cmd; run_cmd; emulate_cmd; info_cmd;
+              serve_cmd; submit_cmd; client_cmd;
+            ]))
   with
   | Failure e | Invalid_argument e ->
       Fmt.epr "error: %s@." e;

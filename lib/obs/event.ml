@@ -37,6 +37,7 @@ type span_kind =
   | Sk_compile  (** one specialization build (synthesized from compile events) *)
   | Sk_cta  (** one CTA executed by a worker *)
   | Sk_subkernel  (** one specialization call (synthesized from Subkernel_call) *)
+  | Sk_queue  (** time a submitted job waited in the daemon's admission queue *)
 
 let span_kind_name = function
   | Sk_launch -> "launch"
@@ -47,6 +48,7 @@ let span_kind_name = function
   | Sk_compile -> "compile"
   | Sk_cta -> "cta"
   | Sk_subkernel -> "subkernel"
+  | Sk_queue -> "queue"
 
 type t =
   | Warp_formed of {

@@ -111,6 +111,25 @@ let names t = List.rev t.rev_order
 
 let find t name = Hashtbl.find_opt t.tbl name
 
+(** Merge [src] into [into], optionally namespacing every metric under
+    [prefix] (e.g. ["tenant.alice."]).  Counters add, gauges take the
+    source value (last merge wins), histograms merge bin-wise — so
+    scraping a shared engine can fold several per-session registries
+    into one view without losing attribution.  Kind mismatches between
+    [src] and an existing metric raise [Invalid_argument], same as the
+    typed accessors. *)
+let merge_into ~into ?(prefix = "") (src : t) =
+  List.iter
+    (fun name ->
+      let dst_name = prefix ^ name in
+      match Hashtbl.find src.tbl name with
+      | Counter c -> incr ~by:!c (counter into dst_name)
+      | Gauge g -> set (gauge into dst_name) !g
+      | Hist h ->
+          let dh = histogram into dst_name in
+          List.iter (fun (bin, n) -> observe_n dh ~bin n) (hist_bins h))
+    (names src)
+
 (* ---- exporters ---- *)
 
 let add_float b x =

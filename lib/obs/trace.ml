@@ -108,7 +108,7 @@ let jit_pid = 1
 let span_pid = function
   | Event.Sk_pass | Event.Sk_cache_lookup | Event.Sk_compile -> jit_pid
   | Event.Sk_launch | Event.Sk_parse | Event.Sk_typecheck | Event.Sk_cta
-  | Event.Sk_subkernel ->
+  | Event.Sk_subkernel | Event.Sk_queue ->
       em_pid
 
 (* The (pid, tid) track an event renders on — must mirror the pid/tid

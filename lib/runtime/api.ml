@@ -21,12 +21,23 @@ let compile_error ?(kernel = "") ?ws ?tier ?line ~stage reason =
   Vekt_error.Error
     (Vekt_error.Compile { kernel; ws; tier; stage; line; reason })
 
+(** One session: per-client state layered over a shared {!Engine.t}.
+    The device owns what must be private to a client — global memory,
+    the allocator, launch bookkeeping — while the engine owns the
+    shared JIT state (translation caches, engine-wide sink).  A device
+    created without an explicit engine gets a private one, which is
+    exactly the old one-shot behavior: "an engine with one session". *)
 type device = {
   machine : Machine.t;
   workers : int;
   global : Mem.t;
   mutable brk : int;  (** bump-allocator watermark *)
   em_costs : Exec_manager.costs;
+  engine : Engine.t;  (** shared JIT state this session runs over *)
+  allocs : (int, int) Hashtbl.t;  (** live allocations: base → padded size *)
+  mutable free_blocks : (int * int) list;
+      (** freed [(base, size)] blocks below the watermark, sorted by
+          base and coalesced; {!malloc} reuses them first-fit *)
 }
 
 (** Launch-configuration knobs, fixed when a module is loaded. *)
@@ -127,48 +138,318 @@ let sched_policy (c : config) : Scheduler.t =
   Scheduler.of_kind
     (Option.value c.sched ~default:(Scheduler.default_kind_for c.mode))
 
+(** Build a {!config} from a string-keyed spec — the one construction
+    path shared verbatim by the [vektc run] flag set and the daemon
+    protocol's [load-module] request, so the two fronts cannot drift.
+
+    Recognized keys (values are strings):
+    [mode] (dynamic|static), [static] (bool shorthand for [mode]),
+    [affine], [optimize], [verify], [specialize-args] (bools),
+    [ws]/[warp-size] (shorthand for [widths = ws,1]), [widths]
+    (comma-separated, sorted/deduped descending), [sched]
+    (dynamic|static|barrier), [pipeline] (pass-pipeline spec),
+    [tiered] (bool), [hot-threshold], [cache-cap], [inject]
+    (';'-separated fault specs; implies [recover]), [inject-seed],
+    [watchdog], [quarantine-ttl], [quarantine-max-age-us], [recover],
+    [workers], [checkpoint-every], [checkpoint-dir], [record],
+    [replay].
+
+    Returns [Error] (not an exception) on an unknown key or a
+    malformed value: a daemon must answer a bad client request, not
+    die on it.  The result still goes through {!validate_config} at
+    module load. *)
+let config_of_spec ?(base = default_config) (spec : (string * string) list) :
+    (config, string) result =
+  let exception Bad of string in
+  let fail fmt = Fmt.kstr (fun s -> raise (Bad s)) fmt in
+  let bool_of k v =
+    match String.lowercase_ascii v with
+    | "true" | "1" | "yes" | "on" -> true
+    | "false" | "0" | "no" | "off" -> false
+    | _ -> fail "%s: bad boolean %S" k v
+  in
+  let int_of k v =
+    match int_of_string_opt (String.trim v) with
+    | Some n -> n
+    | None -> fail "%s: bad integer %S" k v
+  in
+  let float_of k v =
+    match float_of_string_opt (String.trim v) with
+    | Some x -> x
+    | None -> fail "%s: bad number %S" k v
+  in
+  let desc_uniq ws = List.sort_uniq (fun a b -> compare b a) ws in
+  try
+    let cfg = ref base in
+    let ws = ref None and tiered = ref None and hot = ref None in
+    let inject_specs = ref [] and inject_seed = ref Fault.default_seed in
+    let recover = ref base.recover in
+    List.iter
+      (fun (k, v) ->
+        match k with
+        | "mode" -> (
+            match String.lowercase_ascii v with
+            | "dynamic" -> cfg := { !cfg with mode = Vectorize.Dynamic }
+            | "static" | "static-tie" | "tie" ->
+                cfg := { !cfg with mode = Vectorize.Static_tie }
+            | _ -> fail "mode: want dynamic or static, got %S" v)
+        | "static" ->
+            cfg :=
+              { !cfg with
+                mode =
+                  (if bool_of k v then Vectorize.Static_tie
+                   else Vectorize.Dynamic)
+              }
+        | "affine" -> cfg := { !cfg with affine = bool_of k v }
+        | "optimize" -> cfg := { !cfg with optimize = bool_of k v }
+        | "verify" -> cfg := { !cfg with verify = bool_of k v }
+        | "specialize-args" ->
+            cfg := { !cfg with specialize_args = bool_of k v }
+        | "ws" | "warp-size" -> ws := Some (int_of k v)
+        | "widths" ->
+            let widths = String.split_on_char ',' v |> List.map (int_of k) in
+            if widths = [] then fail "widths: empty list";
+            cfg := { !cfg with widths = desc_uniq widths }
+        | "sched" -> (
+            match Scheduler.kind_of_string v with
+            | Some s -> cfg := { !cfg with sched = Some s }
+            | None ->
+                fail "sched: unknown policy %S (dynamic, static, barrier)" v)
+        | "pipeline" -> (
+            match Vekt_transform.Passes.parse_pipeline v with
+            | Ok p -> cfg := { !cfg with pipeline = p }
+            | Error e -> fail "pipeline: %s" e)
+        | "tiered" -> tiered := Some (bool_of k v)
+        | "hot-threshold" -> hot := Some (int_of k v)
+        | "cache-cap" -> cfg := { !cfg with cache_capacity = Some (int_of k v) }
+        | "inject" ->
+            List.iter
+              (fun s ->
+                if String.trim s <> "" then
+                  match Fault.parse_spec (String.trim s) with
+                  | Ok sp -> inject_specs := !inject_specs @ [ sp ]
+                  | Error e -> fail "inject: %s" e)
+              (String.split_on_char ';' v)
+        | "inject-seed" -> inject_seed := int_of k v
+        | "watchdog" -> cfg := { !cfg with watchdog = Some (int_of k v) }
+        | "quarantine-ttl" -> cfg := { !cfg with quarantine_ttl = int_of k v }
+        | "quarantine-max-age-us" ->
+            cfg := { !cfg with quarantine_max_age_us = Some (float_of k v) }
+        | "recover" -> recover := bool_of k v
+        | "workers" -> cfg := { !cfg with workers = Some (int_of k v) }
+        | "checkpoint-every" ->
+            cfg := { !cfg with checkpoint_every = int_of k v }
+        | "checkpoint-dir" -> cfg := { !cfg with checkpoint_dir = v }
+        | "record" -> cfg := { !cfg with record = Some v }
+        | "replay" -> cfg := { !cfg with replay = Some v }
+        | k -> fail "unknown config key %S" k)
+      spec;
+    (match !ws with
+    | Some w -> cfg := { !cfg with widths = desc_uniq [ w; 1 ] }
+    | None -> ());
+    let tiering =
+      match !tiered with
+      | Some false -> Translation_cache.Eager
+      | Some true ->
+          Translation_cache.Tiered
+            {
+              hot_threshold =
+                Option.value !hot
+                  ~default:Translation_cache.default_hot_threshold;
+            }
+      | None -> (
+          (* hot-threshold alone retunes an already-tiered base config *)
+          match ((!cfg).tiering, !hot) with
+          | Translation_cache.Tiered _, Some h ->
+              Translation_cache.Tiered { hot_threshold = h }
+          | t, _ -> t)
+    in
+    let inject =
+      match !inject_specs with
+      | [] -> (!cfg).inject
+      | specs -> Some { Fault.seed = !inject_seed; specs }
+    in
+    (* injection without recovery would just crash the launch; arm the
+       emulator fallback whenever faults are being injected *)
+    Ok { !cfg with tiering; inject; recover = !recover || inject <> None }
+  with Bad e -> Error e
+
 type modul = {
   ast : Ast.modul;
   config : config;
   device : device;
   consts : Mem.t;
   caches : (string, Translation_cache.t) Hashtbl.t;
+      (** per-module memo of engine-owned (or, under fault injection,
+          private) translation caches, keyed by kernel name *)
+  cache_key : string;
+      (** engine cache-key prefix: digest of PTX source + compilation
+          config fingerprint + machine, so sessions loading the same
+          module with the same knobs share hot specializations *)
   fault : Fault.t option;  (** armed injector, shared by cache and managers *)
   mutable emulator_runs : int;  (** launches that recovered onto the oracle *)
   mutable last_ckpt : Checkpoint.ctx option;
       (** checkpoint bookkeeping of the most recent launch, for metrics *)
 }
 
-let create_device ?(machine = Machine.sse4) ?workers ?(global_bytes = 64 * 1024 * 1024)
-    ?(em_costs = Exec_manager.default_costs) () : device =
+let create_device ?machine ?workers ?(global_bytes = 64 * 1024 * 1024)
+    ?(em_costs = Exec_manager.default_costs) ?engine () : device =
+  let engine =
+    match engine with Some e -> e | None -> Engine.create ?machine ?workers ()
+  in
+  let machine = Option.value machine ~default:(Engine.machine engine) in
+  Engine.note_session engine;
   {
     machine;
-    workers = Option.value workers ~default:machine.Machine.cores;
+    workers = Option.value workers ~default:(Engine.default_workers engine);
     global = Mem.create ~name:"global" global_bytes;
     brk = 64 (* keep address 0 unallocated to catch null-ish bugs *);
     em_costs;
+    engine;
+    allocs = Hashtbl.create 16;
+    free_blocks = [];
   }
 
-(** Allocate [bytes] of device global memory (16-byte aligned). *)
+let align16 n = (n + 15) / 16 * 16
+
+(** Allocate [bytes] of device global memory (16-byte aligned).  Freed
+    blocks below the watermark are reused first-fit before the
+    watermark bumps, so a long-lived session that {!free}s what it
+    {!malloc}s does not grow its arena without bound. *)
 let malloc (d : device) bytes : int =
   if bytes < 0 then invalid_arg "malloc: negative size";
-  let base = (d.brk + 15) / 16 * 16 in
-  if base + bytes > Mem.size d.global then
-    raise
-      (Vekt_error.Error
-         (Vekt_error.Resource
-            {
-              what = "device global memory";
-              requested = bytes;
-              available = max 0 (Mem.size d.global - base);
-            }));
-  d.brk <- base + bytes;
+  let size = max 16 (align16 bytes) in
+  let rec fit acc = function
+    | [] -> None
+    | (base, bsize) :: rest when bsize >= size ->
+        let rest =
+          if bsize - size >= 16 then (base + size, bsize - size) :: rest
+          else rest
+        in
+        Some (base, List.rev_append acc rest)
+    | b :: rest -> fit (b :: acc) rest
+  in
+  let base =
+    match fit [] d.free_blocks with
+    | Some (base, blocks) ->
+        d.free_blocks <- blocks;
+        base
+    | None ->
+        let base = align16 d.brk in
+        if base + size > Mem.size d.global then
+          raise
+            (Vekt_error.Error
+               (Vekt_error.Resource
+                  {
+                    what = "device global memory";
+                    requested = bytes;
+                    available = max 0 (Mem.size d.global - base);
+                  }));
+        d.brk <- base + size;
+        base
+  in
+  Hashtbl.replace d.allocs base size;
   base
+
+(** Release an allocation made by {!malloc}.  The block is zeroed (a
+    later reuse must not leak stale data), returned to the free list
+    (coalescing with adjacent free blocks), and when the freed region
+    reaches back to the watermark the watermark itself drops.  Freeing
+    an address that is not a live allocation is a structured
+    {!Vekt_error.Resource} error — the daemon must not crash on a
+    client's double-free. *)
+let free (d : device) addr =
+  match Hashtbl.find_opt d.allocs addr with
+  | None ->
+      raise
+        (Vekt_error.Error
+           (Vekt_error.Resource
+              {
+                what = "free: not a live allocation";
+                requested = addr;
+                available = 0;
+              }))
+  | Some size ->
+      Hashtbl.remove d.allocs addr;
+      Bytes.fill (Mem.bytes d.global) addr size '\000';
+      let blocks = List.sort compare ((addr, size) :: d.free_blocks) in
+      let rec coalesce = function
+        | (a, sa) :: (b, sb) :: rest when a + sa = b ->
+            coalesce ((a, sa + sb) :: rest)
+        | x :: rest -> x :: coalesce rest
+        | [] -> []
+      in
+      let blocks = coalesce blocks in
+      d.free_blocks <-
+        (match List.rev blocks with
+        | (a, s) :: rev_rest when a + s = d.brk ->
+            d.brk <- a;
+            List.rev rev_rest
+        | _ -> blocks)
+
+(** Reset the session's whole arena: every allocation is dropped, the
+    memory touched so far is zeroed, and the watermark returns to its
+    initial position — the cheap way for a long-lived session to start
+    a fresh problem without reopening. *)
+let reset_arena (d : device) =
+  Bytes.fill (Mem.bytes d.global) 0 (min d.brk (Mem.size d.global)) '\000';
+  Hashtbl.reset d.allocs;
+  d.free_blocks <- [];
+  d.brk <- 64
+
+(** Bytes of live allocations, for quota accounting and [stats]. *)
+let allocated_bytes (d : device) =
+  Hashtbl.fold (fun _ size acc -> acc + size) d.allocs 0
 
 let write_f32s d addr xs = Mem.write_f32s d.global ~at:addr xs
 let write_i32s d addr xs = Mem.write_i32s d.global ~at:addr xs
 let read_f32s d addr n = Mem.read_f32s d.global ~at:addr n
 let read_i32s d addr n = Mem.read_i32s d.global ~at:addr n
+
+(** A launch argument parsed from a textual spec, plus the device
+    address when the spec allocated a buffer (so the caller can read
+    results back, or [free] it). *)
+type parsed_arg = { launch_arg : Launch.arg; addr : int option }
+
+(** Parse one textual argument spec — the grammar shared by
+    [vektc run -a] and the daemon's [submit-launch] request:
+    [i32:42], [i64:42], [f32:1.5], [f64:2.5], [zeros:N] (allocate N
+    zeroed bytes, pass the pointer), [f32s:a,b,c] / [i32s:a,b,c]
+    (allocate and fill, pass the pointer).  Allocations land in [d]'s
+    arena.  Malformed specs are [Error]s; allocator exhaustion still
+    raises the structured {!Vekt_error.Resource}. *)
+let arg_of_spec (d : device) spec : (parsed_arg, string) result =
+  match String.index_opt spec ':' with
+  | None -> Error (Fmt.str "bad arg spec %S (want kind:value)" spec)
+  | Some i -> (
+      let kind = String.sub spec 0 i in
+      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      try
+        match kind with
+        | "i32" -> Ok { launch_arg = Launch.I32 (int_of_string rest); addr = None }
+        | "i64" ->
+            Ok { launch_arg = Launch.I64 (Int64.of_string rest); addr = None }
+        | "f32" ->
+            Ok { launch_arg = Launch.F32 (float_of_string rest); addr = None }
+        | "f64" ->
+            Ok { launch_arg = Launch.F64 (float_of_string rest); addr = None }
+        | "zeros" ->
+            let a = malloc d (int_of_string rest) in
+            Ok { launch_arg = Launch.Ptr a; addr = Some a }
+        | "f32s" ->
+            let vals =
+              String.split_on_char ',' rest |> List.map float_of_string
+            in
+            let a = malloc d (4 * List.length vals) in
+            write_f32s d a vals;
+            Ok { launch_arg = Launch.Ptr a; addr = Some a }
+        | "i32s" ->
+            let vals = String.split_on_char ',' rest |> List.map int_of_string in
+            let a = malloc d (4 * List.length vals) in
+            write_i32s d a vals;
+            Ok { launch_arg = Launch.Ptr a; addr = Some a }
+        | k -> Error (Fmt.str "unknown arg kind %S" k)
+      with Failure _ -> Error (Fmt.str "bad arg spec %S" spec))
 
 (** Parse, type-check and register a PTX module.  Kernels are analyzed and
     translated lazily on first launch (the translation cache is shared by
@@ -176,8 +457,43 @@ let read_i32s d addr n = Mem.read_i32s d.global ~at:addr n
     [typecheck] span events (worker 0, modelled time 0 — module loading
     happens before any modelled cycle elapses; the spans' width is wall
     time). *)
+(* Canonical fingerprint of every knob that shapes compiled code or
+   cache behavior — the config part of the engine's shared-cache key.
+   Knobs that only affect the launch driver (workers, checkpointing,
+   record/replay, watchdog, recover) are deliberately excluded: they
+   don't change what the cache holds. *)
+let config_fingerprint (c : config) (machine : Machine.t) : string =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (match c.mode with
+    | Vectorize.Dynamic -> "dyn"
+    | Vectorize.Static_tie -> "tie");
+  List.iter (fun w -> Buffer.add_string b (Fmt.str ",%d" w)) c.widths;
+  Buffer.add_string b
+    (Fmt.str "|o%b|a%b|s%b|v%b|sched%s|" c.optimize c.affine c.specialize_args
+       c.verify
+       (match c.sched with
+       | Some k -> Scheduler.kind_name k
+       | None -> "-"));
+  Buffer.add_string b
+    (Fmt.str "%a|" Vekt_transform.Passes.pp_pipeline c.pipeline);
+  (match c.tiering with
+  | Translation_cache.Eager -> Buffer.add_string b "eager"
+  | Translation_cache.Tiered { hot_threshold } ->
+      Buffer.add_string b (Fmt.str "tiered:%d" hot_threshold));
+  Buffer.add_string b
+    (Fmt.str "|cap%s|ttl%d|age%s|m:%s"
+       (match c.cache_capacity with Some n -> string_of_int n | None -> "-")
+       c.quarantine_ttl
+       (match c.quarantine_max_age_us with
+       | Some x -> Fmt.str "%.0f" x
+       | None -> "-")
+       machine.Machine.name);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 let load_module ?(config = default_config) ?(sink = Vekt_obs.Sink.noop)
     (d : device) (src : string) : modul =
+  let sink = Vekt_obs.Sink.tee (Engine.sink d.engine) sink in
   let load_span kind name body =
     if Vekt_obs.Sink.enabled sink then begin
       Vekt_obs.Sink.emit sink
@@ -217,6 +533,9 @@ let load_module ?(config = default_config) ?(sink = Vekt_obs.Sink.noop)
     device = d;
     consts;
     caches = Hashtbl.create 4;
+    cache_key =
+      Digest.to_hex (Digest.string src) ^ "-"
+      ^ config_fingerprint config d.machine;
     fault = Option.map Fault.create config.inject;
     emulator_runs = 0;
     last_ckpt = None;
@@ -226,7 +545,7 @@ let kernel_cache (m : modul) ~kernel : Translation_cache.t =
   match Hashtbl.find_opt m.caches kernel with
   | Some c -> c
   | None ->
-      let c =
+      let build () =
         try
           Translation_cache.prepare ~mode:m.config.mode ~affine:m.config.affine
             ~specialize_args:m.config.specialize_args ~machine:m.device.machine
@@ -239,6 +558,16 @@ let kernel_cache (m : modul) ~kernel : Translation_cache.t =
         with Vekt_transform.Ptx_to_ir.Unsupported u ->
           raise
             (compile_error ~kernel ~stage:Vekt_error.Frontend u.construct)
+      in
+      let c =
+        (* fault-injecting modules keep private caches: the injector's
+           deterministic schedule is per-module state and must not leak
+           into other sessions' launches *)
+        if Option.is_some m.fault then build ()
+        else
+          Engine.find_or_build m.device.engine
+            ~key:(m.cache_key ^ "/" ^ kernel)
+            build
       in
       Hashtbl.replace m.caches kernel c;
       c
@@ -258,7 +587,12 @@ type report = {
     written by a previous (interrupted) run of the same launch;
     [checkpoint_stop] stops the launch by raising {!Checkpoint.Stop}
     after that many snapshots — the forced-preemption hook the
-    cross-process resume tests use.  With [config.recover] set, a
+    cross-process resume tests use.  [preempt] arms an asynchronous
+    preemption token (see {!Checkpoint.preempt}): when another domain
+    requests it, the launch snapshots at its next safe point and raises
+    {!Checkpoint.Stop} with the path to resume from; [ckpt_dir]
+    overrides the config's snapshot directory for this launch (the
+    daemon gives every job its own).  With [config.recover] set, a
     recoverable fault first tries to resume from the newest snapshot
     this launch wrote (each snapshot is tried at most once, so a
     deterministic fault cannot loop), and only then falls back to
@@ -266,9 +600,12 @@ type report = {
 let launch ?fuel ?(sink = Vekt_obs.Sink.noop)
     ?(profile : Vekt_obs.Divergence.t option)
     ?(attr : Vekt_obs.Attribution.t option) ?(resume : string option)
-    ?(checkpoint_stop : int option) (m : modul) ~kernel
+    ?(checkpoint_stop : int option) ?(preempt : Checkpoint.preempt option)
+    ?(ckpt_dir : string option) (m : modul) ~kernel
     ~(grid : Launch.dim3) ~(block : Launch.dim3) ~(args : Launch.arg list) :
     report =
+  Engine.note_launch m.device.engine;
+  let sink = Vekt_obs.Sink.tee (Engine.sink m.device.engine) sink in
   let k =
     match Ast.find_kernel m.ast kernel with
     | Some k -> k
@@ -347,10 +684,12 @@ let launch ?fuel ?(sink = Vekt_obs.Sink.noop)
       m.config.checkpoint_every > 0
       || Option.is_some checkpoint_stop
       || Option.is_some resume
+      || Option.is_some preempt
     then begin
       let c =
-        Checkpoint.create_ctx ~dir:m.config.checkpoint_dir
-          ?stop_after:checkpoint_stop ~live_bytes:m.device.brk
+        Checkpoint.create_ctx
+          ~dir:(Option.value ckpt_dir ~default:m.config.checkpoint_dir)
+          ?stop_after:checkpoint_stop ?preempt ~live_bytes:m.device.brk
           ~every:m.config.checkpoint_every ()
       in
       (* number snapshots after the one we resumed from *)

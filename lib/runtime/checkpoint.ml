@@ -364,12 +364,27 @@ let read (path : string) : t =
     cross-process resume tests and CI legs use. *)
 exception Stop of string
 
+(** Asynchronous preemption token.  The daemon's admission queue hands
+    one to each preemptible launch; {!request_preempt} may be called
+    from any domain (e.g. the server loop, on arrival of a
+    higher-priority job) and the launch observes it at its next safe
+    point: {!note_iter} reports a snapshot due, and {!maybe_stop}
+    consumes the request and raises {!Stop} with the snapshot path to
+    resume from.  An un-requested token costs one atomic load per
+    scheduler iteration. *)
+type preempt = bool Atomic.t
+
+let preempt_token () : preempt = Atomic.make false
+let request_preempt (p : preempt) = Atomic.set p true
+let preempt_requested (p : preempt) = Atomic.get p
+
 (** Per-launch checkpoint policy and bookkeeping, shared by every
     worker (checkpointing forces the worker pool serial, so no lock). *)
 type ctx = {
   dir : string;
   every : int;  (** snapshot every N scheduler iterations; 0 = never *)
   stop_after : int option;  (** raise {!Stop} after this many snapshots *)
+  preempt : preempt option;  (** async preemption token, when armed *)
   live_bytes : int option;  (** allocator watermark bounding the global image *)
   mutable iter : int;  (** scheduler iterations observed this launch *)
   mutable seq : int;  (** last sequence number written *)
@@ -379,13 +394,16 @@ type ctx = {
   mutable write_us : float;  (** wall time spent serializing + writing *)
   mutable resumes : int;  (** times this launch resumed from a snapshot *)
   mutable rejected : int;  (** snapshots refused by integrity validation *)
+  mutable preempted : int;  (** preemption requests honored at a safe point *)
 }
 
-let create_ctx ?(dir = "vekt-ckpt") ?stop_after ?live_bytes ~every () : ctx =
+let create_ctx ?(dir = "vekt-ckpt") ?stop_after ?preempt ?live_bytes ~every () :
+    ctx =
   {
     dir;
     every = max 0 every;
     stop_after;
+    preempt;
     live_bytes;
     iter = 0;
     seq = 0;
@@ -395,13 +413,17 @@ let create_ctx ?(dir = "vekt-ckpt") ?stop_after ?live_bytes ~every () : ctx =
     write_us = 0.0;
     resumes = 0;
     rejected = 0;
+    preempted = 0;
   }
 
 (** Count one scheduler iteration; [true] when the policy says a
-    snapshot is due now. *)
+    snapshot is due now — on the periodic schedule, or because an
+    asynchronous preemption request is pending and the launch must
+    snapshot before it can stop. *)
 let note_iter (ctx : ctx) : bool =
   ctx.iter <- ctx.iter + 1;
-  ctx.every > 0 && ctx.iter mod ctx.every = 0
+  (ctx.every > 0 && ctx.iter mod ctx.every = 0)
+  || (match ctx.preempt with Some p -> preempt_requested p | None -> false)
 
 let ensure_dir dir =
   if not (Sys.file_exists dir) then
@@ -433,8 +455,16 @@ let write ?(fault = false) (ctx : ctx) (t : t) : string * int =
   end;
   (path, Bytes.length data)
 
-(** Raise {!Stop} when the stop-after-N-snapshots policy has been met. *)
+(** Raise {!Stop} when the stop-after-N-snapshots policy has been met,
+    or when an asynchronous preemption request is pending (the request
+    is consumed, so the resumed launch starts with a clean token). *)
 let maybe_stop (ctx : ctx) path =
+  (match ctx.preempt with
+  | Some p when preempt_requested p ->
+      Atomic.set p false;
+      ctx.preempted <- ctx.preempted + 1;
+      raise (Stop path)
+  | _ -> ());
   match ctx.stop_after with
   | Some k when ctx.seq >= k -> raise (Stop path)
   | _ -> ()
@@ -456,4 +486,5 @@ let metrics_into (ctx : ctx) (m : Vekt_obs.Metrics.t) =
   M.counter m "ckpt.snapshots" := ctx.seq;
   M.counter m "ckpt.resumes" := ctx.resumes;
   M.counter m "ckpt.rejected" := ctx.rejected;
+  M.counter m "ckpt.preemptions" := ctx.preempted;
   M.set (M.gauge m "ckpt.write_us") ctx.write_us

@@ -67,9 +67,9 @@ type phase = {
    hierarchy outside-in, then JIT work. *)
 let kind_order =
   [
-    Obs.Event.Sk_parse; Obs.Event.Sk_typecheck; Obs.Event.Sk_launch;
-    Obs.Event.Sk_cta; Obs.Event.Sk_subkernel; Obs.Event.Sk_cache_lookup;
-    Obs.Event.Sk_compile; Obs.Event.Sk_pass;
+    Obs.Event.Sk_queue; Obs.Event.Sk_parse; Obs.Event.Sk_typecheck;
+    Obs.Event.Sk_launch; Obs.Event.Sk_cta; Obs.Event.Sk_subkernel;
+    Obs.Event.Sk_cache_lookup; Obs.Event.Sk_compile; Obs.Event.Sk_pass;
   ]
 
 let phases_of_forest (f : Obs.Span.forest) : phase list =

@@ -1,0 +1,447 @@
+(** Admission queue: the scheduler *over* launches (DESIGN.md §3.7).
+
+    The execution manager schedules warps inside one launch; a daemon
+    also needs to schedule the launches themselves.  This queue gives
+    every tenant a FIFO of submitted jobs and arbitrates between
+    tenants with stride scheduling — tenant [T] accrues [1/weight(T)]
+    of "pass" per job it runs, and the runnable tenant with the lowest
+    pass goes next, so over time tenants receive service proportional
+    to their weights.  Strictly higher-priority jobs bypass the stride
+    order entirely, and their arrival {e preempts} a lower-priority
+    running job: the queue flips the running launch's
+    {!Vekt_runtime.Checkpoint.preempt} token, the launch snapshots at
+    its next safe point and raises {!Vekt_runtime.Checkpoint.Stop},
+    and the job re-enters the *front* of its tenant's FIFO in state
+    [Preempted], to be resumed from the snapshot when it next wins
+    arbitration.
+
+    Admission control is per tenant: a tenant with [quota] jobs in
+    flight (queued + running + preempted) has further submissions
+    rejected with a structured {!Vekt_error.Resource} — a structured
+    answer, not a crash and not silent queuing without bound.
+
+    Locking: one mutex + condvar protect every queue structure.  Jobs
+    run on whatever thread calls {!step} / {!worker_loop} (the daemon
+    dedicates a domain to the latter), with the lock dropped for the
+    duration of the launch; {!submit}/{!poll}/{!cancel} may be called
+    from any other domain.  Within one tenant, jobs execute strictly
+    in submission order — sessions rely on launch N completing before
+    launch N+1 reads its output. *)
+
+module Checkpoint = Vekt_runtime.Checkpoint
+module Clock = Vekt_runtime.Clock
+module Api = Vekt_runtime.Api
+module Obs = Vekt_obs
+
+type outcome = Finished of Api.report | Failed of Vekt_error.t
+
+type state =
+  | Queued
+  | Running
+  | Preempted  (** snapshotted at a safe point, awaiting resume *)
+  | Done of outcome
+  | Cancelled
+
+let state_name = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Preempted -> "preempted"
+  | Done (Finished _) -> "done"
+  | Done (Failed _) -> "failed"
+  | Cancelled -> "cancelled"
+
+type job = {
+  id : int;
+  tenant : string;
+  label : string;
+  priority : int;  (** higher runs first; arrival can preempt lower *)
+  preempt : Checkpoint.preempt;
+  sink : Obs.Sink.t;  (** receives the job's [Sk_queue] wait spans *)
+  run :
+    resume:string option ->
+    preempt:Checkpoint.preempt ->
+    wait_us:float ->
+    Api.report;
+      (** the launch body; [resume] is the snapshot to continue from,
+          [wait_us] the queue wait since the last (re)enqueue *)
+  mutable state : state;
+  mutable resume_path : string option;
+  mutable cancel_requested : bool;
+  mutable enqueued_us : float;  (** monotonic clock at last (re)enqueue *)
+  mutable wait_us : float;  (** cumulative time spent waiting in queue *)
+  mutable preemptions : int;
+}
+
+type tenant = {
+  name : string;
+  mutable weight : int;  (** stride-scheduling share *)
+  mutable quota : int;  (** max jobs in flight (queued+running+preempted) *)
+  mutable pass : float;  (** stride pass value: lowest runnable goes next *)
+  mutable active : int;
+  mutable pending : job list;  (** runnable FIFO; preempted jobs re-enter front *)
+}
+
+type t = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  tenants : (string, tenant) Hashtbl.t;
+  jobs : (int, job) Hashtbl.t;
+  default_quota : int;
+  default_weight : int;
+  mutable next_id : int;
+  mutable running : job option;
+  mutable stopping : bool;
+  mutable completed : int;
+  mutable preemptions : int;
+  mutable rejected : int;
+}
+
+let create ?(quota = 16) ?(weight = 1) () : t =
+  {
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    tenants = Hashtbl.create 8;
+    jobs = Hashtbl.create 32;
+    default_quota = max 1 quota;
+    default_weight = max 1 weight;
+    next_id = 0;
+    running = None;
+    stopping = false;
+    completed = 0;
+    preemptions = 0;
+    rejected = 0;
+  }
+
+(* Callers hold t.lock.  A tenant joining late starts at the minimum
+   live pass, not 0 — otherwise a newcomer would monopolize the queue
+   until it caught up with tenants that have been running for hours. *)
+let tenant_of t name : tenant =
+  match Hashtbl.find_opt t.tenants name with
+  | Some ten -> ten
+  | None ->
+      let floor_pass =
+        Hashtbl.fold (fun _ ten acc -> Float.min acc ten.pass) t.tenants 0.0
+      in
+      let ten =
+        {
+          name;
+          weight = t.default_weight;
+          quota = t.default_quota;
+          pass = floor_pass;
+          active = 0;
+          pending = [];
+        }
+      in
+      Hashtbl.replace t.tenants name ten;
+      ten
+
+(** Create or retune a tenant's fairness weight and admission quota. *)
+let set_tenant t ~name ?weight ?quota () =
+  Mutex.lock t.lock;
+  let ten = tenant_of t name in
+  Option.iter (fun w -> ten.weight <- max 1 w) weight;
+  Option.iter (fun q -> ten.quota <- max 1 q) quota;
+  Mutex.unlock t.lock
+
+let span_name j = "queue " ^ j.label
+
+let emit_wait_span j ~closing =
+  if Obs.Sink.enabled j.sink then begin
+    let wall_us = Clock.now_us () in
+    let ev =
+      if closing then
+        Obs.Event.Span_end
+          { ts = 0.0; wall_us; worker = 0; kind = Obs.Event.Sk_queue;
+            name = span_name j }
+      else
+        Obs.Event.Span_begin
+          { ts = 0.0; wall_us; worker = 0; kind = Obs.Event.Sk_queue;
+            name = span_name j }
+    in
+    Obs.Sink.emit j.sink ev
+  end
+
+(** Submit a job.  Rejected with a structured {!Vekt_error.Resource}
+    when the tenant's quota is full.  If the new job's priority
+    strictly exceeds the running job's, the running job's preemption
+    token is flipped — it will snapshot and yield at its next safe
+    point.  [sink] receives [Sk_queue] span begin/end pairs bracketing
+    each stretch the job spends waiting. *)
+let submit t ~tenant ?(label = "job") ?(priority = 0) ?(sink = Obs.Sink.noop)
+    ~run () : (job, Vekt_error.t) result =
+  Mutex.lock t.lock;
+  let ten = tenant_of t tenant in
+  if ten.active >= ten.quota then begin
+    t.rejected <- t.rejected + 1;
+    Mutex.unlock t.lock;
+    Error
+      (Vekt_error.Resource
+         {
+           what = Fmt.str "tenant %s job quota" tenant;
+           requested = ten.active + 1;
+           available = ten.quota;
+         })
+  end
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    let j =
+      {
+        id;
+        tenant;
+        label;
+        priority;
+        preempt = Checkpoint.preempt_token ();
+        sink;
+        run;
+        state = Queued;
+        resume_path = None;
+        cancel_requested = false;
+        enqueued_us = Clock.now_us ();
+        wait_us = 0.0;
+        preemptions = 0;
+      }
+    in
+    Hashtbl.replace t.jobs id j;
+    ten.pending <- ten.pending @ [ j ];
+    ten.active <- ten.active + 1;
+    emit_wait_span j ~closing:false;
+    (match t.running with
+    | Some r when priority > r.priority && not r.cancel_requested ->
+        Checkpoint.request_preempt r.preempt
+    | _ -> ());
+    Condition.broadcast t.cond;
+    Mutex.unlock t.lock;
+    Ok j
+  end
+
+(* Pick the next job (caller holds the lock): highest head priority
+   wins outright; within a priority level the tenant with the lowest
+   stride pass goes, names breaking ties for determinism. *)
+let pick_next t : job option =
+  let best = ref None in
+  Hashtbl.iter
+    (fun _ ten ->
+      match ten.pending with
+      | [] -> ()
+      | j :: _ -> (
+          match !best with
+          | None -> best := Some (j.priority, ten)
+          | Some (bp, bten) ->
+              if
+                j.priority > bp
+                || (j.priority = bp
+                    && (ten.pass < bten.pass
+                        || (ten.pass = bten.pass && ten.name < bten.name)))
+              then best := Some (j.priority, ten)))
+    t.tenants;
+  match !best with
+  | None -> None
+  | Some (_, ten) -> (
+      match ten.pending with
+      | [] -> None
+      | j :: rest ->
+          ten.pending <- rest;
+          ten.pass <- ten.pass +. (1.0 /. float_of_int (max 1 ten.weight));
+          Some j)
+
+(* Run one picked job.  Enters and leaves holding the lock; the lock is
+   dropped around the launch itself. *)
+let run_one t (j : job) =
+  j.state <- Running;
+  let now = Clock.now_us () in
+  let wait = Float.max 0.0 (now -. j.enqueued_us) in
+  j.wait_us <- j.wait_us +. wait;
+  emit_wait_span j ~closing:true;
+  t.running <- Some j;
+  Mutex.unlock t.lock;
+  let result =
+    try `Report (j.run ~resume:j.resume_path ~preempt:j.preempt ~wait_us:wait)
+    with
+    | Checkpoint.Stop path -> `Stopped path
+    | Vekt_error.Error e -> `Err e
+    | e ->
+        `Err
+          (Vekt_error.Trap
+             {
+               kernel = j.label;
+               cta = None;
+               tid = None;
+               entry = None;
+               cycle = None;
+               access = None;
+               reason = Printexc.to_string e;
+             })
+  in
+  Mutex.lock t.lock;
+  t.running <- None;
+  let ten = tenant_of t j.tenant in
+  (match result with
+  | `Report r ->
+      j.state <- Done (Finished r);
+      ten.active <- ten.active - 1;
+      t.completed <- t.completed + 1
+  | `Err e ->
+      j.state <- Done (Failed e);
+      ten.active <- ten.active - 1;
+      t.completed <- t.completed + 1
+  | `Stopped path ->
+      j.resume_path <- Some path;
+      if j.cancel_requested then begin
+        j.state <- Cancelled;
+        ten.active <- ten.active - 1
+      end
+      else begin
+        j.state <- Preempted;
+        j.preemptions <- j.preemptions + 1;
+        t.preemptions <- t.preemptions + 1;
+        j.enqueued_us <- Clock.now_us ();
+        emit_wait_span j ~closing:false;
+        (* front of the tenant FIFO: within a tenant, order is preserved *)
+        ten.pending <- j :: ten.pending
+      end);
+  Condition.broadcast t.cond
+
+(** Run at most one job to completion (or preemption) on the calling
+    thread; [false] when nothing was runnable.  The deterministic
+    single-threaded driver the tests use. *)
+let step t : bool =
+  Mutex.lock t.lock;
+  match pick_next t with
+  | None ->
+      Mutex.unlock t.lock;
+      false
+  | Some j ->
+      run_one t j;
+      Mutex.unlock t.lock;
+      true
+
+(** The daemon's scheduler loop: run jobs as they become available,
+    sleeping on the condvar when idle, until {!shutdown}. *)
+let worker_loop t =
+  Mutex.lock t.lock;
+  let rec go () =
+    if t.stopping then Mutex.unlock t.lock
+    else
+      match pick_next t with
+      | Some j ->
+          run_one t j;
+          go ()
+      | None ->
+          Condition.wait t.cond t.lock;
+          go ()
+  in
+  go ()
+
+type info = {
+  i_id : int;
+  i_tenant : string;
+  i_label : string;
+  i_state : state;
+  i_resume_path : string option;
+  i_wait_us : float;
+  i_preemptions : int;
+}
+
+let info t ~id : info option =
+  Mutex.lock t.lock;
+  let r =
+    Option.map
+      (fun j ->
+        {
+          i_id = j.id;
+          i_tenant = j.tenant;
+          i_label = j.label;
+          i_state = j.state;
+          i_resume_path = j.resume_path;
+          i_wait_us = j.wait_us;
+          i_preemptions = j.preemptions;
+        })
+      (Hashtbl.find_opt t.jobs id)
+  in
+  Mutex.unlock t.lock;
+  r
+
+(* Caller holds the lock. *)
+let cancel_locked t (j : job) : bool =
+  match j.state with
+  | Done _ | Cancelled -> false
+  | Running ->
+      (* async: the launch yields at its next safe point and run_one
+         turns the Stop into Cancelled *)
+      j.cancel_requested <- true;
+      Checkpoint.request_preempt j.preempt;
+      true
+  | Queued | Preempted ->
+      let ten = tenant_of t j.tenant in
+      ten.pending <- List.filter (fun j' -> j'.id <> j.id) ten.pending;
+      ten.active <- ten.active - 1;
+      j.state <- Cancelled;
+      Condition.broadcast t.cond;
+      true
+
+(** Cancel a job: queued/preempted jobs leave the queue immediately, a
+    running job is preempted at its next safe point and discarded.
+    [false] when the job is unknown or already finished. *)
+let cancel t ~id : bool =
+  Mutex.lock t.lock;
+  let r =
+    match Hashtbl.find_opt t.jobs id with
+    | None -> false
+    | Some j -> cancel_locked t j
+  in
+  Mutex.unlock t.lock;
+  r
+
+(** Cancel every job that is not already finished (daemon shutdown). *)
+let cancel_all t =
+  Mutex.lock t.lock;
+  Hashtbl.iter (fun _ j -> ignore (cancel_locked t j)) t.jobs;
+  Mutex.unlock t.lock
+
+(** Ask {!worker_loop} to exit once the current job yields. *)
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock
+
+(** Block until no job is queued, preempted or running (or the queue is
+    shut down) — the test/CI barrier for "everything submitted has
+    finished". *)
+let quiesce t =
+  Mutex.lock t.lock;
+  let busy () =
+    Option.is_some t.running
+    || Hashtbl.fold (fun _ ten acc -> acc || ten.pending <> []) t.tenants false
+  in
+  while busy () && not t.stopping do
+    Condition.wait t.cond t.lock
+  done;
+  Mutex.unlock t.lock
+
+let tenant_stats t : (string * (int * int * int)) list =
+  Mutex.lock t.lock;
+  let r =
+    Hashtbl.fold
+      (fun name ten acc -> (name, (ten.weight, ten.quota, ten.active)) :: acc)
+      t.tenants []
+    |> List.sort compare
+  in
+  Mutex.unlock t.lock;
+  r
+
+let metrics_into t (reg : Obs.Metrics.t) =
+  let module M = Obs.Metrics in
+  Mutex.lock t.lock;
+  M.counter reg "queue.submitted" := t.next_id;
+  M.counter reg "queue.completed" := t.completed;
+  M.counter reg "queue.preemptions" := t.preemptions;
+  M.counter reg "queue.rejected" := t.rejected;
+  let pending =
+    Hashtbl.fold (fun _ ten acc -> acc + List.length ten.pending) t.tenants 0
+  in
+  M.set (M.gauge reg "queue.pending") (float_of_int pending);
+  M.set (M.gauge reg "queue.running")
+    (if Option.is_some t.running then 1.0 else 0.0);
+  Mutex.unlock t.lock

@@ -1,0 +1,540 @@
+(** The persistent multi-tenant vekt daemon (DESIGN.md §3.7).
+
+    One process, one shared {!Vekt_runtime.Engine}, many sessions.  A
+    session is a tenant-labelled {!Vekt_runtime.Api.device}: private
+    global memory and allocator, private loaded modules, private
+    metrics registry — but translation caches, by construction, live
+    in the engine and are shared across every session with the same
+    (source, config, machine) fingerprint.  The second tenant to
+    launch an already-hot kernel skips tier-0/tier-1 compilation
+    entirely; that is the whole point of keeping the process alive.
+
+    Launches are not run synchronously on the connection: [submit-launch]
+    enqueues a job on the admission {!Queue} and returns a job id; the
+    client [poll]s for completion (or [cancel]s).  A dedicated domain
+    runs {!Queue.worker_loop}; the socket loop never blocks on a
+    launch.  Preemption uses per-job checkpoint directories under the
+    server's checkpoint root, cleaned up when the job completes and
+    swept entirely at shutdown.
+
+    Request handling is deliberately split from transport:
+    {!handle} maps request JSON to response JSON and is what the tests
+    drive; {!serve} adds the Unix-socket line loop, the scheduler
+    domain, and SIGTERM-clean shutdown around it.
+
+    Concurrency note: request handling happens on the socket-loop
+    domain while launches run on the scheduler domain.  The server
+    mutex guards the session table; per-session metric registries are
+    pre-registered at session open, so the scheduler domain only ever
+    bumps existing refs while [stats] reads them — no table mutation
+    races.  Reading a buffer while a launch of the same session is in
+    flight is the client's race to avoid, exactly as with a real
+    asynchronous device queue. *)
+
+module Api = Vekt_runtime.Api
+module Engine = Vekt_runtime.Engine
+module Obs = Vekt_obs
+module J = Jsonx
+module P = Protocol
+
+type session = {
+  s_id : int;
+  s_tenant : string;
+  s_dev : Api.device;
+  s_reg : Obs.Metrics.t;  (** per-session tally, merged per tenant on scrape *)
+  s_sink : Obs.Sink.t;
+  s_modules : (int, Api.modul) Hashtbl.t;
+  mutable s_next_module : int;
+  mutable s_jobs : int list;
+}
+
+type t = {
+  engine : Engine.t;
+  queue : Queue.t;
+  lock : Mutex.t;
+  sessions : (int, session) Hashtbl.t;
+  closed_tallies : (string, Obs.Metrics.t) Hashtbl.t;
+      (** per-tenant archive of closed sessions' tallies, so [stats]
+          attribution survives session close *)
+  ckpt_dir : string;
+  global_bytes : int;  (** per-session arena size *)
+  mutable next_session : int;
+  mutable next_job_dir : int;
+  mutable stopping : bool;
+}
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      try Sys.rmdir path with Sys_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+
+let create ?engine ?(quota = 16) ?(weight = 1)
+    ?(global_bytes = 64 * 1024 * 1024) ?(ckpt_dir = "vekt-serve-ckpt") () : t =
+  let engine =
+    match engine with Some e -> e | None -> Engine.create ()
+  in
+  mkdir_p ckpt_dir;
+  {
+    engine;
+    queue = Queue.create ~quota ~weight ();
+    lock = Mutex.create ();
+    sessions = Hashtbl.create 8;
+    closed_tallies = Hashtbl.create 8;
+    ckpt_dir;
+    global_bytes;
+    next_session = 0;
+    next_job_dir = 0;
+    stopping = false;
+  }
+
+let queue t = t.queue
+let engine t = t.engine
+let stopping t = t.stopping
+
+(* ---- request handlers (each may raise P.Bad_request / Vekt_error) ---- *)
+
+let session_of t req : session =
+  let id = P.req_int req "session" in
+  Mutex.lock t.lock;
+  let s = Hashtbl.find_opt t.sessions id in
+  Mutex.unlock t.lock;
+  match s with
+  | Some s -> s
+  | None -> P.bad "unknown session %d" id
+
+let module_of s req : Api.modul =
+  let id = P.req_int req "module" in
+  match Hashtbl.find_opt s.s_modules id with
+  | Some m -> m
+  | None -> P.bad "unknown module %d in session %d" id s.s_id
+
+let open_session t req : J.t =
+  let tenant = P.req_str req "tenant" in
+  (match (P.opt_int "weight" req, P.opt_int "quota" req) with
+  | None, None -> ()
+  | weight, quota -> Queue.set_tenant t.queue ~name:tenant ?weight ?quota ());
+  let reg = Obs.Metrics.create () in
+  (* pre-register everything the scheduler domain will touch, so scrape
+     never races a Hashtbl insert (see the concurrency note above) *)
+  ignore (Obs.Metrics.histogram reg "queue.wait_ms");
+  ignore (Obs.Metrics.counter reg "launches");
+  let sink = Obs.Tally.sink reg in
+  let dev =
+    Api.create_device ~engine:t.engine ~global_bytes:t.global_bytes ()
+  in
+  let s =
+    {
+      s_id = 0;
+      s_tenant = tenant;
+      s_dev = dev;
+      s_reg = reg;
+      s_sink = sink;
+      s_modules = Hashtbl.create 4;
+      s_next_module = 0;
+      s_jobs = [];
+    }
+  in
+  Mutex.lock t.lock;
+  let id = t.next_session in
+  t.next_session <- id + 1;
+  let s = { s with s_id = id } in
+  Hashtbl.replace t.sessions id s;
+  Mutex.unlock t.lock;
+  P.ok [ ("session", J.Int id); ("tenant", J.Str tenant) ]
+
+let close_session t req : J.t =
+  let s = session_of t req in
+  List.iter (fun id -> ignore (Queue.cancel t.queue ~id)) s.s_jobs;
+  Mutex.lock t.lock;
+  Hashtbl.remove t.sessions s.s_id;
+  let archive =
+    match Hashtbl.find_opt t.closed_tallies s.s_tenant with
+    | Some reg -> reg
+    | None ->
+        let reg = Obs.Metrics.create () in
+        Hashtbl.replace t.closed_tallies s.s_tenant reg;
+        reg
+  in
+  Obs.Metrics.merge_into ~into:archive s.s_reg;
+  Mutex.unlock t.lock;
+  P.ok []
+
+(* A config arrives as a JSON object of knobs ({"mode":"static",
+   "hot-threshold":2,...}); flatten to the string-keyed spec shared
+   with the CLI so both paths go through Api.config_of_spec. *)
+let config_spec_of_json req : (string * string) list =
+  match J.obj_mem "config" req with
+  | None -> []
+  | Some kvs ->
+      List.map
+        (fun (k, v) ->
+          let sv =
+            match v with
+            | J.Str s -> s
+            | J.Int n -> string_of_int n
+            | J.Float x -> Fmt.str "%g" x
+            | J.Bool b -> string_of_bool b
+            | J.Null | J.List _ | J.Obj _ ->
+                P.bad "config key %S: want a scalar value" k
+          in
+          (k, sv))
+        kvs
+
+let load_module t req : J.t =
+  let s = session_of t req in
+  let src = P.req_str req "src" in
+  let config =
+    match Api.config_of_spec (config_spec_of_json req) with
+    | Ok c -> c
+    | Error msg -> raise (P.Bad_request msg)
+  in
+  let m = Api.load_module ~config ~sink:s.s_sink s.s_dev src in
+  let id = s.s_next_module in
+  s.s_next_module <- id + 1;
+  Hashtbl.replace s.s_modules id m;
+  P.ok [ ("module", J.Int id) ]
+
+let malloc t req : J.t =
+  let s = session_of t req in
+  let bytes = P.req_int req "bytes" in
+  let addr = Api.malloc s.s_dev bytes in
+  P.ok [ ("addr", J.Int addr) ]
+
+let free t req : J.t =
+  let s = session_of t req in
+  Api.free s.s_dev (P.req_int req "addr");
+  P.ok []
+
+let reset_arena t req : J.t =
+  let s = session_of t req in
+  Api.reset_arena s.s_dev;
+  P.ok []
+
+let float_of_json k = function
+  | J.Int n -> float_of_int n
+  | J.Float x -> x
+  | _ -> P.bad "field %S: want numbers" k
+
+let write t req : J.t =
+  let s = session_of t req in
+  let addr = P.req_int req "addr" in
+  (match (J.list_mem "f32s" req, J.list_mem "i32s" req) with
+  | Some xs, _ -> Api.write_f32s s.s_dev addr (List.map (float_of_json "f32s") xs)
+  | None, Some xs ->
+      Api.write_i32s s.s_dev addr
+        (List.map
+           (function
+             | J.Int n -> n | _ -> P.bad "field \"i32s\": want integers")
+           xs)
+  | None, None -> P.bad "write: want \"f32s\" or \"i32s\"");
+  P.ok []
+
+let read t req : J.t =
+  let s = session_of t req in
+  let addr = P.req_int req "addr" in
+  let count = P.req_int req "count" in
+  if count < 0 || count > 1 lsl 24 then P.bad "read: unreasonable count %d" count;
+  let values =
+    match P.req_str req "ty" with
+    | "f32" -> List.map (fun x -> J.Float x) (Api.read_f32s s.s_dev addr count)
+    | "i32" ->
+        List.map (fun x -> J.Int x) (Api.read_i32s s.s_dev addr count)
+    | ty -> P.bad "read: unknown type %S" ty
+  in
+  P.ok [ ("values", J.List values) ]
+
+let submit_launch t req : J.t =
+  let s = session_of t req in
+  let m = module_of s req in
+  let kernel = P.req_str req "kernel" in
+  let grid = P.req_dim3 req "grid" in
+  let block = P.req_dim3 req "block" in
+  let priority = Option.value (P.opt_int "priority" req) ~default:0 in
+  let label = Option.value (P.opt_str "label" req) ~default:kernel in
+  let preemptible = Option.value (P.opt_bool "preemptible" req) ~default:true in
+  let specs =
+    match J.list_mem "args" req with
+    | None -> []
+    | Some l ->
+        List.map
+          (function J.Str s -> s | _ -> P.bad "args: want spec strings")
+          l
+  in
+  let parsed =
+    List.map
+      (fun spec ->
+        match Api.arg_of_spec s.s_dev spec with
+        | Ok a -> a
+        | Error msg -> raise (P.Bad_request msg))
+      specs
+  in
+  let args = List.map (fun a -> a.Api.launch_arg) parsed in
+  Mutex.lock t.lock;
+  let jdir =
+    Filename.concat t.ckpt_dir (Fmt.str "job-%d" t.next_job_dir)
+  in
+  t.next_job_dir <- t.next_job_dir + 1;
+  Mutex.unlock t.lock;
+  let run ~resume ~preempt ~wait_us =
+    Obs.Metrics.observe
+      (Obs.Metrics.histogram s.s_reg "queue.wait_ms")
+      (int_of_float (wait_us /. 1000.0));
+    let preempt = if preemptible then Some preempt else None in
+    let r =
+      Api.launch ?preempt ?resume ~ckpt_dir:jdir ~sink:s.s_sink m ~kernel ~grid
+        ~block ~args
+    in
+    Obs.Metrics.incr (Obs.Metrics.counter s.s_reg "launches");
+    (* done with this job's snapshots; preempted jobs keep theirs *)
+    rm_rf jdir;
+    r
+  in
+  match
+    Queue.submit t.queue ~tenant:s.s_tenant ~label ~priority ~sink:s.s_sink
+      ~run ()
+  with
+  | Error e -> P.error_json e
+  | Ok j ->
+      s.s_jobs <- j.Queue.id :: s.s_jobs;
+      P.ok
+        [
+          ("job", J.Int j.Queue.id);
+          ( "args",
+            J.List
+              (List.map
+                 (fun a ->
+                   match a.Api.addr with None -> J.Null | Some n -> J.Int n)
+                 parsed) );
+        ]
+
+let poll t req : J.t =
+  let id = P.req_int req "job" in
+  match Queue.info t.queue ~id with
+  | None -> P.bad "unknown job %d" id
+  | Some i ->
+      let base =
+        [
+          ("job", J.Int i.Queue.i_id);
+          ("state", J.Str (Queue.state_name i.Queue.i_state));
+          ("tenant", J.Str i.Queue.i_tenant);
+          ("wait_us", J.Float i.Queue.i_wait_us);
+          ("preemptions", J.Int i.Queue.i_preemptions);
+        ]
+      in
+      let extra =
+        match i.Queue.i_state with
+        | Queue.Done (Queue.Finished r) -> [ ("result", P.report_json r) ]
+        | Queue.Done (Queue.Failed e) ->
+            [
+              ( "error",
+                J.Obj
+                  [
+                    ("kind", J.Str (Vekt_error.kind_name e));
+                    ("message", J.Str (Vekt_error.to_string e));
+                  ] );
+            ]
+        | _ -> []
+      in
+      P.ok (base @ extra)
+
+let cancel t req : J.t =
+  let id = P.req_int req "job" in
+  P.ok [ ("cancelled", J.Bool (Queue.cancel t.queue ~id)) ]
+
+(* stats: engine-wide counters plus per-tenant views.  Each tenant's
+   object is the merge of its sessions' tally registries (jit.*,
+   fallback.*, ckpt.*, queue.wait_ms, launches) — so cache hits and
+   fallbacks are attributed to the tenant whose launch produced them
+   even though the caches themselves are shared. *)
+let stats t : J.t =
+  let reg = Obs.Metrics.create () in
+  Engine.metrics_into t.engine reg;
+  Queue.metrics_into t.queue reg;
+  Mutex.lock t.lock;
+  let by_tenant = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun _ s ->
+      let prev =
+        Option.value (Hashtbl.find_opt by_tenant s.s_tenant) ~default:[]
+      in
+      Hashtbl.replace by_tenant s.s_tenant (s :: prev))
+    t.sessions;
+  (* tenants whose sessions have all closed still appear, from the archive *)
+  Hashtbl.iter
+    (fun tenant _ ->
+      if not (Hashtbl.mem by_tenant tenant) then
+        Hashtbl.replace by_tenant tenant [])
+    t.closed_tallies;
+  Mutex.unlock t.lock;
+  let tstats = Queue.tenant_stats t.queue in
+  let tenants =
+    Hashtbl.fold
+      (fun tenant sessions acc ->
+        let merged = Obs.Metrics.create () in
+        (match Hashtbl.find_opt t.closed_tallies tenant with
+        | Some archive -> Obs.Metrics.merge_into ~into:merged archive
+        | None -> ());
+        List.iter (fun s -> Obs.Metrics.merge_into ~into:merged s.s_reg) sessions;
+        let extra =
+          match List.assoc_opt tenant tstats with
+          | None -> []
+          | Some (weight, quota, active) ->
+              [
+                ("weight", J.Int weight);
+                ("quota", J.Int quota);
+                ("active_jobs", J.Int active);
+              ]
+        in
+        ( tenant,
+          J.Obj
+            (("sessions", J.Int (List.length sessions))
+            :: extra
+            @ [ ("metrics", P.metrics_json merged) ]) )
+        :: acc)
+      by_tenant []
+    |> List.sort compare
+  in
+  P.ok [ ("engine", P.metrics_json reg); ("tenants", J.Obj tenants) ]
+
+(** Map one request to one response.  Total: malformed or failing
+    requests produce [ok:false] responses, never exceptions. *)
+let handle t (req : J.t) : J.t =
+  match
+    match J.str_mem "cmd" req with
+    | None -> P.bad_request "missing \"cmd\""
+    | Some cmd -> (
+        match cmd with
+        | "ping" -> P.ok [ ("version", J.Int P.version) ]
+        | "open-session" -> open_session t req
+        | "close-session" -> close_session t req
+        | "load-module" -> load_module t req
+        | "malloc" -> malloc t req
+        | "free" -> free t req
+        | "reset-arena" -> reset_arena t req
+        | "write" -> write t req
+        | "read" -> read t req
+        | "submit-launch" -> submit_launch t req
+        | "poll" -> poll t req
+        | "cancel" -> cancel t req
+        | "stats" -> stats t
+        | "shutdown" ->
+            t.stopping <- true;
+            P.ok []
+        | cmd -> P.bad_request (Fmt.str "unknown command %S" cmd))
+  with
+  | resp -> resp
+  | exception P.Bad_request msg -> P.bad_request msg
+  | exception Vekt_error.Error e -> P.error_json e
+  | exception (Invalid_argument msg | Failure msg) -> P.bad_request msg
+
+let handle_line t (line : string) : string =
+  let resp =
+    match J.of_string line with
+    | Error msg -> P.bad_request (Fmt.str "parse error: %s" msg)
+    | Ok req -> handle t req
+  in
+  J.to_string resp ^ "\n"
+
+(* ---- transport: line-delimited JSON over a Unix-domain socket ---- *)
+
+type client = { c_fd : Unix.file_descr; mutable c_acc : string }
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Peel complete lines off a client's accumulation buffer, answer each. *)
+let drain_client t (c : client) =
+  let rec go () =
+    match String.index_opt c.c_acc '\n' with
+    | None -> ()
+    | Some i ->
+        let line = String.sub c.c_acc 0 i in
+        c.c_acc <-
+          String.sub c.c_acc (i + 1) (String.length c.c_acc - i - 1);
+        if String.trim line <> "" then write_all c.c_fd (handle_line t line);
+        go ()
+  in
+  go ()
+
+(** Ask the serve loop (and scheduler) to wind down: cancel every live
+    job so the scheduler domain reaches a safe point promptly, then
+    stop the queue. *)
+let initiate_shutdown t =
+  t.stopping <- true;
+  Queue.cancel_all t.queue;
+  Queue.shutdown t.queue
+
+(** Run the daemon on [socket] until SIGTERM/SIGINT or a [shutdown]
+    request.  Cleans up on exit: scheduler domain joined, client and
+    listen sockets closed, socket path unlinked, checkpoint root
+    swept. *)
+let serve t ~socket () =
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+  Unix.listen listen_fd 16;
+  let sched = Domain.spawn (fun () -> Queue.worker_loop t.queue) in
+  let stop = ref false in
+  let on_signal _ = stop := true in
+  let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle on_signal) in
+  let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle on_signal) in
+  let clients : (Unix.file_descr, client) Hashtbl.t = Hashtbl.create 8 in
+  let close_client fd =
+    Hashtbl.remove clients fd;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let buf = Bytes.create 65536 in
+  while not (!stop || t.stopping) do
+    let fds =
+      listen_fd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients []
+    in
+    match Unix.select fds [] [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = listen_fd then begin
+              match Unix.accept listen_fd with
+              | cfd, _ -> Hashtbl.replace clients cfd { c_fd = cfd; c_acc = "" }
+              | exception Unix.Unix_error _ -> ()
+            end
+            else
+              match Hashtbl.find_opt clients fd with
+              | None -> ()
+              | Some c -> (
+                  match Unix.read fd buf 0 (Bytes.length buf) with
+                  | 0 -> close_client fd
+                  | n ->
+                      c.c_acc <- c.c_acc ^ Bytes.sub_string buf 0 n;
+                      (try drain_client t c
+                       with Unix.Unix_error _ -> close_client fd)
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                  | exception Unix.Unix_error _ -> close_client fd))
+          readable
+  done;
+  initiate_shutdown t;
+  Domain.join sched;
+  Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
+    clients;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  Sys.set_signal Sys.sigterm prev_term;
+  Sys.set_signal Sys.sigint prev_int;
+  (* checkpoint root drained: no orphaned job snapshots survive *)
+  rm_rf t.ckpt_dir

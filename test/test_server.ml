@@ -1,0 +1,737 @@
+(* Tests for the engine/session split and the persistent daemon layers:
+   the JSON wire codec, the shared config construction path, the
+   allocator's free list, cross-session translation-cache sharing
+   (second tenant's hot launch compiles nothing), concurrent sessions
+   over one engine vs the serial one-shot path, the admission queue's
+   fairness / quotas / cancellation, checkpoint-based preemption with
+   bit-identical resume, and the protocol dispatcher end to end. *)
+
+module Api = Vekt_runtime.Api
+module Engine = Vekt_runtime.Engine
+module Checkpoint = Vekt_runtime.Checkpoint
+module TC = Vekt_runtime.Translation_cache
+module Stats = Vekt_runtime.Stats
+module Obs = Vekt_obs
+module J = Vekt_server.Jsonx
+module Queue = Vekt_server.Queue
+module Server = Vekt_server.Server
+open Vekt_ptx
+open Vekt_workloads
+
+let tmpdir =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Fmt.str "vekt-test-server-%d" (Unix.getpid ()))
+
+let () = (try Sys.mkdir tmpdir 0o755 with Sys_error _ -> ())
+
+let json = Alcotest.testable (Fmt.of_to_string J.to_string) ( = )
+
+(* ---- jsonx: the wire codec ---- *)
+
+let test_jsonx_roundtrip () =
+  let cases =
+    [
+      J.Null;
+      J.Bool true;
+      J.Int 42;
+      J.Int (-7);
+      J.Float 1.5;
+      J.Str "hello";
+      J.Str "esc \" \\ \n \t end";
+      J.List [ J.Int 1; J.Int 2; J.Int 3 ];
+      J.Obj
+        [
+          ("a", J.Int 1);
+          ("nested", J.Obj [ ("xs", J.List [ J.Bool false; J.Null ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      match J.of_string (J.to_string v) with
+      | Ok v' -> Alcotest.check json (J.to_string v) v v'
+      | Error e -> Alcotest.failf "round-trip %s: %s" (J.to_string v) e)
+    cases
+
+let test_jsonx_parse () =
+  let ok s v =
+    match J.of_string s with
+    | Ok v' -> Alcotest.check json s v v'
+    | Error e -> Alcotest.failf "%s: %s" s e
+  in
+  ok {| {"a": 1, "b": [true, null], "c": "x"} |}
+    (J.Obj
+       [ ("a", J.Int 1); ("b", J.List [ J.Bool true; J.Null ]); ("c", J.Str "x") ]);
+  ok {|"Aé"|} (J.Str "A\xc3\xa9");
+  ok {|"😀"|} (J.Str "\xf0\x9f\x98\x80");
+  ok "1e3" (J.Float 1000.0);
+  ok "-12" (J.Int (-12));
+  let bad s =
+    match J.of_string s with
+    | Ok v -> Alcotest.failf "%s: expected parse error, got %s" s (J.to_string v)
+    | Error _ -> ()
+  in
+  bad "{\"a\":}";
+  bad "[1,2";
+  bad "tru";
+  bad "1 2";
+  bad "{\"a\":1,}";
+  (* nesting bound: 70 levels of array must be rejected, not crash *)
+  bad (String.concat "" (List.init 70 (fun _ -> "[")))
+
+let test_jsonx_accessors () =
+  let o = J.Obj [ ("n", J.Int 3); ("f", J.Float 2.0); ("s", J.Str "x") ] in
+  Alcotest.(check (option int)) "int" (Some 3) (J.int_mem "n" o);
+  Alcotest.(check (option int)) "integral float" (Some 2) (J.int_mem "f" o);
+  Alcotest.(check (option int)) "wrong type" None (J.int_mem "s" o);
+  Alcotest.(check (option string)) "str" (Some "x") (J.str_mem "s" o);
+  Alcotest.(check (option string)) "missing" None (J.str_mem "zz" o)
+
+(* ---- config_of_spec: the shared CLI/daemon construction path ---- *)
+
+let config_ok spec =
+  match Api.config_of_spec spec with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "config_of_spec: unexpected error %s" e
+
+let test_config_of_spec () =
+  let c = config_ok [] in
+  Alcotest.(check (list int)) "default widths" Api.default_config.Api.widths
+    c.Api.widths;
+  let c = config_ok [ ("ws", "8") ] in
+  Alcotest.(check (list int)) "ws=8 widths" [ 8; 1 ] c.Api.widths;
+  let c = config_ok [ ("widths", "2,8,4,8") ] in
+  Alcotest.(check (list int)) "widths sorted/deduped" [ 8; 4; 2 ] c.Api.widths;
+  let c = config_ok [ ("tiered", "true"); ("hot-threshold", "2") ] in
+  (match c.Api.tiering with
+  | TC.Tiered { hot_threshold } ->
+      Alcotest.(check int) "hot threshold" 2 hot_threshold
+  | TC.Eager -> Alcotest.fail "expected tiered");
+  let c = config_ok [ ("static", "yes") ] in
+  Alcotest.(check bool) "static mode" true
+    (c.Api.mode = Vekt_transform.Vectorize.Static_tie);
+  let c = config_ok [ ("inject", "yield:every=8") ] in
+  Alcotest.(check bool) "inject implies recover" true c.Api.recover;
+  Alcotest.(check bool) "inject armed" true (Option.is_some c.Api.inject);
+  let c = config_ok [ ("workers", "3"); ("checkpoint-every", "5") ] in
+  Alcotest.(check (option int)) "workers" (Some 3) c.Api.workers;
+  Alcotest.(check int) "checkpoint-every" 5 c.Api.checkpoint_every;
+  let contains s frag =
+    let n = String.length s and m = String.length frag in
+    let rec go i = i + m <= n && (String.sub s i m = frag || go (i + 1)) in
+    m = 0 || go 0
+  in
+  let expect_err spec frag =
+    match Api.config_of_spec spec with
+    | Ok _ -> Alcotest.failf "expected error on %s" frag
+    | Error e ->
+        Alcotest.(check bool)
+          (Fmt.str "error mentions %s: %s" frag e)
+          true (contains e frag)
+  in
+  expect_err [ ("no-such-knob", "1") ] "unknown config key";
+  expect_err [ ("ws", "four") ] "bad integer";
+  expect_err [ ("mode", "quantum") ] "mode";
+  expect_err [ ("sched", "zzz") ] "sched";
+  expect_err [ ("inject", "frobnicate:p=1") ] "inject"
+
+(* ---- the allocator: free-list reuse, coalescing, errors ---- *)
+
+let test_malloc_free_reuse () =
+  let dev = Api.create_device () in
+  let a = Api.malloc dev 100 in
+  Alcotest.(check int) "16-aligned" 0 (a mod 16);
+  let b = Api.malloc dev 100 in
+  Api.free dev a;
+  let a' = Api.malloc dev 64 in
+  Alcotest.(check int) "freed block reused" a a';
+  Api.free dev a';
+  Api.free dev b;
+  let c = Api.malloc dev 100 in
+  Alcotest.(check int) "brk lowered after tail frees" a c
+
+let test_malloc_coalesce () =
+  let dev = Api.create_device () in
+  let a = Api.malloc dev 16 in
+  let b = Api.malloc dev 16 in
+  let _guard = Api.malloc dev 16 in
+  Api.free dev a;
+  Api.free dev b;
+  (* a and b are adjacent; coalesced they fit a 32-byte block *)
+  let d = Api.malloc dev 32 in
+  Alcotest.(check int) "coalesced neighbours reused" a d
+
+let expect_resource what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Resource error" what
+  | exception Vekt_error.Error (Vekt_error.Resource _) -> ()
+
+let test_malloc_errors () =
+  let dev = Api.create_device ~global_bytes:1024 () in
+  expect_resource "exhaustion" (fun () -> Api.malloc dev 4096);
+  let a = Api.malloc dev 64 in
+  Api.write_f32s dev a [ 1.0; 2.0 ];
+  Api.free dev a;
+  Alcotest.(check (list (float 0.0))) "freed memory zeroed" [ 0.0; 0.0 ]
+    (Api.read_f32s dev a 2);
+  expect_resource "double free" (fun () -> Api.free dev a);
+  expect_resource "bogus free" (fun () -> Api.free dev 4)
+
+let test_reset_arena () =
+  let dev = Api.create_device () in
+  let a = Api.malloc dev 64 in
+  Api.write_f32s dev a [ 9.0; 9.0 ];
+  Alcotest.(check bool) "live bytes" true (Api.allocated_bytes dev > 0);
+  Api.reset_arena dev;
+  Alcotest.(check int) "no live allocations" 0 (Api.allocated_bytes dev);
+  let a' = Api.malloc dev 64 in
+  Alcotest.(check int) "arena restarts at the base" a a';
+  Alcotest.(check (list (float 0.0))) "memory zeroed" [ 0.0; 0.0 ]
+    (Api.read_f32s dev a' 2)
+
+(* ---- metrics merge (per-tenant scrape aggregation) ---- *)
+
+let test_metrics_merge () =
+  let module M = Obs.Metrics in
+  let src = M.create () in
+  M.incr ~by:2 (M.counter src "jit.cache_hits");
+  M.set (M.gauge src "g") 1.5;
+  M.observe (M.histogram src "h") 1;
+  M.observe (M.histogram src "h") 3;
+  let into = M.create () in
+  M.merge_into ~into src;
+  M.merge_into ~into src;
+  Alcotest.(check int) "counters add" 4 !(M.counter into "jit.cache_hits");
+  Alcotest.(check (float 0.0)) "gauge takes last" 1.5 !(M.gauge into "g");
+  let pref = M.create () in
+  M.merge_into ~into:pref ~prefix:"t." src;
+  Alcotest.(check int) "prefix applied" 2 !(M.counter pref "t.jit.cache_hits")
+
+(* ---- engine: cross-session cache sharing ---- *)
+
+let vecadd = W_vecadd.workload
+
+let hot_config =
+  {
+    Api.default_config with
+    Api.tiering = TC.Tiered { hot_threshold = 1 };
+    workers = Some 1;
+  }
+
+let run_in_session ?sink engine (w : Workload.t) =
+  let dev = Api.create_device ~engine () in
+  let m = Api.load_module ~config:hot_config ?sink dev w.Workload.src in
+  let inst = w.Workload.setup dev in
+  let r =
+    Api.launch ?sink m ~kernel:w.Workload.kernel ~grid:inst.Workload.grid
+      ~block:inst.Workload.block ~args:inst.Workload.args
+  in
+  (match inst.Workload.check dev with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" w.Workload.name e);
+  (dev, m, r)
+
+let test_engine_cache_sharing () =
+  let engine = Engine.create () in
+  (* session 1 pays the compilations and promotes the kernel hot *)
+  let _ = run_in_session engine vecadd in
+  (* session 2: same source, same config -> every specialization is
+     already in the shared cache; nothing compiles *)
+  let compile_begins = ref 0 in
+  let reg = Obs.Metrics.create () in
+  let sink =
+    Obs.Sink.tee (Obs.Tally.sink reg)
+      (Obs.Sink.fn (function
+        | Obs.Event.Compile_begin _ -> incr compile_begins
+        | _ -> ()))
+  in
+  let _ = run_in_session ~sink engine vecadd in
+  Alcotest.(check int) "no Compile_begin span in second session" 0
+    !compile_begins;
+  Alcotest.(check int) "tally: second session compiles nothing" 0
+    !(Obs.Metrics.counter reg "jit.compiles");
+  Alcotest.(check bool) "tally: second session hits the shared cache" true
+    (!(Obs.Metrics.counter reg "jit.cache_hits") > 0);
+  let ereg = Obs.Metrics.create () in
+  Engine.metrics_into engine ereg;
+  Alcotest.(check int) "one shared cache built" 1
+    !(Obs.Metrics.counter ereg "engine.cache_builds");
+  Alcotest.(check bool) "table served the reuse" true
+    (!(Obs.Metrics.counter ereg "engine.cache_reuses") >= 1);
+  Alcotest.(check int) "two sessions attached" 2
+    !(Obs.Metrics.counter ereg "engine.sessions")
+
+let test_engine_private_without_sharing () =
+  (* one-shot path: a device without an explicit engine gets a private
+     one, so a second one-shot device recompiles from scratch *)
+  let compile_begins = ref 0 in
+  let sink =
+    Obs.Sink.fn (function
+      | Obs.Event.Compile_begin _ -> incr compile_begins
+      | _ -> ())
+  in
+  let _ = run_in_session ~sink (Engine.create ()) vecadd in
+  let first = !compile_begins in
+  Alcotest.(check bool) "cold session compiles" true (first > 0);
+  let _ = run_in_session ~sink (Engine.create ()) vecadd in
+  Alcotest.(check int) "fresh engine recompiles" (2 * first) !compile_begins
+
+(* ---- concurrent sessions over one engine vs serial one-shot ---- *)
+
+let test_concurrent_sessions_differential () =
+  (* serial one-shot reference *)
+  let dev0, _, _ = run_in_session (Engine.create ()) vecadd in
+  (* two sessions racing on the same shared engine, on real domains *)
+  let engine = Engine.create () in
+  let spawn () = Domain.spawn (fun () -> run_in_session engine vecadd) in
+  let d1 = spawn () and d2 = spawn () in
+  let dev1, _, r1 = Domain.join d1 and dev2, _, r2 = Domain.join d2 in
+  Alcotest.(check bool) "session 1 memory = serial one-shot" true
+    (Mem.equal dev0.Api.global dev1.Api.global);
+  Alcotest.(check bool) "session 2 memory = serial one-shot" true
+    (Mem.equal dev0.Api.global dev2.Api.global);
+  Alcotest.(check int) "same dynamic instruction count"
+    r1.Api.stats.Stats.counters.Vekt_vm.Interp.dyn_instrs
+    r2.Api.stats.Stats.counters.Vekt_vm.Interp.dyn_instrs;
+  let ereg = Obs.Metrics.create () in
+  Engine.metrics_into engine ereg;
+  Alcotest.(check int) "racing sessions built exactly one shared cache" 1
+    !(Obs.Metrics.counter ereg "engine.cache_builds")
+
+(* ---- the admission queue ---- *)
+
+let drain q = while Queue.step q do () done
+
+let test_queue_fairness () =
+  let q = Queue.create () in
+  Queue.set_tenant q ~name:"a" ~weight:1 ();
+  Queue.set_tenant q ~name:"b" ~weight:3 ();
+  let order = ref [] in
+  let submit tenant n =
+    for i = 1 to n do
+      match
+        Queue.submit q ~tenant ~label:(Fmt.str "%s%d" tenant i)
+          ~run:(fun ~resume:_ ~preempt:_ ~wait_us:_ ->
+            order := tenant :: !order;
+            raise Exit)
+          ()
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "submit: %a" Vekt_error.pp e
+    done
+  in
+  submit "a" 4;
+  submit "b" 4;
+  drain q;
+  let picks = List.rev !order in
+  (* stride scheduling: weight-3 tenant gets 3 of the first 4 slots
+     (the very first pick goes to "a" on the alphabetical tie-break) *)
+  Alcotest.(check (list string)) "first four picks" [ "a"; "b"; "b"; "b" ]
+    (List.filteri (fun i _ -> i < 4) picks);
+  Alcotest.(check int) "everything ran" 8 (List.length picks)
+
+let test_queue_priority () =
+  let q = Queue.create () in
+  let order = ref [] in
+  let submit tenant priority label =
+    match
+      Queue.submit q ~tenant ~priority ~label
+        ~run:(fun ~resume:_ ~preempt:_ ~wait_us:_ ->
+          order := label :: !order;
+          raise Exit)
+        ()
+    with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "submit: %a" Vekt_error.pp e
+  in
+  let _ = submit "t" 0 "low1" in
+  let _ = submit "t" 0 "low2" in
+  let _ = submit "u" 5 "high" in
+  drain q;
+  (* strictly higher priority bypasses stride order, but tenant "t"'s
+     own FIFO order is preserved *)
+  Alcotest.(check (list string)) "priority first" [ "high"; "low1"; "low2" ]
+    (List.rev !order)
+
+let test_queue_quota () =
+  let q = Queue.create ~quota:2 () in
+  let submit () =
+    Queue.submit q ~tenant:"t"
+      ~run:(fun ~resume:_ ~preempt:_ ~wait_us:_ -> raise Exit)
+      ()
+  in
+  (match (submit (), submit ()) with
+  | Ok _, Ok _ -> ()
+  | _ -> Alcotest.fail "first two submissions admitted");
+  (match submit () with
+  | Ok _ -> Alcotest.fail "third submission should be rejected"
+  | Error (Vekt_error.Resource { requested; available; _ }) ->
+      Alcotest.(check int) "requested" 3 requested;
+      Alcotest.(check int) "available" 2 available
+  | Error e -> Alcotest.failf "wrong error: %a" Vekt_error.pp e);
+  drain q;
+  (* slots free up once jobs finish *)
+  match submit () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "post-drain submit: %a" Vekt_error.pp e
+
+let test_queue_cancel () =
+  let q = Queue.create () in
+  let ran = ref false in
+  let j =
+    match
+      Queue.submit q ~tenant:"t"
+        ~run:(fun ~resume:_ ~preempt:_ ~wait_us:_ ->
+          ran := true;
+          raise Exit)
+        ()
+    with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "submit: %a" Vekt_error.pp e
+  in
+  Alcotest.(check bool) "cancel admitted job" true (Queue.cancel q ~id:j.Queue.id);
+  Alcotest.(check bool) "second cancel is a no-op" false
+    (Queue.cancel q ~id:j.Queue.id);
+  Alcotest.(check bool) "nothing runnable" false (Queue.step q);
+  Alcotest.(check bool) "run body never executed" false !ran;
+  match Queue.info q ~id:j.Queue.id with
+  | Some i ->
+      Alcotest.(check string) "state" "cancelled" (Queue.state_name i.Queue.i_state)
+  | None -> Alcotest.fail "job vanished"
+
+(* ---- checkpoint preemption: preempt -> resume = uninterrupted ---- *)
+
+let test_api_preempt_resume_bit_identical () =
+  let dir = Filename.concat tmpdir "api-preempt" in
+  let config = { Api.default_config with Api.workers = Some 1 } in
+  (* uninterrupted reference *)
+  let dev0 = Api.create_device () in
+  let m0 = Api.load_module ~config dev0 vecadd.Workload.src in
+  let inst0 = vecadd.Workload.setup dev0 in
+  let r0 =
+    Api.launch m0 ~kernel:"vecadd" ~grid:inst0.Workload.grid
+      ~block:inst0.Workload.block ~args:inst0.Workload.args
+  in
+  (* preempted run: token armed before launch, so the very first safe
+     point snapshots and stops *)
+  let dev1 = Api.create_device () in
+  let m1 = Api.load_module ~config dev1 vecadd.Workload.src in
+  let inst1 = vecadd.Workload.setup dev1 in
+  let preempt = Checkpoint.preempt_token () in
+  Checkpoint.request_preempt preempt;
+  let snap =
+    match
+      Api.launch ~preempt ~ckpt_dir:dir m1 ~kernel:"vecadd"
+        ~grid:inst1.Workload.grid ~block:inst1.Workload.block
+        ~args:inst1.Workload.args
+    with
+    | _ -> Alcotest.fail "expected Checkpoint.Stop"
+    | exception Checkpoint.Stop path -> path
+  in
+  Alcotest.(check bool) "token consumed at the safe point" false
+    (Checkpoint.preempt_requested preempt);
+  (* resume in a fresh session *)
+  let dev2 = Api.create_device () in
+  let m2 = Api.load_module ~config dev2 vecadd.Workload.src in
+  let inst2 = vecadd.Workload.setup dev2 in
+  let r2 =
+    Api.launch ~resume:snap m2 ~kernel:"vecadd" ~grid:inst2.Workload.grid
+      ~block:inst2.Workload.block ~args:inst2.Workload.args
+  in
+  (match inst2.Workload.check dev2 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "resumed: %s" e);
+  Alcotest.(check bool) "preempted-then-resumed memory bit-identical" true
+    (Mem.equal dev0.Api.global dev2.Api.global);
+  Alcotest.(check int) "dynamic instructions preserved"
+    r0.Api.stats.Stats.counters.Vekt_vm.Interp.dyn_instrs
+    r2.Api.stats.Stats.counters.Vekt_vm.Interp.dyn_instrs
+
+let test_queue_preempt_resume () =
+  let dir = Filename.concat tmpdir "queue-preempt" in
+  let config = { Api.default_config with Api.workers = Some 1 } in
+  let dev0 = Api.create_device () in
+  let m0 = Api.load_module ~config dev0 vecadd.Workload.src in
+  let inst0 = vecadd.Workload.setup dev0 in
+  let _ =
+    Api.launch m0 ~kernel:"vecadd" ~grid:inst0.Workload.grid
+      ~block:inst0.Workload.block ~args:inst0.Workload.args
+  in
+  let dev = Api.create_device () in
+  let m = Api.load_module ~config dev vecadd.Workload.src in
+  let inst = vecadd.Workload.setup dev in
+  let q = Queue.create () in
+  let j =
+    match
+      Queue.submit q ~tenant:"t" ~label:"vecadd"
+        ~run:(fun ~resume ~preempt ~wait_us:_ ->
+          (* first attempt preempts itself at the first safe point;
+             the resumed attempt runs to completion *)
+          if resume = None then Checkpoint.request_preempt preempt;
+          Api.launch ~preempt ?resume ~ckpt_dir:dir m ~kernel:"vecadd"
+            ~grid:inst.Workload.grid ~block:inst.Workload.block
+            ~args:inst.Workload.args)
+        ()
+    with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "submit: %a" Vekt_error.pp e
+  in
+  Alcotest.(check bool) "first step runs the job" true (Queue.step q);
+  (match Queue.info q ~id:j.Queue.id with
+  | Some i ->
+      Alcotest.(check string) "preempted at the safe point" "preempted"
+        (Queue.state_name i.Queue.i_state);
+      Alcotest.(check int) "one preemption" 1 i.Queue.i_preemptions;
+      Alcotest.(check bool) "snapshot retained" true
+        (Option.is_some i.Queue.i_resume_path)
+  | None -> Alcotest.fail "job vanished");
+  Alcotest.(check bool) "second step resumes it" true (Queue.step q);
+  (match Queue.info q ~id:j.Queue.id with
+  | Some i ->
+      Alcotest.(check string) "done" "done" (Queue.state_name i.Queue.i_state)
+  | None -> Alcotest.fail "job vanished");
+  (match inst.Workload.check dev with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "resumed: %s" e);
+  Alcotest.(check bool) "preempt-mid-flight then resume is bit-identical" true
+    (Mem.equal dev0.Api.global dev.Api.global)
+
+(* ---- the protocol dispatcher, end to end ---- *)
+
+let req fields = J.Obj fields
+let cmd c fields = req (("cmd", J.Str c) :: fields)
+
+let get_ok what (r : J.t) =
+  if J.bool_mem "ok" r <> Some true then
+    Alcotest.failf "%s: %s" what (J.to_string r);
+  r
+
+let get_err what (r : J.t) : string =
+  if J.bool_mem "ok" r <> Some false then
+    Alcotest.failf "%s: expected ok:false, got %s" what (J.to_string r);
+  match Option.bind (J.mem "error" r) (J.str_mem "kind") with
+  | Some kind -> kind
+  | None -> Alcotest.failf "%s: malformed error %s" what (J.to_string r)
+
+let vecadd_args = [ "f32s:1,2,3,4"; "f32s:5,6,7,8"; "zeros:16"; "i32:4" ]
+
+let submit_vecadd srv session =
+  let r =
+    get_ok "submit-launch"
+      (Server.handle srv
+         (cmd "submit-launch"
+            [
+              ("session", J.Int session);
+              ("module", J.Int 0);
+              ("kernel", J.Str "vecadd");
+              ("grid", J.Int 1);
+              ("block", J.Int 4);
+              ("args", J.List (List.map (fun s -> J.Str s) vecadd_args));
+            ]))
+  in
+  let job = Option.get (J.int_mem "job" r) in
+  let out_addr =
+    match J.list_mem "args" r with
+    | Some [ _; _; J.Int addr; _ ] -> addr
+    | _ -> Alcotest.failf "submit-launch args: %s" (J.to_string r)
+  in
+  (job, out_addr)
+
+let open_session srv ?quota tenant =
+  let fields =
+    ("tenant", J.Str tenant)
+    :: (match quota with None -> [] | Some q -> [ ("quota", J.Int q) ])
+  in
+  let r = get_ok "open-session" (Server.handle srv (cmd "open-session" fields)) in
+  Option.get (J.int_mem "session" r)
+
+let load_vecadd srv session =
+  let r =
+    get_ok "load-module"
+      (Server.handle srv
+         (cmd "load-module"
+            [
+              ("session", J.Int session);
+              ("src", J.Str vecadd.Workload.src);
+              ( "config",
+                J.Obj
+                  [
+                    ("tiered", J.Bool true);
+                    ("hot-threshold", J.Int 1);
+                    ("workers", J.Int 1);
+                  ] );
+            ]))
+  in
+  Option.get (J.int_mem "module" r)
+
+let tenant_counter stats tenant name =
+  let v =
+    Option.bind (J.mem "tenants" stats) (fun t ->
+        Option.bind (J.mem tenant t) (fun o ->
+            Option.bind (J.mem "metrics" o) (fun m ->
+                Option.bind (J.mem name m) (J.int_mem "value"))))
+  in
+  match v with
+  | Some n -> n
+  | None -> Alcotest.failf "stats: missing %s for tenant %s" name tenant
+
+let test_server_handle_end_to_end () =
+  let srv =
+    Server.create ~ckpt_dir:(Filename.concat tmpdir "srv-e2e") ()
+  in
+  let q = Server.queue srv in
+  let r = get_ok "ping" (Server.handle srv (cmd "ping" [])) in
+  Alcotest.(check (option int)) "version" (Some 1) (J.int_mem "version" r);
+  (* two tenants, one engine *)
+  let alice = open_session srv "alice" in
+  let bob = open_session srv "bob" in
+  Alcotest.(check int) "alice module id" 0 (load_vecadd srv alice);
+  Alcotest.(check int) "bob module id" 0 (load_vecadd srv bob);
+  (* alice pays the compilations *)
+  let job_a, out_a = submit_vecadd srv alice in
+  Alcotest.(check bool) "job runs" true (Queue.step q);
+  let r = get_ok "poll" (Server.handle srv (cmd "poll" [ ("job", J.Int job_a) ])) in
+  Alcotest.(check (option string)) "alice job done" (Some "done")
+    (J.str_mem "state" r);
+  Alcotest.(check bool) "result attached" true (J.mem "result" r <> None);
+  let r =
+    get_ok "read"
+      (Server.handle srv
+         (cmd "read"
+            [
+              ("session", J.Int alice);
+              ("addr", J.Int out_a);
+              ("ty", J.Str "f32");
+              ("count", J.Int 4);
+            ]))
+  in
+  Alcotest.check json "vecadd output read back"
+    (J.List [ J.Float 6.0; J.Float 8.0; J.Float 10.0; J.Float 12.0 ])
+    (Option.get (J.mem "values" r));
+  (* bob's identical launch must be pure cache hits *)
+  let job_b, _ = submit_vecadd srv bob in
+  Alcotest.(check bool) "bob's job runs" true (Queue.step q);
+  let r = get_ok "poll" (Server.handle srv (cmd "poll" [ ("job", J.Int job_b) ])) in
+  Alcotest.(check (option string)) "bob job done" (Some "done")
+    (J.str_mem "state" r);
+  let stats = get_ok "stats" (Server.handle srv (cmd "stats" [])) in
+  Alcotest.(check bool) "alice compiled" true
+    (tenant_counter stats "alice" "jit.compiles" > 0);
+  Alcotest.(check int) "bob compiled nothing" 0
+    (tenant_counter stats "bob" "jit.compiles");
+  Alcotest.(check bool) "bob hit the shared cache" true
+    (tenant_counter stats "bob" "jit.cache_hits" > 0);
+  (* free through the protocol; double free is a structured error *)
+  let _ =
+    get_ok "free"
+      (Server.handle srv
+         (cmd "free" [ ("session", J.Int alice); ("addr", J.Int out_a) ]))
+  in
+  Alcotest.(check string) "double free" "resource"
+    (get_err "double free"
+       (Server.handle srv
+          (cmd "free" [ ("session", J.Int alice); ("addr", J.Int out_a) ])));
+  (* malformed requests answered, not crashed on *)
+  Alcotest.(check string) "unknown command" "bad-request"
+    (get_err "unknown cmd" (Server.handle srv (cmd "frobnicate" [])));
+  Alcotest.(check string) "unknown session" "bad-request"
+    (get_err "unknown session"
+       (Server.handle srv (cmd "malloc" [ ("session", J.Int 99); ("bytes", J.Int 4) ])));
+  Alcotest.(check string) "parse error" "bad-request"
+    (match J.of_string (Server.handle_line srv "{oops") with
+    | Ok r -> get_err "parse" r
+    | Error e -> Alcotest.failf "unparseable response: %s" e);
+  Alcotest.(check string) "bad config key" "bad-request"
+    (get_err "bad config"
+       (Server.handle srv
+          (cmd "load-module"
+             [
+               ("session", J.Int alice);
+               ("src", J.Str vecadd.Workload.src);
+               ("config", J.Obj [ ("no-such-knob", J.Int 1) ]);
+             ])));
+  (* per-tenant attribution survives session close *)
+  let _ =
+    get_ok "close" (Server.handle srv (cmd "close-session" [ ("session", J.Int bob) ]))
+  in
+  let stats = get_ok "stats" (Server.handle srv (cmd "stats" [])) in
+  Alcotest.(check int) "bob's tally archived after close" 0
+    (tenant_counter stats "bob" "jit.compiles")
+
+let test_server_quota_rejection () =
+  let srv =
+    Server.create ~ckpt_dir:(Filename.concat tmpdir "srv-quota") ()
+  in
+  let carol = open_session srv ~quota:1 "carol" in
+  Alcotest.(check int) "carol module id" 0 (load_vecadd srv carol);
+  let _ = submit_vecadd srv carol in
+  (* quota 1: a second in-flight submission is rejected with a
+     structured resource error *)
+  let r =
+    Server.handle srv
+      (cmd "submit-launch"
+         [
+           ("session", J.Int carol);
+           ("module", J.Int 0);
+           ("kernel", J.Str "vecadd");
+           ("grid", J.Int 1);
+           ("block", J.Int 4);
+           ("args", J.List (List.map (fun s -> J.Str s) vecadd_args));
+         ])
+  in
+  Alcotest.(check string) "quota exceeded" "resource" (get_err "quota" r);
+  while Queue.step (Server.queue srv) do
+    ()
+  done
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "jsonx",
+        [
+          Alcotest.test_case "round-trip" `Quick test_jsonx_roundtrip;
+          Alcotest.test_case "parse" `Quick test_jsonx_parse;
+          Alcotest.test_case "accessors" `Quick test_jsonx_accessors;
+        ] );
+      ( "config-spec",
+        [ Alcotest.test_case "config_of_spec" `Quick test_config_of_spec ] );
+      ( "allocator",
+        [
+          Alcotest.test_case "free-list reuse" `Quick test_malloc_free_reuse;
+          Alcotest.test_case "coalescing" `Quick test_malloc_coalesce;
+          Alcotest.test_case "structured errors" `Quick test_malloc_errors;
+          Alcotest.test_case "reset arena" `Quick test_reset_arena;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "merge_into" `Quick test_metrics_merge ] );
+      ( "engine",
+        [
+          Alcotest.test_case "cross-session cache sharing" `Quick
+            test_engine_cache_sharing;
+          Alcotest.test_case "private engines do not share" `Quick
+            test_engine_private_without_sharing;
+          Alcotest.test_case "concurrent sessions differential" `Quick
+            test_concurrent_sessions_differential;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "weighted fairness" `Quick test_queue_fairness;
+          Alcotest.test_case "priority bypass" `Quick test_queue_priority;
+          Alcotest.test_case "quota rejection" `Quick test_queue_quota;
+          Alcotest.test_case "cancel" `Quick test_queue_cancel;
+        ] );
+      ( "preemption",
+        [
+          Alcotest.test_case "api preempt/resume bit-identical" `Quick
+            test_api_preempt_resume_bit_identical;
+          Alcotest.test_case "queue preempt mid-flight" `Quick
+            test_queue_preempt_resume;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "handle end-to-end" `Quick
+            test_server_handle_end_to_end;
+          Alcotest.test_case "quota rejection over protocol" `Quick
+            test_server_quota_rejection;
+        ] );
+    ]
