@@ -210,7 +210,7 @@ let run_cmd =
   let run file kernel grid block arg_specs dumps static affine ws workers sched
       pipeline tiered hot_threshold cache_cap inject inject_seed watchdog
       quarantine_ttl recover checkpoint_every checkpoint_dir checkpoint_stop
-      resume record replay trace profile metrics report =
+      resume deadline_ms record replay trace profile metrics report =
     let src, m = load file in
     let kernel = pick_kernel m kernel in
     let dev = Api.create_device () in
@@ -287,8 +287,9 @@ let run_cmd =
     in
     let r =
       try
-        Api.launch ~sink ?profile:prof ?attr ?resume ?checkpoint_stop api_m
-          ~kernel ~grid:(Launch.dim3 grid) ~block:(Launch.dim3 block)
+        Api.launch ~sink ?profile:prof ?attr ?resume ?checkpoint_stop
+          ?deadline_ms api_m ~kernel ~grid:(Launch.dim3 grid)
+          ~block:(Launch.dim3 block)
           ~args:(List.map (fun a -> a.Api.launch_arg) args)
       with
       | Vekt_runtime.Checkpoint.Stop path ->
@@ -517,6 +518,17 @@ let run_cmd =
              instead of starting from scratch (same kernel, grid, block \
              and $(b,--workers) as the snapshotted run)")
   in
+  let deadline_ms_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock budget for the launch: past $(docv) milliseconds \
+             the launch is killed at its next safe point with a structured \
+             deadline error (a partial snapshot is kept when checkpointing \
+             is on)")
+  in
   let record_arg =
     Arg.(
       value
@@ -543,8 +555,9 @@ let run_cmd =
       $ tiered_arg
       $ hot_threshold_arg $ cache_cap_arg $ inject_arg $ inject_seed_arg
       $ watchdog_arg $ quarantine_ttl_arg $ recover_arg $ checkpoint_every_arg
-      $ checkpoint_dir_arg $ checkpoint_stop_arg $ resume_arg $ record_arg
-      $ replay_arg $ trace_arg $ profile_arg $ metrics_arg $ report_arg)
+      $ checkpoint_dir_arg $ checkpoint_stop_arg $ resume_arg $ deadline_ms_arg
+      $ record_arg $ replay_arg $ trace_arg $ profile_arg $ metrics_arg
+      $ report_arg)
 
 (* ---- emulate ---- *)
 
@@ -621,13 +634,23 @@ let socket_arg =
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path")
 
 let serve_cmd =
-  let run socket ckpt_dir quota weight global_mb =
+  let run socket ckpt_dir quota weight global_mb high_watermark low_watermark
+      session_ttl archive_cap read_deadline =
     let t =
       Server.create ~quota ~weight ~ckpt_dir
-        ~global_bytes:(global_mb * 1024 * 1024) ()
+        ~global_bytes:(global_mb * 1024 * 1024) ~high_watermark ~low_watermark
+        ?session_ttl_s:session_ttl ~archive_cap ()
     in
+    (match Server.recovered t with
+    | [] -> ()
+    | rs ->
+        List.iter
+          (fun (r : Server.recovered) ->
+            Fmt.pr "recovered job %d (%s, tenant %s) from previous instance@."
+              r.Server.r_job r.Server.r_label r.Server.r_tenant)
+          rs);
     Fmt.pr "vekt daemon listening on %s@." socket;
-    Server.serve t ~socket ();
+    Server.serve t ~read_deadline_s:read_deadline ~socket ();
     Fmt.pr "vekt daemon: clean shutdown@."
   in
   let ckpt_dir_arg =
@@ -636,7 +659,9 @@ let serve_cmd =
       & info [ "ckpt-dir" ] ~docv:"DIR"
           ~doc:
             "Checkpoint root: each preemptible job snapshots into its own \
-             subdirectory, swept on completion and at shutdown")
+             subdirectory, swept on completion and at clean shutdown. After \
+             a crash, the next serve on the same root re-admits the jobs it \
+             finds there and resumes them from their newest snapshots.")
   in
   let quota_arg =
     Arg.(
@@ -655,6 +680,49 @@ let serve_cmd =
       value & opt int 64
       & info [ "global-mb" ] ~docv:"MB" ~doc:"Per-session global memory size")
   in
+  let high_watermark_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "high-watermark" ] ~docv:"N"
+          ~doc:
+            "Backlog size that trips overload shedding: past $(docv) queued \
+             jobs, new submits that don't beat the best queued priority are \
+             rejected with a structured overloaded error and a \
+             retry_after_ms hint")
+  in
+  let low_watermark_arg =
+    Arg.(
+      value & opt int 48
+      & info [ "low-watermark" ] ~docv:"N"
+          ~doc:
+            "Backlog size at which shedding stops again (hysteresis; must \
+             be below the high watermark)")
+  in
+  let session_ttl_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "session-ttl" ] ~docv:"SECONDS"
+          ~doc:
+            "Reap sessions idle longer than $(docv) whose jobs have all \
+             finished: their arenas are freed and their tallies archived, \
+             exactly as on close-session. Default: never reap.")
+  in
+  let archive_cap_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "archive-cap" ] ~docv:"N"
+          ~doc:
+            "Keep archived tallies for at most $(docv) tenants, evicting \
+             the least recently closed")
+  in
+  let read_deadline_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "read-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Drop a connection that sits on an incomplete request line (or \
+             stalls reading a response) longer than $(docv)")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -663,7 +731,8 @@ let serve_cmd =
           one tenant are cache hits for the next")
     Term.(
       const run $ socket_arg $ ckpt_dir_arg $ quota_arg $ weight_arg
-      $ global_mb_arg)
+      $ global_mb_arg $ high_watermark_arg $ low_watermark_arg
+      $ session_ttl_arg $ archive_cap_arg $ read_deadline_arg)
 
 (* A tiny synchronous client: one request line out, one response line
    back. *)
@@ -704,9 +773,44 @@ let expect_ok what (r : Jsonx.t) : Jsonx.t =
     exit 1
   end
 
+(* Capped exponential backoff with full jitter for shed submits: the
+   daemon's overloaded error carries a retry_after_ms hint computed
+   from its live backlog; we honor it (floored by our own doubling
+   backoff, capped at 10 s), and jitter the sleep so a burst of shed
+   clients doesn't reconverge in lockstep.  Safe to retry because the
+   request carries an idempotency key: if the daemon actually admitted
+   an earlier attempt, the retry is answered from its dedup cache
+   instead of double-launching. *)
+let submit_with_backoff ~req ~max_retries fields : Jsonx.t =
+  let rec go attempt backoff_ms =
+    let r = req "submit-launch" fields in
+    let kind =
+      Option.bind (Jsonx.mem "error" r) (Jsonx.str_mem "kind")
+    in
+    if
+      Jsonx.bool_mem "ok" r <> Some true
+      && kind = Some "overloaded"
+      && attempt < max_retries
+    then begin
+      let hint =
+        Option.value ~default:backoff_ms
+          (Option.bind (Jsonx.mem "error" r) (Jsonx.int_mem "retry_after_ms"))
+      in
+      let wait = min 10_000 (max hint backoff_ms) in
+      let wait = (wait / 2) + Random.int (max 1 ((wait / 2) + 1)) in
+      Fmt.epr "daemon overloaded; retry %d/%d in %d ms@." (attempt + 1)
+        max_retries wait;
+      Unix.sleepf (float_of_int wait /. 1000.0);
+      go (attempt + 1) (min 10_000 (backoff_ms * 2))
+    end
+    else expect_ok "submit-launch" r
+  in
+  go 0 100
+
 let submit_cmd =
   let run file kernel grid block arg_specs dumps socket tenant priority label
-      config_pairs poll_ms =
+      config_pairs poll_ms deadline_ms max_retries idem_key =
+    Random.self_init ();
     let src, m = load file in
     let kernel = pick_kernel m kernel in
     let conn = connect socket in
@@ -731,19 +835,32 @@ let submit_cmd =
         (req "load-module" [ sfield; ("src", Jsonx.Str src); ("config", config) ])
     in
     let modul = Option.get (Jsonx.int_mem "module" r) in
+    let idem_key =
+      match idem_key with
+      | Some k -> k
+      | None ->
+          (* fresh per invocation: retries of *this* submit dedup, a
+             re-run of the command is a new launch *)
+          Fmt.str "vektc-%d-%.0f" (Unix.getpid ())
+            (Unix.gettimeofday () *. 1e6)
+    in
     let r =
-      expect_ok "submit-launch"
-        (req "submit-launch"
-           [
-             sfield;
-             ("module", Jsonx.Int modul);
-             ("kernel", Jsonx.Str kernel);
-             ("grid", Jsonx.Int grid);
-             ("block", Jsonx.Int block);
-             ("args", Jsonx.List (List.map (fun s -> Jsonx.Str s) arg_specs));
-             ("priority", Jsonx.Int priority);
-             ("label", Jsonx.Str (Option.value label ~default:kernel));
-           ])
+      submit_with_backoff ~req ~max_retries
+        ([
+           sfield;
+           ("module", Jsonx.Int modul);
+           ("kernel", Jsonx.Str kernel);
+           ("grid", Jsonx.Int grid);
+           ("block", Jsonx.Int block);
+           ("args", Jsonx.List (List.map (fun s -> Jsonx.Str s) arg_specs));
+           ("priority", Jsonx.Int priority);
+           ("label", Jsonx.Str (Option.value label ~default:kernel));
+           ("idempotency-key", Jsonx.Str idem_key);
+         ]
+        @
+        match deadline_ms with
+        | None -> []
+        | Some ms -> [ ("deadline-ms", Jsonx.Int ms) ])
     in
     let job = Option.get (Jsonx.int_mem "job" r) in
     let arg_addrs = Option.value (Jsonx.list_mem "args" r) ~default:[] in
@@ -837,6 +954,32 @@ let submit_cmd =
       value & opt int 20
       & info [ "poll-ms" ] ~docv:"MS" ~doc:"Completion polling interval")
   in
+  let deadline_ms_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Whole-job wall-clock budget (queue wait + run): a job past it \
+             is failed with a structured deadline error — expired unrun if \
+             still queued, killed at its next safe point if running")
+  in
+  let max_retries_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:
+            "Retries when the daemon sheds the submit as overloaded \
+             (capped exponential backoff with jitter, honoring the \
+             daemon's retry_after_ms hint)")
+  in
+  let idem_key_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "idempotency-key" ] ~docv:"KEY"
+          ~doc:
+            "Idempotency key sent with the submit so retries never \
+             double-launch (default: generated fresh per invocation)")
+  in
   Cmd.v
     (Cmd.info "submit"
        ~doc:
@@ -845,7 +988,8 @@ let submit_cmd =
     Term.(
       const run $ file_arg $ kernel_arg $ grid_arg $ block_arg $ args_arg
       $ dump_arg $ socket_arg $ tenant_arg $ priority_arg $ label_arg
-      $ config_arg $ poll_ms_arg)
+      $ config_arg $ poll_ms_arg $ deadline_ms_arg $ max_retries_arg
+      $ idem_key_arg)
 
 let client_cmd =
   let run socket exprs =

@@ -118,6 +118,26 @@ type t =
       (** a checkpoint snapshot or replay schedule log was rejected:
           truncated, failed its integrity checksum, mismatched the
           launch, or (for replay) diverged from the live execution *)
+  | Deadline of {
+      kernel : string;
+      deadline_ms : int;  (** the budget the request carried *)
+      elapsed_ms : int;  (** wall time consumed when the launch was killed *)
+      snapshot : string option;
+          (** partial-progress snapshot written at the safe point where
+              the deadline fired, preserving span/attribution data *)
+    }
+      (** a launch (running or still queued) exceeded its wall-clock
+          deadline; running launches are cancelled at their next safe
+          point via the preemption token, queued launches are rejected
+          at admission without ever running *)
+  | Overloaded of {
+      queued : int;  (** admission-queue depth when the submit arrived *)
+      limit : int;  (** the high watermark that tripped shedding *)
+      retry_after_ms : int;  (** server's estimate of when to retry *)
+    }
+      (** the daemon shed the submit: the admission queue was above its
+          high watermark and the job's priority did not beat the
+          backlog; clients should back off [retry_after_ms] and retry *)
 
 exception Error of t
 
@@ -159,6 +179,14 @@ let pp ppf = function
       Fmt.pf ppf "out of %s: requested %d, available %d" r.what r.requested
         r.available
   | Checkpoint c -> Fmt.pf ppf "bad %s %s: %s" c.what c.path c.reason
+  | Deadline d ->
+      Fmt.pf ppf "deadline exceeded in kernel %s: %d ms elapsed (budget %d ms)"
+        d.kernel d.elapsed_ms d.deadline_ms;
+      Option.iter (fun p -> Fmt.pf ppf "; partial snapshot at %s" p) d.snapshot
+  | Overloaded o ->
+      Fmt.pf ppf
+        "server overloaded: %d jobs queued (limit %d); retry after %d ms"
+        o.queued o.limit o.retry_after_ms
 
 let to_string e = Fmt.str "%a" pp e
 
@@ -171,13 +199,18 @@ let kind_name = function
   | Fuel _ -> "fuel"
   | Resource _ -> "resource"
   | Checkpoint _ -> "checkpoint"
+  | Deadline _ -> "deadline"
+  | Overloaded _ -> "overloaded"
 
 (** Faults a launch can transparently recover from by degrading to the
     reference emulator: anything wrong with the *compiled* path.  Fuel
     exhaustion is excluded — a runaway kernel would also run away (more
     slowly) under the oracle — as are host resource limits.  A rejected
     checkpoint or replay log is recoverable: the artifact is damaged,
-    but the oracle can still produce the launch's result from scratch. *)
+    but the oracle can still produce the launch's result from scratch.
+    Deadline and overload are policy decisions, not faults: re-running
+    under the oracle would only burn more of the budget the policy just
+    enforced. *)
 let recoverable = function
   | Compile _ | Trap _ | Deadlock _ | Checkpoint _ -> true
-  | Fuel _ | Resource _ -> false
+  | Fuel _ | Resource _ | Deadline _ | Overloaded _ -> false

@@ -24,6 +24,24 @@ let quarantine_action_name = function
   | Q_skipped -> "skipped"
   | Q_expired -> "expired"
 
+(** Daemon health transitions (the crash-only machinery of DESIGN.md
+    §3.8).  Each one is a policy decision the server made about a
+    tenant's work, emitted through the session's sink so the tally layer
+    attributes it to the tenant that suffered (or caused) it. *)
+type server_action =
+  | Sv_shed  (** submit rejected: admission queue above its high watermark *)
+  | Sv_deadline_kill  (** running launch killed at a safe point past its deadline *)
+  | Sv_expired  (** queued job's deadline lapsed before it was ever admitted *)
+  | Sv_reaped  (** idle session closed server-side after its TTL *)
+  | Sv_recovered  (** in-flight launch re-enqueued after a daemon restart *)
+
+let server_action_name = function
+  | Sv_shed -> "shed"
+  | Sv_deadline_kill -> "deadline_kill"
+  | Sv_expired -> "expired"
+  | Sv_reaped -> "reaped"
+  | Sv_recovered -> "recovered"
+
 (** Phases of a launch that carry hierarchical {!Span_begin}/{!Span_end}
     pairs.  Spans nest per worker ({!Vekt_obs.Span} rebuilds the tree);
     compile and subkernel intervals are not re-emitted as spans — the
@@ -139,6 +157,13 @@ type t =
       kind : span_kind;
       name : string;  (** must match the open {!Span_begin} of this worker *)
     }
+  | Server_health of {
+      ts : float;  (** wall µs — daemon decisions are off the modelled clock *)
+      worker : int;  (** always 0: the server loop, not a pool worker *)
+      action : server_action;
+      tenant : string;
+      detail : string;  (** job or session id, free-form context *)
+    }
 
 let ts = function
   | Warp_formed e -> e.ts
@@ -156,6 +181,7 @@ let ts = function
   | Replay_begin e -> e.ts
   | Span_begin e -> e.ts
   | Span_end e -> e.ts
+  | Server_health e -> e.ts
 
 let worker = function
   | Warp_formed e -> e.worker
@@ -173,6 +199,7 @@ let worker = function
   | Replay_begin e -> e.worker
   | Span_begin e -> e.worker
   | Span_end e -> e.worker
+  | Server_health e -> e.worker
 
 let name = function
   | Warp_formed _ -> "warp_formed"
@@ -190,6 +217,7 @@ let name = function
   | Replay_begin _ -> "replay_begin"
   | Span_begin _ -> "span_begin"
   | Span_end _ -> "span_end"
+  | Server_health _ -> "server_health"
 
 (** One-line plain-text rendering (the [--trace out.txt] format). *)
 let pp ppf e =
@@ -235,3 +263,6 @@ let pp ppf e =
   | Span_end e ->
       p "%12.1f w%d span_end kind=%s name=%s wall_us=%.1f" e.ts e.worker
         (span_kind_name e.kind) e.name e.wall_us
+  | Server_health e ->
+      p "%12.1f w%d server_health action=%s tenant=%s detail=%s" e.ts e.worker
+        (server_action_name e.action) e.tenant e.detail

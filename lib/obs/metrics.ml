@@ -111,6 +111,16 @@ let names t = List.rev t.rev_order
 
 let find t name = Hashtbl.find_opt t.tbl name
 
+(** Read the counter [name] without creating it: [0] when absent.
+    Scrape paths (the daemon's health report, tests asserting on
+    tallies) use this so probing never mutates the registry it probes.
+    Raises [Invalid_argument] if [name] exists but is not a counter. *)
+let counter_value t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Counter c) -> !c
+  | Some v -> wrong_kind name v "counter"
+  | None -> 0
+
 (** Merge [src] into [into], optionally namespacing every metric under
     [prefix] (e.g. ["tenant.alice."]).  Counters add, gauges take the
     source value (last merge wins), histograms merge bin-wise — so

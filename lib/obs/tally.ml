@@ -37,4 +37,10 @@ let sink (reg : Metrics.t) : Sink.t =
     | Event.Quarantine { action = Event.Q_added; _ } -> Metrics.incr quarantined
     | Event.Ckpt_write _ -> Metrics.incr ckpt_writes
     | Event.Ckpt_resume _ -> Metrics.incr ckpt_resumes
+    | Event.Server_health e ->
+        (* daemon health decisions are per-tenant billing events too:
+           [server.shed], [server.deadline_kill], … registered lazily
+           because most sessions never suffer any of them *)
+        Metrics.incr
+          (Metrics.counter reg ("server." ^ Event.server_action_name e.action))
     | _ -> ())

@@ -118,7 +118,7 @@ let track_of_event (e : Event.t) =
   match e with
   | Event.Warp_formed _ | Event.Subkernel_call _ | Event.Yield _
   | Event.Barrier_release _ | Event.Ckpt_write _ | Event.Ckpt_resume _
-  | Event.Replay_begin _ ->
+  | Event.Replay_begin _ | Event.Server_health _ ->
       (em_pid, Event.worker e)
   | Event.Compile_begin _ | Event.Compile_end _ | Event.Cache_hit _
   | Event.Cache_miss _ | Event.Compile_fallback _ | Event.Quarantine _ ->
@@ -209,6 +209,14 @@ let add_chrome_event b (e : Event.t) =
         ~cat:("span." ^ Event.span_kind_name v.kind)
         ~ph:"E" ~ts:v.ts ~pid:(span_pid v.kind) ~tid:v.worker
         [ ("wall_us", F v.wall_us) ]
+  | Event.Server_health v ->
+      add_record b ~name:"server_health" ~cat:"server" ~ph:"i" ~ts:v.ts
+        ~pid:em_pid ~tid:v.worker
+        [
+          ("action", S (Event.server_action_name v.action));
+          ("tenant", S v.tenant);
+          ("detail", S v.detail);
+        ]
 
 (* One thread_name + thread_sort_index metadata pair per (pid, tid)
    track that actually carries events, so Perfetto labels every worker

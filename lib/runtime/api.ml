@@ -596,12 +596,15 @@ type report = {
     recoverable fault first tries to resume from the newest snapshot
     this launch wrote (each snapshot is tried at most once, so a
     deterministic fault cannot loop), and only then falls back to
-    rolling memory back and re-running under the reference emulator. *)
+    rolling memory back and re-running under the reference emulator.
+    [deadline_ms] bounds the launch's wall clock: past the budget it
+    snapshots its partial progress at the next safe point and dies with
+    a structured {!Vekt_error.Deadline} naming that snapshot. *)
 let launch ?fuel ?(sink = Vekt_obs.Sink.noop)
     ?(profile : Vekt_obs.Divergence.t option)
     ?(attr : Vekt_obs.Attribution.t option) ?(resume : string option)
     ?(checkpoint_stop : int option) ?(preempt : Checkpoint.preempt option)
-    ?(ckpt_dir : string option) (m : modul) ~kernel
+    ?(ckpt_dir : string option) ?(deadline_ms : int option) (m : modul) ~kernel
     ~(grid : Launch.dim3) ~(block : Launch.dim3) ~(args : Launch.arg list) :
     report =
   Engine.note_launch m.device.engine;
@@ -685,12 +688,13 @@ let launch ?fuel ?(sink = Vekt_obs.Sink.noop)
       || Option.is_some checkpoint_stop
       || Option.is_some resume
       || Option.is_some preempt
+      || Option.is_some deadline_ms
     then begin
       let c =
         Checkpoint.create_ctx
           ~dir:(Option.value ckpt_dir ~default:m.config.checkpoint_dir)
           ?stop_after:checkpoint_stop ?preempt ~live_bytes:m.device.brk
-          ~every:m.config.checkpoint_every ()
+          ~kernel ?deadline_ms ~every:m.config.checkpoint_every ()
       in
       (* number snapshots after the one we resumed from *)
       (match resumed with

@@ -386,6 +386,11 @@ type ctx = {
   stop_after : int option;  (** raise {!Stop} after this many snapshots *)
   preempt : preempt option;  (** async preemption token, when armed *)
   live_bytes : int option;  (** allocator watermark bounding the global image *)
+  kernel : string;  (** kernel name, for the structured deadline error *)
+  start_us : float;  (** monotonic launch start, deadline reference point *)
+  deadline_us : float option;
+      (** absolute monotonic wall deadline; past it the launch snapshots
+          at its next safe point and dies with {!Vekt_error.Deadline} *)
   mutable iter : int;  (** scheduler iterations observed this launch *)
   mutable seq : int;  (** last sequence number written *)
   mutable latest : (int * string) option;  (** newest valid snapshot *)
@@ -395,16 +400,22 @@ type ctx = {
   mutable resumes : int;  (** times this launch resumed from a snapshot *)
   mutable rejected : int;  (** snapshots refused by integrity validation *)
   mutable preempted : int;  (** preemption requests honored at a safe point *)
+  mutable deadline_kills : int;  (** deadline expiries honored at a safe point *)
 }
 
-let create_ctx ?(dir = "vekt-ckpt") ?stop_after ?preempt ?live_bytes ~every () :
-    ctx =
+let create_ctx ?(dir = "vekt-ckpt") ?stop_after ?preempt ?live_bytes
+    ?(kernel = "") ?deadline_ms ~every () : ctx =
+  let start_us = Clock.now_us () in
   {
     dir;
     every = max 0 every;
     stop_after;
     preempt;
     live_bytes;
+    kernel;
+    start_us;
+    deadline_us =
+      Option.map (fun ms -> start_us +. (float_of_int ms *. 1000.)) deadline_ms;
     iter = 0;
     seq = 0;
     latest = None;
@@ -414,16 +425,24 @@ let create_ctx ?(dir = "vekt-ckpt") ?stop_after ?preempt ?live_bytes ~every () :
     resumes = 0;
     rejected = 0;
     preempted = 0;
+    deadline_kills = 0;
   }
 
+let deadline_exceeded (ctx : ctx) =
+  match ctx.deadline_us with
+  | Some d -> Clock.now_us () > d
+  | None -> false
+
 (** Count one scheduler iteration; [true] when the policy says a
-    snapshot is due now — on the periodic schedule, or because an
-    asynchronous preemption request is pending and the launch must
-    snapshot before it can stop. *)
+    snapshot is due now — on the periodic schedule, because an
+    asynchronous preemption request is pending, or because the launch
+    has blown its deadline and must snapshot its partial progress
+    before it is killed. *)
 let note_iter (ctx : ctx) : bool =
   ctx.iter <- ctx.iter + 1;
   (ctx.every > 0 && ctx.iter mod ctx.every = 0)
   || (match ctx.preempt with Some p -> preempt_requested p | None -> false)
+  || deadline_exceeded ctx
 
 let ensure_dir dir =
   if not (Sys.file_exists dir) then
@@ -457,8 +476,27 @@ let write ?(fault = false) (ctx : ctx) (t : t) : string * int =
 
 (** Raise {!Stop} when the stop-after-N-snapshots policy has been met,
     or when an asynchronous preemption request is pending (the request
-    is consumed, so the resumed launch starts with a clean token). *)
+    is consumed, so the resumed launch starts with a clean token); or
+    raise a structured {!Vekt_error.Deadline} when the launch has
+    exceeded its wall-clock budget — the snapshot just written at [path]
+    is named in the error so partial span/attribution data survives. *)
 let maybe_stop (ctx : ctx) path =
+  if deadline_exceeded ctx then begin
+    ctx.deadline_kills <- ctx.deadline_kills + 1;
+    let elapsed_ms =
+      int_of_float ((Clock.now_us () -. ctx.start_us) /. 1000.)
+    in
+    let deadline_ms =
+      match ctx.deadline_us with
+      | Some d -> int_of_float ((d -. ctx.start_us) /. 1000.)
+      | None -> 0
+    in
+    raise
+      (Vekt_error.Error
+         (Vekt_error.Deadline
+            { kernel = ctx.kernel; deadline_ms; elapsed_ms;
+              snapshot = Some path }))
+  end;
   (match ctx.preempt with
   | Some p when preempt_requested p ->
       Atomic.set p false;
@@ -487,4 +525,32 @@ let metrics_into (ctx : ctx) (m : Vekt_obs.Metrics.t) =
   M.counter m "ckpt.resumes" := ctx.resumes;
   M.counter m "ckpt.rejected" := ctx.rejected;
   M.counter m "ckpt.preemptions" := ctx.preempted;
+  M.counter m "ckpt.deadline_kills" := ctx.deadline_kills;
   M.set (M.gauge m "ckpt.write_us") ctx.write_us
+
+(* ---- restart recovery ---- *)
+
+(** Scan [dir] for the newest valid (non-fault) snapshot.  Used by the
+    daemon's restart-recovery path: after a kill -9, the job directory
+    of every launch that was in flight still holds its last snapshot,
+    and this picks the resume candidate the PR 5 ladder should try
+    first.  Corrupt or truncated snapshots are skipped, not fatal — a
+    crash mid-[write] leaves at most a [.tmp] (never renamed) or an
+    older complete snapshot, both handled here. *)
+let newest_snapshot ~dir : string option =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> None
+  | names ->
+      Array.to_list names
+      |> List.filter (fun n ->
+             Filename.check_suffix n ".ckpt"
+             && not (Filename.check_suffix n "-fault.ckpt"))
+      |> List.filter_map (fun n ->
+             let path = Filename.concat dir n in
+             match read path with
+             | snap -> Some (snap.seq, path)
+             | exception Vekt_error.Error _ -> None)
+      |> List.sort (fun (a, _) (b, _) -> compare b a)
+      |> function
+      | (_, path) :: _ -> Some path
+      | [] -> None

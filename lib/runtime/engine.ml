@@ -37,6 +37,7 @@ type t = {
   sink : Vekt_obs.Sink.t;  (** engine-wide tap, teed under session sinks *)
   lock : Mutex.t;
   caches : (string, Translation_cache.t) Hashtbl.t;
+  created_us : float;  (** monotonic creation time, for the uptime gauge *)
   mutable sessions : int;  (** devices ever attached to this engine *)
   mutable launches : int;  (** launches dispatched through this engine *)
   mutable cache_builds : int;  (** shared caches built (table misses) *)
@@ -51,11 +52,18 @@ let create ?(machine = Machine.sse4) ?workers ?(sink = Vekt_obs.Sink.noop) () :
     sink;
     lock = Mutex.create ();
     caches = Hashtbl.create 16;
+    created_us = Clock.now_us ();
     sessions = 0;
     launches = 0;
     cache_builds = 0;
     cache_reuses = 0;
   }
+
+(** Wall microseconds this engine has been alive.  The daemon's stats
+    scrape and restart-recovery log both report it: a small uptime after
+    a crash is how an operator distinguishes "recovered launches" from
+    "launches that never died". *)
+let uptime_us t = Clock.elapsed_us t.created_us
 
 let machine t = t.machine
 let default_workers t = t.default_workers
@@ -109,4 +117,5 @@ let metrics_into t (reg : Vekt_obs.Metrics.t) =
   M.counter reg "engine.cache_builds" := t.cache_builds;
   M.counter reg "engine.cache_reuses" := t.cache_reuses;
   M.set (M.gauge reg "engine.caches") (float_of_int (Hashtbl.length t.caches));
+  M.set (M.gauge reg "engine.uptime_us") (uptime_us t);
   Mutex.unlock t.lock

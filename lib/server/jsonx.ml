@@ -10,8 +10,10 @@
     Numbers: integers without ['.'/'e'] parse as [Int], everything
     else as [Float].  Strings handle the standard escapes plus
     [\uXXXX] (encoded back out as UTF-8); other bytes pass through
-    untouched.  Depth is bounded so a hostile request cannot blow the
-    stack. *)
+    untouched.  Every dimension of hostile input is bounded: nesting
+    depth (stack), total input length, individual string length, and
+    array/object element counts (heap) — a request that exceeds any of
+    them gets a structured [Error], never an [Out_of_memory] abort. *)
 
 type t =
   | Null
@@ -23,6 +25,16 @@ type t =
   | Obj of (string * t) list
 
 let max_depth = 64
+
+(** Total input bound.  Generous because load-module requests carry
+    whole PTX sources inline; the server's read loop enforces the same
+    bound on its accumulation buffer, so a client streaming an endless
+    line is cut off at this size too. *)
+let max_input = 8 * 1024 * 1024
+
+(* Longest single string literal / most elements in one array or object. *)
+let max_string = 4 * 1024 * 1024
+let max_items = 65536
 
 (* ---- printer ---- *)
 
@@ -192,6 +204,7 @@ let parse_string st =
            | c -> fail st (Printf.sprintf "bad escape \\%c" c));
         go ()
     | c ->
+        if Buffer.length b >= max_string then fail st "string too long";
         Buffer.add_char b c;
         st.pos <- st.pos + 1;
         go ()
@@ -242,19 +255,20 @@ let rec parse_value st depth =
         List []
       end
       else begin
-        let rec items acc =
+        let rec items n acc =
+          if n >= max_items then fail st "array too large";
           let v = parse_value st (depth + 1) in
           skip_ws st;
           match peek st with
           | Some ',' ->
               st.pos <- st.pos + 1;
-              items (v :: acc)
+              items (n + 1) (v :: acc)
           | Some ']' ->
               st.pos <- st.pos + 1;
               List.rev (v :: acc)
           | _ -> fail st "expected ',' or ']'"
         in
-        List (items [])
+        List (items 0 [])
       end
   | Some '{' ->
       st.pos <- st.pos + 1;
@@ -264,7 +278,8 @@ let rec parse_value st depth =
         Obj []
       end
       else begin
-        let rec members acc =
+        let rec members n acc =
+          if n >= max_items then fail st "object too large";
           skip_ws st;
           let k = parse_string st in
           skip_ws st;
@@ -274,17 +289,22 @@ let rec parse_value st depth =
           match peek st with
           | Some ',' ->
               st.pos <- st.pos + 1;
-              members ((k, v) :: acc)
+              members (n + 1) ((k, v) :: acc)
           | Some '}' ->
               st.pos <- st.pos + 1;
               List.rev ((k, v) :: acc)
           | _ -> fail st "expected ',' or '}'"
         in
-        Obj (members [])
+        Obj (members 0 [])
       end
   | Some _ -> parse_number st
 
 let of_string (s : string) : (t, string) result =
+  if String.length s > max_input then
+    Error
+      (Printf.sprintf "input too large (%d bytes, limit %d)" (String.length s)
+         max_input)
+  else
   let st = { s; pos = 0 } in
   match parse_value st 0 with
   | v ->

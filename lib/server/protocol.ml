@@ -21,17 +21,38 @@ let bad fmt = Fmt.kstr (fun s -> raise (Bad_request s)) fmt
 
 let ok fields : J.t = J.Obj (("ok", J.Bool true) :: fields)
 
-let err ~kind ~message : J.t =
+let err ?(extras = []) ~kind ~message () : J.t =
   J.Obj
     [
       ("ok", J.Bool false);
-      ("error", J.Obj [ ("kind", J.Str kind); ("message", J.Str message) ]);
+      ( "error",
+        J.Obj
+          ([ ("kind", J.Str kind); ("message", J.Str message) ] @ extras) );
     ]
 
-let error_json (e : Vekt_error.t) : J.t =
-  err ~kind:(Vekt_error.kind_name e) ~message:(Vekt_error.to_string e)
+(* Machine-actionable payload fields, per error kind: an overloaded
+   client needs [retry_after_ms] to back off without parsing prose, a
+   deadline victim gets its budget arithmetic and the partial-progress
+   snapshot path. *)
+let error_extras : Vekt_error.t -> (string * J.t) list = function
+  | Vekt_error.Overloaded o ->
+      [
+        ("retry_after_ms", J.Int o.retry_after_ms);
+        ("queued", J.Int o.queued);
+        ("limit", J.Int o.limit);
+      ]
+  | Vekt_error.Deadline d ->
+      [ ("deadline_ms", J.Int d.deadline_ms); ("elapsed_ms", J.Int d.elapsed_ms) ]
+      @ (match d.snapshot with
+        | None -> []
+        | Some p -> [ ("snapshot", J.Str p) ])
+  | _ -> []
 
-let bad_request message : J.t = err ~kind:"bad-request" ~message
+let error_json (e : Vekt_error.t) : J.t =
+  err ~extras:(error_extras e) ~kind:(Vekt_error.kind_name e)
+    ~message:(Vekt_error.to_string e) ()
+
+let bad_request message : J.t = err ~kind:"bad-request" ~message ()
 
 (* ---- request field accessors (raise Bad_request on absence) ---- *)
 

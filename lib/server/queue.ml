@@ -20,6 +20,19 @@
     rejected with a structured {!Vekt_error.Resource} — a structured
     answer, not a crash and not silent queuing without bound.
 
+    Two global backpressure mechanisms sit on top (DESIGN.md §3.8).
+    {e Deadlines}: a job may carry an absolute wall-clock budget; if it
+    expires while the job is still queued the job is failed with a
+    structured {!Vekt_error.Deadline} without ever running, and the
+    remaining budget is handed to the launch itself so a running
+    overrun is killed at its next safe point.  {e Watermark shedding}:
+    when the total backlog crosses [high_watermark] the queue enters
+    shedding mode (left again at [low_watermark] — hysteresis, so the
+    flag doesn't flap) and rejects new submits that don't strictly beat
+    the best queued priority, answering with {!Vekt_error.Overloaded}
+    and a [retry_after_ms] computed from an EWMA of recent job run
+    times times the backlog still ahead of the caller.
+
     Locking: one mutex + condvar protect every queue structure.  Jobs
     run on whatever thread calls {!step} / {!worker_loop} (the daemon
     dedicates a domain to the latter), with the lock dropped for the
@@ -57,12 +70,22 @@ type job = {
   priority : int;  (** higher runs first; arrival can preempt lower *)
   preempt : Checkpoint.preempt;
   sink : Obs.Sink.t;  (** receives the job's [Sk_queue] wait spans *)
+  deadline_ms : int option;  (** the wall budget the submit carried *)
+  deadline_us : float option;  (** absolute monotonic expiry, from submit *)
+  cleanup : unit -> unit;
+      (** called exactly once when the job reaches a terminal state
+          (done, failed, cancelled, expired) — the daemon uses it to
+          sweep the job's snapshot directory, so a preempted or
+          crash-interrupted job keeps its resume state and a finished
+          one leaves nothing behind *)
   run :
     resume:string option ->
     preempt:Checkpoint.preempt ->
+    deadline_ms:int option ->
     wait_us:float ->
     Api.report;
       (** the launch body; [resume] is the snapshot to continue from,
+          [deadline_ms] the budget still unspent at dispatch,
           [wait_us] the queue wait since the last (re)enqueue *)
   mutable state : state;
   mutable resume_path : string option;
@@ -76,6 +99,8 @@ type tenant = {
   name : string;
   mutable weight : int;  (** stride-scheduling share *)
   mutable quota : int;  (** max jobs in flight (queued+running+preempted) *)
+  mutable default_deadline_ms : int option;
+      (** deadline applied to this tenant's submits that carry none *)
   mutable pass : float;  (** stride pass value: lowest runnable goes next *)
   mutable active : int;
   mutable pending : job list;  (** runnable FIFO; preempted jobs re-enter front *)
@@ -88,15 +113,25 @@ type t = {
   jobs : (int, job) Hashtbl.t;
   default_quota : int;
   default_weight : int;
+  high_watermark : int;  (** backlog size that trips shedding mode *)
+  low_watermark : int;  (** backlog size that clears it (hysteresis) *)
   mutable next_id : int;
   mutable running : job option;
   mutable stopping : bool;
   mutable completed : int;
   mutable preemptions : int;
   mutable rejected : int;
+  mutable pending_count : int;  (** jobs queued/preempted across tenants *)
+  mutable shedding : bool;
+  mutable shed : int;  (** submits rejected as {!Vekt_error.Overloaded} *)
+  mutable expired : int;  (** queued jobs whose deadline lapsed unrun *)
+  mutable deadline_kills : int;  (** running jobs killed past deadline *)
+  mutable run_ewma_us : float;  (** EWMA of job run durations; 0 = no sample *)
 }
 
-let create ?(quota = 16) ?(weight = 1) () : t =
+let create ?(quota = 16) ?(weight = 1) ?(high_watermark = 64)
+    ?(low_watermark = 48) () : t =
+  let high_watermark = max 1 high_watermark in
   {
     lock = Mutex.create ();
     cond = Condition.create ();
@@ -104,12 +139,20 @@ let create ?(quota = 16) ?(weight = 1) () : t =
     jobs = Hashtbl.create 32;
     default_quota = max 1 quota;
     default_weight = max 1 weight;
+    high_watermark;
+    low_watermark = min (max 0 low_watermark) (high_watermark - 1);
     next_id = 0;
     running = None;
     stopping = false;
     completed = 0;
     preemptions = 0;
     rejected = 0;
+    pending_count = 0;
+    shedding = false;
+    shed = 0;
+    expired = 0;
+    deadline_kills = 0;
+    run_ewma_us = 0.0;
   }
 
 (* Callers hold t.lock.  A tenant joining late starts at the minimum
@@ -127,6 +170,7 @@ let tenant_of t name : tenant =
           name;
           weight = t.default_weight;
           quota = t.default_quota;
+          default_deadline_ms = None;
           pass = floor_pass;
           active = 0;
           pending = [];
@@ -135,12 +179,16 @@ let tenant_of t name : tenant =
       Hashtbl.replace t.tenants name ten;
       ten
 
-(** Create or retune a tenant's fairness weight and admission quota. *)
-let set_tenant t ~name ?weight ?quota () =
+(** Create or retune a tenant's fairness weight, admission quota, and
+    default per-submit deadline ([deadline_ms = 0] clears it). *)
+let set_tenant t ~name ?weight ?quota ?deadline_ms () =
   Mutex.lock t.lock;
   let ten = tenant_of t name in
   Option.iter (fun w -> ten.weight <- max 1 w) weight;
   Option.iter (fun q -> ten.quota <- max 1 q) quota;
+  Option.iter
+    (fun ms -> ten.default_deadline_ms <- (if ms <= 0 then None else Some ms))
+    deadline_ms;
   Mutex.unlock t.lock
 
 let span_name j = "queue " ^ j.label
@@ -161,17 +209,128 @@ let emit_wait_span j ~closing =
     Obs.Sink.emit j.sink ev
   end
 
+let emit_health sink ~tenant ~action ~detail =
+  if Obs.Sink.enabled sink then
+    Obs.Sink.emit sink
+      (Obs.Event.Server_health
+         { ts = Clock.now_us (); worker = 0; action; tenant; detail })
+
+(* ---- overload control (callers hold t.lock) ---- *)
+
+(* Refresh the hysteresis flag from the live backlog: shedding starts at
+   the high watermark and only stops once the backlog has drained to the
+   low one, so the flag can't flap on every complete/submit pair. *)
+let note_backlog t =
+  if t.pending_count >= t.high_watermark then t.shedding <- true
+  else if t.pending_count <= t.low_watermark then t.shedding <- false
+
+let best_pending_priority t =
+  Hashtbl.fold
+    (fun _ ten acc ->
+      List.fold_left (fun acc j -> max acc j.priority) acc ten.pending)
+    t.tenants min_int
+
+(* How long a shed client should wait before retrying: the EWMA of
+   recent job run times, times the backlog that must drain before the
+   queue re-opens (down to the low watermark).  50 ms/job before the
+   first sample; clamped to [10 ms, 30 s]. *)
+let retry_after_ms t =
+  let per_job_ms =
+    if t.run_ewma_us > 0.0 then t.run_ewma_us /. 1000.0 else 50.0
+  in
+  let backlog = max 1 (t.pending_count - t.low_watermark + 1) in
+  int_of_float
+    (Float.min 30_000.0 (Float.max 10.0 (per_job_ms *. float_of_int backlog)))
+
+(* Fail a queued/preempted job whose deadline lapsed before it ran.
+   Caller holds the lock and has already removed it from its FIFO. *)
+let expire_locked t (j : job) =
+  let ten = tenant_of t j.tenant in
+  ten.active <- ten.active - 1;
+  t.pending_count <- t.pending_count - 1;
+  t.expired <- t.expired + 1;
+  t.completed <- t.completed + 1;
+  let elapsed_ms =
+    int_of_float ((j.wait_us +. Clock.now_us () -. j.enqueued_us) /. 1000.)
+  in
+  emit_wait_span j ~closing:true;
+  j.state <-
+    Done
+      (Failed
+         (Vekt_error.Deadline
+            {
+              kernel = j.label;
+              deadline_ms = Option.value j.deadline_ms ~default:0;
+              elapsed_ms;
+              snapshot = j.resume_path;
+            }));
+  emit_health j.sink ~tenant:j.tenant ~action:Obs.Event.Sv_expired
+    ~detail:(Fmt.str "job %d (%s)" j.id j.label);
+  j.cleanup ();
+  note_backlog t;
+  Condition.broadcast t.cond
+
+let deadline_lapsed (j : job) =
+  match j.deadline_us with
+  | Some d -> Clock.now_us () > d
+  | None -> false
+
+(** Fail every queued/preempted job whose deadline has lapsed; returns
+    how many were expired.  The daemon calls this on its poll cadence so
+    expiry doesn't wait for the job to reach the head of the queue. *)
+let tick t : int =
+  Mutex.lock t.lock;
+  let n = ref 0 in
+  Hashtbl.iter
+    (fun _ ten ->
+      let lapsed, live = List.partition deadline_lapsed ten.pending in
+      if lapsed <> [] then begin
+        ten.pending <- live;
+        List.iter
+          (fun j ->
+            incr n;
+            expire_locked t j)
+          lapsed
+      end)
+    t.tenants;
+  Mutex.unlock t.lock;
+  !n
+
 (** Submit a job.  Rejected with a structured {!Vekt_error.Resource}
-    when the tenant's quota is full.  If the new job's priority
-    strictly exceeds the running job's, the running job's preemption
-    token is flipped — it will snapshot and yield at its next safe
-    point.  [sink] receives [Sk_queue] span begin/end pairs bracketing
-    each stretch the job spends waiting. *)
+    when the tenant's quota is full, or {!Vekt_error.Overloaded} (with
+    a [retry_after_ms] hint) when the queue is in shedding mode and the
+    job's priority doesn't strictly beat everything already queued.  If
+    the new job's priority strictly exceeds the running job's, the
+    running job's preemption token is flipped — it will snapshot and
+    yield at its next safe point.  [sink] receives [Sk_queue] span
+    begin/end pairs bracketing each stretch the job spends waiting.
+    [deadline_ms] bounds the job's whole life (queue wait + run) from
+    this call; [front] enqueues at the head of the tenant's FIFO and
+    [resume] seeds the snapshot to continue from — both are the
+    restart-recovery path re-admitting launches that were in flight
+    when the previous daemon process died. *)
 let submit t ~tenant ?(label = "job") ?(priority = 0) ?(sink = Obs.Sink.noop)
-    ~run () : (job, Vekt_error.t) result =
+    ?deadline_ms ?(front = false) ?resume ?(cleanup = fun () -> ()) ~run () :
+    (job, Vekt_error.t) result =
   Mutex.lock t.lock;
   let ten = tenant_of t tenant in
-  if ten.active >= ten.quota then begin
+  note_backlog t;
+  if t.shedding && priority <= best_pending_priority t then begin
+    t.shed <- t.shed + 1;
+    t.rejected <- t.rejected + 1;
+    let err =
+      Vekt_error.Overloaded
+        {
+          queued = t.pending_count;
+          limit = t.high_watermark;
+          retry_after_ms = retry_after_ms t;
+        }
+    in
+    emit_health sink ~tenant ~action:Obs.Event.Sv_shed ~detail:label;
+    Mutex.unlock t.lock;
+    Error err
+  end
+  else if ten.active >= ten.quota then begin
     t.rejected <- t.rejected + 1;
     Mutex.unlock t.lock;
     Error
@@ -185,6 +344,10 @@ let submit t ~tenant ?(label = "job") ?(priority = 0) ?(sink = Obs.Sink.noop)
   else begin
     let id = t.next_id in
     t.next_id <- id + 1;
+    let now = Clock.now_us () in
+    let deadline_ms =
+      match deadline_ms with Some _ -> deadline_ms | None -> ten.default_deadline_ms
+    in
     let j =
       {
         id;
@@ -193,18 +356,24 @@ let submit t ~tenant ?(label = "job") ?(priority = 0) ?(sink = Obs.Sink.noop)
         priority;
         preempt = Checkpoint.preempt_token ();
         sink;
+        deadline_ms;
+        deadline_us =
+          Option.map (fun ms -> now +. (float_of_int ms *. 1000.)) deadline_ms;
+        cleanup;
         run;
         state = Queued;
-        resume_path = None;
+        resume_path = resume;
         cancel_requested = false;
-        enqueued_us = Clock.now_us ();
+        enqueued_us = now;
         wait_us = 0.0;
         preemptions = 0;
       }
     in
     Hashtbl.replace t.jobs id j;
-    ten.pending <- ten.pending @ [ j ];
+    ten.pending <- (if front then j :: ten.pending else ten.pending @ [ j ]);
     ten.active <- ten.active + 1;
+    t.pending_count <- t.pending_count + 1;
+    note_backlog t;
     emit_wait_span j ~closing:false;
     (match t.running with
     | Some r when priority > r.priority && not r.cancel_requested ->
@@ -217,8 +386,10 @@ let submit t ~tenant ?(label = "job") ?(priority = 0) ?(sink = Obs.Sink.noop)
 
 (* Pick the next job (caller holds the lock): highest head priority
    wins outright; within a priority level the tenant with the lowest
-   stride pass goes, names breaking ties for determinism. *)
-let pick_next t : job option =
+   stride pass goes, names breaking ties for determinism.  A picked job
+   whose deadline already lapsed is expired (it never runs) and the
+   pick repeats. *)
+let rec pick_next t : job option =
   let best = ref None in
   Hashtbl.iter
     (fun _ ten ->
@@ -242,8 +413,16 @@ let pick_next t : job option =
       | [] -> None
       | j :: rest ->
           ten.pending <- rest;
-          ten.pass <- ten.pass +. (1.0 /. float_of_int (max 1 ten.weight));
-          Some j)
+          if deadline_lapsed j then begin
+            expire_locked t j;
+            pick_next t
+          end
+          else begin
+            ten.pass <- ten.pass +. (1.0 /. float_of_int (max 1 ten.weight));
+            t.pending_count <- t.pending_count - 1;
+            note_backlog t;
+            Some j
+          end)
 
 (* Run one picked job.  Enters and leaves holding the lock; the lock is
    dropped around the launch itself. *)
@@ -254,9 +433,21 @@ let run_one t (j : job) =
   j.wait_us <- j.wait_us +. wait;
   emit_wait_span j ~closing:true;
   t.running <- Some j;
+  (* the budget still unspent after the queue wait; clamped to 1 ms so a
+     race between tick and dispatch still dies promptly, at the launch's
+     first safe point, with the structured Deadline error *)
+  let remaining_ms =
+    Option.map
+      (fun d -> max 1 (int_of_float ((d -. now) /. 1000.)))
+      j.deadline_us
+  in
   Mutex.unlock t.lock;
+  let run_t0 = Clock.now_us () in
   let result =
-    try `Report (j.run ~resume:j.resume_path ~preempt:j.preempt ~wait_us:wait)
+    try
+      `Report
+        (j.run ~resume:j.resume_path ~preempt:j.preempt
+           ~deadline_ms:remaining_ms ~wait_us:wait)
     with
     | Checkpoint.Stop path -> `Stopped path
     | Vekt_error.Error e -> `Err e
@@ -273,23 +464,37 @@ let run_one t (j : job) =
                reason = Printexc.to_string e;
              })
   in
+  let run_us = Clock.elapsed_us run_t0 in
   Mutex.lock t.lock;
   t.running <- None;
+  t.run_ewma_us <-
+    (if t.run_ewma_us = 0.0 then run_us
+     else (0.8 *. t.run_ewma_us) +. (0.2 *. run_us));
   let ten = tenant_of t j.tenant in
   (match result with
   | `Report r ->
       j.state <- Done (Finished r);
       ten.active <- ten.active - 1;
-      t.completed <- t.completed + 1
+      t.completed <- t.completed + 1;
+      j.cleanup ()
   | `Err e ->
+      (match e with
+      | Vekt_error.Deadline _ ->
+          t.deadline_kills <- t.deadline_kills + 1;
+          emit_health j.sink ~tenant:j.tenant
+            ~action:Obs.Event.Sv_deadline_kill
+            ~detail:(Fmt.str "job %d (%s)" j.id j.label)
+      | _ -> ());
       j.state <- Done (Failed e);
       ten.active <- ten.active - 1;
-      t.completed <- t.completed + 1
+      t.completed <- t.completed + 1;
+      j.cleanup ()
   | `Stopped path ->
       j.resume_path <- Some path;
       if j.cancel_requested then begin
         j.state <- Cancelled;
-        ten.active <- ten.active - 1
+        ten.active <- ten.active - 1;
+        j.cleanup ()
       end
       else begin
         j.state <- Preempted;
@@ -298,7 +503,9 @@ let run_one t (j : job) =
         j.enqueued_us <- Clock.now_us ();
         emit_wait_span j ~closing:false;
         (* front of the tenant FIFO: within a tenant, order is preserved *)
-        ten.pending <- j :: ten.pending
+        ten.pending <- j :: ten.pending;
+        t.pending_count <- t.pending_count + 1;
+        note_backlog t
       end);
   Condition.broadcast t.cond
 
@@ -376,7 +583,10 @@ let cancel_locked t (j : job) : bool =
       let ten = tenant_of t j.tenant in
       ten.pending <- List.filter (fun j' -> j'.id <> j.id) ten.pending;
       ten.active <- ten.active - 1;
+      t.pending_count <- t.pending_count - 1;
+      note_backlog t;
       j.state <- Cancelled;
+      j.cleanup ();
       Condition.broadcast t.cond;
       true
 
@@ -392,6 +602,19 @@ let cancel t ~id : bool =
   in
   Mutex.unlock t.lock;
   r
+
+(** Arm [id]'s preemption token directly: the launch snapshots and
+    yields at its next safe point.  On a job that has not started yet
+    the token is armed before dispatch, so its launch preempts itself
+    at its very first safe point — the deterministic way tests and
+    recovery drills force a mid-flight snapshot without racing the
+    scheduler domain. *)
+let request_preempt t ~id =
+  Mutex.lock t.lock;
+  (match Hashtbl.find_opt t.jobs id with
+  | Some j -> Checkpoint.request_preempt j.preempt
+  | None -> ());
+  Mutex.unlock t.lock
 
 (** Cancel every job that is not already finished (daemon shutdown). *)
 let cancel_all t =
@@ -438,10 +661,12 @@ let metrics_into t (reg : Obs.Metrics.t) =
   M.counter reg "queue.completed" := t.completed;
   M.counter reg "queue.preemptions" := t.preemptions;
   M.counter reg "queue.rejected" := t.rejected;
-  let pending =
-    Hashtbl.fold (fun _ ten acc -> acc + List.length ten.pending) t.tenants 0
-  in
-  M.set (M.gauge reg "queue.pending") (float_of_int pending);
+  M.counter reg "queue.shed" := t.shed;
+  M.counter reg "queue.expired" := t.expired;
+  M.counter reg "queue.deadline_kills" := t.deadline_kills;
+  M.set (M.gauge reg "queue.pending") (float_of_int t.pending_count);
+  M.set (M.gauge reg "queue.shedding") (if t.shedding then 1.0 else 0.0);
+  M.set (M.gauge reg "queue.run_ewma_us") t.run_ewma_us;
   M.set (M.gauge reg "queue.running")
     (if Option.is_some t.running then 1.0 else 0.0);
   Mutex.unlock t.lock

@@ -1,4 +1,4 @@
-(** The persistent multi-tenant vekt daemon (DESIGN.md §3.7).
+(** The persistent multi-tenant vekt daemon (DESIGN.md §3.7–3.8).
 
     One process, one shared {!Vekt_runtime.Engine}, many sessions.  A
     session is a tenant-labelled {!Vekt_runtime.Api.device}: private
@@ -17,6 +17,32 @@
     server's checkpoint root, cleaned up when the job completes and
     swept entirely at shutdown.
 
+    The daemon is {e crash-only} (DESIGN.md §3.8): the recovery path
+    from [kill -9] is the same code that runs at every startup, so
+    there is no separate "graceful degradation" mode to rot.  Three
+    mechanisms carry state across a crash:
+
+    - every submitted launch writes a [manifest.json] into its job
+      directory before admission; a successor process rescans the
+      checkpoint root, re-admits manifested jobs at the front of the
+      queue under their original tenants, and resumes from the newest
+      snapshot each launch had reached;
+    - per-tenant archived tallies are journalled (line-JSON, atomically
+      rewritten) so [stats] attribution survives the restart;
+    - a leftover socket path is reclaimed after probing that no live
+      daemon is behind it.
+
+    Clean shutdown (SIGTERM / [shutdown]) is decommission, not crash:
+    it drains the checkpoint root, journal included.  Persistence is
+    for crashes only.
+
+    On top of that, three protections keep a live daemon from being
+    wedged by its own clients: per-request (or per-tenant default)
+    deadlines that kill an overrunning launch at its next safe point,
+    watermark-based overload shedding with [retry_after_ms] hints and
+    idempotency-key dedup for safe retries, and TTL-based reaping of
+    sessions whose client went away without [close-session].
+
     Request handling is deliberately split from transport:
     {!handle} maps request JSON to response JSON and is what the tests
     drive; {!serve} adds the Unix-socket line loop, the scheduler
@@ -25,17 +51,26 @@
     Concurrency note: request handling happens on the socket-loop
     domain while launches run on the scheduler domain.  The server
     mutex guards the session table; per-session metric registries are
-    pre-registered at session open, so the scheduler domain only ever
-    bumps existing refs while [stats] reads them — no table mutation
-    races.  Reading a buffer while a launch of the same session is in
-    flight is the client's race to avoid, exactly as with a real
-    asynchronous device queue. *)
+    pre-registered at session open (including every [server.*] health
+    counter the tally sink may bump), so the scheduler domain only
+    ever bumps existing refs while [stats] reads them — no table
+    mutation races.  Reading a buffer while a launch of the same
+    session is in flight is the client's race to avoid, exactly as
+    with a real asynchronous device queue. *)
 
 module Api = Vekt_runtime.Api
 module Engine = Vekt_runtime.Engine
+module Checkpoint = Vekt_runtime.Checkpoint
+module Clock = Vekt_runtime.Clock
 module Obs = Vekt_obs
 module J = Jsonx
 module P = Protocol
+
+type mod_entry = {
+  me_mod : Api.modul;
+  me_src : string;  (** PTX source, kept for job manifests *)
+  me_spec : (string * string) list;  (** config spec, same reason *)
+}
 
 type session = {
   s_id : int;
@@ -43,9 +78,17 @@ type session = {
   s_dev : Api.device;
   s_reg : Obs.Metrics.t;  (** per-session tally, merged per tenant on scrape *)
   s_sink : Obs.Sink.t;
-  s_modules : (int, Api.modul) Hashtbl.t;
+  s_modules : (int, mod_entry) Hashtbl.t;
   mutable s_next_module : int;
   mutable s_jobs : int list;
+  mutable s_last_active : float;  (** monotonic µs of the last request *)
+}
+
+type recovered = {
+  r_job : int;
+  r_session : int;
+  r_tenant : string;
+  r_label : string;
 }
 
 type t = {
@@ -55,11 +98,24 @@ type t = {
   sessions : (int, session) Hashtbl.t;
   closed_tallies : (string, Obs.Metrics.t) Hashtbl.t;
       (** per-tenant archive of closed sessions' tallies, so [stats]
-          attribution survives session close *)
+          attribution survives session close; LRU-bounded at
+          [archive_cap] tenants and journalled for restart recovery *)
+  archive_touch : (string, float) Hashtbl.t;  (** LRU clock per tenant *)
+  archive_cap : int;
+  session_ttl_s : float option;
+      (** idle sessions older than this are reaped; [None] = never *)
+  dedup : (string, float * J.t) Hashtbl.t;
+      (** (tenant × idempotency key) → (birth µs, cached response) *)
+  dedup_window_s : float;
   ckpt_dir : string;
   global_bytes : int;  (** per-session arena size *)
   mutable next_session : int;
   mutable next_job_dir : int;
+  mutable reaped : int;
+  mutable dedup_hits : int;
+  mutable archive_evicted : int;
+  mutable recovered : recovered list;
+      (** jobs re-admitted from a dead predecessor's checkpoint root *)
   mutable stopping : bool;
 }
 
@@ -77,85 +133,84 @@ let rec rm_rf path =
     end
     else try Sys.remove path with Sys_error _ -> ()
 
-let create ?engine ?(quota = 16) ?(weight = 1)
-    ?(global_bytes = 64 * 1024 * 1024) ?(ckpt_dir = "vekt-serve-ckpt") () : t =
-  let engine =
-    match engine with Some e -> e | None -> Engine.create ()
-  in
-  mkdir_p ckpt_dir;
-  {
-    engine;
-    queue = Queue.create ~quota ~weight ();
-    lock = Mutex.create ();
-    sessions = Hashtbl.create 8;
-    closed_tallies = Hashtbl.create 8;
-    ckpt_dir;
-    global_bytes;
-    next_session = 0;
-    next_job_dir = 0;
-    stopping = false;
-  }
+(* ---- tenant-tally journal (restart recovery of [stats]) ----
 
-let queue t = t.queue
-let engine t = t.engine
-let stopping t = t.stopping
+   One line of JSON per archived tenant, the inverse of
+   Metrics.to_json.  p50/p95/sum are recomputed from the bins on load,
+   so only counters, gauges and histogram bins need to round-trip. *)
 
-(* ---- request handlers (each may raise P.Bad_request / Vekt_error) ---- *)
-
-let session_of t req : session =
-  let id = P.req_int req "session" in
-  Mutex.lock t.lock;
-  let s = Hashtbl.find_opt t.sessions id in
-  Mutex.unlock t.lock;
-  match s with
-  | Some s -> s
-  | None -> P.bad "unknown session %d" id
-
-let module_of s req : Api.modul =
-  let id = P.req_int req "module" in
-  match Hashtbl.find_opt s.s_modules id with
-  | Some m -> m
-  | None -> P.bad "unknown module %d in session %d" id s.s_id
-
-let open_session t req : J.t =
-  let tenant = P.req_str req "tenant" in
-  (match (P.opt_int "weight" req, P.opt_int "quota" req) with
-  | None, None -> ()
-  | weight, quota -> Queue.set_tenant t.queue ~name:tenant ?weight ?quota ());
+let metrics_of_json (j : J.t) : Obs.Metrics.t =
   let reg = Obs.Metrics.create () in
-  (* pre-register everything the scheduler domain will touch, so scrape
-     never races a Hashtbl insert (see the concurrency note above) *)
-  ignore (Obs.Metrics.histogram reg "queue.wait_ms");
-  ignore (Obs.Metrics.counter reg "launches");
-  let sink = Obs.Tally.sink reg in
-  let dev =
-    Api.create_device ~engine:t.engine ~global_bytes:t.global_bytes ()
-  in
-  let s =
-    {
-      s_id = 0;
-      s_tenant = tenant;
-      s_dev = dev;
-      s_reg = reg;
-      s_sink = sink;
-      s_modules = Hashtbl.create 4;
-      s_next_module = 0;
-      s_jobs = [];
-    }
-  in
-  Mutex.lock t.lock;
-  let id = t.next_session in
-  t.next_session <- id + 1;
-  let s = { s with s_id = id } in
-  Hashtbl.replace t.sessions id s;
-  Mutex.unlock t.lock;
-  P.ok [ ("session", J.Int id); ("tenant", J.Str tenant) ]
+  (match j with
+  | J.Obj kvs ->
+      List.iter
+        (fun (name, v) ->
+          match J.str_mem "type" v with
+          | Some "counter" ->
+              Option.iter
+                (fun n -> Obs.Metrics.incr ~by:n (Obs.Metrics.counter reg name))
+                (J.int_mem "value" v)
+          | Some "gauge" -> (
+              match J.mem "value" v with
+              | Some (J.Float x) -> Obs.Metrics.set (Obs.Metrics.gauge reg name) x
+              | Some (J.Int n) ->
+                  Obs.Metrics.set (Obs.Metrics.gauge reg name) (float_of_int n)
+              | _ -> ())
+          | Some "histogram" ->
+              let h = Obs.Metrics.histogram reg name in
+              Option.iter
+                (List.iter (fun (bk, bv) ->
+                     match (int_of_string_opt bk, bv) with
+                     | Some bin, J.Int n -> Obs.Metrics.observe_n h ~bin n
+                     | _ -> ()))
+                (J.obj_mem "bins" v)
+          | _ -> ())
+        kvs
+  | _ -> ());
+  reg
 
-let close_session t req : J.t =
-  let s = session_of t req in
-  List.iter (fun id -> ignore (Queue.cancel t.queue ~id)) s.s_jobs;
-  Mutex.lock t.lock;
-  Hashtbl.remove t.sessions s.s_id;
+let journal_path t = Filename.concat t.ckpt_dir "tenant-tallies.journal"
+
+(* Caller holds t.lock.  The whole journal is rewritten (compacted)
+   atomically on every archive merge: archives change rarely (session
+   close / reap), and a crash mid-write must never corrupt the old
+   journal. *)
+let save_journal_locked t =
+  let tmp = journal_path t ^ ".tmp" in
+  try
+    Out_channel.with_open_bin tmp (fun oc ->
+        Hashtbl.iter
+          (fun tenant reg ->
+            output_string oc
+              (J.to_string
+                 (J.Obj
+                    [ ("tenant", J.Str tenant); ("metrics", P.metrics_json reg) ])
+              ^ "\n"))
+          t.closed_tallies);
+    Sys.rename tmp (journal_path t)
+  with Sys_error _ -> ()
+
+let load_journal t =
+  match In_channel.with_open_bin (journal_path t) In_channel.input_all with
+  | exception Sys_error _ -> ()
+  | data ->
+      List.iter
+        (fun line ->
+          if String.trim line <> "" then
+            match J.of_string line with
+            | Error _ -> ()  (* torn line: drop it, keep the rest *)
+            | Ok j -> (
+                match (J.str_mem "tenant" j, J.mem "metrics" j) with
+                | Some tenant, Some mj ->
+                    Hashtbl.replace t.closed_tallies tenant (metrics_of_json mj);
+                    Hashtbl.replace t.archive_touch tenant (Clock.now_us ())
+                | _ -> ()))
+        (String.split_on_char '\n' data)
+
+(* Caller holds t.lock.  Merge a closing session's tallies into its
+   tenant's archive, bump the tenant's LRU clock, evict the coldest
+   tenants beyond the cap, persist. *)
+let archive_session_locked t (s : session) =
   let archive =
     match Hashtbl.find_opt t.closed_tallies s.s_tenant with
     | Some reg -> reg
@@ -165,8 +220,72 @@ let close_session t req : J.t =
         reg
   in
   Obs.Metrics.merge_into ~into:archive s.s_reg;
+  Hashtbl.replace t.archive_touch s.s_tenant (Clock.now_us ());
+  let rec enforce_cap () =
+    if Hashtbl.length t.closed_tallies > t.archive_cap then
+      let victim =
+        Hashtbl.fold
+          (fun tenant _ acc ->
+            let touch =
+              Option.value (Hashtbl.find_opt t.archive_touch tenant) ~default:0.0
+            in
+            match acc with
+            | Some (_, best) when best <= touch -> acc
+            | _ -> Some (tenant, touch))
+          t.closed_tallies None
+      in
+      match victim with
+      | None -> ()
+      | Some (tenant, _) ->
+          Hashtbl.remove t.closed_tallies tenant;
+          Hashtbl.remove t.archive_touch tenant;
+          t.archive_evicted <- t.archive_evicted + 1;
+          enforce_cap ()
+  in
+  enforce_cap ();
+  save_journal_locked t
+
+(* Fresh session.  Everything the scheduler domain will ever touch in
+   the registry is pre-registered here — including the lazily-named
+   server.* health counters the tally sink bumps — so scrape never
+   races a Hashtbl insert (see the concurrency note above). *)
+let new_session t tenant : session =
+  let reg = Obs.Metrics.create () in
+  ignore (Obs.Metrics.histogram reg "queue.wait_ms");
+  ignore (Obs.Metrics.counter reg "launches");
+  List.iter
+    (fun a ->
+      ignore (Obs.Metrics.counter reg ("server." ^ Obs.Event.server_action_name a)))
+    [
+      Obs.Event.Sv_shed;
+      Obs.Event.Sv_deadline_kill;
+      Obs.Event.Sv_expired;
+      Obs.Event.Sv_reaped;
+      Obs.Event.Sv_recovered;
+    ];
+  let sink = Obs.Tally.sink reg in
+  let dev =
+    Api.create_device ~engine:t.engine ~global_bytes:t.global_bytes ()
+  in
+  Mutex.lock t.lock;
+  let id = t.next_session in
+  t.next_session <- id + 1;
+  let s =
+    {
+      s_id = id;
+      s_tenant = tenant;
+      s_dev = dev;
+      s_reg = reg;
+      s_sink = sink;
+      s_modules = Hashtbl.create 4;
+      s_next_module = 0;
+      s_jobs = [];
+      s_last_active = Clock.now_us ();
+    }
+  in
+  Hashtbl.replace t.sessions id s;
   Mutex.unlock t.lock;
-  P.ok []
+  s
 
 (* A config arrives as a JSON object of knobs ({"mode":"static",
    "hot-threshold":2,...}); flatten to the string-keyed spec shared
@@ -189,18 +308,266 @@ let config_spec_of_json req : (string * string) list =
           (k, sv))
         kvs
 
+(* The queue-run closure shared by live submits and restart recovery.
+   Snapshot-directory cleanup is NOT done here: the queue's terminal
+   cleanup hook owns it, so preempted and crash-interrupted jobs keep
+   their resume state on disk. *)
+let launch_run (s : session) (m : Api.modul) ~kernel ~grid ~block ~args
+    ~preemptible ~jdir ~resume ~preempt ~deadline_ms ~wait_us =
+  Obs.Metrics.observe
+    (Obs.Metrics.histogram s.s_reg "queue.wait_ms")
+    (int_of_float (wait_us /. 1000.0));
+  let preempt = if preemptible then Some preempt else None in
+  let r =
+    Api.launch ?preempt ?resume ?deadline_ms ~ckpt_dir:jdir ~sink:s.s_sink m
+      ~kernel ~grid ~block ~args
+  in
+  Obs.Metrics.incr (Obs.Metrics.counter s.s_reg "launches");
+  r
+
+(* ---- job manifests (restart recovery of in-flight launches) ---- *)
+
+let dim3_json (d : Vekt_ptx.Launch.dim3) =
+  J.List [ J.Int d.Vekt_ptx.Launch.x; J.Int d.y; J.Int d.z ]
+
+(* Written atomically (tmp + rename) before the job is admitted, so a
+   crash at any instant leaves either no manifest (job was never
+   acknowledged) or a complete one. *)
+let write_manifest ~jdir (fields : (string * J.t) list) =
+  mkdir_p jdir;
+  let tmp = Filename.concat jdir "manifest.json.tmp" in
+  Out_channel.with_open_bin tmp (fun oc ->
+      output_string oc (J.to_string (J.Obj fields)));
+  Sys.rename tmp (Filename.concat jdir "manifest.json")
+
+let manifest_fields ~tenant ~label ~priority ~kernel ~grid ~block ~specs ~src
+    ~spec ~preemptible ~deadline_ms : (string * J.t) list =
+  [
+    ("tenant", J.Str tenant);
+    ("label", J.Str label);
+    ("priority", J.Int priority);
+    ("kernel", J.Str kernel);
+    ("grid", dim3_json grid);
+    ("block", dim3_json block);
+    ("args", J.List (List.map (fun s -> J.Str s) specs));
+    ("src", J.Str src);
+    ("config", J.Obj (List.map (fun (k, v) -> (k, J.Str v)) spec));
+    ("preemptible", J.Bool preemptible);
+  ]
+  @ match deadline_ms with None -> [] | Some ms -> [ ("deadline-ms", J.Int ms) ]
+
+(* Re-admit one job directory left by a dead predecessor: rebuild the
+   module and argument block in a fresh recovery session for the
+   original tenant, then enqueue at the front with the newest snapshot
+   as the resume point (the snapshot's global-memory image overwrites
+   whatever the fresh arg parse allocated, so execution continues with
+   the original addresses and data).  A manifest with no snapshot
+   reruns from scratch.  The recovered launch runs without a deadline:
+   its elapsed budget died with the predecessor, and killing recovered
+   work on a guess would defeat the recovery. *)
+let recover_one t ~jdir =
+  let mj =
+    match
+      J.of_string
+        (In_channel.with_open_bin (Filename.concat jdir "manifest.json")
+           In_channel.input_all)
+    with
+    | Ok j -> j
+    | Error msg -> failwith msg
+  in
+  let tenant = P.req_str mj "tenant" in
+  let label = P.req_str mj "label" in
+  let kernel = P.req_str mj "kernel" in
+  let priority = Option.value (P.opt_int "priority" mj) ~default:0 in
+  let preemptible = Option.value (P.opt_bool "preemptible" mj) ~default:true in
+  let grid = P.req_dim3 mj "grid" in
+  let block = P.req_dim3 mj "block" in
+  let src = P.req_str mj "src" in
+  let spec = config_spec_of_json mj in
+  let specs =
+    match J.list_mem "args" mj with
+    | None -> []
+    | Some l ->
+        List.map (function J.Str s -> s | _ -> failwith "manifest args") l
+  in
+  let s = new_session t tenant in
+  let config =
+    match Api.config_of_spec spec with Ok c -> c | Error msg -> failwith msg
+  in
+  let m = Api.load_module ~config ~sink:s.s_sink s.s_dev src in
+  let mid = s.s_next_module in
+  s.s_next_module <- mid + 1;
+  Hashtbl.replace s.s_modules mid { me_mod = m; me_src = src; me_spec = spec };
+  let parsed =
+    List.map
+      (fun spec ->
+        match Api.arg_of_spec s.s_dev spec with
+        | Ok a -> a
+        | Error msg -> failwith msg)
+      specs
+  in
+  let args = List.map (fun a -> a.Api.launch_arg) parsed in
+  let resume = Checkpoint.newest_snapshot ~dir:jdir in
+  let run = launch_run s m ~kernel ~grid ~block ~args ~preemptible ~jdir in
+  match
+    Queue.submit t.queue ~tenant ~label ~priority ~sink:s.s_sink ~front:true
+      ?resume
+      ~cleanup:(fun () -> rm_rf jdir)
+      ~run ()
+  with
+  | Error _ -> ()
+  | Ok j ->
+      s.s_jobs <- j.Queue.id :: s.s_jobs;
+      Queue.emit_health s.s_sink ~tenant ~action:Obs.Event.Sv_recovered
+        ~detail:
+          (Fmt.str "job %d (%s)%s" j.Queue.id label
+             (match resume with
+             | Some p -> " from " ^ p
+             | None -> " from scratch"));
+      t.recovered <-
+        { r_job = j.Queue.id; r_session = s.s_id; r_tenant = tenant;
+          r_label = label }
+        :: t.recovered
+
+(* Rescan the checkpoint root for a dead predecessor's job directories
+   and re-admit each, oldest submission first (they all go to the
+   queue front, so iterate ascending to preserve original order within
+   a tenant).  A directory that fails to recover — torn manifest,
+   source that no longer parses — is skipped and left on disk for
+   post-mortem rather than failing daemon startup. *)
+let recover_jobs t =
+  let entries = try Sys.readdir t.ckpt_dir with Sys_error _ -> [||] in
+  let jobdirs =
+    Array.to_list entries
+    |> List.filter_map (fun name ->
+           match String.length name > 4 && String.sub name 0 4 = "job-" with
+           | false -> None
+           | true -> (
+               let path = Filename.concat t.ckpt_dir name in
+               match
+                 ( int_of_string_opt
+                     (String.sub name 4 (String.length name - 4)),
+                   Sys.is_directory path )
+               with
+               | Some n, true -> Some (n, path)
+               | _ -> None))
+    |> List.sort compare
+  in
+  t.next_job_dir <-
+    List.fold_left (fun acc (n, _) -> max acc (n + 1)) t.next_job_dir jobdirs;
+  List.iter
+    (fun (_, jdir) ->
+      if Sys.file_exists (Filename.concat jdir "manifest.json") then
+        try recover_one t ~jdir
+        with _ -> ()
+      else
+        (* snapshots but no manifest: a pre-manifest leftover; not
+           reconstructible, so sweep it *)
+        rm_rf jdir)
+    jobdirs
+
+let create ?engine ?(quota = 16) ?(weight = 1)
+    ?(global_bytes = 64 * 1024 * 1024) ?(ckpt_dir = "vekt-serve-ckpt")
+    ?(high_watermark = 64) ?(low_watermark = 48) ?session_ttl_s
+    ?(archive_cap = 64) ?(dedup_window_s = 300.0) () : t =
+  let engine =
+    match engine with Some e -> e | None -> Engine.create ()
+  in
+  mkdir_p ckpt_dir;
+  let t =
+    {
+      engine;
+      queue = Queue.create ~quota ~weight ~high_watermark ~low_watermark ();
+      lock = Mutex.create ();
+      sessions = Hashtbl.create 8;
+      closed_tallies = Hashtbl.create 8;
+      archive_touch = Hashtbl.create 8;
+      archive_cap = max 1 archive_cap;
+      session_ttl_s;
+      dedup = Hashtbl.create 8;
+      dedup_window_s;
+      ckpt_dir;
+      global_bytes;
+      next_session = 0;
+      next_job_dir = 0;
+      reaped = 0;
+      dedup_hits = 0;
+      archive_evicted = 0;
+      recovered = [];
+      stopping = false;
+    }
+  in
+  load_journal t;
+  recover_jobs t;
+  t
+
+let queue t = t.queue
+let engine t = t.engine
+let stopping t = t.stopping
+let recovered t = List.rev t.recovered
+
+(** Live bytes across every open session's arena — the number reaping
+    must return to baseline when abandoned sessions are swept. *)
+let total_allocated_bytes t =
+  Mutex.lock t.lock;
+  let n =
+    Hashtbl.fold (fun _ s acc -> acc + Api.allocated_bytes s.s_dev) t.sessions 0
+  in
+  Mutex.unlock t.lock;
+  n
+
+(* ---- request handlers (each may raise P.Bad_request / Vekt_error) ---- *)
+
+let session_of t req : session =
+  let id = P.req_int req "session" in
+  Mutex.lock t.lock;
+  let s = Hashtbl.find_opt t.sessions id in
+  Mutex.unlock t.lock;
+  match s with
+  | Some s ->
+      s.s_last_active <- Clock.now_us ();
+      s
+  | None -> P.bad "unknown session %d" id
+
+let module_of s req : mod_entry =
+  let id = P.req_int req "module" in
+  match Hashtbl.find_opt s.s_modules id with
+  | Some m -> m
+  | None -> P.bad "unknown module %d in session %d" id s.s_id
+
+let open_session t req : J.t =
+  let tenant = P.req_str req "tenant" in
+  (match
+     (P.opt_int "weight" req, P.opt_int "quota" req, P.opt_int "deadline-ms" req)
+   with
+  | None, None, None -> ()
+  | weight, quota, deadline_ms ->
+      Queue.set_tenant t.queue ~name:tenant ?weight ?quota ?deadline_ms ());
+  let s = new_session t tenant in
+  P.ok [ ("session", J.Int s.s_id); ("tenant", J.Str tenant) ]
+
+let close_session t req : J.t =
+  let s = session_of t req in
+  List.iter (fun id -> ignore (Queue.cancel t.queue ~id)) s.s_jobs;
+  Mutex.lock t.lock;
+  Hashtbl.remove t.sessions s.s_id;
+  archive_session_locked t s;
+  Mutex.unlock t.lock;
+  P.ok []
+
 let load_module t req : J.t =
   let s = session_of t req in
   let src = P.req_str req "src" in
+  let spec = config_spec_of_json req in
   let config =
-    match Api.config_of_spec (config_spec_of_json req) with
+    match Api.config_of_spec spec with
     | Ok c -> c
     | Error msg -> raise (P.Bad_request msg)
   in
   let m = Api.load_module ~config ~sink:s.s_sink s.s_dev src in
   let id = s.s_next_module in
   s.s_next_module <- id + 1;
-  Hashtbl.replace s.s_modules id m;
+  Hashtbl.replace s.s_modules id { me_mod = m; me_src = src; me_spec = spec };
   P.ok [ ("module", J.Int id) ]
 
 let malloc t req : J.t =
@@ -252,15 +619,58 @@ let read t req : J.t =
   in
   P.ok [ ("values", J.List values) ]
 
-let submit_launch t req : J.t =
-  let s = session_of t req in
-  let m = module_of s req in
+(* ---- idempotent retries ----
+
+   A client retrying after an [Overloaded] response (or a dropped
+   connection) must not double-launch work its first attempt actually
+   admitted.  Submits may carry an ["idempotency-key"]; the first
+   successful admission per (tenant, key) is cached for
+   [dedup_window_s] and replayed verbatim on retries.  Failures are
+   not cached — a retry after a shed should get a fresh admission
+   attempt. *)
+
+let dedup_key (s : session) key = s.s_tenant ^ "\x1f" ^ key
+
+let dedup_find t s key : J.t option =
+  let k = dedup_key s key in
+  Mutex.lock t.lock;
+  let hit =
+    match Hashtbl.find_opt t.dedup k with
+    | Some (born, resp) when Clock.now_us () -. born <= t.dedup_window_s *. 1e6
+      ->
+        t.dedup_hits <- t.dedup_hits + 1;
+        Some resp
+    | _ -> None
+  in
+  Mutex.unlock t.lock;
+  hit
+
+let dedup_store t s key (resp : J.t) =
+  if J.bool_mem "ok" resp = Some true then begin
+    Mutex.lock t.lock;
+    if Hashtbl.length t.dedup > 1024 then begin
+      let now = Clock.now_us () in
+      let stale =
+        Hashtbl.fold
+          (fun k (born, _) acc ->
+            if now -. born > t.dedup_window_s *. 1e6 then k :: acc else acc)
+          t.dedup []
+      in
+      List.iter (Hashtbl.remove t.dedup) stale
+    end;
+    Hashtbl.replace t.dedup (dedup_key s key) (Clock.now_us (), resp);
+    Mutex.unlock t.lock
+  end
+
+let do_submit_launch t (s : session) req : J.t =
+  let me = module_of s req in
   let kernel = P.req_str req "kernel" in
   let grid = P.req_dim3 req "grid" in
   let block = P.req_dim3 req "block" in
   let priority = Option.value (P.opt_int "priority" req) ~default:0 in
   let label = Option.value (P.opt_str "label" req) ~default:kernel in
   let preemptible = Option.value (P.opt_bool "preemptible" req) ~default:true in
+  let deadline_ms = P.opt_int "deadline-ms" req in
   let specs =
     match J.list_mem "args" req with
     | None -> []
@@ -284,25 +694,22 @@ let submit_launch t req : J.t =
   in
   t.next_job_dir <- t.next_job_dir + 1;
   Mutex.unlock t.lock;
-  let run ~resume ~preempt ~wait_us =
-    Obs.Metrics.observe
-      (Obs.Metrics.histogram s.s_reg "queue.wait_ms")
-      (int_of_float (wait_us /. 1000.0));
-    let preempt = if preemptible then Some preempt else None in
-    let r =
-      Api.launch ?preempt ?resume ~ckpt_dir:jdir ~sink:s.s_sink m ~kernel ~grid
-        ~block ~args
-    in
-    Obs.Metrics.incr (Obs.Metrics.counter s.s_reg "launches");
-    (* done with this job's snapshots; preempted jobs keep theirs *)
-    rm_rf jdir;
-    r
+  write_manifest ~jdir
+    (manifest_fields ~tenant:s.s_tenant ~label ~priority ~kernel ~grid ~block
+       ~specs ~src:me.me_src ~spec:me.me_spec ~preemptible ~deadline_ms);
+  let run =
+    launch_run s me.me_mod ~kernel ~grid ~block ~args ~preemptible ~jdir
   in
   match
     Queue.submit t.queue ~tenant:s.s_tenant ~label ~priority ~sink:s.s_sink
+      ?deadline_ms
+      ~cleanup:(fun () -> rm_rf jdir)
       ~run ()
   with
-  | Error e -> P.error_json e
+  | Error e ->
+      (* never admitted: no recovery state to keep *)
+      rm_rf jdir;
+      P.error_json e
   | Ok j ->
       s.s_jobs <- j.Queue.id :: s.s_jobs;
       P.ok
@@ -315,6 +722,18 @@ let submit_launch t req : J.t =
                    match a.Api.addr with None -> J.Null | Some n -> J.Int n)
                  parsed) );
         ]
+
+let submit_launch t req : J.t =
+  let s = session_of t req in
+  match P.opt_str "idempotency-key" req with
+  | None -> do_submit_launch t s req
+  | Some key -> (
+      match dedup_find t s key with
+      | Some resp -> resp
+      | None ->
+          let resp = do_submit_launch t s req in
+          dedup_store t s key resp;
+          resp)
 
 let poll t req : J.t =
   let id = P.req_int req "job" in
@@ -337,10 +756,11 @@ let poll t req : J.t =
             [
               ( "error",
                 J.Obj
-                  [
-                    ("kind", J.Str (Vekt_error.kind_name e));
-                    ("message", J.Str (Vekt_error.to_string e));
-                  ] );
+                  ([
+                     ("kind", J.Str (Vekt_error.kind_name e));
+                     ("message", J.Str (Vekt_error.to_string e));
+                   ]
+                  @ P.error_extras e) );
             ]
         | _ -> []
       in
@@ -350,16 +770,75 @@ let cancel t req : J.t =
   let id = P.req_int req "job" in
   P.ok [ ("cancelled", J.Bool (Queue.cancel t.queue ~id)) ]
 
+(* ---- dead-tenant reaping ---- *)
+
+let job_terminal t id =
+  match Queue.info t.queue ~id with
+  | None -> true
+  | Some i -> (
+      match i.Queue.i_state with
+      | Queue.Done _ | Queue.Cancelled -> true
+      | Queue.Queued | Queue.Running | Queue.Preempted -> false)
+
+(** Close sessions whose client has been silent past the TTL and whose
+    jobs are all terminal (a session with work in flight is not dead,
+    however silent).  Goes through the same archive path as
+    [close-session] — tallies merged, journal saved — plus
+    {!Api.reset_arena} so the arena bytes actually return to the pool.
+    Returns how many sessions were reaped; called on the serve loop's
+    tick cadence and directly by tests. *)
+let reap_idle t : int =
+  match t.session_ttl_s with
+  | None -> 0
+  | Some ttl ->
+      let now = Clock.now_us () in
+      Mutex.lock t.lock;
+      let idle =
+        Hashtbl.fold
+          (fun _ s acc ->
+            if now -. s.s_last_active > ttl *. 1e6 then s :: acc else acc)
+          t.sessions []
+      in
+      Mutex.unlock t.lock;
+      let n = ref 0 in
+      List.iter
+        (fun s ->
+          if List.for_all (job_terminal t) s.s_jobs then begin
+            incr n;
+            (* on the session's own sink *before* archiving, so the
+               server.reaped tally lands in the tenant's archive *)
+            Queue.emit_health s.s_sink ~tenant:s.s_tenant
+              ~action:Obs.Event.Sv_reaped
+              ~detail:(Fmt.str "session %d idle" s.s_id);
+            Api.reset_arena s.s_dev;
+            Mutex.lock t.lock;
+            Hashtbl.remove t.sessions s.s_id;
+            archive_session_locked t s;
+            t.reaped <- t.reaped + 1;
+            Mutex.unlock t.lock
+          end)
+        idle;
+      !n
+
 (* stats: engine-wide counters plus per-tenant views.  Each tenant's
    object is the merge of its sessions' tally registries (jit.*,
-   fallback.*, ckpt.*, queue.wait_ms, launches) — so cache hits and
-   fallbacks are attributed to the tenant whose launch produced them
-   even though the caches themselves are shared. *)
+   fallback.*, ckpt.*, server.*, queue.wait_ms, launches) — so cache
+   hits and fallbacks are attributed to the tenant whose launch
+   produced them even though the caches themselves are shared. *)
 let stats t : J.t =
   let reg = Obs.Metrics.create () in
   Engine.metrics_into t.engine reg;
   Queue.metrics_into t.queue reg;
+  let module M = Obs.Metrics in
+  M.counter reg "server.reaped" := t.reaped;
+  M.counter reg "server.recovered_launches" := List.length t.recovered;
+  M.counter reg "server.dedup_hits" := t.dedup_hits;
+  M.counter reg "server.archive_evicted" := t.archive_evicted;
+  M.set (M.gauge reg "server.allocated_bytes")
+    (float_of_int (total_allocated_bytes t));
   Mutex.lock t.lock;
+  M.set (M.gauge reg "server.sessions_open")
+    (float_of_int (Hashtbl.length t.sessions));
   let by_tenant = Hashtbl.create 4 in
   Hashtbl.iter
     (fun _ s ->
@@ -403,7 +882,23 @@ let stats t : J.t =
       by_tenant []
     |> List.sort compare
   in
-  P.ok [ ("engine", P.metrics_json reg); ("tenants", J.Obj tenants) ]
+  P.ok
+    [
+      ("engine", P.metrics_json reg);
+      ("tenants", J.Obj tenants);
+      ( "recovered",
+        J.List
+          (List.rev_map
+             (fun r ->
+               J.Obj
+                 [
+                   ("job", J.Int r.r_job);
+                   ("session", J.Int r.r_session);
+                   ("tenant", J.Str r.r_tenant);
+                   ("label", J.Str r.r_label);
+                 ])
+             t.recovered) );
+    ]
 
 (** Map one request to one response.  Total: malformed or failing
     requests produce [ok:false] responses, never exceptions. *)
@@ -446,7 +941,14 @@ let handle_line t (line : string) : string =
 
 (* ---- transport: line-delimited JSON over a Unix-domain socket ---- *)
 
-type client = { c_fd : Unix.file_descr; mutable c_acc : string }
+type client = {
+  c_fd : Unix.file_descr;
+  mutable c_acc : string;
+  mutable c_line_start : float option;
+      (* monotonic µs when the current (incomplete) line started; not
+         refreshed on new bytes, so a one-byte-per-poll trickler hits
+         the read deadline just like a fully stalled client *)
+}
 
 let write_all fd s =
   let n = String.length s in
@@ -470,7 +972,9 @@ let drain_client t (c : client) =
         if String.trim line <> "" then write_all c.c_fd (handle_line t line);
         go ()
   in
-  go ()
+  go ();
+  if c.c_acc = "" then c.c_line_start <- None
+  else if c.c_line_start = None then c.c_line_start <- Some (Clock.now_us ())
 
 (** Ask the serve loop (and scheduler) to wind down: cancel every live
     job so the scheduler domain reaches a safe point promptly, then
@@ -480,12 +984,35 @@ let initiate_shutdown t =
   Queue.cancel_all t.queue;
   Queue.shutdown t.queue
 
+(* A left-over socket path from a crashed predecessor must not block
+   startup — but a live daemon behind it must.  Probe by connecting:
+   refused/failed means dead (unlink and claim), accepted means a live
+   daemon owns it. *)
+let claim_socket socket =
+  if Sys.file_exists socket then begin
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if live then
+      failwith (Fmt.str "socket %s is served by a live daemon" socket);
+    try Unix.unlink socket with Unix.Unix_error _ -> ()
+  end
+
 (** Run the daemon on [socket] until SIGTERM/SIGINT or a [shutdown]
-    request.  Cleans up on exit: scheduler domain joined, client and
-    listen sockets closed, socket path unlinked, checkpoint root
-    swept. *)
-let serve t ~socket () =
-  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+    request.  [read_deadline_s] bounds how long a client may sit on an
+    incomplete request line (and, via [SO_SNDTIMEO], how long a write
+    to a stalled reader may block) before the connection is dropped —
+    one slow client must not wedge the accept loop for everyone else.
+    Cleans up on exit: scheduler domain joined, client and listen
+    sockets closed, socket path unlinked, checkpoint root (journal
+    included) swept — clean shutdown is decommission; persistence is
+    for crashes. *)
+let serve t ?(read_deadline_s = 10.0) ~socket () =
+  claim_socket socket;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX socket);
   Unix.listen listen_fd 16;
@@ -504,14 +1031,18 @@ let serve t ~socket () =
     let fds =
       listen_fd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients []
     in
-    match Unix.select fds [] [] 0.25 with
+    (match Unix.select fds [] [] 0.25 with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | readable, _, _ ->
         List.iter
           (fun fd ->
             if fd = listen_fd then begin
               match Unix.accept listen_fd with
-              | cfd, _ -> Hashtbl.replace clients cfd { c_fd = cfd; c_acc = "" }
+              | cfd, _ ->
+                  (try Unix.setsockopt_float cfd Unix.SO_SNDTIMEO read_deadline_s
+                   with Unix.Unix_error _ | Invalid_argument _ -> ());
+                  Hashtbl.replace clients cfd
+                    { c_fd = cfd; c_acc = ""; c_line_start = None }
               | exception Unix.Unix_error _ -> ()
             end
             else
@@ -522,11 +1053,37 @@ let serve t ~socket () =
                   | 0 -> close_client fd
                   | n ->
                       c.c_acc <- c.c_acc ^ Bytes.sub_string buf 0 n;
-                      (try drain_client t c
-                       with Unix.Unix_error _ -> close_client fd)
+                      if String.length c.c_acc > J.max_input then begin
+                        (* an endless line: answer once, hang up *)
+                        (try
+                           write_all c.c_fd
+                             (J.to_string
+                                (P.bad_request "request line too long")
+                             ^ "\n")
+                         with Unix.Unix_error _ -> ());
+                        close_client fd
+                      end
+                      else begin
+                        try drain_client t c
+                        with Unix.Unix_error _ -> close_client fd
+                      end
                   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
                   | exception Unix.Unix_error _ -> close_client fd))
-          readable
+          readable);
+    (* tick work, on the select cadence: expire queued jobs whose
+       deadline lapsed, reap idle sessions, cut off stalled clients *)
+    ignore (Queue.tick t.queue);
+    ignore (reap_idle t);
+    let now = Clock.now_us () in
+    let stalled =
+      Hashtbl.fold
+        (fun fd c acc ->
+          match c.c_line_start with
+          | Some t0 when now -. t0 > read_deadline_s *. 1e6 -> fd :: acc
+          | _ -> acc)
+        clients []
+    in
+    List.iter close_client stalled
   done;
   initiate_shutdown t;
   Domain.join sched;

@@ -311,7 +311,7 @@ let test_queue_fairness () =
     for i = 1 to n do
       match
         Queue.submit q ~tenant ~label:(Fmt.str "%s%d" tenant i)
-          ~run:(fun ~resume:_ ~preempt:_ ~wait_us:_ ->
+          ~run:(fun ~resume:_ ~preempt:_ ~deadline_ms:_ ~wait_us:_ ->
             order := tenant :: !order;
             raise Exit)
           ()
@@ -336,7 +336,7 @@ let test_queue_priority () =
   let submit tenant priority label =
     match
       Queue.submit q ~tenant ~priority ~label
-        ~run:(fun ~resume:_ ~preempt:_ ~wait_us:_ ->
+        ~run:(fun ~resume:_ ~preempt:_ ~deadline_ms:_ ~wait_us:_ ->
           order := label :: !order;
           raise Exit)
         ()
@@ -357,7 +357,7 @@ let test_queue_quota () =
   let q = Queue.create ~quota:2 () in
   let submit () =
     Queue.submit q ~tenant:"t"
-      ~run:(fun ~resume:_ ~preempt:_ ~wait_us:_ -> raise Exit)
+      ~run:(fun ~resume:_ ~preempt:_ ~deadline_ms:_ ~wait_us:_ -> raise Exit)
       ()
   in
   (match (submit (), submit ()) with
@@ -381,7 +381,7 @@ let test_queue_cancel () =
   let j =
     match
       Queue.submit q ~tenant:"t"
-        ~run:(fun ~resume:_ ~preempt:_ ~wait_us:_ ->
+        ~run:(fun ~resume:_ ~preempt:_ ~deadline_ms:_ ~wait_us:_ ->
           ran := true;
           raise Exit)
         ()
@@ -464,7 +464,7 @@ let test_queue_preempt_resume () =
   let j =
     match
       Queue.submit q ~tenant:"t" ~label:"vecadd"
-        ~run:(fun ~resume ~preempt ~wait_us:_ ->
+        ~run:(fun ~resume ~preempt ~deadline_ms:_ ~wait_us:_ ->
           (* first attempt preempts itself at the first safe point;
              the resumed attempt runs to completion *)
           if resume = None then Checkpoint.request_preempt preempt;
@@ -684,6 +684,516 @@ let test_server_quota_rejection () =
     ()
   done
 
+(* ---- jsonx hardening: input bounds + property fuzzing ---- *)
+
+let test_jsonx_limits () =
+  let expect_error what s =
+    match J.of_string s with
+    | Ok _ -> Alcotest.failf "%s: expected a structured parse error" what
+    | Error _ -> ()
+  in
+  expect_error "overlong input" (String.make (J.max_input + 1) ' ');
+  expect_error "overlong string"
+    ("\"" ^ String.make (J.max_string + 1) 'a' ^ "\"");
+  expect_error "too many array items"
+    ("[" ^ String.concat "," (List.init (J.max_items + 1) (fun _ -> "1")) ^ "]");
+  expect_error "too many object members"
+    ("{"
+    ^ String.concat ","
+        (List.init (J.max_items + 1) (fun i -> Fmt.str "\"k%d\":1" i))
+    ^ "}")
+
+(* Random JSON documents.  Floats are kept non-integral on purpose:
+   the printer renders integral floats as integer literals, which
+   deliberately re-parse as Int — a normalization, not a bug. *)
+let json_arb =
+  let open QCheck in
+  let leaf =
+    Gen.oneof
+      [
+        Gen.return J.Null;
+        Gen.map (fun b -> J.Bool b) Gen.bool;
+        Gen.map (fun n -> J.Int n) Gen.small_signed_int;
+        Gen.map (fun n -> J.Float (float_of_int n +. 0.5)) Gen.small_signed_int;
+        Gen.map (fun s -> J.Str s) Gen.string;
+      ]
+  in
+  let gen =
+    Gen.sized (fun size ->
+        Gen.fix
+          (fun self n ->
+            if n <= 0 then leaf
+            else
+              Gen.oneof
+                [
+                  leaf;
+                  Gen.map
+                    (fun l -> J.List l)
+                    (Gen.list_size (Gen.int_range 0 4) (self (n / 2)));
+                  Gen.map
+                    (fun l -> J.Obj l)
+                    (Gen.list_size (Gen.int_range 0 4)
+                       (Gen.pair Gen.string (self (n / 2))));
+                ])
+          (min size 5))
+  in
+  QCheck.make ~print:J.to_string gen
+
+let prop_jsonx_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"printer output always re-parses" json_arb
+    (fun v ->
+      match J.of_string (J.to_string v) with Ok v' -> v = v' | Error _ -> false)
+
+let prop_jsonx_no_crash =
+  QCheck.Test.make ~count:1000 ~name:"byte soup gets Error, never an exception"
+    QCheck.string (fun s ->
+      match J.of_string s with Ok _ | Error _ -> true)
+
+let prop_jsonx_truncation =
+  QCheck.Test.make ~count:500 ~name:"truncated documents answered with Error"
+    QCheck.(pair json_arb small_nat)
+    (fun (v, n) ->
+      let s = J.to_string v in
+      let s = String.sub s 0 (n mod (String.length s + 1)) in
+      match J.of_string s with Ok _ | Error _ -> true)
+
+(* One long-lived server shared by the dispatcher fuzzers: hostile
+   requests must never crash it or wedge later requests. *)
+let fuzz_server =
+  lazy (Server.create ~ckpt_dir:(Filename.concat tmpdir "srv-fuzz") ())
+
+let prop_server_line_total =
+  QCheck.Test.make ~count:300 ~name:"handle_line is total on arbitrary bytes"
+    QCheck.string (fun s ->
+      let srv = Lazy.force fuzz_server in
+      match J.of_string (String.trim (Server.handle_line srv s)) with
+      | Ok r -> Option.is_some (J.bool_mem "ok" r)
+      | Error _ -> false)
+
+let prop_server_hostile_requests =
+  QCheck.Test.make ~count:300
+    ~name:"handle answers hostile well-formed requests"
+    QCheck.(
+      pair
+        (oneofl
+           [
+             "ping"; "open-session"; "close-session"; "load-module"; "malloc";
+             "free"; "reset-arena"; "write"; "read"; "submit-launch"; "poll";
+             "cancel"; "stats";
+           ])
+        json_arb)
+    (fun (c, v) ->
+      let srv = Lazy.force fuzz_server in
+      let fields = match v with J.Obj kvs -> kvs | v -> [ ("x", v) ] in
+      let resp = Server.handle srv (J.Obj (("cmd", J.Str c) :: fields)) in
+      Option.is_some (J.bool_mem "ok" resp))
+
+(* ---- deadlines: queued expiry and running kill ---- *)
+
+let test_queue_deadline_expiry () =
+  let q = Queue.create () in
+  let cleaned = ref 0 in
+  let ran = ref false in
+  let j =
+    match
+      Queue.submit q ~tenant:"t" ~label:"patience" ~deadline_ms:1
+        ~cleanup:(fun () -> incr cleaned)
+        ~run:(fun ~resume:_ ~preempt:_ ~deadline_ms:_ ~wait_us:_ ->
+          ran := true;
+          raise Exit)
+        ()
+    with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "submit: %a" Vekt_error.pp e
+  in
+  Unix.sleepf 0.005;
+  Alcotest.(check int) "tick expires one job" 1 (Queue.tick q);
+  Alcotest.(check bool) "nothing left to run" false (Queue.step q);
+  Alcotest.(check bool) "body never ran" false !ran;
+  Alcotest.(check int) "cleanup fired once" 1 !cleaned;
+  (match Queue.info q ~id:j.Queue.id with
+  | Some i -> (
+      match i.Queue.i_state with
+      | Queue.Done
+          (Queue.Failed (Vekt_error.Deadline { deadline_ms; elapsed_ms; _ })) ->
+          Alcotest.(check int) "budget recorded" 1 deadline_ms;
+          Alcotest.(check bool) "elapsed counted" true (elapsed_ms >= 1)
+      | _ -> Alcotest.fail "expected a structured Deadline failure")
+  | None -> Alcotest.fail "job vanished");
+  let reg = Obs.Metrics.create () in
+  Queue.metrics_into q reg;
+  Alcotest.(check int) "queue.expired counted" 1
+    !(Obs.Metrics.counter reg "queue.expired")
+
+let test_queue_running_deadline_kill () =
+  let dir = Filename.concat tmpdir "deadline-kill" in
+  let config = { Api.default_config with Api.workers = Some 1 } in
+  let dev = Api.create_device () in
+  let m = Api.load_module ~config dev vecadd.Workload.src in
+  let inst = vecadd.Workload.setup dev in
+  let q = Queue.create () in
+  let j =
+    match
+      Queue.submit q ~tenant:"t" ~label:"vecadd"
+        ~run:(fun ~resume ~preempt ~deadline_ms:_ ~wait_us:_ ->
+          (* a zero budget has lapsed by the launch's first safe point,
+             so the kill path runs deterministically *)
+          Api.launch ~preempt ?resume ~ckpt_dir:dir ~deadline_ms:0 m
+            ~kernel:"vecadd" ~grid:inst.Workload.grid
+            ~block:inst.Workload.block ~args:inst.Workload.args)
+        ()
+    with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "submit: %a" Vekt_error.pp e
+  in
+  Alcotest.(check bool) "job runs" true (Queue.step q);
+  (match Queue.info q ~id:j.Queue.id with
+  | Some i -> (
+      Alcotest.(check string) "killed" "failed"
+        (Queue.state_name i.Queue.i_state);
+      match i.Queue.i_state with
+      | Queue.Done
+          (Queue.Failed (Vekt_error.Deadline { deadline_ms; snapshot; _ })) ->
+          Alcotest.(check int) "budget recorded" 0 deadline_ms;
+          Alcotest.(check bool) "partial snapshot named in the error" true
+            (Option.is_some snapshot)
+      | _ -> Alcotest.fail "expected a structured Deadline failure")
+  | None -> Alcotest.fail "job vanished");
+  let reg = Obs.Metrics.create () in
+  Queue.metrics_into q reg;
+  Alcotest.(check int) "deadline kill counted" 1
+    !(Obs.Metrics.counter reg "queue.deadline_kills")
+
+let submit_vecadd_fields srv session extra =
+  Server.handle srv
+    (cmd "submit-launch"
+       ([
+          ("session", J.Int session);
+          ("module", J.Int 0);
+          ("kernel", J.Str "vecadd");
+          ("grid", J.Int 1);
+          ("block", J.Int 4);
+          ("args", J.List (List.map (fun s -> J.Str s) vecadd_args));
+        ]
+       @ extra))
+
+let engine_counter stats name =
+  match
+    Option.bind (J.mem "engine" stats) (fun e ->
+        Option.bind (J.mem name e) (J.int_mem "value"))
+  with
+  | Some n -> n
+  | None -> Alcotest.failf "stats: missing engine counter %s" name
+
+let test_server_deadline_over_protocol () =
+  let srv =
+    Server.create ~ckpt_dir:(Filename.concat tmpdir "srv-deadline") ()
+  in
+  let s = open_session srv "dl" in
+  let _ = load_vecadd srv s in
+  (* per-request deadline: the job expires in queue, never runs, and
+     poll carries the structured error with its budget arithmetic *)
+  let r =
+    get_ok "submit-launch"
+      (submit_vecadd_fields srv s [ ("deadline-ms", J.Int 1) ])
+  in
+  let job = Option.get (J.int_mem "job" r) in
+  Unix.sleepf 0.005;
+  Alcotest.(check int) "tick expires it" 1 (Queue.tick (Server.queue srv));
+  let r = get_ok "poll" (Server.handle srv (cmd "poll" [ ("job", J.Int job) ])) in
+  Alcotest.(check (option string)) "failed" (Some "failed") (J.str_mem "state" r);
+  let err = Option.get (J.mem "error" r) in
+  Alcotest.(check (option string)) "structured kind" (Some "deadline")
+    (J.str_mem "kind" err);
+  Alcotest.(check (option int)) "budget in extras" (Some 1)
+    (J.int_mem "deadline_ms" err);
+  Alcotest.(check bool) "elapsed in extras" true
+    (match J.int_mem "elapsed_ms" err with Some n -> n >= 1 | None -> false);
+  (* per-tenant default deadline applies to submits that carry none *)
+  let s2 =
+    let r =
+      get_ok "open-session"
+        (Server.handle srv
+           (cmd "open-session"
+              [ ("tenant", J.Str "dl2"); ("deadline-ms", J.Int 1) ]))
+    in
+    Option.get (J.int_mem "session" r)
+  in
+  let _ = load_vecadd srv s2 in
+  let r = get_ok "submit-launch" (submit_vecadd_fields srv s2 []) in
+  let job2 = Option.get (J.int_mem "job" r) in
+  Unix.sleepf 0.005;
+  Alcotest.(check int) "default deadline expires it" 1
+    (Queue.tick (Server.queue srv));
+  let r =
+    get_ok "poll" (Server.handle srv (cmd "poll" [ ("job", J.Int job2) ]))
+  in
+  Alcotest.(check (option string)) "tenant default enforced" (Some "deadline")
+    (Option.bind (J.mem "error" r) (J.str_mem "kind"))
+
+(* ---- overload control: shedding, hysteresis, idempotent retries ---- *)
+
+let test_queue_shedding () =
+  let q = Queue.create ~high_watermark:3 ~low_watermark:1 () in
+  let submit ?(priority = 0) () =
+    Queue.submit q ~tenant:"t" ~priority
+      ~run:(fun ~resume:_ ~preempt:_ ~deadline_ms:_ ~wait_us:_ -> raise Exit)
+      ()
+  in
+  for i = 1 to 3 do
+    match submit () with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "submit %d: %a" i Vekt_error.pp e
+  done;
+  (* at the high watermark: same-priority submits are shed with a
+     machine-actionable retry hint *)
+  (match submit () with
+  | Ok _ -> Alcotest.fail "submit above the high watermark admitted"
+  | Error (Vekt_error.Overloaded { queued; limit; retry_after_ms }) ->
+      Alcotest.(check int) "queued depth" 3 queued;
+      Alcotest.(check int) "limit is the high watermark" 3 limit;
+      Alcotest.(check bool) "retry hint clamped sane" true
+        (retry_after_ms >= 10 && retry_after_ms <= 30_000)
+  | Error e -> Alcotest.failf "wrong error: %a" Vekt_error.pp e);
+  (* strictly higher priority still cuts through the shed *)
+  (match submit ~priority:5 () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "priority bypass: %a" Vekt_error.pp e);
+  let reg = Obs.Metrics.create () in
+  Queue.metrics_into q reg;
+  Alcotest.(check int) "one shed counted" 1 !(Obs.Metrics.counter reg "queue.shed");
+  Alcotest.(check (float 0.0)) "shedding gauge up" 1.0
+    !(Obs.Metrics.gauge reg "queue.shedding");
+  (* hysteresis: draining below the low watermark re-opens admission *)
+  drain q;
+  match submit () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "post-drain submit still shed: %a" Vekt_error.pp e
+
+let test_server_idempotent_retry () =
+  let srv = Server.create ~ckpt_dir:(Filename.concat tmpdir "srv-idem") () in
+  let s = open_session srv "ida" in
+  let _ = load_vecadd srv s in
+  let submit () =
+    get_ok "submit-launch"
+      (submit_vecadd_fields srv s [ ("idempotency-key", J.Str "retry-1") ])
+  in
+  let r1 = submit () in
+  let r2 = submit () in
+  Alcotest.check json "retry replays the original admission verbatim" r1 r2;
+  Alcotest.(check bool) "exactly one job admitted" true
+    (Queue.step (Server.queue srv));
+  Alcotest.(check bool) "no double launch" false (Queue.step (Server.queue srv));
+  let stats = get_ok "stats" (Server.handle srv (cmd "stats" [])) in
+  Alcotest.(check int) "dedup hit counted" 1
+    (engine_counter stats "server.dedup_hits");
+  (* a different key is a different request *)
+  let r3 =
+    get_ok "submit-launch"
+      (submit_vecadd_fields srv s [ ("idempotency-key", J.Str "retry-2") ])
+  in
+  Alcotest.(check bool) "fresh key admits a fresh job" true
+    (J.int_mem "job" r3 <> J.int_mem "job" r1);
+  drain (Server.queue srv)
+
+(* ---- dead-tenant reaping: the eviction gap closes ---- *)
+
+let test_server_reap_idle () =
+  let srv =
+    Server.create
+      ~ckpt_dir:(Filename.concat tmpdir "srv-reap")
+      ~session_ttl_s:0.005 ~archive_cap:2 ()
+  in
+  let baseline = Server.total_allocated_bytes srv in
+  let tenants = [ "t0"; "t1"; "t2"; "t3" ] in
+  List.iter
+    (fun tn ->
+      let s = open_session srv tn in
+      let _ = load_vecadd srv s in
+      let _ =
+        get_ok "malloc"
+          (Server.handle srv
+             (cmd "malloc" [ ("session", J.Int s); ("bytes", J.Int 4096) ]))
+      in
+      ())
+    tenants;
+  Alcotest.(check bool) "abandoned sessions hold arena bytes" true
+    (Server.total_allocated_bytes srv > baseline);
+  Unix.sleepf 0.02;
+  Alcotest.(check int) "all four idle sessions reaped" 4 (Server.reap_idle srv);
+  Alcotest.(check int) "arena bytes returned to baseline" baseline
+    (Server.total_allocated_bytes srv);
+  Alcotest.(check int) "reaping is idempotent" 0 (Server.reap_idle srv);
+  let stats = get_ok "stats" (Server.handle srv (cmd "stats" [])) in
+  Alcotest.(check int) "server.reaped counted" 4
+    (engine_counter stats "server.reaped");
+  Alcotest.(check int) "cold archives evicted" 2
+    (engine_counter stats "server.archive_evicted");
+  (* the archive is LRU-bounded: only archive_cap tenants survive *)
+  match J.mem "tenants" stats with
+  | Some (J.Obj kvs) ->
+      Alcotest.(check int) "archive LRU-bounded" 2 (List.length kvs)
+  | _ -> Alcotest.fail "stats: missing tenants"
+
+(* ---- restart recovery: kill mid-launch, resume bit-identical ---- *)
+
+let test_server_restart_recovery () =
+  (* uninterrupted reference *)
+  let srv0 = Server.create ~ckpt_dir:(Filename.concat tmpdir "srv-ref") () in
+  let s0 = open_session srv0 "ref" in
+  let _ = load_vecadd srv0 s0 in
+  let job0, out0 = submit_vecadd srv0 s0 in
+  Alcotest.(check bool) "reference runs" true (Queue.step (Server.queue srv0));
+  let read_values srv session addr =
+    let r =
+      get_ok "read"
+        (Server.handle srv
+           (cmd "read"
+              [
+                ("session", J.Int session);
+                ("addr", J.Int addr);
+                ("ty", J.Str "f32");
+                ("count", J.Int 4);
+              ]))
+    in
+    Option.get (J.mem "values" r)
+  in
+  let reference = read_values srv0 s0 out0 in
+  ignore job0;
+  (* predecessor: admit a launch, force a mid-flight snapshot, then
+     "die" — no shutdown, no cleanup, exactly like kill -9 *)
+  let ckpt = Filename.concat tmpdir "srv-crash" in
+  let srv1 = Server.create ~ckpt_dir:ckpt () in
+  let s1 = open_session srv1 "crash-tenant" in
+  let _ = load_vecadd srv1 s1 in
+  let job1, out1 = submit_vecadd srv1 s1 in
+  Queue.request_preempt (Server.queue srv1) ~id:job1;
+  Alcotest.(check bool) "first step snapshots and yields" true
+    (Queue.step (Server.queue srv1));
+  (match Queue.info (Server.queue srv1) ~id:job1 with
+  | Some i ->
+      Alcotest.(check string) "preempted mid-flight" "preempted"
+        (Queue.state_name i.Queue.i_state);
+      Alcotest.(check bool) "snapshot on disk" true
+        (Option.is_some i.Queue.i_resume_path)
+  | None -> Alcotest.fail "job vanished");
+  (* successor on the same checkpoint root: recovery runs at create *)
+  let srv2 = Server.create ~ckpt_dir:ckpt () in
+  let recs = Server.recovered srv2 in
+  Alcotest.(check int) "one launch recovered" 1 (List.length recs);
+  let rc = List.hd recs in
+  Alcotest.(check string) "re-admitted under its original tenant"
+    "crash-tenant" rc.Server.r_tenant;
+  drain (Server.queue srv2);
+  let r =
+    get_ok "poll"
+      (Server.handle srv2 (cmd "poll" [ ("job", J.Int rc.Server.r_job) ]))
+  in
+  Alcotest.(check (option string)) "recovered launch completed" (Some "done")
+    (J.str_mem "state" r);
+  (* the snapshot's memory image puts the output at the address the
+     dead predecessor handed its client *)
+  Alcotest.check json "crash + restart + resume is bit-identical" reference
+    (read_values srv2 rc.Server.r_session out1);
+  let stats = get_ok "stats" (Server.handle srv2 (cmd "stats" [])) in
+  Alcotest.(check int) "recovery counted" 1
+    (engine_counter stats "server.recovered_launches")
+
+let test_server_tally_journal () =
+  let ckpt = Filename.concat tmpdir "srv-journal" in
+  let srv1 = Server.create ~ckpt_dir:ckpt () in
+  let s = open_session srv1 "dana" in
+  let _ = load_vecadd srv1 s in
+  let _ = submit_vecadd srv1 s in
+  Alcotest.(check bool) "launch runs" true (Queue.step (Server.queue srv1));
+  let _ =
+    get_ok "close"
+      (Server.handle srv1 (cmd "close-session" [ ("session", J.Int s) ]))
+  in
+  Alcotest.(check bool) "archiving left compiles on the books" true
+    (let stats = get_ok "stats" (Server.handle srv1 (cmd "stats" [])) in
+     tenant_counter stats "dana" "jit.compiles" > 0);
+  (* crash (no shutdown): the journal in the checkpoint root survives
+     and the successor restores per-tenant attribution from it *)
+  let srv2 = Server.create ~ckpt_dir:ckpt () in
+  let stats = get_ok "stats" (Server.handle srv2 (cmd "stats" [])) in
+  Alcotest.(check bool) "dana's compile tally survives the restart" true
+    (tenant_counter stats "dana" "jit.compiles" > 0)
+
+(* ---- transport: stale-socket reclaim and the read deadline ---- *)
+
+let test_serve_transport_robustness () =
+  let sock = Filename.concat tmpdir "slow.sock" in
+  (* a dead predecessor's socket file: serve must probe and reclaim it *)
+  (let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+   (try Unix.bind fd (Unix.ADDR_UNIX sock) with Unix.Unix_error _ -> ());
+   Unix.close fd);
+  Alcotest.(check bool) "stale socket file left behind" true
+    (Sys.file_exists sock);
+  let srv = Server.create ~ckpt_dir:(Filename.concat tmpdir "srv-slow") () in
+  let d =
+    Domain.spawn (fun () -> Server.serve srv ~read_deadline_s:0.2 ~socket:sock ())
+  in
+  let connect () =
+    let rec go n =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX sock) with
+      | () -> fd
+      | exception Unix.Unix_error _ ->
+          Unix.close fd;
+          if n = 0 then Alcotest.fail "daemon never came up";
+          Unix.sleepf 0.05;
+          go (n - 1)
+    in
+    go 100
+  in
+  let send fd s = ignore (Unix.write_substring fd s 0 (String.length s)) in
+  let recv_line fd =
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+    let b = Buffer.create 64 in
+    let buf = Bytes.create 1 in
+    let rec go () =
+      match Unix.read fd buf 0 1 with
+      | 0 -> `Eof
+      | _ ->
+          if Bytes.get buf 0 = '\n' then `Line (Buffer.contents b)
+          else begin
+            Buffer.add_char b (Bytes.get buf 0);
+            go ()
+          end
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Alcotest.fail "timed out waiting for the daemon"
+    in
+    go ()
+  in
+  let fd = connect () in
+  send fd "{\"cmd\":\"ping\"}\n";
+  (match recv_line fd with
+  | `Line l -> (
+      match J.of_string l with
+      | Ok r ->
+          Alcotest.(check (option bool)) "ping ok" (Some true) (J.bool_mem "ok" r)
+      | Error e -> Alcotest.failf "ping response: %s" e)
+  | `Eof -> Alcotest.fail "connection closed on ping");
+  (* stall mid-line: the read deadline must hang up on us *)
+  send fd "{\"cmd\":\"pi";
+  (match recv_line fd with
+  | `Eof -> ()
+  | `Line l -> Alcotest.failf "expected hang-up, got %s" l);
+  Unix.close fd;
+  (* ...without wedging service for anyone else *)
+  let fd2 = connect () in
+  send fd2 "{\"cmd\":\"ping\"}\n";
+  (match recv_line fd2 with
+  | `Line _ -> ()
+  | `Eof -> Alcotest.fail "daemon wedged by the stalled client");
+  send fd2 "{\"cmd\":\"shutdown\"}\n";
+  (match recv_line fd2 with `Line _ | `Eof -> ());
+  Unix.close fd2;
+  Domain.join d;
+  Alcotest.(check bool) "socket path unlinked at shutdown" false
+    (Sys.file_exists sock)
+
 let () =
   Alcotest.run "server"
     [
@@ -733,5 +1243,41 @@ let () =
             test_server_handle_end_to_end;
           Alcotest.test_case "quota rejection over protocol" `Quick
             test_server_quota_rejection;
+        ] );
+      ( "jsonx-hardening",
+        [
+          Alcotest.test_case "input bounds" `Quick test_jsonx_limits;
+          QCheck_alcotest.to_alcotest prop_jsonx_roundtrip;
+          QCheck_alcotest.to_alcotest prop_jsonx_no_crash;
+          QCheck_alcotest.to_alcotest prop_jsonx_truncation;
+          QCheck_alcotest.to_alcotest prop_server_line_total;
+          QCheck_alcotest.to_alcotest prop_server_hostile_requests;
+        ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "queued job expires unrun" `Quick
+            test_queue_deadline_expiry;
+          Alcotest.test_case "running launch killed at safe point" `Quick
+            test_queue_running_deadline_kill;
+          Alcotest.test_case "structured deadline over protocol" `Quick
+            test_server_deadline_over_protocol;
+        ] );
+      ( "overload",
+        [
+          Alcotest.test_case "watermark shedding + hysteresis" `Quick
+            test_queue_shedding;
+          Alcotest.test_case "idempotent retries" `Quick
+            test_server_idempotent_retry;
+        ] );
+      ( "crash-only",
+        [
+          Alcotest.test_case "reaping closes the eviction gap" `Quick
+            test_server_reap_idle;
+          Alcotest.test_case "restart recovery bit-identical" `Quick
+            test_server_restart_recovery;
+          Alcotest.test_case "tally journal survives restart" `Quick
+            test_server_tally_journal;
+          Alcotest.test_case "stalled client + stale socket" `Quick
+            test_serve_transport_robustness;
         ] );
     ]
