@@ -623,6 +623,87 @@ let info_cmd =
     (Cmd.info "info" ~doc:"Static facts about a kernel")
     Term.(const run $ file_arg $ kernel_arg)
 
+(* ---- fuzz: differential kernel fuzzing (DESIGN.md §3.9) ---- *)
+
+let fuzz_cmd =
+  let run seed count budget_s repro_dir replay_file =
+    match replay_file with
+    | Some file ->
+        (* replay one kernel (e.g. a corpus file) through the full matrix *)
+        let src = read_file file in
+        let spec = Vekt_fuzz.Gen.spec_of_src src in
+        (match Vekt_fuzz.Runner.run_spec spec with
+        | Vekt_fuzz.Runner.Clean n -> Fmt.pr "clean: %d configurations agree@." n
+        | Vekt_fuzz.Runner.Rejected tag ->
+            Fmt.pr "rejected: %s@." tag;
+            exit 2
+        | Vekt_fuzz.Runner.Diverged divs ->
+            List.iter
+              (fun d ->
+                Fmt.pr "[%s] %s@." d.Vekt_fuzz.Runner.cfg d.Vekt_fuzz.Runner.what)
+              divs;
+            exit 1)
+    | None ->
+        let s =
+          Vekt_fuzz.Runner.run_campaign ~log:(Fmt.pr "%s@.") ?budget_s ~seed
+            ~count ()
+        in
+        Fmt.pr "%a" Vekt_fuzz.Runner.pp_summary s;
+        (* write each shrunk reproducer next to the campaign *)
+        if s.Vekt_fuzz.Runner.failures <> [] then begin
+          (try Sys.mkdir repro_dir 0o755 with Sys_error _ -> ());
+          List.iter
+            (fun (f : Vekt_fuzz.Runner.failure) ->
+              let path =
+                Filename.concat repro_dir (Fmt.str "repro-seed-%d.ptx" f.seed)
+              in
+              let oc = open_out path in
+              output_string oc f.repro.Vekt_fuzz.Gen.src;
+              close_out oc;
+              Fmt.pr "shrunk reproducer written to %s@." path)
+            s.Vekt_fuzz.Runner.failures;
+          exit 1
+        end
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"First seed")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"Number of kernels to generate")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget; the campaign stops early when exceeded")
+  in
+  let repro_arg =
+    Arg.(
+      value & opt string "_fuzz"
+      & info [ "repro-dir" ] ~docv:"DIR"
+          ~doc:"Where shrunk reproducers are written")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay one PTX kernel (fuzz protocol, [// vekt-fuzz] header) \
+             through the full configuration matrix instead of generating")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially fuzz the compiler: generated well-typed kernels run \
+          through the emulator oracle and every execution configuration; any \
+          mismatch is shrunk to a minimal reproducer")
+    Term.(
+      const run $ seed_arg $ count_arg $ budget_arg $ repro_arg $ replay_arg)
+
 (* ---- serve / submit / client: the persistent daemon ---- *)
 
 module Server = Vekt_server.Server
@@ -1033,7 +1114,7 @@ let () =
          (Cmd.group (Cmd.info "vektc" ~version:"1.0.0" ~doc)
             [
               check_cmd; compile_cmd; run_cmd; emulate_cmd; info_cmd;
-              serve_cmd; submit_cmd; client_cmd;
+              fuzz_cmd; serve_cmd; submit_cmd; client_cmd;
             ]))
   with
   | Failure e | Invalid_argument e ->

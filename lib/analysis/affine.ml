@@ -78,13 +78,19 @@ let mul_cls a b =
   | (Const _ | Uniform), (Const _ | Uniform) -> Uniform
   | _ -> Unknown
 
-let shl_cls a b =
+(** [bits] is the width of the shifted type: the in-range bound must match
+    {!Vekt_ptx.Scalar_ops}' total-shift semantics (amount >= width yields
+    0), and a 32-bit cap on 64-bit shifts would drop the [cvt.u64.u32] +
+    [shl.b64] address idiom to [Unknown]. *)
+let shl_cls ~bits a b =
+  let in_range y = y >= 0L && y < Int64.of_int bits in
   match (a, b) with
   | Bot, _ | _, Bot -> Bot
-  | Const x, Const y when y >= 0L && y < 32L ->
-      Const (Int64.shift_left x (Int64.to_int y))
-  | Affine s, Const y when y >= 0L && y < 32L ->
-      Affine (Int64.shift_left s (Int64.to_int y))
+  | Const x, Const y when in_range y -> Const (Int64.shift_left x (Int64.to_int y))
+  | (Const _ | Uniform | Affine _), Const y when y >= Int64.of_int bits && y >= 0L ->
+      (* total shift: every lane's value is exactly 0 *)
+      Const 0L
+  | Affine s, Const y when in_range y -> Affine (Int64.shift_left s (Int64.to_int y))
   | Uniform, Const _ -> Uniform
   | _ -> Unknown
 
@@ -110,7 +116,8 @@ let transfer ~(get : Ir.vreg -> cls) (i : Ir.instr) : cls =
   | Ir.Bin (A.Add, _, _, a, b2) -> add_cls (of_operand a) (of_operand b2)
   | Ir.Bin (A.Sub, _, _, a, b2) -> sub_cls (of_operand a) (of_operand b2)
   | Ir.Bin (A.Mul_lo, _, _, a, b2) -> mul_cls (of_operand a) (of_operand b2)
-  | Ir.Bin (A.Shl, _, _, a, b2) -> shl_cls (of_operand a) (of_operand b2)
+  | Ir.Bin (A.Shl, ty, _, a, b2) ->
+      shl_cls ~bits:(8 * A.size_of ty.Vekt_ir.Ty.elt) (of_operand a) (of_operand b2)
   | Ir.Fma (_, _, a, b2, c) ->
       add_cls (mul_cls (of_operand a) (of_operand b2)) (of_operand c)
   | Ir.Mov (_, _, a) -> of_operand a

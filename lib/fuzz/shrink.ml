@@ -1,0 +1,86 @@
+(** Greedy delta-debugging of a failing fuzz kernel down to a minimal
+    reproducer (DESIGN.md §3.9).
+
+    The shrinker works on the parsed kernel body: it deletes chunks of
+    statements (halving the chunk size as progress stalls), keeps a
+    candidate only if it still typechecks {e and} still fails the
+    caller's predicate, and finishes by dropping register declarations
+    the surviving body no longer mentions.  Typechecking candidates
+    before running them discards dangling branch targets and
+    use-before-decl garbage cheaply; the predicate (usually "the
+    differential harness still reports a divergence") does the expensive
+    confirmation.  Every accepted candidate is a well-typed kernel, so
+    the final artifact can be committed to [test/corpus/] as-is. *)
+
+module A = Vekt_ptx.Ast
+module Printer = Vekt_ptx.Printer
+module Typecheck = Vekt_ptx.Typecheck
+module Parser = Vekt_ptx.Parser
+
+(* Cap on predicate evaluations: each one replays the whole config
+   matrix, so a pathological shrink must not dominate the campaign. *)
+let max_evals = 250
+
+let rebuild (spec : Gen.t) (m : A.modul) (k : A.kernel) body regs : Gen.t =
+  let k = { k with A.k_body = body; k_regs = regs } in
+  let m = { m with A.m_kernels = [ k ] } in
+  { spec with
+    src = Gen.header ~grid:spec.grid ~block:spec.block ^ Printer.to_string m }
+
+let used_reg_names body =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (function
+      | A.Label _ -> ()
+      | A.Inst (g, i, _) ->
+          List.iter (fun r -> Hashtbl.replace tbl r ()) (A.used_regs g i);
+          Option.iter (fun r -> Hashtbl.replace tbl r ()) (A.defined_reg i))
+    body;
+  tbl
+
+(* remove [len] elements starting at [at] *)
+let cut l ~at ~len =
+  List.filteri (fun i _ -> i < at || i >= at + len) l
+
+let minimize ~(still_fails : Gen.t -> bool) (spec : Gen.t) : Gen.t =
+  match Parser.parse_module spec.src with
+  | exception _ -> spec
+  | m -> (
+      match A.find_kernel m spec.kernel with
+      | None -> spec
+      | Some k ->
+          let evals = ref 0 in
+          let ok (cand : Gen.t) =
+            incr evals;
+            !evals <= max_evals && still_fails cand
+          in
+          let try_candidate body regs =
+            let cand = rebuild spec m k body regs in
+            match Parser.parse_module cand.src with
+            | exception _ -> None
+            | m' -> if Typecheck.check_module m' = [] && ok cand then Some cand else None
+          in
+          let body = ref k.A.k_body and regs = ref k.A.k_regs in
+          let best = ref spec in
+          let chunk = ref (max 1 (List.length !body / 2)) in
+          while !chunk >= 1 && !evals < max_evals do
+            let shrunk_this_pass = ref false in
+            let i = ref 0 in
+            while !i + !chunk <= List.length !body && !evals < max_evals do
+              match try_candidate (cut !body ~at:!i ~len:!chunk) !regs with
+              | Some cand ->
+                  body := cut !body ~at:!i ~len:!chunk;
+                  best := cand;
+                  shrunk_this_pass := true
+                  (* don't advance: the next chunk slid into place *)
+              | None -> i := !i + !chunk
+            done;
+            if not !shrunk_this_pass then chunk := !chunk / 2
+          done;
+          (* drop register declarations the body no longer touches *)
+          let used = used_reg_names !body in
+          let live = List.filter (fun (r, _) -> Hashtbl.mem used r) !regs in
+          (match try_candidate !body live with
+          | Some cand -> best := cand
+          | None -> ());
+          !best)

@@ -125,6 +125,13 @@ let check_func (f : Ir.func) : error list =
             | Some t when t.Ty.width <> 1 -> add "%s: vector base address" where
             | _ -> ())
         | Vstore (_, ty, base, _, v) ->
+            (* The value operand must be an actual vector register: scalar
+               immediates splat implicitly elsewhere, but a coalesced store
+               writes [warp_size] lanes and requires an explicit Broadcast
+               (a scalar here has historically meant a dropped splat). *)
+            (match v with
+            | Ir.Imm _ -> add "%s: scalar immediate as vector store value" where
+            | Ir.R _ -> ());
             expect_operand v (Ty.make ty f.warp_size);
             (match ty_of_operand base with
             | Some t when t.Ty.width <> 1 -> add "%s: vector base address" where

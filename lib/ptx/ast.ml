@@ -43,6 +43,20 @@ let is_integer = function
   | B8 | B16 | B32 | B64 | U8 | U16 | U32 | U64 | S8 | S16 | S32 | S64 -> true
   | _ -> false
 
+(** The integer type of twice the width, same signedness ([mul.wide]'s
+    destination type).  [None] for floats, predicates and 64-bit types. *)
+let widened = function
+  | U8 -> Some U16
+  | U16 -> Some U32
+  | U32 -> Some U64
+  | S8 -> Some S16
+  | S16 -> Some S32
+  | S32 -> Some S64
+  | B8 -> Some B16
+  | B16 -> Some B32
+  | B32 -> Some B64
+  | Pred | U64 | S64 | B64 | F32 | F64 -> None
+
 type space = Param | Global | Shared | Local | Const
 [@@deriving show { with_path = false }, eq]
 
@@ -85,6 +99,9 @@ type binop =
   | Sub
   | Mul_lo  (** low half of the product; plain [mul] for floats *)
   | Mul_hi
+  | Mul_wide
+      (** full product of two 16/32-bit integers into a register of twice
+          the width ([mul.wide]); the operand type is the {e source} type *)
   | Div
   | Rem
   | Min

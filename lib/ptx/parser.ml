@@ -148,11 +148,22 @@ let parse_address st =
 
 let parse_reg st = expect_ident st "register"
 
-(* Rounding/approximation modifiers are accepted and ignored: the reference
-   emulator and the VM both compute in host precision, like Ocelot's LLVM
-   backend did for .approx transcendentals. *)
+(* Modifiers that are accepted and ignored because our execution model
+   already implements their semantics exactly:
+   - rounding/approximation modes ([rn]..[ftz], [approx], [full]): the
+     reference emulator and the VM both compute in host precision, like
+     Ocelot's LLVM backend did for .approx transcendentals;
+   - [rzi] (round-to-zero-integer on [cvt] float→int): {!Scalar_ops.cvt}
+     truncates, which {e is} round-toward-zero ([rni]/[rmi]/[rpi] would
+     change results, so they stay unsupported);
+   - cache operators ([ca]/[cg]/[cs]/[lu]/[cv]/[wb]/[wt]), non-coherent
+     loads ([nc]) and [volatile]: pure performance/coherence hints — one
+     flat memory per address space makes them no-ops here.
+   [wide] is deliberately NOT a modifier: [mul.wide] changes the result
+   width and is parsed as its own operation below. *)
 let is_modifier = function
-  | "rn" | "rz" | "rm" | "rp" | "approx" | "full" | "ftz" | "sat" | "uni" | "wide"
+  | "rn" | "rz" | "rm" | "rp" | "approx" | "full" | "ftz" | "sat" | "uni"
+  | "rzi" | "volatile" | "nc" | "ca" | "cg" | "cs" | "lu" | "cv" | "wb" | "wt"
     ->
       true
   | _ -> false
@@ -214,6 +225,7 @@ let parse_instr st opcode =
       match parts with
       | "hi" :: rest -> binop3 st Ast.Mul_hi head rest
       | "lo" :: rest -> binop3 st Ast.Mul_lo head rest
+      | "wide" :: rest -> binop3 st Ast.Mul_wide head rest
       | rest -> binop3 st Ast.Mul_lo head rest)
   | "div" -> binop3 st Ast.Div head parts
   | "rem" -> binop3 st Ast.Rem head parts

@@ -56,6 +56,7 @@ let binop_str = function
   | Sub -> "sub"
   | Mul_lo -> "mul.lo"
   | Mul_hi -> "mul.hi"
+  | Mul_wide -> "mul.wide"
   | Div -> "div"
   | Rem -> "rem"
   | Min -> "min"

@@ -56,6 +56,7 @@ let int_binop op ty a b =
         if bits > 32 then unsupported "mul.hi on 64-bit types"
         else if is_signed ty then Int64.shift_right (Int64.mul a b) bits
         else Int64.shift_right_logical (Int64.mul a b) bits
+    | Mul_wide -> assert false (* widened in [binop] before reaching here *)
     | Div ->
         if Int64.equal b 0L then 0L (* deterministic UB: PTX leaves this undefined *)
         else if is_signed ty then Int64.div a b
@@ -104,7 +105,16 @@ let binop op ty a b =
     | Or -> of_bool (to_bool a || to_bool b)
     | Xor -> of_bool (to_bool a <> to_bool b)
     | _ -> unsupported "predicate %s" (Printer.binop_str op)
-  else int_binop op ty a b
+  else
+    match op with
+    | Mul_wide -> (
+        (* The result lives at twice the operand width, so it must not be
+           re-normalized at [ty] like every other integer op; operands of
+           at most 32 bits make the int64 product exact. *)
+        match widened ty with
+        | Some wide -> I (norm_int wide (Int64.mul (as_int ty a) (as_int ty b)))
+        | None -> unsupported "mul.wide on 64-bit types")
+    | _ -> int_binop op ty a b
 
 let unop op ty a =
   if is_float ty then

@@ -114,9 +114,16 @@ let check_kernel ?(consts = []) ?(funcs = []) (k : kernel) : error list =
     | Binary (op, ty, d, a, b) ->
         if ty = Pred && not (List.mem op [ And; Or; Xor ]) then
           add (err "arithmetic on predicates" ctx);
-        if is_float ty && List.mem op [ And; Or; Xor; Shl; Shr; Mul_hi; Rem ] then
-          add (err "bitwise/integer op on float type" ctx);
-        check_reg d ty ctx;
+        if is_float ty && List.mem op [ And; Or; Xor; Shl; Shr; Mul_hi; Mul_wide; Rem ]
+        then add (err "bitwise/integer op on float type" ctx);
+        (* mul.wide reads at the source type but defines a register of
+           twice the width; 64-bit sources have no 128-bit destination. *)
+        (match op with
+        | Mul_wide -> (
+            match widened ty with
+            | Some wide -> check_reg d wide ctx
+            | None -> add (err "mul.wide needs an integer type of at most 32 bits" ctx))
+        | _ -> check_reg d ty ctx);
         check_operand a ty ctx;
         (* Shift amounts are .u32 regardless of the value type. *)
         if op = Shl || op = Shr then check_operand b U32 ctx else check_operand b ty ctx

@@ -28,6 +28,10 @@ let fresh_reg st ty =
 (* Destination register and its type for pure, selp-convertible
    instructions. *)
 let pure_dst = function
+  (* [mul.wide] defines at twice the instruction type's width, so the
+     select temp must be declared at the widened type. *)
+  | Binary (Mul_wide, ty, d, _, _) ->
+      Some (d, Option.value ~default:ty (widened ty))
   | Binary (_, ty, d, _, _) when ty <> Pred -> Some (d, ty)
   | Unary (_, ty, d, _) when ty <> Pred -> Some (d, ty)
   | Mad (ty, d, _, _, _) -> Some (d, ty)

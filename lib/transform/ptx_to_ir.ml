@@ -127,6 +127,23 @@ let translate (m : modul) (k : kernel) : t =
   in
   let translate_instr (i : instr) =
     match i with
+    | Binary (Mul_wide, ty, d, a, bb) ->
+        (* mul.wide has no IR form: widen both operands (sign/zero extend
+           per the source type) and multiply at the destination width —
+           exact, because the product of two n-bit values fits in 2n bits. *)
+        let wide =
+          match Ast.widened ty with
+          | Some w -> w
+          | None -> unsupported "mul.wide at type %s" (Printer.dtype_str ty)
+        in
+        let widen_op o =
+          let w = Builder.fresh_reg b (Ty.scalar wide) in
+          Builder.emit b (Ir.Cvt (Ty.scalar wide, Ty.scalar ty, w, operand ty o));
+          Ir.R w
+        in
+        let wa = widen_op a in
+        let wb = widen_op bb in
+        Builder.emit b (Ir.Bin (Mul_lo, Ty.scalar wide, vreg d, wa, wb))
     | Binary (op, ty, d, a, bb) ->
         let amt_ty = if op = Shl || op = Shr then U32 else ty in
         Builder.emit b (Ir.Bin (op, Ty.scalar ty, vreg d, operand ty a, operand amt_ty bb))

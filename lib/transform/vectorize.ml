@@ -264,7 +264,13 @@ let run ?(mode = Dynamic) ?(affine = false) ~(plan : Plan.t) (scalar : Ir.func)
                       true
                   | _ -> false)
               | Ir.Imm _ ->
-                  Builder.emit b (Ir.Vstore (sp, ty, lane_operand 0 base, off, v));
+                  (* A scalar immediate is not a legal vector value operand:
+                     splat it explicitly (the verifier rejects the shortcut). *)
+                  let vv =
+                    Builder.emit_val b (Ty.vector ty ws) (fun d ->
+                        Ir.Broadcast (Ty.vector ty ws, d, v))
+                  in
+                  Builder.emit b (Ir.Vstore (sp, ty, lane_operand 0 base, off, Ir.R vv));
                   true)
           | Aff.Uniform | Aff.Const _ ->
               Builder.emit b
