@@ -401,6 +401,27 @@ let reset_arena (d : device) =
 let allocated_bytes (d : device) =
   Hashtbl.fold (fun _ size acc -> acc + size) d.allocs 0
 
+(** Advance the arena watermark so the next {!malloc} lands exactly at
+    [addr].  Daemon restart recovery uses this to pin a recovered
+    launch's buffers at the addresses the dead daemon already handed
+    its client (the job manifest records them): a from-scratch rerun
+    must put its outputs where the client will look.  [addr] must be
+    16-aligned, in bounds, and not behind the watermark; the skipped
+    gap is left unallocated. *)
+let reserve_to (d : device) addr =
+  if addr land 15 <> 0 then invalid_arg "reserve_to: unaligned address";
+  if addr > Mem.size d.global then
+    raise
+      (Vekt_error.Error
+         (Vekt_error.Resource
+            {
+              what = "device global memory";
+              requested = addr;
+              available = Mem.size d.global;
+            }));
+  if addr < align16 d.brk then invalid_arg "reserve_to: address already passed";
+  d.brk <- addr
+
 let write_f32s d addr xs = Mem.write_f32s d.global ~at:addr xs
 let write_i32s d addr xs = Mem.write_i32s d.global ~at:addr xs
 let read_f32s d addr n = Mem.read_f32s d.global ~at:addr n

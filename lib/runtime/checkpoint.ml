@@ -25,6 +25,7 @@
     with a structured {!Vekt_error.Checkpoint} — never a crash. *)
 
 module Interp = Vekt_vm.Interp
+module Io = Vekt_chaos.Io
 open Vekt_ptx
 
 (* ---- snapshot data model ---- *)
@@ -446,9 +447,10 @@ let note_iter (ctx : ctx) : bool =
 
 let ensure_dir dir =
   if not (Sys.file_exists dir) then
-    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+    try Io.mkdir dir 0o755 with Unix.Unix_error _ -> () | Sys_error _ -> ()
 
-(** Serialize [t] to [ctx.dir] (atomically: temp file + rename).
+(** Serialize [t] to [ctx.dir] (atomically and durably: temp file,
+    fsync, rename, directory fsync — see {!Vekt_chaos.Io.save_atomic}).
     Returns the path and on-disk size.  [fault] marks a diagnostic
     snapshot written on watchdog fire: it gets a distinct suffix and is
     {e not} recorded as the latest resume candidate, since resuming a
@@ -462,9 +464,7 @@ let write ?(fault = false) (ctx : ctx) (t : t) : string * int =
       (if fault then Fmt.str "%s-fault.ckpt" t.kernel
        else Fmt.str "%s-%06d.ckpt" t.kernel t.seq)
   in
-  let tmp = path ^ ".tmp" in
-  Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_bytes oc data);
-  Sys.rename tmp path;
+  Io.save_atomic ~path (Bytes.unsafe_to_string data);
   ctx.writes <- ctx.writes + 1;
   ctx.bytes_written <- ctx.bytes_written + Bytes.length data;
   ctx.write_us <- ctx.write_us +. Clock.elapsed_us t0;

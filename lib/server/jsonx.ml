@@ -91,6 +91,12 @@ let to_string (t : t) =
   add b t;
   Buffer.contents b
 
+(** One framed message of the line-delimited wire protocol: the JSON
+    text followed by the terminating newline.  Every response the
+    daemon puts on a socket goes through this, so the framing lives in
+    exactly one place. *)
+let to_line (t : t) = to_string t ^ "\n"
+
 (* ---- parser ---- *)
 
 exception Bad of string

@@ -63,6 +63,13 @@ let state_name = function
   | Done (Failed _) -> "failed"
   | Cancelled -> "cancelled"
 
+(* A job's cleanup sweeps its checkpoint directory — filesystem I/O
+   that runs while the queue lock is held.  It is allowed to fail (a
+   half-swept directory is a leak, not a correctness problem) but it
+   must never poison the queue by throwing through the locked
+   section. *)
+let run_cleanup cleanup = try cleanup () with _ -> ()
+
 type job = {
   id : int;
   tenant : string;
@@ -266,7 +273,7 @@ let expire_locked t (j : job) =
             }));
   emit_health j.sink ~tenant:j.tenant ~action:Obs.Event.Sv_expired
     ~detail:(Fmt.str "job %d (%s)" j.id j.label);
-  j.cleanup ();
+  run_cleanup j.cleanup;
   note_backlog t;
   Condition.broadcast t.cond
 
@@ -451,6 +458,14 @@ let run_one t (j : job) =
     with
     | Checkpoint.Stop path -> `Stopped path
     | Vekt_error.Error e -> `Err e
+    | Vekt_chaos.Io.Crash as e ->
+        (* simulated process death from the chaos injector (DESIGN.md
+           §3.10).  Absorbing it as a job failure would be a lie — a
+           dead process marks nothing failed and runs no cleanup.
+           Freeze the queue exactly as kill -9 would (the job stays
+           Running; the lock was already dropped for the launch) and
+           let the crash propagate to the harness. *)
+        raise e
     | e ->
         `Err
           (Vekt_error.Trap
@@ -476,7 +491,7 @@ let run_one t (j : job) =
       j.state <- Done (Finished r);
       ten.active <- ten.active - 1;
       t.completed <- t.completed + 1;
-      j.cleanup ()
+      run_cleanup j.cleanup
   | `Err e ->
       (match e with
       | Vekt_error.Deadline _ ->
@@ -488,13 +503,13 @@ let run_one t (j : job) =
       j.state <- Done (Failed e);
       ten.active <- ten.active - 1;
       t.completed <- t.completed + 1;
-      j.cleanup ()
+      run_cleanup j.cleanup
   | `Stopped path ->
       j.resume_path <- Some path;
       if j.cancel_requested then begin
         j.state <- Cancelled;
         ten.active <- ten.active - 1;
-        j.cleanup ()
+        run_cleanup j.cleanup
       end
       else begin
         j.state <- Preempted;
@@ -586,7 +601,7 @@ let cancel_locked t (j : job) : bool =
       t.pending_count <- t.pending_count - 1;
       note_backlog t;
       j.state <- Cancelled;
-      j.cleanup ();
+      run_cleanup j.cleanup;
       Condition.broadcast t.cond;
       true
 

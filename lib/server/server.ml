@@ -63,6 +63,7 @@ module Engine = Vekt_runtime.Engine
 module Checkpoint = Vekt_runtime.Checkpoint
 module Clock = Vekt_runtime.Clock
 module Obs = Vekt_obs
+module Io = Vekt_chaos.Io
 module J = Jsonx
 module P = Protocol
 
@@ -119,19 +120,23 @@ type t = {
   mutable stopping : bool;
 }
 
+(* All durable-state mutation below goes through Vekt_chaos.Io so the
+   chaos engine can enumerate and crash-test every boundary; with the
+   default implementation these are the plain syscalls they replace. *)
+
 let rec mkdir_p dir =
   if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
     mkdir_p (Filename.dirname dir);
-    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+    try Io.mkdir dir 0o755 with Unix.Unix_error _ -> () | Sys_error _ -> ()
   end
 
 let rec rm_rf path =
   if Sys.file_exists path then
     if Sys.is_directory path then begin
       Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
-      try Sys.rmdir path with Sys_error _ -> ()
+      try Io.rmdir path with Unix.Unix_error _ -> () | Sys_error _ -> ()
     end
-    else try Sys.remove path with Sys_error _ -> ()
+    else try Io.remove path with Unix.Unix_error _ -> () | Sys_error _ -> ()
 
 (* ---- tenant-tally journal (restart recovery of [stats]) ----
 
@@ -176,21 +181,22 @@ let journal_path t = Filename.concat t.ckpt_dir "tenant-tallies.journal"
    close / reap), and a crash mid-write must never corrupt the old
    journal. *)
 let save_journal_locked t =
-  let tmp = journal_path t ^ ".tmp" in
-  try
-    Out_channel.with_open_bin tmp (fun oc ->
-        Hashtbl.iter
-          (fun tenant reg ->
-            output_string oc
-              (J.to_string
-                 (J.Obj
-                    [ ("tenant", J.Str tenant); ("metrics", P.metrics_json reg) ])
-              ^ "\n"))
-          t.closed_tallies);
-    Sys.rename tmp (journal_path t)
-  with Sys_error _ -> ()
+  let buf = Buffer.create 512 in
+  Hashtbl.iter
+    (fun tenant reg ->
+      Buffer.add_string buf
+        (J.to_line
+           (J.Obj [ ("tenant", J.Str tenant); ("metrics", P.metrics_json reg) ])))
+    t.closed_tallies;
+  try Io.save_atomic ~path:(journal_path t) (Buffer.contents buf)
+  with Sys_error _ | Unix.Unix_error _ -> ()
 
 let load_journal t =
+  (* a predecessor may have died mid-save: its half-written temp file
+     is a crash artifact, never a recovery source — sweep it *)
+  let tmp = journal_path t ^ ".tmp" in
+  if Sys.file_exists tmp then (
+    try Io.remove tmp with Unix.Unix_error _ | Sys_error _ -> ());
   match In_channel.with_open_bin (journal_path t) In_channel.input_all with
   | exception Sys_error _ -> ()
   | data ->
@@ -330,18 +336,19 @@ let launch_run (s : session) (m : Api.modul) ~kernel ~grid ~block ~args
 let dim3_json (d : Vekt_ptx.Launch.dim3) =
   J.List [ J.Int d.Vekt_ptx.Launch.x; J.Int d.y; J.Int d.z ]
 
-(* Written atomically (tmp + rename) before the job is admitted, so a
-   crash at any instant leaves either no manifest (job was never
-   acknowledged) or a complete one. *)
+(* Written atomically and durably (tmp + fsync + rename + directory
+   fsync) before the job is admitted, so a crash at any instant leaves
+   either no manifest (job was never acknowledged) or a complete one —
+   and a manifest that was acknowledged cannot be un-renamed by the
+   crash.  The chaos engine drills every boundary of this sequence. *)
 let write_manifest ~jdir (fields : (string * J.t) list) =
   mkdir_p jdir;
-  let tmp = Filename.concat jdir "manifest.json.tmp" in
-  Out_channel.with_open_bin tmp (fun oc ->
-      output_string oc (J.to_string (J.Obj fields)));
-  Sys.rename tmp (Filename.concat jdir "manifest.json")
+  Io.save_atomic
+    ~path:(Filename.concat jdir "manifest.json")
+    (J.to_string (J.Obj fields))
 
-let manifest_fields ~tenant ~label ~priority ~kernel ~grid ~block ~specs ~src
-    ~spec ~preemptible ~deadline_ms : (string * J.t) list =
+let manifest_fields ~tenant ~label ~priority ~kernel ~grid ~block ~specs ~addrs
+    ~src ~spec ~preemptible ~deadline_ms : (string * J.t) list =
   [
     ("tenant", J.Str tenant);
     ("label", J.Str label);
@@ -350,6 +357,13 @@ let manifest_fields ~tenant ~label ~priority ~kernel ~grid ~block ~specs ~src
     ("grid", dim3_json grid);
     ("block", dim3_json block);
     ("args", J.List (List.map (fun s -> J.Str s) specs));
+    (* resolved buffer addresses, parallel to [args]; the client was
+       told these, so a from-scratch recovery must re-pin them *)
+    ( "arg-addrs",
+      J.List
+        (List.map
+           (function None -> J.Null | Some a -> J.Int a)
+           addrs) );
     ("src", J.Str src);
     ("config", J.Obj (List.map (fun (k, v) -> (k, J.Str v)) spec));
     ("preemptible", J.Bool preemptible);
@@ -390,6 +404,14 @@ let recover_one t ~jdir =
     | Some l ->
         List.map (function J.Str s -> s | _ -> failwith "manifest args") l
   in
+  (* the addresses the dead daemon acknowledged to its client, parallel
+     to [specs]; absent in manifests written before they were recorded *)
+  let addrs =
+    match J.list_mem "arg-addrs" mj with
+    | Some l when List.length l = List.length specs ->
+        List.map (function J.Int a -> Some a | _ -> None) l
+    | _ -> List.map (fun _ -> None) specs
+  in
   let s = new_session t tenant in
   let config =
     match Api.config_of_spec spec with Ok c -> c | Error msg -> failwith msg
@@ -398,13 +420,20 @@ let recover_one t ~jdir =
   let mid = s.s_next_module in
   s.s_next_module <- mid + 1;
   Hashtbl.replace s.s_modules mid { me_mod = m; me_src = src; me_spec = spec };
+  (* Re-parse each spec with its buffer pinned at the original address:
+     the recovery session's arena is fresh, but the client holds the
+     dead daemon's addresses, and a from-scratch rerun must write its
+     outputs where the client will read them. *)
   let parsed =
-    List.map
-      (fun spec ->
+    List.map2
+      (fun spec addr ->
+        (match addr with
+        | Some a -> Api.reserve_to s.s_dev a
+        | None -> ());
         match Api.arg_of_spec s.s_dev spec with
         | Ok a -> a
         | Error msg -> failwith msg)
-      specs
+      specs addrs
   in
   let args = List.map (fun a -> a.Api.launch_arg) parsed in
   let resume = Checkpoint.newest_snapshot ~dir:jdir in
@@ -696,7 +725,9 @@ let do_submit_launch t (s : session) req : J.t =
   Mutex.unlock t.lock;
   write_manifest ~jdir
     (manifest_fields ~tenant:s.s_tenant ~label ~priority ~kernel ~grid ~block
-       ~specs ~src:me.me_src ~spec:me.me_spec ~preemptible ~deadline_ms);
+       ~specs
+       ~addrs:(List.map (fun a -> a.Api.addr) parsed)
+       ~src:me.me_src ~spec:me.me_spec ~preemptible ~deadline_ms);
   let run =
     launch_run s me.me_mod ~kernel ~grid ~block ~args ~preemptible ~jdir
   in
@@ -937,7 +968,7 @@ let handle_line t (line : string) : string =
     | Error msg -> P.bad_request (Fmt.str "parse error: %s" msg)
     | Ok req -> handle t req
   in
-  J.to_string resp ^ "\n"
+  J.to_line resp
 
 (* ---- transport: line-delimited JSON over a Unix-domain socket ---- *)
 
@@ -950,15 +981,43 @@ type client = {
          the read deadline just like a fully stalled client *)
 }
 
+(* Retries before a stalled peer is declared dead.  Each retry waits
+   for writability (below), so this bounds patience, not CPU. *)
+let max_write_stalls = 8
+
+(** Put the whole response on the wire.  A bare [write] is wrong on
+    every axis a real socket exposes: partial writes (we loop), EINTR
+    (retry), EAGAIN/EWOULDBLOCK or a zero-length write from a stalled
+    reader (wait for writability and retry, a bounded number of
+    times).  EPIPE and a peer that stays stalled past the retry budget
+    still raise — the {e caller} owns the connection and drops it
+    cleanly; the accept loop never dies for one broken client.  The
+    send itself goes through {!Vekt_chaos.Io} so the chaos engine can
+    drill mid-response socket failures. *)
 let write_all fd s =
   let n = String.length s in
-  let rec go off =
-    if off < n then
-      match Unix.write_substring fd s off (n - off) with
-      | written -> go (off + written)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  let wait_writable () =
+    match Unix.select [] [ fd ] [] 0.25 with
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   in
-  go 0
+  let rec go off stalls =
+    if off < n then
+      if stalls > max_write_stalls then
+        raise (Unix.Unix_error (Unix.EAGAIN, "write_all", "peer stalled"))
+      else
+        match Io.send fd s off (n - off) with
+        | 0 ->
+            wait_writable ();
+            go off (stalls + 1)
+        | written -> go (off + written) 0
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off stalls
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            wait_writable ();
+            go off (stalls + 1)
+  in
+  go 0 0
 
 (* Peel complete lines off a client's accumulation buffer, answer each. *)
 let drain_client t (c : client) =
@@ -983,6 +1042,15 @@ let initiate_shutdown t =
   t.stopping <- true;
   Queue.cancel_all t.queue;
   Queue.shutdown t.queue
+
+(** Clean shutdown is decommission: stop the queue and sweep the
+    checkpoint root, journal included — persistence is for crashes
+    only.  Idempotent.  [serve] ends with this; the chaos harness
+    calls it directly after driving a recovery to completion, and then
+    checks that nothing of the state directory remains. *)
+let decommission t =
+  initiate_shutdown t;
+  rm_rf t.ckpt_dir
 
 (* A left-over socket path from a crashed predecessor must not block
    startup — but a live daemon behind it must.  Probe by connecting:
@@ -1021,6 +1089,12 @@ let serve t ?(read_deadline_s = 10.0) ~socket () =
   let on_signal _ = stop := true in
   let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle on_signal) in
   let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle on_signal) in
+  (* a peer that hangs up between select and our write must surface as
+     EPIPE on that one connection, not as a process-killing SIGPIPE *)
+  let prev_pipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ | Sys_error _ -> None
+  in
   let clients : (Unix.file_descr, client) Hashtbl.t = Hashtbl.create 8 in
   let close_client fd =
     Hashtbl.remove clients fd;
@@ -1057,9 +1131,7 @@ let serve t ?(read_deadline_s = 10.0) ~socket () =
                         (* an endless line: answer once, hang up *)
                         (try
                            write_all c.c_fd
-                             (J.to_string
-                                (P.bad_request "request line too long")
-                             ^ "\n")
+                             (J.to_line (P.bad_request "request line too long"))
                          with Unix.Unix_error _ -> ());
                         close_client fd
                       end
@@ -1093,5 +1165,8 @@ let serve t ?(read_deadline_s = 10.0) ~socket () =
   (try Unix.unlink socket with Unix.Unix_error _ -> ());
   Sys.set_signal Sys.sigterm prev_term;
   Sys.set_signal Sys.sigint prev_int;
+  (match prev_pipe with
+  | Some prev -> ( try Sys.set_signal Sys.sigpipe prev with _ -> ())
+  | None -> ());
   (* checkpoint root drained: no orphaned job snapshots survive *)
-  rm_rf t.ckpt_dir
+  decommission t
